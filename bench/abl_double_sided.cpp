@@ -1,0 +1,76 @@
+/// Ablation: the double-sided immersion mechanism. DESIGN.md's key
+/// modeling choice is that immersion wets BOTH the heatsink and the
+/// film-coated board face; this bench disables the board-side path and
+/// shows tall stacks become infeasible — i.e., the paper's 14-chip
+/// immersion points *require* the second path.
+
+#include "bench_util.hpp"
+#include "power/chip_model.hpp"
+
+namespace {
+
+aqua::FrequencyCap cap_with_bottom(std::size_t chips, bool strong_bottom) {
+  const aqua::ChipModel chip = aqua::make_low_power_cmp();
+  const aqua::PackageConfig pkg;
+  aqua::ThermalBoundary b =
+      aqua::CoolingOption(aqua::CoolingKind::kWaterImmersion).boundary(pkg);
+  if (!strong_bottom) {
+    // Board face sees still air instead of the coolant.
+    b.bottom_htc = aqua::HeatTransferCoefficient(14.0);
+    b.film_on_bottom = false;
+  }
+  const aqua::Stack3d stack(chip.floorplan(), chips, aqua::FlipPolicy::kNone);
+  aqua::StackThermalModel model(stack, pkg, b, aqua::GridOptions{});
+
+  aqua::FrequencyCap cap;
+  const aqua::VfsLadder& ladder = chip.ladder();
+  for (std::size_t s = ladder.size(); s-- > 0;) {
+    std::vector<std::vector<double>> powers;
+    for (std::size_t l = 0; l < chips; ++l) {
+      powers.push_back(chip.block_powers(stack.layer(l), ladder.step(s)));
+    }
+    const double t = model.solve_steady(powers).max_die_temperature_c();
+    if (t <= 80.0) {
+      cap.feasible = true;
+      cap.frequency = ladder.step(s);
+      cap.max_temperature_c = t;
+      return cap;
+    }
+  }
+  return cap;
+}
+
+void microbench_cap(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cap_with_bottom(6, true));
+  }
+}
+BENCHMARK(microbench_cap)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aqua::bench::banner("Ablation",
+                      "double-sided immersion: board-side path on/off "
+                      "(low-power CMP, water)");
+  aqua::Table t({"chips", "GHz_both_sides", "GHz_top_only"});
+  for (std::size_t chips : {2u, 4u, 6u, 8u, 10u, 12u}) {
+    const aqua::FrequencyCap both = cap_with_bottom(chips, true);
+    const aqua::FrequencyCap top = cap_with_bottom(chips, false);
+    t.row().add_int(static_cast<long long>(chips));
+    if (both.feasible) {
+      t.add(both.frequency.gigahertz(), 1);
+    } else {
+      t.add_missing();
+    }
+    if (top.feasible) {
+      t.add(top.frequency.gigahertz(), 1);
+    } else {
+      t.add_missing();
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nwithout the board-side (second) path, immersion loses its "
+               "tall-stack advantage — the mechanism behind Figs. 7/8\n\n";
+  return aqua::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,48 @@
+/// Ablation: thermal grid resolution. The frequency decisions of Figs. 7/8
+/// must not depend on the discretization; this bench shows peak-temperature
+/// convergence and the resolution's cost.
+
+#include "bench_util.hpp"
+#include "power/chip_model.hpp"
+
+namespace {
+
+double solve_peak(std::size_t n, std::size_t chips) {
+  aqua::GridOptions grid;
+  grid.nx = n;
+  grid.ny = n;
+  aqua::MaxFrequencyFinder finder(aqua::make_high_frequency_cmp(),
+                                  aqua::PackageConfig{}, 80.0, grid);
+  return finder.temperature_at(
+      chips, aqua::CoolingOption(aqua::CoolingKind::kWaterImmersion),
+      aqua::gigahertz(3.6));
+}
+
+void microbench_resolution(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_peak(n, 4));
+  }
+}
+BENCHMARK(microbench_resolution)->Arg(8)->Arg(16)->Arg(32)->Arg(48)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aqua::bench::banner("Ablation",
+                      "thermal grid resolution vs. peak temperature");
+  aqua::Table t({"grid", "peak_T_4chip_C", "delta_vs_48_C"});
+  const double reference = solve_peak(48, 4);
+  for (std::size_t n : {8u, 12u, 16u, 24u, 32u, 48u}) {
+    const double peak = solve_peak(n, 4);
+    t.row()
+        .add(std::to_string(n) + "x" + std::to_string(n))
+        .add(peak, 2)
+        .add(peak - reference, 2);
+  }
+  t.print(std::cout);
+  std::cout << "\nthe shipped default (32x32) sits within a fraction of a "
+               "degree of the 48x48 reference\n\n";
+  return aqua::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,72 @@
+#include "bench_util.hpp"
+
+#include <cstdlib>
+
+namespace aqua::bench {
+
+void banner(const std::string& id, const std::string& description) {
+  std::cout << "\n=== " << id << ": " << description << " ===\n\n";
+}
+
+Table freq_vs_chips_table(const FreqVsChipsData& data) {
+  std::vector<std::string> header{"chips"};
+  for (const FreqVsChipsSeries& s : data.series) {
+    header.emplace_back(to_string(s.cooling));
+  }
+  Table t(std::move(header));
+  for (std::size_t n = 0; n < data.max_chips; ++n) {
+    t.row().add_int(static_cast<long long>(n + 1));
+    for (const FreqVsChipsSeries& s : data.series) {
+      if (s.ghz[n].has_value()) {
+        t.add(*s.ghz[n], 1);
+      } else {
+        t.add_missing();
+      }
+    }
+  }
+  return t;
+}
+
+Table npb_table(const NpbData& data) {
+  std::vector<std::string> header{"bench"};
+  for (CoolingKind k : data.coolings) header.emplace_back(to_string(k));
+  Table t(std::move(header));
+
+  t.row().add("GHz");
+  for (std::size_t k = 0; k < data.coolings.size(); ++k) {
+    if (data.caps[k].feasible) {
+      t.add(data.caps[k].frequency.gigahertz(), 1);
+    } else {
+      t.add_missing();
+    }
+  }
+  for (const NpbRow& row : data.rows) {
+    t.row().add(row.benchmark);
+    for (const auto& rel : row.relative) {
+      if (rel.has_value()) {
+        t.add(*rel, 3);
+      } else {
+        t.add_missing();
+      }
+    }
+  }
+  return t;
+}
+
+double npb_scale() {
+  if (const char* env = std::getenv("AQUA_NPB_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 0.5;
+}
+
+int run_microbenchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace aqua::bench

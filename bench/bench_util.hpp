@@ -1,0 +1,36 @@
+#pragma once
+
+/// Shared plumbing for the experiment bench binaries: every bench prints
+/// its paper-style table(s) first, then runs its google-benchmark
+/// micro-timings. `AQUA_NPB_SCALE` (env) scales the NPB instruction counts
+/// (default 0.5) so the full-system figures can be traded between fidelity
+/// and wall time.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/experiments.hpp"
+
+namespace aqua::bench {
+
+/// Prints the figure banner ("=== Figure 7: ... ===").
+void banner(const std::string& id, const std::string& description);
+
+/// Renders a frequency-vs-chips experiment as the paper's series table
+/// (rows = chip counts, columns = cooling options, "-" = cannot be drawn).
+Table freq_vs_chips_table(const FreqVsChipsData& data);
+
+/// Renders an NPB experiment: per-benchmark relative execution times plus
+/// the absolute frequency row.
+Table npb_table(const NpbData& data);
+
+/// NPB instruction scale from AQUA_NPB_SCALE (default 0.5).
+double npb_scale();
+
+/// Standard tail: parse benchmark flags and run registered micro-benches.
+int run_microbenchmarks(int argc, char** argv);
+
+}  // namespace aqua::bench

@@ -1,0 +1,66 @@
+/// Extension: CPI stacks of the NPB suite — where the cycles actually go
+/// (compute / L2 / DRAM / cache-to-cache forwards / upgrades / barrier).
+/// This is the microarchitectural explanation of Figs. 10-13: benchmarks
+/// whose stacks are DRAM- or barrier-heavy gain little from the frequency
+/// that water cooling buys, compute-dominated ones gain the most.
+
+#include "bench_util.hpp"
+#include "perf/system.hpp"
+#include "power/chip_model.hpp"
+
+namespace {
+
+void microbench_instrumented_run(benchmark::State& state) {
+  aqua::CmpConfig cfg;
+  aqua::WorkloadProfile p = aqua::npb_profile("mg");
+  p.instructions_per_thread = 4000;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    aqua::CmpSystem sys(cfg, p, aqua::gigahertz(2.0), seed++);
+    benchmark::DoNotOptimize(sys.run());
+  }
+}
+BENCHMARK(microbench_instrumented_run)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aqua::bench::banner("Extension",
+                      "CPI stacks, NPB on a 2-chip CMP @ 2.0 GHz (shares "
+                      "of total core-cycles)");
+  aqua::CmpConfig cfg;
+  cfg.chips = 2;
+
+  aqua::Table t({"bench", "busy", "l2", "dram", "forward", "upgrade",
+                 "barrier", "ipc"});
+  for (const aqua::WorkloadProfile& base : aqua::npb_suite()) {
+    aqua::WorkloadProfile p = base;
+    p.instructions_per_thread = static_cast<std::uint64_t>(
+        static_cast<double>(p.instructions_per_thread) *
+        aqua::bench::npb_scale());
+    aqua::CmpSystem sys(cfg, p, aqua::gigahertz(2.0));
+    const aqua::ExecStats st = sys.run();
+
+    const double core_cycles =
+        static_cast<double>(st.cycles) * static_cast<double>(cfg.total_cores());
+    auto share = [core_cycles](std::uint64_t c) {
+      return static_cast<double>(c) / core_cycles;
+    };
+    const double stall_share = share(st.total_stall_cycles());
+    const double barrier_share = share(st.barrier_wait_cycles);
+    t.row()
+        .add(p.name)
+        .add(std::max(0.0, 1.0 - stall_share - barrier_share), 3)
+        .add(share(st.stall_l2_cycles), 3)
+        .add(share(st.stall_dram_cycles), 3)
+        .add(share(st.stall_forward_cycles), 3)
+        .add(share(st.stall_upgrade_cycles), 3)
+        .add(barrier_share, 3)
+        .add(st.ipc(), 2);
+  }
+  t.print(std::cout);
+  std::cout << "\nEP is nearly all busy (hence its outsized frequency "
+               "sensitivity in Figs. 10-13); IS/CG sink their cycles into "
+               "DRAM and sharing, which a faster clock cannot buy back.\n\n";
+  return aqua::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,72 @@
+/// Extension: dense packing of compute nodes — the paper's stated future
+/// work (Section 6). How many 4-chip nodes fit in a cubic meter of rack /
+/// tank volume under each coolant, when the coolant between boards must
+/// carry the heat with a bounded bulk temperature rise?
+
+#include "bench_util.hpp"
+#include "core/density.hpp"
+#include "power/chip_model.hpp"
+
+namespace {
+
+void microbench_packing(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aqua::packing_density(
+        aqua::make_high_frequency_cmp(), 4,
+        aqua::CoolingOption(aqua::CoolingKind::kWaterImmersion)));
+  }
+}
+BENCHMARK(microbench_packing)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aqua::bench::banner("Extension",
+                      "compute density: 4-chip high-frequency nodes per m^3 "
+                      "(0.1 m/s flow, 10 C allowed coolant rise)");
+  const auto results = aqua::packing_study(aqua::make_high_frequency_cmp(), 4);
+
+  aqua::Table t({"coolant", "node_GHz", "node_W", "pitch_mm", "limit",
+                 "nodes_per_m3", "kW_per_m3"});
+  for (const aqua::PackingResult& r : results) {
+    t.row().add(to_string(r.coolant));
+    if (r.node_power_w == 0.0) {
+      t.add_missing().add_missing().add_missing().add_missing()
+          .add_missing().add_missing();
+      continue;
+    }
+    t.add(r.node_ghz, 1)
+        .add(r.node_power_w, 1)
+        .add(r.pitch_m * 1e3, 1)
+        .add(r.transport_limited ? "transport" : "mechanical")
+        .add(r.nodes_per_m3, 0)
+        .add(r.kw_per_m3, 1);
+  }
+  t.print(std::cout);
+
+  // The flow-speed knob (Section 4.1's "worth pumping" point, applied to
+  // density instead of temperature).
+  // Water stays mechanically limited even in near-still flow (its
+  // 4 MJ/m^3K soaks up the heat); AIR needs serious forced flow just to
+  // approach the mechanical pitch — which is exactly what hot-aisle
+  // engineering is about.
+  std::cout << "\nair density vs. forced-flow velocity:\n";
+  aqua::Table f({"air_flow_m_s", "pitch_mm", "limit", "kW_per_m3"});
+  for (double v : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    aqua::PackingConfig cfg;
+    cfg.flow_velocity_m_s = v;
+    const aqua::PackingResult r = aqua::packing_density(
+        aqua::make_high_frequency_cmp(), 4,
+        aqua::CoolingOption(aqua::CoolingKind::kAir), 80.0, cfg);
+    f.row()
+        .add(v, 1)
+        .add(r.pitch_m * 1e3, 1)
+        .add(r.transport_limited ? "transport" : "mechanical")
+        .add(r.kw_per_m3, 1);
+  }
+  f.print(std::cout);
+  std::cout << "\nwater's 4 MJ/(m^3 K) volumetric heat capacity (3500x air) "
+               "is what makes tank-scale density possible — the paper's "
+               "densely-packed-nodes future work, quantified.\n\n";
+  return aqua::bench::run_microbenchmarks(argc, argv);
+}

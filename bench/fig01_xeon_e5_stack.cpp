@@ -1,0 +1,40 @@
+/// Figure 1: maximum operating frequency vs. number of stacked Xeon
+/// E5-2667v4 chips under air, mineral oil and water (78 C threshold from
+/// the part's specification). Paper findings: air limits 3 chips to 2.0 GHz
+/// and cannot stack 4; oil reaches 2.8 / 2.0 GHz (3 / 4 chips); water 3.2 /
+/// 2.2 GHz.
+
+#include "bench_util.hpp"
+#include "power/chip_model.hpp"
+
+namespace {
+
+void microbench_e5_cap(benchmark::State& state) {
+  const aqua::ChipModel chip = aqua::make_xeon_e5_2667v4();
+  aqua::MaxFrequencyFinder finder(chip, aqua::PackageConfig{}, 78.0);
+  const aqua::CoolingOption water(aqua::CoolingKind::kWaterImmersion);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        finder.find(static_cast<std::size_t>(state.range(0)), water));
+  }
+}
+BENCHMARK(microbench_e5_cap)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aqua::bench::banner(
+      "Figure 1", "max frequency vs. stacked Xeon E5-2667v4 chips (78 C)");
+  const aqua::FreqVsChipsData data = aqua::frequency_vs_chips(
+      aqua::make_xeon_e5_2667v4(), 4, /*threshold_c=*/78.0);
+  aqua::bench::freq_vs_chips_table(data).print(std::cout);
+
+  std::cout << "\npaper: air caps 3 chips at 2.0 GHz and cannot stack 4; "
+               "water > oil > air throughout\n"
+            << "air max chips: " << data.max_feasible_chips(aqua::CoolingKind::kAir)
+            << ", oil: " << data.max_feasible_chips(aqua::CoolingKind::kMineralOil)
+            << ", water: "
+            << data.max_feasible_chips(aqua::CoolingKind::kWaterImmersion)
+            << "\n\n";
+  return aqua::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,54 @@
+/// Figure 6: relative power vs. relative operating frequency for the
+/// low-power and high-frequency CMP models, overlaid with simulated-RAPL
+/// measurements of the Xeon E5-2667v4 and Phi 7250/7290 under the per-core
+/// stress workload. Paper finding: all chips share one superlinear curve
+/// (the alpha-power-law voltage scaling).
+
+#include "bench_util.hpp"
+#include "power/chip_model.hpp"
+#include "power/rapl.hpp"
+
+namespace {
+
+void microbench_relative_power(benchmark::State& state) {
+  const aqua::Technology tech = aqua::technology_22nm_hp();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aqua::relative_power(
+        tech, aqua::gigahertz(1.8), aqua::gigahertz(3.6), 0.7));
+  }
+}
+BENCHMARK(microbench_relative_power)->Unit(benchmark::kNanosecond);
+
+void print_chip_curve(const aqua::ChipModel& chip, bool measured,
+                      aqua::Table& t) {
+  aqua::RaplMeter meter(2019);
+  for (aqua::Hertz f : chip.ladder().steps()) {
+    const double rel_f = f / chip.max_frequency();
+    double rel_p;
+    if (measured) {
+      rel_p = meter.measure(chip, f).power.value() / chip.max_power().value();
+    } else {
+      rel_p = chip.total_power(f).value() / chip.max_power().value();
+    }
+    t.row()
+        .add(chip.name() + (measured ? " (RAPL)" : " (model)"))
+        .add(rel_f, 3)
+        .add(rel_p, 3);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aqua::bench::banner("Figure 6",
+                      "relative power vs. relative frequency, four chips");
+  aqua::Table t({"chip", "rel_frequency", "rel_power"});
+  print_chip_curve(aqua::make_low_power_cmp(), false, t);
+  print_chip_curve(aqua::make_high_frequency_cmp(), false, t);
+  print_chip_curve(aqua::make_xeon_e5_2667v4(), true, t);
+  print_chip_curve(aqua::make_xeon_phi_7290(), true, t);
+  t.print(std::cout);
+  std::cout << "\npaper: the four curves coincide — power falls "
+               "superlinearly as frequency (and voltage) drop\n\n";
+  return aqua::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,48 @@
+/// Figure 7: maximum chip operating frequency vs. number of chips in a
+/// stacked low-power CMP (1.0-2.0 GHz VFS, 47.2 W max) for all five cooling
+/// options at the 80 C threshold. Paper findings: air and water-pipe carry
+/// at most 4 and 7 chips; immersion continues to 14; water on top.
+
+#include "bench_util.hpp"
+#include "power/chip_model.hpp"
+
+namespace {
+
+void microbench_steady_solve(benchmark::State& state) {
+  const aqua::ChipModel chip = aqua::make_low_power_cmp();
+  const aqua::PackageConfig pkg;
+  const aqua::Stack3d stack(chip.floorplan(),
+                            static_cast<std::size_t>(state.range(0)),
+                            aqua::FlipPolicy::kNone);
+  aqua::StackThermalModel model(
+      stack, pkg,
+      aqua::CoolingOption(aqua::CoolingKind::kWaterImmersion).boundary(pkg));
+  std::vector<std::vector<double>> powers;
+  for (std::size_t l = 0; l < stack.layer_count(); ++l) {
+    powers.push_back(chip.block_powers(stack.layer(l), aqua::gigahertz(1.5)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.solve_steady(powers));
+  }
+}
+BENCHMARK(microbench_steady_solve)->Arg(4)->Arg(14)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aqua::bench::banner("Figure 7",
+                      "max frequency vs. #chips, low-power CMP, 80 C");
+  const aqua::FreqVsChipsData data =
+      aqua::frequency_vs_chips(aqua::make_low_power_cmp(), 14);
+  aqua::bench::freq_vs_chips_table(data).print(std::cout);
+
+  std::cout << "\npaper: air <= 4 chips, water-pipe <= 7, immersion to 14, "
+               "order air < pipe < oil <= fluorinert <= water\n"
+            << "measured max chips:";
+  for (const auto& s : data.series) {
+    std::cout << ' ' << to_string(s.cooling) << '='
+              << data.max_feasible_chips(s.cooling);
+  }
+  std::cout << "\n\n";
+  return aqua::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,19 @@
+/// Figure 10: NAS Parallel Benchmark execution times on a 6-chip low-power
+/// CMP (24 threads), relative to water-pipe cooling. Paper finding: water
+/// immersion is fastest, up to ~14% over the water pipe.
+
+#include "npb_common.hpp"
+
+namespace {
+void microbench_des_6chip(benchmark::State& state) {
+  aqua::bench::microbench_des(state, aqua::make_low_power_cmp(), 6);
+}
+BENCHMARK(microbench_des_6chip)->Unit(benchmark::kMillisecond)->Iterations(3);
+}  // namespace
+
+int main(int argc, char** argv) {
+  aqua::bench::run_npb_figure(
+      "Figure 10", "NPB times, 6-chip low-power CMP, rel. to water pipe",
+      aqua::make_low_power_cmp(), 6, aqua::CoolingKind::kWaterPipe);
+  return aqua::bench::run_microbenchmarks(argc, argv);
+}

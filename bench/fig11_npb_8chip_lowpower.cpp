@@ -1,0 +1,19 @@
+/// Figure 11: NPB execution times on an 8-chip low-power CMP (32 threads),
+/// relative to MINERAL OIL — the water pipe cannot carry this stack (its
+/// column prints '-'). Paper finding: water beats oil by up to ~4.5%.
+
+#include "npb_common.hpp"
+
+namespace {
+void microbench_des_8chip(benchmark::State& state) {
+  aqua::bench::microbench_des(state, aqua::make_low_power_cmp(), 8);
+}
+BENCHMARK(microbench_des_8chip)->Unit(benchmark::kMillisecond)->Iterations(3);
+}  // namespace
+
+int main(int argc, char** argv) {
+  aqua::bench::run_npb_figure(
+      "Figure 11", "NPB times, 8-chip low-power CMP, rel. to mineral oil",
+      aqua::make_low_power_cmp(), 8, aqua::CoolingKind::kMineralOil);
+  return aqua::bench::run_microbenchmarks(argc, argv);
+}

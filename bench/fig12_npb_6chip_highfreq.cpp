@@ -1,0 +1,18 @@
+/// Figure 12: NPB execution times on a 6-chip high-frequency CMP
+/// (24 threads), relative to water-pipe cooling.
+
+#include "npb_common.hpp"
+
+namespace {
+void microbench_des_6chip_hf(benchmark::State& state) {
+  aqua::bench::microbench_des(state, aqua::make_high_frequency_cmp(), 6);
+}
+BENCHMARK(microbench_des_6chip_hf)->Unit(benchmark::kMillisecond)->Iterations(3);
+}  // namespace
+
+int main(int argc, char** argv) {
+  aqua::bench::run_npb_figure(
+      "Figure 12", "NPB times, 6-chip high-frequency CMP, rel. to water pipe",
+      aqua::make_high_frequency_cmp(), 6, aqua::CoolingKind::kWaterPipe);
+  return aqua::bench::run_microbenchmarks(argc, argv);
+}

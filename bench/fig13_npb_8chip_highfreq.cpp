@@ -1,0 +1,19 @@
+/// Figure 13: NPB execution times on an 8-chip high-frequency CMP
+/// (32 threads), relative to water-pipe cooling (feasible here — the wide
+/// VFS range lets the high-frequency chip throttle under the pipe).
+
+#include "npb_common.hpp"
+
+namespace {
+void microbench_des_8chip_hf(benchmark::State& state) {
+  aqua::bench::microbench_des(state, aqua::make_high_frequency_cmp(), 8);
+}
+BENCHMARK(microbench_des_8chip_hf)->Unit(benchmark::kMillisecond)->Iterations(3);
+}  // namespace
+
+int main(int argc, char** argv) {
+  aqua::bench::run_npb_figure(
+      "Figure 13", "NPB times, 8-chip high-frequency CMP, rel. to water pipe",
+      aqua::make_high_frequency_cmp(), 8, aqua::CoolingKind::kWaterPipe);
+  return aqua::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,58 @@
+/// Figure 14: peak temperature vs. coolant heat-transfer coefficient for
+/// 4-chip stacks of the low-power CMP, high-frequency CMP, Xeon E5 and
+/// Xeon Phi, each at its maximum frequency. Paper findings: temperature
+/// falls with h, and high-power chips still gain measurably beyond water's
+/// 800 W/m^2K — motivating forced coolant flow.
+
+#include "bench_util.hpp"
+#include "power/chip_model.hpp"
+
+namespace {
+
+const std::vector<double>& sweep_points() {
+  static const std::vector<double> h{14.0,   50.0,   100.0,  160.0,
+                                     180.0,  400.0,  800.0,  1600.0,
+                                     2400.0, 3200.0};
+  return h;
+}
+
+void microbench_htc_point(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        aqua::htc_sweep(aqua::make_low_power_cmp(), 4, {800.0}));
+  }
+}
+BENCHMARK(microbench_htc_point)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aqua::bench::banner("Figure 14",
+                      "max temperature vs. heat-transfer coefficient, "
+                      "4-chip stacks at max frequency");
+  const std::vector<aqua::ChipModel> chips{
+      aqua::make_low_power_cmp(), aqua::make_high_frequency_cmp(),
+      aqua::make_xeon_e5_2667v4(), aqua::make_xeon_phi_7290()};
+
+  aqua::Table t({"h_W_m2K", "low_power", "high_freq", "e5", "phi"});
+  std::vector<std::vector<aqua::HtcSweepPoint>> results;
+  for (const aqua::ChipModel& chip : chips) {
+    results.push_back(aqua::htc_sweep(chip, 4, sweep_points()));
+  }
+  for (std::size_t i = 0; i < sweep_points().size(); ++i) {
+    t.row().add(sweep_points()[i], 0);
+    for (const auto& series : results) {
+      t.add(series[i].temperature_c, 1);
+    }
+  }
+  t.print(std::cout);
+
+  // The Section 4.1 observation: for the hottest chip, going from water
+  // (800) to a pumped 3200 W/m^2K still buys a real temperature drop.
+  const auto& e5 = results[2];
+  std::cout << "\nXeon E5 drop from h=800 to h=3200: "
+            << aqua::format_double(e5[6].temperature_c - e5[9].temperature_c, 1)
+            << " C (paper: non-negligible -> coolant flow speed worth "
+               "increasing)\n\n";
+  return aqua::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,52 @@
+/// Figure 15: temperature vs. operating frequency for the 4-chip
+/// high-frequency CMP with and without 180-degree rotation of even layers
+/// ("flip"), under air and water. Paper findings: flip lowers temperature
+/// (about 13 C at 3.6 GHz under water) and raises the feasible frequency
+/// at the 80 C threshold (air: 2.8 -> 3.0 GHz).
+
+#include "bench_util.hpp"
+#include "power/chip_model.hpp"
+
+namespace {
+
+void microbench_flip_solve(benchmark::State& state) {
+  aqua::MaxFrequencyFinder finder(aqua::make_high_frequency_cmp(),
+                                  aqua::PackageConfig{}, 80.0);
+  const aqua::CoolingOption water(aqua::CoolingKind::kWaterImmersion);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finder.temperature_at(
+        4, water, aqua::gigahertz(3.6), aqua::FlipPolicy::kFlipEven));
+  }
+}
+BENCHMARK(microbench_flip_solve)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aqua::bench::banner("Figure 15",
+                      "temperature vs. frequency, 4-chip high-frequency "
+                      "CMP, with/without flip");
+  const aqua::ChipModel chip = aqua::make_high_frequency_cmp();
+  const auto air = aqua::rotation_sweep(
+      chip, 4, aqua::CoolingOption(aqua::CoolingKind::kAir));
+  const auto water = aqua::rotation_sweep(
+      chip, 4, aqua::CoolingOption(aqua::CoolingKind::kWaterImmersion));
+
+  aqua::Table t({"GHz", "air_C", "air_flip_C", "water_C", "water_flip_C"});
+  for (std::size_t i = 0; i < air.size(); ++i) {
+    t.row()
+        .add(air[i].ghz, 1)
+        .add(air[i].temperature_no_flip_c, 1)
+        .add(air[i].temperature_flip_c, 1)
+        .add(water[i].temperature_no_flip_c, 1)
+        .add(water[i].temperature_flip_c, 1);
+  }
+  t.print(std::cout);
+
+  const auto& top = water.back();
+  std::cout << "\nflip gain at 3.6 GHz (water): "
+            << aqua::format_double(
+                   top.temperature_no_flip_c - top.temperature_flip_c, 1)
+            << " C (paper: ~13 C)\n\n";
+  return aqua::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,39 @@
+/// Figure 17: maximum frequency vs. number of stacked Xeon Phi 7290 chips
+/// (245 W at 1.6 GHz) under the five cooling options, 80 C. Paper findings:
+/// the water-pipe and mineral-oil options die at two and three chips, so
+/// their 3- and 4-chip points cannot be drawn; water immersion provides the
+/// same or higher frequency for every stack height.
+
+#include "bench_util.hpp"
+#include "power/chip_model.hpp"
+
+namespace {
+
+void microbench_phi_block_powers(benchmark::State& state) {
+  const aqua::ChipModel chip = aqua::make_xeon_phi_7290();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        chip.block_powers(chip.floorplan(), aqua::gigahertz(1.2)));
+  }
+}
+BENCHMARK(microbench_phi_block_powers)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aqua::bench::banner("Figure 17",
+                      "max frequency vs. stacked Xeon Phi 7290 chips, 80 C");
+  const aqua::FreqVsChipsData data =
+      aqua::frequency_vs_chips(aqua::make_xeon_phi_7290(), 4);
+  aqua::bench::freq_vs_chips_table(data).print(std::cout);
+
+  std::cout << "\npaper: water-pipe and oil stop at 2 and 3 chips; water "
+               "matches or beats everything at every height\n"
+            << "measured max chips:";
+  for (const auto& s : data.series) {
+    std::cout << ' ' << to_string(s.cooling) << '='
+              << data.max_feasible_chips(s.cooling);
+  }
+  std::cout << "\n\n";
+  return aqua::bench::run_microbenchmarks(argc, argv);
+}

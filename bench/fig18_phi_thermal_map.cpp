@@ -1,0 +1,58 @@
+/// Figure 18: thermal map of the 4-chip Xeon Phi 7290 stack at 1.2 GHz
+/// under water. Paper finding: with 36 core tiles spread across the whole
+/// die, the Phi's thermal distribution is far more uniform than the
+/// 4-corner-cores baseline CMP (Figs. 9/16).
+
+#include "bench_util.hpp"
+#include "power/chip_model.hpp"
+#include "thermal/thermal_map.hpp"
+
+namespace {
+
+void microbench_phi_solve(benchmark::State& state) {
+  aqua::MaxFrequencyFinder finder(aqua::make_xeon_phi_7290(),
+                                  aqua::PackageConfig{}, 80.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finder.solve_at(
+        4, aqua::CoolingOption(aqua::CoolingKind::kWaterImmersion),
+        aqua::gigahertz(1.2)));
+  }
+}
+BENCHMARK(microbench_phi_solve)->Unit(benchmark::kMillisecond);
+
+double relative_spread(const aqua::ThermalSolution& sol, std::size_t layer,
+                       double ambient) {
+  const auto field = sol.layer_field(layer);
+  const auto [lo, hi] = std::minmax_element(field.begin(), field.end());
+  return (*hi - *lo) / (*hi - ambient);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aqua::bench::banner("Figure 18",
+                      "thermal map, 4-chip Xeon Phi 7290 @ 1.2 GHz, water");
+  const aqua::PackageConfig pkg;
+  aqua::MaxFrequencyFinder phi_finder(aqua::make_xeon_phi_7290(), pkg, 80.0);
+  const aqua::CoolingOption water(aqua::CoolingKind::kWaterImmersion);
+  const aqua::ThermalSolution phi =
+      phi_finder.solve_at(4, water, aqua::gigahertz(1.2));
+  aqua::render_stack_ascii(std::cout, phi, "(each layer has its own scale)");
+
+  // Uniformity comparison against the high-frequency CMP at its max clock.
+  aqua::MaxFrequencyFinder hf_finder(aqua::make_high_frequency_cmp(), pkg,
+                                     80.0);
+  const aqua::ThermalSolution hf =
+      hf_finder.solve_at(4, water, aqua::gigahertz(3.6));
+  aqua::Table t({"layer", "phi_rel_spread", "hf_cmp_rel_spread"});
+  for (std::size_t l = 0; l < 4; ++l) {
+    t.row()
+        .add_int(static_cast<long long>(l + 1))
+        .add(relative_spread(phi, l, pkg.ambient_c), 3)
+        .add(relative_spread(hf, l, pkg.ambient_c), 3);
+  }
+  t.print(std::cout);
+  std::cout << "\npaper: the Phi's distributed cores yield a more uniform "
+               "map than the baseline CMP's bottom-row cores\n\n";
+  return aqua::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,44 @@
+#pragma once
+
+/// Shared driver for the four NPB figures (10-13): run the experiment,
+/// print the paper-style table, and register a DES micro-benchmark.
+
+#include "bench_util.hpp"
+#include "perf/system.hpp"
+#include "power/chip_model.hpp"
+
+namespace aqua::bench {
+
+inline void run_npb_figure(const std::string& figure,
+                           const std::string& description,
+                           const ChipModel& chip, std::size_t chips,
+                           CoolingKind baseline) {
+  banner(figure, description);
+  const NpbData data = npb_experiment(chip, chips, baseline, 80.0,
+                                      npb_scale());
+  npb_table(data).print(std::cout);
+
+  std::cout << "\nrelative execution time vs. " << to_string(baseline)
+            << " (lower is better; '-' = cooling cannot carry the stack)\n";
+  const auto water = data.mean_relative(CoolingKind::kWaterImmersion);
+  if (water.has_value()) {
+    std::cout << "water mean gain vs. baseline: "
+              << format_double((1.0 - *water) * 100.0, 1) << "%\n";
+  }
+  std::cout << "\n";
+}
+
+inline void microbench_des(benchmark::State& state, const ChipModel&,
+                           std::size_t chips) {
+  CmpConfig cfg;
+  cfg.chips = chips;
+  WorkloadProfile p = npb_profile("ft");
+  p.instructions_per_thread = 3000;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    CmpSystem system(cfg, p, gigahertz(1.6), seed++);
+    benchmark::DoNotOptimize(system.run());
+  }
+}
+
+}  // namespace aqua::bench

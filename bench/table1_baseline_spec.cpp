@@ -1,0 +1,72 @@
+/// Table 1: specification of the baseline 2-D CMP — printed from the live
+/// model objects so the table is a checked invariant, not documentation.
+
+#include "bench_util.hpp"
+#include "perf/params.hpp"
+#include "power/chip_model.hpp"
+
+namespace {
+
+void microbench_build_chip(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aqua::make_high_frequency_cmp());
+  }
+}
+BENCHMARK(microbench_build_chip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aqua::bench::banner("Table 1", "baseline 2-D CMP specification");
+  const aqua::CmpConfig cfg;
+  const aqua::ChipModel low = aqua::make_low_power_cmp();
+  const aqua::ChipModel high = aqua::make_high_frequency_cmp();
+
+  aqua::Table t({"parameter", "value"});
+  t.row().add("processor family").add("x86-64 (modeled)");
+  t.row().add("cores per chip").add_int(static_cast<long long>(cfg.cores_per_chip));
+  t.row().add("L1 D-cache").add(std::to_string(cfg.l1_bytes / 1024) +
+                                " KiB, line " +
+                                std::to_string(cfg.line_bytes) + " B");
+  t.row().add("L1 latency").add(std::to_string(cfg.l1_latency) + " cycle");
+  t.row().add("L2 per chip").add(
+      std::to_string(cfg.l2_bank_bytes * cfg.l2_banks_per_chip / (1024 * 1024)) +
+      " MiB in " + std::to_string(cfg.l2_banks_per_chip) +
+      " banks (assoc " + std::to_string(cfg.l2_assoc) + ")");
+  t.row().add("L2 latency").add(std::to_string(cfg.l2_latency) + " cycles");
+  t.row().add("memory latency").add(
+      aqua::format_double(cfg.memory_latency_ns, 0) + " ns (160 cy @ 2 GHz)");
+  t.row().add("die area").add(
+      aqua::format_double(low.floorplan().area() * 1e6, 0) + " mm^2");
+  t.row().add("max power (low-power)").add(
+      aqua::format_double(low.max_power().value(), 1) + " W @ " +
+      aqua::format_double(low.max_frequency().gigahertz(), 1) + " GHz");
+  t.row().add("max power (high-frequency)").add(
+      aqua::format_double(high.max_power().value(), 1) + " W @ " +
+      aqua::format_double(high.max_frequency().gigahertz(), 1) + " GHz");
+  t.row().add("router pipeline").add("[RC][VSA][ST/LT] (" +
+                                     std::to_string(cfg.router_pipeline) +
+                                     " stages)");
+  t.row().add("buffer size").add(std::to_string(cfg.vc_buffer_flits) +
+                                 " flits per VC");
+  t.row().add("protocol").add("MOESI directory (blocking home)");
+  t.row().add("virtual channels").add(std::to_string(cfg.num_vcs) +
+                                      " (one per message class)");
+  t.row().add("on-chip topology").add(std::to_string(cfg.mesh_x) + "x" +
+                                      std::to_string(cfg.mesh_y) + " mesh");
+  t.row().add("packet sizes").add(std::to_string(cfg.control_packet_flits) +
+                                  " / " +
+                                  std::to_string(cfg.data_packet_flits) +
+                                  " flits (control / data)");
+  t.print(std::cout);
+
+  std::cout << "\nVFS ladders: low-power "
+            << low.ladder().size() << " steps "
+            << aqua::format_double(low.ladder().min().gigahertz(), 1) << "-"
+            << aqua::format_double(low.ladder().max().gigahertz(), 1)
+            << " GHz; high-frequency " << high.ladder().size() << " steps "
+            << aqua::format_double(high.ladder().min().gigahertz(), 1) << "-"
+            << aqua::format_double(high.ladder().max().gigahertz(), 1)
+            << " GHz\n\n";
+  return aqua::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,67 @@
+/// Table 2: HotSpot-style simulation parameters — printed from the live
+/// PackageConfig so the bench documents exactly what the solver uses,
+/// including the calibration constants DESIGN.md Section 5 declares.
+
+#include "bench_util.hpp"
+#include "thermal/coolant.hpp"
+#include "thermal/package.hpp"
+
+namespace {
+
+void microbench_boundary_build(benchmark::State& state) {
+  const aqua::PackageConfig pkg;
+  for (auto _ : state) {
+    for (const aqua::CoolingOption& o : aqua::all_cooling_options()) {
+      benchmark::DoNotOptimize(o.boundary(pkg));
+    }
+  }
+}
+BENCHMARK(microbench_boundary_build)->Unit(benchmark::kNanosecond);
+
+std::string mm(double meters) { return aqua::format_double(meters * 1e3, 1); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aqua::bench::banner("Table 2", "thermal simulation parameters");
+  const aqua::PackageConfig p;
+
+  aqua::Table t({"parameter", "value", "paper"});
+  t.row().add("heatsink").add(
+      mm(p.heatsink_width) + "x" + mm(p.heatsink_width) + "x" +
+      mm(p.heatsink_thickness) + " mm, " +
+      aqua::format_double(p.heatsink_material.conductivity.value(), 0) +
+      " W/mK, " + aqua::format_double(p.heatsink_fin_area, 4) + " m^2")
+      .add("12x12x3 cm, 400 W/mK, 0.3024 m^2");
+  t.row().add("heat spreader").add(
+      mm(p.spreader_width) + "x" + mm(p.spreader_width) + "x" +
+      mm(p.spreader_thickness) + " mm, " +
+      aqua::format_double(p.spreader_material.conductivity.value(), 0) +
+      " W/mK").add("6x6x0.1 cm, 400 W/mK");
+  t.row().add("parylene film").add(
+      aqua::format_double(p.film_thickness * 1e6, 0) + " um, " +
+      aqua::format_double(p.film_material.conductivity.value(), 2) +
+      " W/mK").add("120 um, 0.14 W/mK");
+  t.row().add("TIM / glue").add(
+      aqua::format_double(p.tim_thickness * 1e6, 0) + " um, " +
+      aqua::format_double(p.tim_material.conductivity.value(), 2) +
+      " W/mK eff. (TSV/TCI fill)").add("20 um, 0.25 W/mK");
+  t.row().add("die").add(
+      aqua::format_double(p.die_thickness * 1e6, 0) + " um Si, " +
+      aqua::format_double(p.die_material.conductivity.value(), 0) + " W/mK")
+      .add("(not listed)");
+  t.row().add("outside temperature").add(
+      aqua::format_double(p.ambient_c, 0) + " C").add("25 C");
+  t.row().add("gas fin efficiency").add(
+      aqua::format_double(p.gas_fin_efficiency, 2) + " (calibration)")
+      .add("(not listed)");
+
+  for (const aqua::Coolant& c : aqua::all_coolants()) {
+    t.row().add("h " + c.name).add(
+        aqua::format_double(c.htc.value(), 0) + " W/(m^2 K)").add("same");
+  }
+  t.print(std::cout);
+  std::cout << "\ncalibration deviations from the literal Table 2 are "
+               "documented in DESIGN.md Section 5\n\n";
+  return aqua::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,77 @@
+/// Thermal-aware floorplan exploration (the Section 4.2 scenario).
+///
+/// For a 4-chip high-frequency stack under water, tries every per-layer
+/// orientation assignment (4 layers x flip/no-flip = 16 layouts) and ranks
+/// them by peak temperature at 3.6 GHz — a brute-force version of the
+/// thermal-aware 3-D floorplanning the paper points to as future work.
+///
+///   $ ./build/examples/floorplan_explorer
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/cooling.hpp"
+#include "power/chip_model.hpp"
+#include "thermal/grid_model.hpp"
+
+int main() {
+  using namespace aqua;
+  const ChipModel chip = make_high_frequency_cmp();
+  const PackageConfig pkg;
+  const CoolingOption water(CoolingKind::kWaterImmersion);
+  constexpr std::size_t kLayers = 4;
+
+  struct Layout {
+    unsigned mask;  // bit l set = layer l rotated 180 degrees
+    double peak_c;
+  };
+  std::vector<Layout> layouts;
+
+  for (unsigned mask = 0; mask < (1u << kLayers); ++mask) {
+    std::vector<Floorplan> layers;
+    for (std::size_t l = 0; l < kLayers; ++l) {
+      layers.push_back(mask & (1u << l)
+                           ? rotated(chip.floorplan(), Rotation::k180)
+                           : chip.floorplan());
+    }
+    const Stack3d stack(std::move(layers));
+    StackThermalModel model(stack, pkg, water.boundary(pkg));
+    std::vector<std::vector<double>> powers;
+    for (std::size_t l = 0; l < kLayers; ++l) {
+      powers.push_back(
+          chip.block_powers(stack.layer(l), chip.max_frequency()));
+    }
+    layouts.push_back(
+        {mask, model.solve_steady(powers).max_die_temperature_c()});
+  }
+
+  std::sort(layouts.begin(), layouts.end(),
+            [](const Layout& a, const Layout& b) { return a.peak_c < b.peak_c; });
+
+  Table t({"rank", "orientations(bottom->top)", "peak_C", "vs_best_C"});
+  const double best = layouts.front().peak_c;
+  for (std::size_t i = 0; i < layouts.size(); ++i) {
+    std::string pattern;
+    for (std::size_t l = 0; l < kLayers; ++l) {
+      pattern += (layouts[i].mask & (1u << l)) ? "180 " : "0 ";
+    }
+    t.row()
+        .add_int(static_cast<long long>(i + 1))
+        .add(pattern)
+        .add(layouts[i].peak_c, 2)
+        .add(layouts[i].peak_c - best, 2);
+  }
+  t.print(std::cout);
+
+  const unsigned paper_flip = 0b1010;  // even layers rotated (Fig. 15)
+  for (const Layout& l : layouts) {
+    if (l.mask == paper_flip) {
+      std::cout << "\nthe paper's flip-even-layers layout peaks at "
+                << l.peak_c << " C (best found: " << best
+                << " C) — alternating orientations de-stack the core "
+                   "columns.\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+/// Immersion lab: the Section 2 prototype workflow as a simulation.
+///
+/// Coat a board, pick a water environment, and watch what the paper's
+/// physical experiments would have shown: chip temperatures per cooling
+/// option, component survival over years, and the transient warm-up when
+/// the stress workload starts.
+///
+///   $ ./build/examples/immersion_lab [film_um=120] [env=tap|river|sea]
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/cooling.hpp"
+#include "power/chip_model.hpp"
+#include "prototype/board_thermal.hpp"
+#include "prototype/testboard.hpp"
+#include "thermal/transient.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aqua;
+  const double film_um = argc > 1 ? std::atof(argv[1]) : 120.0;
+  WaterEnvironment env = WaterEnvironment::kTapWater;
+  if (argc > 2 && std::strcmp(argv[2], "river") == 0) env = WaterEnvironment::kRiver;
+  if (argc > 2 && std::strcmp(argv[2], "sea") == 0) env = WaterEnvironment::kSeaWater;
+
+  std::cout << "film: " << film_um << " um parylene, environment: "
+            << to_string(env) << "\n\n";
+
+  // 1) The Fig. 4 measurement on the coated server.
+  ServerBoardModel board;
+  board.film.thickness_um = film_um;
+  Table temps({"cooling", "chip_C"});
+  for (BoardCooling c : {BoardCooling::kForcedAir,
+                         BoardCooling::kHeatsinkInWater,
+                         BoardCooling::kFullImmersion}) {
+    temps.row().add(to_string(c)).add(board.chip_temperature_c(c), 1);
+  }
+  temps.print(std::cout);
+
+  // 2) Component survival over three years in this environment.
+  TestBoardConfig cfg;
+  cfg.film.thickness_um = film_um;
+  cfg.environment = env;
+  cfg.duration_hours = 3 * 365 * 24;
+  TestBoardSim sim(cfg, 1);
+  const auto outcomes = sim.run_campaign(500);
+  std::cout << "\ncomponent survival over 3 years (500 boards):\n";
+  Table life({"component", "fail_or_discharge_rate", "median-ish_day"});
+  for (const auto& s : TestBoardSim::summarize(cfg, outcomes)) {
+    life.row()
+        .add(to_string(s.type))
+        .add(static_cast<double>(s.failures + s.discharges) / 500.0, 3)
+        .add(s.mean_failure_hour / 24.0, 0);
+  }
+  life.print(std::cout);
+
+  // 3) Warm-up transient of an immersed 2-chip stack when stress starts.
+  const ChipModel chip = make_low_power_cmp();
+  const PackageConfig pkg;
+  const Stack3d stack(chip.floorplan(), 2, FlipPolicy::kNone);
+  StackThermalModel model(
+      stack, pkg,
+      CoolingOption(CoolingKind::kWaterImmersion).boundary(pkg),
+      GridOptions{16, 16, {}});
+  TransientOptions topts;
+  topts.dt_seconds = 0.25;
+  TransientSolver transient(model, topts);
+  std::vector<std::vector<double>> powers;
+  for (std::size_t l = 0; l < 2; ++l) {
+    powers.push_back(chip.block_powers(stack.layer(l), chip.max_frequency()));
+  }
+  std::cout << "\nwarm-up after starting stress at 2.0 GHz (immersed):\n";
+  const auto samples = transient.run_step(20.0, powers);
+  Table warm({"t_s", "max_die_C"});
+  for (std::size_t i = 7; i < samples.size(); i += 16) {
+    warm.row().add(samples[i].time_s, 1).add(samples[i].max_die_temperature_c, 1);
+  }
+  warm.row().add(samples.back().time_s, 1)
+      .add(samples.back().max_die_temperature_c, 1);
+  warm.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// NPB campaign: run the whole NAS suite on a chosen stack under every
+/// cooling option and print absolute + relative execution times — the
+/// workflow behind the paper's Figs. 10-13, exposed as a command-line tool.
+///
+///   $ ./build/examples/npb_campaign [chips=4] [chip=low|high] [scale=0.1]
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/experiments.hpp"
+#include "power/chip_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aqua;
+  const std::size_t chips = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+  const bool high = argc > 2 && std::strcmp(argv[2], "high") == 0;
+  const double scale = argc > 3 ? std::atof(argv[3]) : 0.1;
+
+  const ChipModel chip = high ? make_high_frequency_cmp() : make_low_power_cmp();
+  std::cout << "NPB campaign: " << chips << " x " << chip.name() << " ("
+            << chips * 4 << " threads), instruction scale " << scale
+            << "\n\n";
+
+  const NpbData data = npb_experiment(chip, chips, CoolingKind::kWaterPipe,
+                                      80.0, scale);
+
+  Table t({"bench", "pipe_ms", "oil_ms", "fluorinert_ms", "water_ms",
+           "water_vs_pipe"});
+  for (const NpbRow& row : data.rows) {
+    if (row.benchmark == "avg") continue;
+    t.row().add(row.benchmark);
+    for (std::size_t k = 0; k < data.coolings.size(); ++k) {
+      if (row.seconds[k].has_value()) {
+        t.add(*row.seconds[k] * 1e3, 2);
+      } else {
+        t.add_missing();
+      }
+    }
+    if (row.relative[3].has_value()) {
+      t.add(format_double((1.0 - *row.relative[3]) * 100.0, 1) + "%");
+    } else {
+      t.add_missing();
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nfrequencies chosen by the 80 C cap:";
+  for (std::size_t k = 0; k < data.coolings.size(); ++k) {
+    std::cout << ' ' << to_string(data.coolings[k]) << '=';
+    if (data.caps[k].feasible) {
+      std::cout << data.caps[k].frequency.gigahertz() << "GHz";
+    } else {
+      std::cout << "infeasible";
+    }
+  }
+  const auto mean = data.mean_relative(CoolingKind::kWaterImmersion);
+  if (mean.has_value()) {
+    std::cout << "\nmean water gain vs. water pipe: "
+              << format_double((1.0 - *mean) * 100.0, 1) << "%\n";
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// Quickstart: the five-minute tour of AquaCMP.
+///
+/// Builds the paper's high-frequency CMP, stacks four of them, asks each
+/// cooling option for its maximum thermally-safe clock, and runs one NPB
+/// workload at the winning configuration.
+///
+///   $ ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/cosim.hpp"
+#include "core/experiments.hpp"
+#include "power/chip_model.hpp"
+#include "thermal/thermal_map.hpp"
+
+int main() {
+  using namespace aqua;
+
+  // 1) A chip: floorplan + VFS ladder + power model (Table 1).
+  const ChipModel chip = make_high_frequency_cmp();
+  std::cout << "chip: " << chip.name() << ", "
+            << chip.floorplan().area() * 1e6 << " mm^2, up to "
+            << chip.max_power().value() << " W @ "
+            << chip.max_frequency().gigahertz() << " GHz\n\n";
+
+  // 2) Thermal frequency caps for a 4-high stack under every cooling
+  //    option (the paper's 80 C threshold).
+  MaxFrequencyFinder finder(chip, PackageConfig{}, 80.0);
+  std::cout << "max safe clock for a 4-chip stack:\n";
+  for (const CoolingOption& cooling : all_cooling_options()) {
+    const FrequencyCap cap = finder.find(4, cooling);
+    std::cout << "  " << cooling.name() << ": ";
+    if (cap.feasible) {
+      std::cout << cap.frequency.gigahertz() << " GHz ("
+                << cap.max_temperature_c << " C peak, "
+                << cap.total_power.value() << " W stack)\n";
+    } else {
+      std::cout << "infeasible (even the lowest step exceeds 80 C)\n";
+    }
+  }
+
+  // 3) The full co-simulation: power -> thermal cap -> cycle-level CMP
+  //    execution of an NPB-like workload.
+  CoSimulator cosim(chip);
+  WorkloadProfile cg = npb_profile("cg");
+  cg.instructions_per_thread = 60000;  // quick demo run
+  const CoSimResult pipe =
+      cosim.run(4, CoolingOption(CoolingKind::kWaterPipe), cg);
+  const CoSimResult water =
+      cosim.run(4, CoolingOption(CoolingKind::kWaterImmersion), cg);
+  std::cout << "\ncg on 16 threads (4 chips):\n"
+            << "  water pipe: " << pipe.cap.frequency.gigahertz() << " GHz -> "
+            << pipe.exec->seconds * 1e3 << " ms\n"
+            << "  water immersion: " << water.cap.frequency.gigahertz()
+            << " GHz -> " << water.exec->seconds * 1e3 << " ms ("
+            << (1.0 - water.exec->seconds / pipe.exec->seconds) * 100.0
+            << "% faster)\n\n";
+
+  // 4) A look at the temperature field itself.
+  const ThermalSolution sol = finder.solve_at(
+      4, CoolingOption(CoolingKind::kWaterImmersion), chip.max_frequency());
+  render_layer_ascii(std::cout, sol, 0, "bottom die @ 3.6 GHz under water");
+  return 0;
+}

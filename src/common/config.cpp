@@ -1,0 +1,153 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string strip_comment(const std::string& s) {
+  const auto pos = s.find_first_of("#;");
+  return pos == std::string::npos ? s : s.substr(0, pos);
+}
+
+}  // namespace
+
+Config Config::parse(std::istream& is) {
+  Config cfg;
+  std::string section;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string body = trim(strip_comment(line));
+    if (body.empty()) continue;
+    if (body.front() == '[') {
+      require(body.back() == ']', "config line " + std::to_string(line_no) +
+                                      ": unterminated section header");
+      section = trim(body.substr(1, body.size() - 2));
+      require(!section.empty(), "config line " + std::to_string(line_no) +
+                                    ": empty section name");
+      cfg.values_[section];  // register even if empty
+      continue;
+    }
+    const auto eq = body.find('=');
+    require(eq != std::string::npos, "config line " + std::to_string(line_no) +
+                                         ": expected 'key = value'");
+    require(!section.empty(), "config line " + std::to_string(line_no) +
+                                  ": key before any [section]");
+    const std::string key = trim(body.substr(0, eq));
+    const std::string value = trim(body.substr(eq + 1));
+    require(!key.empty(), "config line " + std::to_string(line_no) +
+                              ": empty key");
+    const bool fresh = !cfg.values_[section].contains(key);
+    cfg.values_[section][key] = value;  // last assignment wins
+    if (fresh) cfg.order_[section].push_back(key);
+  }
+  return cfg;
+}
+
+Config Config::parse_string(const std::string& text) {
+  std::istringstream ss(text);
+  return parse(ss);
+}
+
+bool Config::has_section(const std::string& section) const {
+  return values_.contains(section);
+}
+
+bool Config::has(const std::string& section, const std::string& key) const {
+  const auto it = values_.find(section);
+  return it != values_.end() && it->second.contains(key);
+}
+
+std::optional<std::string> Config::get(const std::string& section,
+                                       const std::string& key) const {
+  const auto it = values_.find(section);
+  if (it == values_.end()) return std::nullopt;
+  const auto kit = it->second.find(key);
+  if (kit == it->second.end()) return std::nullopt;
+  return kit->second;
+}
+
+std::string Config::get_string(const std::string& section,
+                               const std::string& key) const {
+  const auto v = get(section, key);
+  require(v.has_value(), "config: missing [" + section + "] " + key);
+  return *v;
+}
+
+std::string Config::get_string(const std::string& section,
+                               const std::string& key,
+                               const std::string& fallback) const {
+  return get(section, key).value_or(fallback);
+}
+
+double Config::get_double(const std::string& section,
+                          const std::string& key) const {
+  const std::string v = get_string(section, key);
+  try {
+    std::size_t used = 0;
+    const double out = std::stod(v, &used);
+    require(used == v.size(), "trailing junk");
+    return out;
+  } catch (...) {
+    throw Error("config: [" + section + "] " + key + " = '" + v +
+                "' is not a number");
+  }
+}
+
+double Config::get_double(const std::string& section, const std::string& key,
+                          double fallback) const {
+  return has(section, key) ? get_double(section, key) : fallback;
+}
+
+std::int64_t Config::get_int(const std::string& section,
+                             const std::string& key) const {
+  const std::string v = get_string(section, key);
+  try {
+    std::size_t used = 0;
+    const std::int64_t out = std::stoll(v, &used);
+    require(used == v.size(), "trailing junk");
+    return out;
+  } catch (...) {
+    throw Error("config: [" + section + "] " + key + " = '" + v +
+                "' is not an integer");
+  }
+}
+
+std::int64_t Config::get_int(const std::string& section,
+                             const std::string& key,
+                             std::int64_t fallback) const {
+  return has(section, key) ? get_int(section, key) : fallback;
+}
+
+bool Config::get_bool(const std::string& section, const std::string& key,
+                      bool fallback) const {
+  if (!has(section, key)) return fallback;
+  std::string v = get_string(section, key);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  throw Error("config: [" + section + "] " + key + " = '" + v +
+              "' is not a boolean");
+}
+
+std::vector<std::string> Config::keys(const std::string& section) const {
+  const auto it = order_.find(section);
+  return it == order_.end() ? std::vector<std::string>{} : it->second;
+}
+
+}  // namespace aqua

@@ -1,0 +1,74 @@
+#pragma once
+
+/// Minimal INI-style configuration files for scenario-driven runs
+/// (examples/scenario_runner). Sections in brackets, `key = value` lines,
+/// `#` or `;` comments, whitespace-tolerant:
+///
+///   [experiment]
+///   chip   = high_frequency   # low_power | high_frequency | e5 | phi
+///   chips  = 6
+///   cooling = water
+///
+/// Typed getters throw aqua::Error with the section/key named, so a typo
+/// in a scenario file produces an actionable message.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aqua {
+
+/// A parsed configuration file.
+class Config {
+ public:
+  /// Parses from a stream; throws aqua::Error on malformed lines.
+  static Config parse(std::istream& is);
+
+  /// Parses from a string (tests / inline defaults).
+  static Config parse_string(const std::string& text);
+
+  /// True if the section exists.
+  [[nodiscard]] bool has_section(const std::string& section) const;
+
+  /// True if the key exists in the section.
+  [[nodiscard]] bool has(const std::string& section,
+                         const std::string& key) const;
+
+  /// Raw string value, or nullopt.
+  [[nodiscard]] std::optional<std::string> get(
+      const std::string& section, const std::string& key) const;
+
+  // Typed getters with defaults; the throwing variants (no default) are
+  // for required keys.
+  [[nodiscard]] std::string get_string(const std::string& section,
+                                       const std::string& key) const;
+  [[nodiscard]] std::string get_string(const std::string& section,
+                                       const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& section,
+                                  const std::string& key) const;
+  [[nodiscard]] double get_double(const std::string& section,
+                                  const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& section,
+                                     const std::string& key) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& section,
+                                     const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& section,
+                              const std::string& key, bool fallback) const;
+
+  /// All keys of a section in file order (for diagnostics / iteration).
+  [[nodiscard]] std::vector<std::string> keys(
+      const std::string& section) const;
+
+ private:
+  // section -> key -> value; insertion order kept separately per section.
+  std::map<std::string, std::map<std::string, std::string>> values_;
+  std::map<std::string, std::vector<std::string>> order_;
+};
+
+}  // namespace aqua

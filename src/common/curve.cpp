@@ -1,0 +1,59 @@
+#include "common/curve.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+Curve::Curve(std::vector<std::pair<double, double>> samples)
+    : samples_(std::move(samples)) {
+  require(!samples_.empty(), "Curve needs at least one sample");
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    require(samples_[i].first > samples_[i - 1].first,
+            "Curve x values must be strictly increasing");
+  }
+}
+
+double Curve::at(double x) const {
+  if (x <= samples_.front().first) return samples_.front().second;
+  if (x >= samples_.back().first) return samples_.back().second;
+  const auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), x,
+      [](double v, const std::pair<double, double>& s) { return v < s.first; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double t = (x - lo.first) / (hi.first - lo.first);
+  return lo.second + t * (hi.second - lo.second);
+}
+
+double Curve::inverse(double y) const {
+  bool increasing = true;
+  bool decreasing = true;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    if (samples_[i].second < samples_[i - 1].second) increasing = false;
+    if (samples_[i].second > samples_[i - 1].second) decreasing = false;
+  }
+  require(increasing || decreasing, "Curve::inverse requires monotone y");
+
+  const double y_lo = increasing ? samples_.front().second : samples_.back().second;
+  const double y_hi = increasing ? samples_.back().second : samples_.front().second;
+  if (y <= y_lo) return increasing ? samples_.front().first : samples_.back().first;
+  if (y >= y_hi) return increasing ? samples_.back().first : samples_.front().first;
+
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const auto& a = samples_[i - 1];
+    const auto& b = samples_[i];
+    const double seg_lo = std::min(a.second, b.second);
+    const double seg_hi = std::max(a.second, b.second);
+    if (y >= seg_lo && y <= seg_hi) {
+      if (a.second == b.second) return a.first;
+      const double t = (y - a.second) / (b.second - a.second);
+      return a.first + t * (b.first - a.first);
+    }
+  }
+  ensure(false, "Curve::inverse: unreachable");
+  return 0.0;
+}
+
+}  // namespace aqua

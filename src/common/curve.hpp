@@ -1,0 +1,41 @@
+#pragma once
+
+/// Monotone piecewise-linear curves.
+///
+/// Used for power-vs-frequency profiles (paper Fig. 6), measured RAPL
+/// anchors, and the heat-transfer-coefficient sweeps of Fig. 14.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace aqua {
+
+/// A piecewise-linear function y(x) over strictly increasing sample points.
+class Curve {
+ public:
+  Curve() = default;
+
+  /// Builds a curve from (x, y) samples; x must be strictly increasing and
+  /// at least one sample must be present. Throws aqua::Error otherwise.
+  explicit Curve(std::vector<std::pair<double, double>> samples);
+
+  /// Linear interpolation; clamps to the end values outside the domain.
+  [[nodiscard]] double at(double x) const;
+
+  /// Inverse lookup x(y) assuming the curve is monotone in y; clamps outside
+  /// the range. Throws aqua::Error if the curve is not monotone.
+  [[nodiscard]] double inverse(double y) const;
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] double min_x() const { return samples_.front().first; }
+  [[nodiscard]] double max_x() const { return samples_.back().first; }
+  [[nodiscard]] const std::vector<std::pair<double, double>>& samples() const {
+    return samples_;
+  }
+
+ private:
+  std::vector<std::pair<double, double>> samples_;
+};
+
+}  // namespace aqua

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace aqua {
+
+/// Exception thrown when a precondition or invariant of the AquaCMP library
+/// is violated. All validation failures in the library raise this type so
+/// callers can distinguish model-usage errors from standard-library faults.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* kind, const std::string& msg,
+                               const std::source_location& loc) {
+  throw Error(std::string(kind) + " at " + loc.file_name() + ":" +
+              std::to_string(loc.line()) + " in " + loc.function_name() +
+              ": " + msg);
+}
+}  // namespace detail
+
+/// Validate a caller-supplied precondition; throws aqua::Error on failure.
+inline void require(bool ok, const std::string& msg,
+                    const std::source_location loc =
+                        std::source_location::current()) {
+  if (!ok) detail::raise("precondition violated", msg, loc);
+}
+
+/// Validate an internal invariant; throws aqua::Error on failure.
+inline void ensure(bool ok, const std::string& msg,
+                   const std::source_location loc =
+                       std::source_location::current()) {
+  if (!ok) detail::raise("invariant violated", msg, loc);
+}
+
+}  // namespace aqua

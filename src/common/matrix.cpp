@@ -1,0 +1,57 @@
+#include "common/matrix.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace aqua {
+
+std::vector<double> solve_dense(Matrix a, std::vector<double> b) {
+  require(a.rows() == a.cols(), "solve_dense requires a square matrix");
+  require(b.size() == a.rows(), "solve_dense rhs dimension mismatch");
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: pick the largest magnitude entry in column k.
+    std::size_t pivot = k;
+    double best = std::fabs(a(perm[k], k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::fabs(a(perm[r], k));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    ensure(best > 1e-300, "solve_dense: singular matrix");
+    std::swap(perm[k], perm[pivot]);
+
+    const double akk = a(perm[k], k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = a(perm[r], k) / akk;
+      a(perm[r], k) = factor;  // store the multiplier in the L part
+      for (std::size_t c = k + 1; c < n; ++c) {
+        a(perm[r], c) -= factor * a(perm[k], c);
+      }
+    }
+  }
+
+  // Forward substitution: L y = P b.
+  std::vector<double> y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = b[perm[r]];
+    for (std::size_t c = 0; c < r; ++c) acc -= a(perm[r], c) * y[c];
+    y[r] = acc;
+  }
+
+  // Back substitution: U x = y.
+  std::vector<double> x(n);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = y[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a(perm[ri], c) * x[c];
+    x[ri] = acc / a(perm[ri], ri);
+  }
+  return x;
+}
+
+}  // namespace aqua

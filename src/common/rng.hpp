@@ -1,0 +1,151 @@
+#pragma once
+
+/// Deterministic pseudo-random number generation for workload synthesis and
+/// Monte-Carlo reliability studies.
+///
+/// We ship our own xoshiro256** instead of std::mt19937 because (a) its
+/// state is 4 words so per-core generators in the DES simulator stay cheap,
+/// and (b) the stream-split (`jump`) gives statistically independent
+/// per-thread streams for parallel Monte-Carlo runs.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace aqua {
+
+/// xoshiro256** generator (Blackman & Vigna). Satisfies
+/// std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from a single seed using splitmix64 so any
+  /// seed (including 0) produces a well-mixed state.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Advances the generator 2^128 steps; used to derive independent streams
+  /// for parallel workers.
+  void jump() {
+    static constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaull, 0xd5a61266f0c9392cull, 0xa9582618e03fc9aaull,
+        0x39abdc4529b1661cull};
+    std::array<std::uint64_t, 4> s{};
+    for (std::uint64_t word : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (word & (std::uint64_t{1} << b)) {
+          for (int i = 0; i < 4; ++i) s[i] ^= state_[i];
+        }
+        (*this)();
+      }
+    }
+    state_ = s;
+  }
+
+  /// Returns a generator 2^128 steps ahead, leaving this one advanced too.
+  [[nodiscard]] Xoshiro256 split() {
+    Xoshiro256 child = *this;
+    child.jump();
+    *this = child;  // keep streams disjoint between parent and child
+    child.jump();
+    return child;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) {
+    // Lemire's multiply-shift rejection method: unbiased and divisionless in
+    // the common case.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    have_spare_ = true;
+    return u * factor;
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with the given rate (events per unit time).
+  double exponential(double rate) {
+    return -std::log1p(-uniform()) / rate;
+  }
+
+  /// Weibull(shape k, scale lambda): the lifetime distribution used by the
+  /// prototype reliability models.
+  double weibull(double shape, double scale) {
+    return scale * std::pow(-std::log1p(-uniform()), 1.0 / shape);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace aqua

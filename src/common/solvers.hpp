@@ -1,0 +1,48 @@
+#pragma once
+
+/// Iterative linear solvers for the thermal grid systems.
+///
+/// The steady-state heat equation on the finite-volume grid yields a
+/// symmetric positive-definite conductance matrix, so Jacobi-preconditioned
+/// conjugate gradients is the workhorse; Gauss-Seidel is kept as a reference
+/// and for the solver-ablation bench.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/sparse.hpp"
+
+namespace aqua {
+
+/// Outcome of an iterative solve.
+struct SolveResult {
+  std::vector<double> x;        ///< solution vector
+  std::size_t iterations = 0;   ///< iterations actually used
+  double residual_norm = 0.0;   ///< final ||b - Ax||_2
+  bool converged = false;       ///< true if tolerance was reached
+};
+
+/// Options shared by the iterative solvers.
+struct SolverOptions {
+  double tolerance = 1e-9;      ///< relative residual target ||r||/||b||
+  std::size_t max_iterations = 20000;
+  std::size_t threads = 1;      ///< worker threads for the SpMV
+};
+
+/// Jacobi-preconditioned conjugate gradients for SPD systems.
+/// `x0` (optional) provides a warm start; pass an empty vector for zeros.
+SolveResult solve_cg(const SparseMatrix& a, const std::vector<double>& b,
+                     const SolverOptions& options = {},
+                     std::vector<double> x0 = {});
+
+/// Gauss-Seidel fixed-point iteration; converges for the diagonally dominant
+/// thermal systems but much slower than CG. Reference / ablation use.
+SolveResult solve_gauss_seidel(const SparseMatrix& a,
+                               const std::vector<double>& b,
+                               const SolverOptions& options = {},
+                               std::vector<double> x0 = {});
+
+/// Euclidean norm helper shared by solvers and tests.
+double norm2(const std::vector<double>& v);
+
+}  // namespace aqua

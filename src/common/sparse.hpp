@@ -1,0 +1,94 @@
+#pragma once
+
+/// Compressed-sparse-row matrix and a COO-style assembler.
+///
+/// The thermal grid model assembles its conductance matrix by accumulating
+/// pairwise conductances (classic finite-volume stamping); SparseBuilder
+/// supports duplicate-coordinate accumulation and converts to CSR once.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+class SparseBuilder;
+
+/// Immutable CSR sparse matrix.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  [[nodiscard]] std::size_t rows() const { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nonzeros() const { return values_.size(); }
+
+  /// y = A * x. `y` must already have rows() elements.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Multi-threaded y = A * x over the given number of chunks (used by the
+  /// CG solver on large grids). Falls back to serial when chunks <= 1.
+  void multiply_parallel(std::span<const double> x, std::span<double> y,
+                         std::size_t threads) const;
+
+  /// Diagonal entries (0 where a row has no diagonal). Used for Jacobi
+  /// preconditioning and Gauss-Seidel sweeps.
+  [[nodiscard]] std::vector<double> diagonal() const;
+
+  /// One Gauss-Seidel forward sweep in place on x for A x = b.
+  void gauss_seidel_sweep(std::span<const double> b,
+                          std::span<double> x) const;
+
+  /// Access to the raw CSR arrays (read-only, for tests and diagnostics).
+  [[nodiscard]] std::span<const std::size_t> row_ptr() const { return row_ptr_; }
+  [[nodiscard]] std::span<const std::size_t> col_idx() const { return col_idx_; }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+
+ private:
+  friend class SparseBuilder;
+
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// Accumulating coordinate-format assembler.
+///
+/// Typical finite-volume usage: for every pair of adjacent control volumes
+/// (i, j) with conductance g, call `add(i, i, g); add(j, j, g);
+/// add(i, j, -g); add(j, i, -g);` and finally `build()`.
+class SparseBuilder {
+ public:
+  SparseBuilder(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols) {}
+
+  /// Accumulates `value` into entry (row, col). Duplicate coordinates sum.
+  void add(std::size_t row, std::size_t col, double value) {
+    require(row < rows_ && col < cols_, "sparse entry out of range");
+    entries_.push_back({row, col, value});
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  /// Converts accumulated entries into CSR (duplicates summed, entries with
+  /// per-row sorted column order, exact zeros kept — the thermal assembly
+  /// never produces structural zeros worth pruning).
+  [[nodiscard]] SparseMatrix build() const;
+
+ private:
+  struct Entry {
+    std::size_t row;
+    std::size_t col;
+    double value;
+  };
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace aqua

@@ -1,0 +1,57 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+Summary summarize(std::vector<double> samples) {
+  require(!samples.empty(), "summarize needs samples");
+  Summary s;
+  s.count = samples.size();
+  double acc = 0.0;
+  s.min = samples.front();
+  s.max = samples.front();
+  for (double v : samples) {
+    acc += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = acc / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double sq = 0.0;
+    for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(s.count - 1));
+  }
+  s.median = quantile(std::move(samples), 0.5);
+  return s;
+}
+
+double quantile(std::vector<double> samples, double p) {
+  require(!samples.empty(), "quantile needs samples");
+  require(p >= 0.0 && p <= 1.0, "quantile p must be in [0, 1]");
+  std::sort(samples.begin(), samples.end());
+  const double pos = p * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials) {
+  require(trials > 0, "wilson_interval needs trials");
+  require(successes <= trials, "successes cannot exceed trials");
+  constexpr double z = 1.96;  // ~95%
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double denom = 1.0 + z * z / n;
+  const double center = phat + z * z / (2.0 * n);
+  const double margin =
+      z * std::sqrt(phat * (1.0 - phat) / n + z * z / (4.0 * n * n));
+  return Interval{std::max(0.0, (center - margin) / denom),
+                  std::min(1.0, (center + margin) / denom)};
+}
+
+}  // namespace aqua

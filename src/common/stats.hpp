@@ -1,0 +1,37 @@
+#pragma once
+
+/// Summary statistics for Monte-Carlo campaigns and sweep reporting.
+
+#include <cstddef>
+#include <vector>
+
+namespace aqua {
+
+/// Aggregate of one sample set.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n - 1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes the summary of `samples` (throws on empty input).
+Summary summarize(std::vector<double> samples);
+
+/// The p-quantile (0 <= p <= 1) by linear interpolation of order
+/// statistics; throws on empty input.
+double quantile(std::vector<double> samples, double p);
+
+/// Wilson score interval for a binomial proportion at ~95% confidence.
+/// Returns {lo, hi}. Used to compare Monte-Carlo failure rates against the
+/// paper's small-sample observations.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] bool contains(double p) const { return p >= lo && p <= hi; }
+};
+Interval wilson_interval(std::size_t successes, std::size_t trials);
+
+}  // namespace aqua

@@ -1,0 +1,89 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "Table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  require(!rows_.empty(), "Table::add before Table::row");
+  require(rows_.back().size() < header_.size(), "row has too many cells");
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  return add(format_double(value, precision));
+}
+
+Table& Table::add_int(long long value) { return add(std::to_string(value)); }
+
+Table& Table::add_missing() { return add("-"); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << cell << " |";
+    }
+    os << '\n';
+  };
+
+  auto print_rule = [&] {
+    os << "+";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << "+";
+    }
+    os << '\n';
+  };
+
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& r : rows_) print_row(r);
+  print_rule();
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto write_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  write_row(header_);
+  for (const auto& r : rows_) write_row(r);
+}
+
+}  // namespace aqua

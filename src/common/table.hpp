@@ -1,0 +1,55 @@
+#pragma once
+
+/// Tabular output used by the bench harnesses to print paper-style rows.
+/// Supports aligned console rendering and CSV emission from one table.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aqua {
+
+/// A simple in-memory table: a header plus string rows, with numeric cell
+/// convenience helpers. Rendering aligns columns for the console and quotes
+/// nothing for CSV (cells are expected to be plain identifiers/numbers).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new empty row; subsequent `add*` calls append cells to it.
+  Table& row();
+
+  /// Appends a string cell to the current row.
+  Table& add(std::string cell);
+
+  /// Appends a number formatted with the given precision.
+  Table& add(double value, int precision = 3);
+
+  /// Appends an integer cell.
+  Table& add_int(long long value);
+
+  /// Appends a placeholder for an unsupported configuration (the paper's
+  /// "cannot be drawn" cases).
+  Table& add_missing();
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+  /// Writes an aligned, boxed console rendering.
+  void print(std::ostream& os) const;
+
+  /// Writes the table as CSV (header first).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision into a string (shared helper).
+std::string format_double(double value, int precision);
+
+}  // namespace aqua

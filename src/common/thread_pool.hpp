@@ -1,0 +1,71 @@
+#pragma once
+
+/// Fixed-size thread pool with a `parallel_for` convenience wrapper.
+///
+/// Used for embarrassingly parallel experiment sweeps (frequency x stack
+/// height x coolant grids) and Monte-Carlo replication. The DES simulator
+/// itself is single-threaded per instance — determinism matters more there —
+/// so parallelism happens across instances.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace aqua {
+
+/// A fixed pool of worker threads executing queued tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (at least 1; defaults to hardware
+  /// concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future resolves with its result.
+  template <class F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> fut = packaged->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      tasks_.emplace([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, count) across the pool, blocking until all
+/// iterations complete. Exceptions from iterations propagate (first one
+/// wins).
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+/// Convenience: transient pool sized to hardware concurrency.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace aqua

@@ -1,0 +1,153 @@
+#pragma once
+
+/// Strong physical-unit wrappers used across the AquaCMP public API.
+///
+/// The thermal / power / frequency interfaces of this library pass raw
+/// doubles through several translation layers (power model -> thermal grid
+/// -> frequency capping); the unit wrappers make it a compile error to feed
+/// a wattage where kelvins are expected. They are intentionally minimal:
+/// explicit construction, `value()` extraction, and the arithmetic that is
+/// meaningful for the quantity.
+
+#include <compare>
+
+namespace aqua {
+
+namespace detail {
+
+/// CRTP base for a double-backed strong unit.
+template <class Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : v_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  constexpr auto operator<=>(const Quantity&) const = default;
+
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    v_ /= s;
+    return *this;
+  }
+
+  friend constexpr Tag operator+(Quantity a, Quantity b) {
+    return Tag(a.v_ + b.v_);
+  }
+  friend constexpr Tag operator-(Quantity a, Quantity b) {
+    return Tag(a.v_ - b.v_);
+  }
+  friend constexpr Tag operator*(Quantity a, double s) {
+    return Tag(a.v_ * s);
+  }
+  friend constexpr Tag operator*(double s, Quantity a) {
+    return Tag(a.v_ * s);
+  }
+  friend constexpr Tag operator/(Quantity a, double s) {
+    return Tag(a.v_ / s);
+  }
+  /// Ratio of two like quantities is a plain double.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.v_ / b.v_;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+}  // namespace detail
+
+/// Electrical / thermal power [W].
+struct Watts : detail::Quantity<Watts> {
+  using Quantity::Quantity;
+};
+
+/// Absolute temperature or temperature delta [degrees Celsius].
+/// The library performs all thermal computation in Celsius relative to the
+/// ambient because only differences enter the linear heat equation.
+struct Celsius : detail::Quantity<Celsius> {
+  using Quantity::Quantity;
+};
+
+/// Clock frequency [Hz].
+struct Hertz : detail::Quantity<Hertz> {
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double gigahertz() const { return value() * 1e-9; }
+};
+
+/// Convenience constructor for GHz literals in configuration code.
+constexpr Hertz gigahertz(double ghz) { return Hertz(ghz * 1e9); }
+
+/// Length [m].
+struct Meters : detail::Quantity<Meters> {
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double millimeters() const { return value() * 1e3; }
+  [[nodiscard]] constexpr double micrometers() const { return value() * 1e6; }
+};
+
+constexpr Meters millimeters(double mm) { return Meters(mm * 1e-3); }
+constexpr Meters micrometers(double um) { return Meters(um * 1e-6); }
+
+/// Area [m^2].
+struct SquareMeters : detail::Quantity<SquareMeters> {
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double square_millimeters() const {
+    return value() * 1e6;
+  }
+};
+
+constexpr SquareMeters operator*(Meters a, Meters b) {
+  return SquareMeters(a.value() * b.value());
+}
+
+/// Electrical potential [V].
+struct Volts : detail::Quantity<Volts> {
+  using Quantity::Quantity;
+};
+
+/// Thermal resistance [K/W].
+struct KelvinPerWatt : detail::Quantity<KelvinPerWatt> {
+  using Quantity::Quantity;
+};
+
+/// Thermal conductivity [W/(m K)].
+struct WattsPerMeterKelvin : detail::Quantity<WattsPerMeterKelvin> {
+  using Quantity::Quantity;
+};
+
+/// Convective heat-transfer coefficient [W/(m^2 K)].
+struct HeatTransferCoefficient
+    : detail::Quantity<HeatTransferCoefficient> {
+  using Quantity::Quantity;
+};
+
+/// Volumetric heat capacity [J/(m^3 K)].
+struct VolumetricHeatCapacity : detail::Quantity<VolumetricHeatCapacity> {
+  using Quantity::Quantity;
+};
+
+/// Simulated wall-clock time [s].
+struct Seconds : detail::Quantity<Seconds> {
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double milliseconds() const { return value() * 1e3; }
+};
+
+/// Temperature delta across a resistance: dT = P * R.
+constexpr Celsius operator*(Watts p, KelvinPerWatt r) {
+  return Celsius(p.value() * r.value());
+}
+constexpr Celsius operator*(KelvinPerWatt r, Watts p) { return p * r; }
+
+}  // namespace aqua

@@ -1,0 +1,87 @@
+#include "core/activity.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+std::vector<std::vector<double>> activity_scaled_powers(
+    const ChipModel& chip, const Stack3d& stack, Hertz f,
+    const ExecStats& stats, const ActivityModel& model) {
+  require(model.idle_dynamic_fraction >= 0.0 &&
+              model.idle_dynamic_fraction <= 1.0,
+          "idle dynamic fraction must be in [0, 1]");
+  const std::size_t layers = stack.layer_count();
+
+  // Count cores per layer from the floorplan (homogeneous stack).
+  std::size_t cores_per_layer = 0;
+  for (const Block& b : stack.layer(0).blocks()) {
+    cores_per_layer += b.kind == UnitKind::kCore;
+  }
+  require(stats.core_utilization.size() == layers * cores_per_layer,
+          "utilization vector does not match the stack's core count");
+
+  const double dyn = chip.dynamic_fraction();
+  std::vector<std::vector<double>> powers;
+  powers.reserve(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    const Floorplan& fp = stack.layer(l);
+    std::vector<double> layer = chip.block_powers(fp, f);
+    std::size_t core_index = 0;
+    for (std::size_t b = 0; b < fp.block_count(); ++b) {
+      if (fp.blocks()[b].kind != UnitKind::kCore) continue;
+      const double util =
+          stats.core_utilization[l * cores_per_layer + core_index];
+      ++core_index;
+      const double scale =
+          model.idle_dynamic_fraction +
+          (1.0 - model.idle_dynamic_fraction) * util;
+      // Only the dynamic share responds to activity.
+      layer[b] *= (1.0 - dyn) + dyn * scale;
+    }
+    powers.push_back(std::move(layer));
+  }
+  return powers;
+}
+
+ActivityThermalResult activity_thermal_study(
+    const ChipModel& chip, std::size_t chips, const CoolingOption& cooling,
+    Hertz f, const WorkloadProfile& workload, std::uint64_t seed,
+    GridOptions grid, const ActivityModel& model) {
+  CmpConfig config;
+  config.chips = chips;
+  CmpSystem system(config, workload, f, seed);
+  const ExecStats stats = system.run();
+
+  const Stack3d stack(chip.floorplan(), chips, FlipPolicy::kNone);
+  const PackageConfig package;
+  StackThermalModel thermal(stack, package, cooling.boundary(package), grid);
+
+  ActivityThermalResult result;
+  result.mean_utilization =
+      std::accumulate(stats.core_utilization.begin(),
+                      stats.core_utilization.end(), 0.0) /
+      static_cast<double>(stats.core_utilization.size());
+
+  std::vector<std::vector<double>> worst;
+  for (std::size_t l = 0; l < chips; ++l) {
+    worst.push_back(chip.block_powers(stack.layer(l), f));
+  }
+  for (const auto& layer : worst) {
+    for (double p : layer) result.worst_case_power_w += p;
+  }
+  result.worst_case_peak_c =
+      thermal.solve_steady(worst).max_die_temperature_c();
+
+  const auto observed =
+      activity_scaled_powers(chip, stack, f, stats, model);
+  for (const auto& layer : observed) {
+    for (double p : layer) result.observed_power_w += p;
+  }
+  result.observed_peak_c =
+      thermal.solve_steady(observed).max_die_temperature_c();
+  return result;
+}
+
+}  // namespace aqua

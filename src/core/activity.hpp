@@ -1,0 +1,55 @@
+#pragma once
+
+/// Activity-aware power maps: closing the gem5 -> McPAT -> HotSpot loop.
+///
+/// The paper's worst-case methodology charges every core its full dynamic
+/// power regardless of what the workload actually did. The DES simulator
+/// knows better — a core stalled on DRAM issues nothing — so this module
+/// rebuilds the per-layer power maps from measured per-core utilizations
+/// and lets the thermal model report the *observed* operating temperature
+/// of a real run. Memory-bound programs run visibly cooler than the
+/// worst-case design point (the headroom DTM could reclaim).
+
+#include <vector>
+
+#include "core/cooling.hpp"
+#include "perf/system.hpp"
+#include "power/chip_model.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace aqua {
+
+/// How a core's dynamic power responds to its utilization.
+struct ActivityModel {
+  /// Dynamic power drawn by a fully stalled core relative to a busy one
+  /// (clock trees and fetch keep spinning: idle is not free).
+  double idle_dynamic_fraction = 0.35;
+};
+
+/// Per-layer block powers of a `chips`-high homogeneous stack of `chip`
+/// running at `f`, with each CORE block's dynamic share scaled by the
+/// matching core's utilization from `stats` (cores are indexed
+/// chip-major, matching CmpSystem's layout). Static power and non-core
+/// blocks keep their rated values. Requires stats from a run with
+/// `chips * cores_per_chip` cores.
+std::vector<std::vector<double>> activity_scaled_powers(
+    const ChipModel& chip, const Stack3d& stack, Hertz f,
+    const ExecStats& stats, const ActivityModel& model = {});
+
+/// One activity-vs-worst-case comparison.
+struct ActivityThermalResult {
+  double mean_utilization = 0.0;
+  double worst_case_peak_c = 0.0;   ///< all cores fully busy (the paper)
+  double observed_peak_c = 0.0;     ///< utilization-scaled
+  double worst_case_power_w = 0.0;
+  double observed_power_w = 0.0;
+};
+
+/// Runs the workload at `f` on a `chips`-high stack, then solves the stack
+/// thermally with worst-case and with activity-scaled power maps.
+ActivityThermalResult activity_thermal_study(
+    const ChipModel& chip, std::size_t chips, const CoolingOption& cooling,
+    Hertz f, const WorkloadProfile& workload, std::uint64_t seed = 1,
+    GridOptions grid = {}, const ActivityModel& model = {});
+
+}  // namespace aqua

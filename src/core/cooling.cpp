@@ -1,0 +1,82 @@
+#include "core/cooling.hpp"
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+const char* to_string(CoolingKind kind) {
+  switch (kind) {
+    case CoolingKind::kAir: return "air";
+    case CoolingKind::kWaterPipe: return "water_pipe";
+    case CoolingKind::kMineralOil: return "mineral_oil";
+    case CoolingKind::kFluorinert: return "fluorinert";
+    case CoolingKind::kWaterImmersion: return "water";
+  }
+  return "?";
+}
+
+CoolingOption::CoolingOption(CoolingKind kind)
+    : kind_(kind), name_(to_string(kind)) {}
+
+bool CoolingOption::immersion() const {
+  return kind_ == CoolingKind::kMineralOil ||
+         kind_ == CoolingKind::kFluorinert ||
+         kind_ == CoolingKind::kWaterImmersion;
+}
+
+bool CoolingOption::requires_film() const {
+  return kind_ == CoolingKind::kWaterImmersion;
+}
+
+ThermalBoundary CoolingOption::boundary(const PackageConfig& package) const {
+  ThermalBoundary b;
+  b.ambient_c = package.ambient_c;
+  const HeatTransferCoefficient air = coolant(CoolantKind::kAir).htc;
+
+  switch (kind_) {
+    case CoolingKind::kAir:
+      b.top_htc = air;
+      b.top_coolant_is_gas = true;
+      b.bottom_htc = air;
+      b.film_on_bottom = false;
+      break;
+    case CoolingKind::kWaterPipe:
+      // Heatsink replaced by a typical closed-loop liquid CPU cooler
+      // (paper Section 3.2); the board still sits in air.
+      b.coldplate_resistance = kColdPlateResistance;
+      b.bottom_htc = air;
+      b.film_on_bottom = false;
+      break;
+    case CoolingKind::kMineralOil:
+      b.top_htc = coolant(CoolantKind::kMineralOil).htc;
+      b.top_coolant_is_gas = false;
+      b.bottom_htc = b.top_htc;
+      // Oil insulates, but production boards are conformal-coated anyway;
+      // the film term is negligible next to the oil's convection.
+      b.film_on_bottom = true;
+      break;
+    case CoolingKind::kFluorinert:
+      b.top_htc = coolant(CoolantKind::kFluorinert).htc;
+      b.top_coolant_is_gas = false;
+      b.bottom_htc = b.top_htc;
+      b.film_on_bottom = true;
+      break;
+    case CoolingKind::kWaterImmersion:
+      b.top_htc = coolant(CoolantKind::kWater).htc;
+      b.top_coolant_is_gas = false;
+      b.bottom_htc = b.top_htc;
+      b.film_on_bottom = true;  // water demands the parylene film
+      break;
+  }
+  return b;
+}
+
+std::vector<CoolingOption> all_cooling_options() {
+  return {CoolingOption(CoolingKind::kAir),
+          CoolingOption(CoolingKind::kWaterPipe),
+          CoolingOption(CoolingKind::kMineralOil),
+          CoolingOption(CoolingKind::kFluorinert),
+          CoolingOption(CoolingKind::kWaterImmersion)};
+}
+
+}  // namespace aqua

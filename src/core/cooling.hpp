@@ -1,0 +1,59 @@
+#pragma once
+
+/// The five cooling options the paper evaluates (Section 3.2), each mapped
+/// to the thermal boundary conditions it imposes on the stacked-die grid
+/// model. This is the headline abstraction of AquaCMP: swap the cooling
+/// option, keep everything else.
+
+#include <string>
+#include <vector>
+
+#include "thermal/coolant.hpp"
+#include "thermal/package.hpp"
+
+namespace aqua {
+
+/// Cooling modes evaluated in Figs. 1 / 7 / 8 / 17.
+enum class CoolingKind {
+  kAir,            ///< finned heatsink in (moving) air
+  kWaterPipe,      ///< heatsink replaced by a closed-loop liquid cold plate
+  kMineralOil,     ///< full immersion in mineral oil
+  kFluorinert,     ///< full immersion in fluorinert
+  kWaterImmersion, ///< the paper's proposal: film-coated board in water
+};
+
+const char* to_string(CoolingKind kind);
+
+/// A cooling option and its boundary-condition factory.
+class CoolingOption {
+ public:
+  explicit CoolingOption(CoolingKind kind);
+
+  [[nodiscard]] CoolingKind kind() const { return kind_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// True for full-immersion modes (oil / fluorinert / water), which wet
+  /// both the heatsink and the (film-coated) board face.
+  [[nodiscard]] bool immersion() const;
+
+  /// True when the electronics must be insulated by the parylene film
+  /// before this coolant may touch them (only water conducts).
+  [[nodiscard]] bool requires_film() const;
+
+  /// Boundary conditions for the grid model under this option.
+  [[nodiscard]] ThermalBoundary boundary(const PackageConfig& package) const;
+
+ private:
+  CoolingKind kind_;
+  std::string name_;
+};
+
+/// All five options in the paper's presentation order
+/// (air, water-pipe, mineral oil, fluorinert, water).
+std::vector<CoolingOption> all_cooling_options();
+
+/// Thermal resistance of the closed-loop CPU cold plate standing in for
+/// the heatsink in water-pipe mode [K/W] (typical AIO cooler).
+constexpr double kColdPlateResistance = 0.05;
+
+}  // namespace aqua

@@ -1,0 +1,30 @@
+#include "core/cosim.hpp"
+
+namespace aqua {
+
+CoSimulator::CoSimulator(ChipModel chip, PackageConfig package,
+                         double threshold_c, CmpConfig base_config,
+                         GridOptions grid)
+    : finder_(std::move(chip), package, threshold_c, grid),
+      base_config_(base_config) {}
+
+CoSimResult CoSimulator::run(std::size_t chips, const CoolingOption& cooling,
+                             const WorkloadProfile& workload,
+                             std::uint64_t seed, FlipPolicy flip) {
+  CoSimResult result;
+  result.cap = finder_.find(chips, cooling, flip);
+  if (!result.cap.feasible) return result;
+
+  CmpConfig config = base_config_;
+  config.chips = chips;
+  CmpSystem system(config, workload, result.cap.frequency, seed);
+  result.exec = system.run();
+  return result;
+}
+
+FrequencyCap CoSimulator::cap(std::size_t chips, const CoolingOption& cooling,
+                              FlipPolicy flip) {
+  return finder_.find(chips, cooling, flip);
+}
+
+}  // namespace aqua

@@ -1,0 +1,49 @@
+#pragma once
+
+/// Coupled power-thermal solving.
+///
+/// The paper evaluates power once, at the worst-case temperature — the
+/// safe upper bound. Subthreshold leakage actually tracks the local die
+/// temperature, so the self-consistent operating point is the fixed point
+/// of power(T) -> T(power). This module iterates that loop per block:
+/// cooler coolant buys a second-order win (less leakage), and weak cooling
+/// can fail to converge at all — electrothermal runaway, which the solver
+/// detects and reports.
+
+#include "core/cooling.hpp"
+#include "power/chip_model.hpp"
+#include "power/leakage.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace aqua {
+
+/// Result of a coupled solve.
+struct CoupledResult {
+  bool converged = false;       ///< false = electrothermal runaway / budget
+  std::size_t iterations = 0;
+  double max_temperature_c = 0.0;
+  Watts total_power{0.0};       ///< leakage-adjusted stack power
+  Watts worst_case_power{0.0};  ///< the paper's rated (reference) power
+  /// Peak temperature of the plain worst-case solve, for comparison.
+  double worst_case_temperature_c = 0.0;
+};
+
+/// Options for the fixed-point iteration.
+struct CoupledOptions {
+  LeakageModel leakage{};
+  std::size_t max_iterations = 25;
+  double tolerance_c = 0.01;    ///< max block-temperature change to stop
+  /// Treat any block temperature beyond this as runaway and abort.
+  double runaway_c = 150.0;
+  GridOptions grid{};
+};
+
+/// Solves the self-consistent (power, temperature) point of a homogeneous
+/// stack of `chips` dies of `chip` at frequency `f` under `cooling`.
+CoupledResult solve_coupled(const ChipModel& chip, std::size_t chips,
+                            const CoolingOption& cooling, Hertz f,
+                            const PackageConfig& package = {},
+                            FlipPolicy flip = FlipPolicy::kNone,
+                            const CoupledOptions& options = {});
+
+}  // namespace aqua

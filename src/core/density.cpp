@@ -1,0 +1,81 @@
+#include "core/density.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/freq_cap.hpp"
+
+namespace aqua {
+
+namespace {
+
+CoolantKind coolant_of(CoolingKind kind) {
+  switch (kind) {
+    case CoolingKind::kAir:
+      return CoolantKind::kAir;
+    case CoolingKind::kMineralOil:
+      return CoolantKind::kMineralOil;
+    case CoolingKind::kFluorinert:
+      return CoolantKind::kFluorinert;
+    case CoolingKind::kWaterImmersion:
+      return CoolantKind::kWater;
+    case CoolingKind::kWaterPipe:
+      break;
+  }
+  throw Error("packing study has no coolant for this cooling mode");
+}
+
+}  // namespace
+
+PackingResult packing_density(const ChipModel& chip, std::size_t chips,
+                              const CoolingOption& cooling,
+                              double threshold_c,
+                              const PackingConfig& config,
+                              GridOptions grid) {
+  require(cooling.kind() != CoolingKind::kWaterPipe,
+          "water-pipe racks are plumbing-limited; not modeled here");
+  const Coolant fluid = coolant(coolant_of(cooling.kind()));
+
+  PackingResult r;
+  r.coolant = fluid.kind;
+
+  MaxFrequencyFinder finder(chip, PackageConfig{}, threshold_c, grid);
+  const FrequencyCap cap = finder.find(chips, cooling);
+  if (!cap.feasible) {
+    return r;  // zero density: the node cannot run at all
+  }
+  r.node_power_w = cap.total_power.value();
+  r.node_ghz = cap.frequency.gigahertz();
+
+  // Transport constraint: the coolant sheet between two boards (gap g,
+  // width w, velocity v) must carry Q with at most dT of bulk rise.
+  const double transport_gap =
+      r.node_power_w /
+      (fluid.volumetric_heat_capacity() * config.flow_velocity_m_s *
+       config.board_width_m * config.max_coolant_rise_c);
+  r.pitch_m = std::max(config.mechanical_pitch_m, transport_gap);
+  r.transport_limited = transport_gap > config.mechanical_pitch_m;
+
+  const double node_volume =
+      r.pitch_m * config.board_width_m * config.board_height_m;
+  r.nodes_per_m3 = 1.0 / node_volume;
+  r.kw_per_m3 = r.node_power_w * r.nodes_per_m3 / 1000.0;
+  return r;
+}
+
+std::vector<PackingResult> packing_study(const ChipModel& chip,
+                                         std::size_t chips,
+                                         double threshold_c,
+                                         const PackingConfig& config,
+                                         GridOptions grid) {
+  std::vector<PackingResult> out;
+  for (CoolingKind kind :
+       {CoolingKind::kAir, CoolingKind::kMineralOil,
+        CoolingKind::kFluorinert, CoolingKind::kWaterImmersion}) {
+    out.push_back(packing_density(chip, chips, CoolingOption(kind),
+                                  threshold_c, config, grid));
+  }
+  return out;
+}
+
+}  // namespace aqua

@@ -1,0 +1,61 @@
+#pragma once
+
+/// Dense-packing study — the paper's stated future work ("evaluation for
+/// the ability to densely pack compute nodes", Section 6).
+///
+/// Nodes are boards carrying one 3-D CMP stack, racked side by side in a
+/// coolant volume. Two constraints set the pitch between boards:
+///
+///  1. mechanical: board + stack + clearance;
+///  2. thermal transport: the coolant flowing between two boards must
+///     carry the node's heat with a bounded bulk temperature rise,
+///     Q <= rho * cp * v * A_gap * dT  =>  gap >= Q / (rho cp v w dT).
+///
+/// Liquids (especially water) crush constraint 2, which is where the
+/// density win over air comes from — independent of the per-chip h story
+/// of the main figures.
+
+#include "core/cooling.hpp"
+#include "power/chip_model.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace aqua {
+
+/// Rack/tank geometry and limits.
+struct PackingConfig {
+  double board_width_m = 0.24;    ///< node board edge along the rack
+  double board_height_m = 0.24;   ///< node board edge across the flow
+  double mechanical_pitch_m = 0.012;  ///< board + stack + clearance
+  double flow_velocity_m_s = 0.1; ///< bulk coolant velocity between boards
+  double max_coolant_rise_c = 10.0;   ///< allowed inlet->outlet rise
+};
+
+/// Packing outcome for one cooling option.
+struct PackingResult {
+  CoolantKind coolant;
+  double node_power_w = 0.0;  ///< thermally capped power per node
+  double node_ghz = 0.0;      ///< the frequency behind that power
+  double pitch_m = 0.0;       ///< board-to-board pitch (max of constraints)
+  bool transport_limited = false;  ///< pitch set by coolant transport
+  double nodes_per_m3 = 0.0;
+  double kw_per_m3 = 0.0;     ///< compute power density of the volume
+};
+
+/// Evaluates packing density for a stack of `chips` dies of `chip` under
+/// each immersion coolant plus air (water-pipe racks are excluded: their
+/// density is plumbing-limited, not coolant-limited). The node power is
+/// each option's thermally capped operating point from the main model.
+std::vector<PackingResult> packing_study(const ChipModel& chip,
+                                         std::size_t chips,
+                                         double threshold_c = 80.0,
+                                         const PackingConfig& config = {},
+                                         GridOptions grid = {});
+
+/// Single-option variant.
+PackingResult packing_density(const ChipModel& chip, std::size_t chips,
+                              const CoolingOption& cooling,
+                              double threshold_c = 80.0,
+                              const PackingConfig& config = {},
+                              GridOptions grid = {});
+
+}  // namespace aqua

@@ -1,0 +1,71 @@
+#include "core/dtm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+DtmResult simulate_dtm(StackThermalModel& model, const ChipModel& chip,
+                       std::size_t nominal_step, double duration_s,
+                       const DtmPolicy& policy,
+                       const TransientOptions& transient_options) {
+  const VfsLadder& ladder = chip.ladder();
+  require(nominal_step < ladder.size(), "nominal step out of range");
+  require(policy.release_c < policy.trigger_c,
+          "hysteresis release must sit below the trigger");
+  require(policy.control_period_s >= transient_options.dt_seconds,
+          "control period must cover at least one transient step");
+  require(duration_s > 0.0, "duration must be positive");
+
+  // Per-step power maps, reused every control interval.
+  const Stack3d& stack = model.stack();
+  std::vector<std::vector<std::vector<double>>> step_powers(ladder.size());
+  for (std::size_t s = 0; s < ladder.size(); ++s) {
+    step_powers[s].reserve(stack.layer_count());
+    for (std::size_t l = 0; l < stack.layer_count(); ++l) {
+      step_powers[s].push_back(
+          chip.block_powers(stack.layer(l), ladder.step(s)));
+    }
+  }
+
+  DtmResult result;
+  TransientSolver solver(model, transient_options);
+  solver.reset();
+
+  std::size_t step = nominal_step;
+  double ghz_time = 0.0;
+  double nominal_time = 0.0;
+  double t = 0.0;
+  while (t < duration_s - 1e-12) {
+    const double span = std::min(policy.control_period_s, duration_s - t);
+    const auto& powers = step_powers[step];
+    solver.continue_run(span, [&powers](double) { return powers; });
+    t = solver.now_s();
+
+    const double peak = solver.max_die_temperature_c();
+    result.peak_c = std::max(result.peak_c, peak);
+    ghz_time += ladder.step(step).gigahertz() * span;
+    if (step == nominal_step) nominal_time += span;
+    result.samples.push_back(
+        {t, peak, step, ladder.step(step).gigahertz()});
+
+    // Hysteresis DVFS decision for the next interval.
+    if (peak > policy.trigger_c + policy.emergency_margin_c && step > 0) {
+      step = 0;  // thermal emergency: straight to the floor
+      ++result.throttle_events;
+    } else if (peak > policy.trigger_c && step > 0) {
+      --step;
+      ++result.throttle_events;
+    } else if (peak < policy.release_c && step < nominal_step) {
+      ++step;
+    }
+  }
+
+  result.effective_ghz = ghz_time / duration_s;
+  result.time_at_nominal = nominal_time / duration_s;
+  return result;
+}
+
+}  // namespace aqua

@@ -1,0 +1,57 @@
+#pragma once
+
+/// Dynamic Thermal Management simulation.
+///
+/// The paper designs for the steady-state worst case and calls DTM
+/// "orthogonal" (Section 5.2); this module provides the runtime view: a
+/// hysteresis DVFS controller stepping the whole stack down the VFS ladder
+/// when the transient peak crosses the trigger and back up when it cools.
+/// The interesting output is the *effective* frequency each cooling option
+/// sustains when nominally clocked beyond its steady-state cap.
+
+#include <vector>
+
+#include "power/chip_model.hpp"
+#include "thermal/transient.hpp"
+
+namespace aqua {
+
+/// Hysteresis DVFS policy.
+struct DtmPolicy {
+  double trigger_c = 80.0;   ///< step down when the peak exceeds this
+  double release_c = 74.0;   ///< step back up when the peak falls below
+  double control_period_s = 0.1;  ///< controller sampling interval
+  /// PROCHOT-style emergency: overshooting the trigger by this margin
+  /// drops straight to the lowest VFS step instead of stepping down one.
+  double emergency_margin_c = 8.0;
+};
+
+/// One controller sample.
+struct DtmSample {
+  double time_s = 0.0;
+  double max_die_temperature_c = 0.0;
+  std::size_t vfs_step = 0;
+  double ghz = 0.0;
+};
+
+/// Result of a DTM run.
+struct DtmResult {
+  std::vector<DtmSample> samples;
+  double effective_ghz = 0.0;    ///< time-average frequency
+  double time_at_nominal = 0.0;  ///< fraction of time at the nominal step
+  std::size_t throttle_events = 0;
+  double peak_c = 0.0;
+};
+
+/// Simulates `duration_s` of execution starting cold at the chip's
+/// `nominal_step`, managing the whole homogeneous stack with one DVFS
+/// domain (the paper's all-chips-same-frequency assumption).
+///
+/// `model` must describe a stack of copies of `chip` (layer floorplans are
+/// used to build per-step power maps).
+DtmResult simulate_dtm(StackThermalModel& model, const ChipModel& chip,
+                       std::size_t nominal_step, double duration_s,
+                       const DtmPolicy& policy = {},
+                       const TransientOptions& transient = {});
+
+}  // namespace aqua

@@ -1,0 +1,207 @@
+#include "core/experiments.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace aqua {
+
+const FreqVsChipsSeries& FreqVsChipsData::of(CoolingKind kind) const {
+  for (const FreqVsChipsSeries& s : series) {
+    if (s.cooling == kind) return s;
+  }
+  throw Error("no series for cooling option");
+}
+
+std::size_t FreqVsChipsData::max_feasible_chips(CoolingKind kind) const {
+  const FreqVsChipsSeries& s = of(kind);
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < s.ghz.size(); ++i) {
+    if (s.ghz[i].has_value()) best = i + 1;
+  }
+  return best;
+}
+
+FreqVsChipsData frequency_vs_chips(const ChipModel& chip,
+                                   std::size_t max_chips, double threshold_c,
+                                   GridOptions grid, std::size_t threads) {
+  require(max_chips >= 1, "need at least one chip");
+  const std::vector<CoolingOption> options = all_cooling_options();
+
+  FreqVsChipsData data;
+  data.chip_name = chip.name();
+  data.max_chips = max_chips;
+  data.threshold_c = threshold_c;
+  data.series.resize(options.size());
+  for (std::size_t k = 0; k < options.size(); ++k) {
+    data.series[k].cooling = options[k].kind();
+    data.series[k].ghz.resize(max_chips);
+  }
+
+  // One task per (cooling, chips) cell. Each task owns its finder — the
+  // grid model is not shared across threads.
+  const std::size_t cells = options.size() * max_chips;
+  ThreadPool pool(threads);
+  parallel_for(pool, cells, [&](std::size_t cell) {
+    const std::size_t k = cell / max_chips;
+    const std::size_t chips = 1 + cell % max_chips;
+    MaxFrequencyFinder finder(chip, PackageConfig{}, threshold_c, grid);
+    const FrequencyCap cap = finder.find(chips, options[k]);
+    if (cap.feasible) {
+      data.series[k].ghz[chips - 1] = cap.frequency.gigahertz();
+    }
+  });
+  return data;
+}
+
+std::optional<double> NpbData::mean_relative(CoolingKind kind) const {
+  for (std::size_t k = 0; k < coolings.size(); ++k) {
+    if (coolings[k] != kind) continue;
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (const NpbRow& row : rows) {
+      if (row.benchmark == "avg") continue;
+      if (!row.relative[k].has_value()) return std::nullopt;
+      acc += *row.relative[k];
+      ++n;
+    }
+    return n ? std::optional<double>(acc / static_cast<double>(n))
+             : std::nullopt;
+  }
+  return std::nullopt;
+}
+
+NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
+                       CoolingKind baseline, double threshold_c,
+                       double instruction_scale, GridOptions grid,
+                       std::size_t worker_threads, std::uint64_t seed) {
+  require(instruction_scale > 0.0, "instruction scale must be positive");
+
+  NpbData data;
+  data.chip_name = chip.name();
+  data.chips = chips;
+  data.baseline = baseline;
+  // The paper's Figs. 10-13 evaluate water pipe, mineral oil, fluorinert
+  // and water (air cannot carry 6-8 chips).
+  data.coolings = {CoolingKind::kWaterPipe, CoolingKind::kMineralOil,
+                   CoolingKind::kFluorinert, CoolingKind::kWaterImmersion};
+
+  // Thermal caps: one per cooling option.
+  for (CoolingKind kind : data.coolings) {
+    MaxFrequencyFinder finder(chip, PackageConfig{}, threshold_c, grid);
+    data.caps.push_back(finder.find(chips, CoolingOption(kind)));
+  }
+
+  std::vector<WorkloadProfile> suite = npb_suite();
+  for (WorkloadProfile& p : suite) {
+    p.instructions_per_thread = static_cast<std::uint64_t>(
+        static_cast<double>(p.instructions_per_thread) * instruction_scale);
+  }
+
+  CmpConfig base_config;
+  base_config.chips = chips;
+  data.threads = base_config.total_cores();
+
+  data.rows.resize(suite.size());
+  for (std::size_t b = 0; b < suite.size(); ++b) {
+    data.rows[b].benchmark = suite[b].name;
+    data.rows[b].seconds.resize(data.coolings.size());
+    data.rows[b].relative.resize(data.coolings.size());
+  }
+
+  // One DES run per feasible (benchmark, cooling) pair, in parallel.
+  const std::size_t cells = suite.size() * data.coolings.size();
+  ThreadPool pool(worker_threads);
+  parallel_for(pool, cells, [&](std::size_t cell) {
+    const std::size_t b = cell / data.coolings.size();
+    const std::size_t k = cell % data.coolings.size();
+    if (!data.caps[k].feasible) return;
+    CmpSystem system(base_config, suite[b], data.caps[k].frequency, seed);
+    data.rows[b].seconds[k] = system.run().seconds;
+  });
+
+  // Normalize to the baseline option.
+  std::size_t base_idx = data.coolings.size();
+  for (std::size_t k = 0; k < data.coolings.size(); ++k) {
+    if (data.coolings[k] == baseline) base_idx = k;
+  }
+  require(base_idx < data.coolings.size(), "baseline option not simulated");
+  for (NpbRow& row : data.rows) {
+    const std::optional<double> base = row.seconds[base_idx];
+    for (std::size_t k = 0; k < data.coolings.size(); ++k) {
+      if (row.seconds[k].has_value() && base.has_value() && *base > 0.0) {
+        row.relative[k] = *row.seconds[k] / *base;
+      }
+    }
+  }
+
+  // Append the per-option average row the paper's text quotes ("up to 14%
+  // on average").
+  NpbRow avg;
+  avg.benchmark = "avg";
+  avg.seconds.resize(data.coolings.size());
+  avg.relative.resize(data.coolings.size());
+  for (std::size_t k = 0; k < data.coolings.size(); ++k) {
+    double acc = 0.0;
+    std::size_t n = 0;
+    bool complete = true;
+    for (const NpbRow& row : data.rows) {
+      if (row.relative[k].has_value()) {
+        acc += *row.relative[k];
+        ++n;
+      } else {
+        complete = false;
+      }
+    }
+    if (complete && n > 0) avg.relative[k] = acc / static_cast<double>(n);
+  }
+  data.rows.push_back(std::move(avg));
+  return data;
+}
+
+std::vector<HtcSweepPoint> htc_sweep(const ChipModel& chip, std::size_t chips,
+                                     const std::vector<double>& htcs,
+                                     GridOptions grid) {
+  std::vector<HtcSweepPoint> points(htcs.size());
+  parallel_for(htcs.size(), [&](std::size_t i) {
+    PackageConfig package;
+    // Boundary with the swept coefficient on both wetted paths (the sweep
+    // generalizes the immersion options).
+    ThermalBoundary boundary;
+    boundary.ambient_c = package.ambient_c;
+    boundary.top_htc = HeatTransferCoefficient(htcs[i]);
+    boundary.bottom_htc = HeatTransferCoefficient(htcs[i]);
+    boundary.film_on_bottom = true;
+
+    const Stack3d stack(chip.floorplan(), chips, FlipPolicy::kNone);
+    StackThermalModel model(stack, package, boundary, grid);
+    std::vector<std::vector<double>> powers;
+    for (std::size_t l = 0; l < stack.layer_count(); ++l) {
+      powers.push_back(chip.block_powers(stack.layer(l), chip.max_frequency()));
+    }
+    points[i] = {htcs[i], model.solve_steady(powers).max_die_temperature_c()};
+  });
+  return points;
+}
+
+std::vector<RotationPoint> rotation_sweep(const ChipModel& chip,
+                                          std::size_t chips,
+                                          const CoolingOption& cooling,
+                                          GridOptions grid) {
+  const VfsLadder& ladder = chip.ladder();
+  std::vector<RotationPoint> points(ladder.size());
+  parallel_for(ladder.size(), [&](std::size_t i) {
+    MaxFrequencyFinder finder(chip, PackageConfig{}, 80.0, grid);
+    const Hertz f = ladder.step(i);
+    points[i].ghz = f.gigahertz();
+    points[i].temperature_no_flip_c =
+        finder.temperature_at(chips, cooling, f, FlipPolicy::kNone);
+    points[i].temperature_flip_c =
+        finder.temperature_at(chips, cooling, f, FlipPolicy::kFlipEven);
+  });
+  return points;
+}
+
+}  // namespace aqua

@@ -1,0 +1,108 @@
+#include "core/freq_cap.hpp"
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+MaxFrequencyFinder::MaxFrequencyFinder(ChipModel chip, PackageConfig package,
+                                       double threshold_c, GridOptions grid)
+    : chip_(std::move(chip)),
+      package_(package),
+      threshold_c_(threshold_c),
+      grid_(grid) {
+  require(threshold_c_ > package_.ambient_c,
+          "threshold must exceed the ambient temperature");
+}
+
+StackThermalModel MaxFrequencyFinder::make_model(
+    std::size_t chips, const CoolingOption& cooling, FlipPolicy flip) const {
+  const Stack3d stack(chip_.floorplan(), chips, flip);
+  return StackThermalModel(stack, package_, cooling.boundary(package_),
+                           grid_);
+}
+
+namespace {
+
+/// Per-layer block powers for a homogeneous stack (each layer gets the chip
+/// power map expressed in its own — possibly rotated — floorplan).
+std::vector<std::vector<double>> stack_powers(const ChipModel& chip,
+                                              const Stack3d& stack,
+                                              Hertz f) {
+  std::vector<std::vector<double>> powers;
+  powers.reserve(stack.layer_count());
+  for (std::size_t l = 0; l < stack.layer_count(); ++l) {
+    powers.push_back(chip.block_powers(stack.layer(l), f));
+  }
+  return powers;
+}
+
+}  // namespace
+
+FrequencyCap MaxFrequencyFinder::find(std::size_t chips,
+                                      const CoolingOption& cooling,
+                                      FlipPolicy flip) {
+  StackThermalModel model = make_model(chips, cooling, flip);
+  const VfsLadder& ladder = chip_.ladder();
+
+  auto temperature_of_step = [&](std::size_t step) {
+    const Hertz f = ladder.step(step);
+    return model
+        .solve_steady(stack_powers(chip_, model.stack(), f))
+        .max_die_temperature_c();
+  };
+
+  FrequencyCap cap;
+  // Temperature is monotone in the VFS step, so bisect for the highest
+  // feasible step. Check the lowest step first: if it fails, the whole
+  // configuration is infeasible (the paper's "cannot be drawn" points).
+  double t_lo = temperature_of_step(0);
+  if (t_lo > threshold_c_) {
+    cap.feasible = false;
+    cap.max_temperature_c = t_lo;
+    return cap;
+  }
+  std::size_t lo = 0;                    // known feasible
+  std::size_t hi = ladder.size() - 1;    // candidate
+  double t_best = t_lo;
+  if (lo != hi) {
+    const double t_hi = temperature_of_step(hi);
+    if (t_hi <= threshold_c_) {
+      lo = hi;
+      t_best = t_hi;
+    } else {
+      while (hi - lo > 1) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        const double t_mid = temperature_of_step(mid);
+        if (t_mid <= threshold_c_) {
+          lo = mid;
+          t_best = t_mid;
+        } else {
+          hi = mid;
+        }
+      }
+    }
+  }
+
+  cap.feasible = true;
+  cap.step_index = lo;
+  cap.frequency = ladder.step(lo);
+  cap.max_temperature_c = t_best;
+  cap.chip_power = chip_.total_power(cap.frequency);
+  cap.total_power = cap.chip_power * static_cast<double>(chips);
+  return cap;
+}
+
+double MaxFrequencyFinder::temperature_at(std::size_t chips,
+                                          const CoolingOption& cooling,
+                                          Hertz f, FlipPolicy flip) {
+  return solve_at(chips, cooling, f, flip).max_die_temperature_c();
+}
+
+ThermalSolution MaxFrequencyFinder::solve_at(std::size_t chips,
+                                             const CoolingOption& cooling,
+                                             Hertz f, FlipPolicy flip) {
+  StackThermalModel model = make_model(chips, cooling, flip);
+  return model.solve_steady(stack_powers(chip_, model.stack(), f));
+}
+
+}  // namespace aqua

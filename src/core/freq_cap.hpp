@@ -1,0 +1,68 @@
+#pragma once
+
+/// Thermal frequency capping: given a chip model, a stack height, a cooling
+/// option and a temperature threshold, find the highest VFS step whose
+/// steady-state peak die temperature stays under the threshold — the
+/// computation behind the paper's Figs. 1, 7, 8, 15 and 17.
+
+#include <optional>
+
+#include "core/cooling.hpp"
+#include "power/chip_model.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace aqua {
+
+/// Result of a frequency-cap search for one configuration.
+struct FrequencyCap {
+  bool feasible = false;       ///< some VFS step satisfies the threshold
+  std::size_t step_index = 0;  ///< ladder index of the chosen step
+  Hertz frequency{0.0};        ///< the chosen step
+  double max_temperature_c = 0.0;  ///< peak die temperature at that step
+  Watts chip_power{0.0};       ///< per-chip power at that step
+  Watts total_power{0.0};      ///< stack power at that step
+};
+
+/// Searches maximum feasible frequencies over (chips, cooling) configs.
+///
+/// Thermal models are constructed per call; the monotonicity of steady
+/// temperature in frequency (power rises with f, the system is linear in
+/// power) lets the search bisect over the VFS ladder with warm-started
+/// solves.
+class MaxFrequencyFinder {
+ public:
+  MaxFrequencyFinder(ChipModel chip, PackageConfig package,
+                     double threshold_c = 80.0, GridOptions grid = {});
+
+  /// Highest feasible VFS step for a stack of `chips` dies.
+  [[nodiscard]] FrequencyCap find(std::size_t chips,
+                                  const CoolingOption& cooling,
+                                  FlipPolicy flip = FlipPolicy::kNone);
+
+  /// Peak die temperature when the whole stack runs at `f`.
+  [[nodiscard]] double temperature_at(std::size_t chips,
+                                      const CoolingOption& cooling, Hertz f,
+                                      FlipPolicy flip = FlipPolicy::kNone);
+
+  /// Full thermal field when the whole stack runs at `f` (for maps).
+  [[nodiscard]] ThermalSolution solve_at(std::size_t chips,
+                                         const CoolingOption& cooling,
+                                         Hertz f,
+                                         FlipPolicy flip = FlipPolicy::kNone);
+
+  [[nodiscard]] const ChipModel& chip() const { return chip_; }
+  [[nodiscard]] double threshold_c() const { return threshold_c_; }
+  [[nodiscard]] const PackageConfig& package() const { return package_; }
+
+ private:
+  StackThermalModel make_model(std::size_t chips,
+                               const CoolingOption& cooling,
+                               FlipPolicy flip) const;
+
+  ChipModel chip_;
+  PackageConfig package_;
+  double threshold_c_;
+  GridOptions grid_;
+};
+
+}  // namespace aqua

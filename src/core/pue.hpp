@@ -1,0 +1,60 @@
+#pragma once
+
+/// Facility-level cooling chains and power usage effectiveness (paper
+/// Section 4.4): conventional systems move heat from a primary coolant
+/// into a secondary coolant with pumps, fans and chillers; a directly
+/// immersed deployment under natural water deletes the whole secondary
+/// stage and approaches PUE 1.00.
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace aqua {
+
+/// Facility cooling architectures compared in Section 4.4.
+enum class FacilityCooling {
+  kChilledAir,        ///< CRAH + chiller plant (conventional datacenter)
+  kWarmWaterPipe,     ///< ABCI/Aquasar-style warm-water plates + dry cooler
+  kOilImmersion,      ///< oil tanks + water secondary loop (Tsubame-KFC)
+  kDirectNaturalWater ///< film-coated boards in a river/bay: this paper
+};
+
+const char* to_string(FacilityCooling kind);
+
+/// Facility description.
+struct FacilityConfig {
+  FacilityCooling cooling = FacilityCooling::kChilledAir;
+  double it_power_kw = 100.0;
+  double outdoor_temp_c = 25.0;  ///< heat rejection sink temperature
+  /// Per-chip thermal resistance from junction to the primary coolant
+  /// [K/W] and per-chip power [W] (for the junction-temperature estimate).
+  double chip_to_primary_r = 0.25;
+  double chip_power_w = 60.0;
+};
+
+/// Power and temperature breakdown of one facility configuration.
+struct FacilityResult {
+  FacilityCooling cooling;
+  double pue = 1.0;
+  double chiller_kw = 0.0;
+  double pump_kw = 0.0;
+  double fan_kw = 0.0;
+  double misc_kw = 0.0;           ///< controls, monitoring, treatment
+  double primary_coolant_temp_c = 0.0;
+  double chip_temp_c = 0.0;
+
+  [[nodiscard]] double overhead_kw() const {
+    return chiller_kw + pump_kw + fan_kw + misc_kw;
+  }
+};
+
+/// Evaluates the overhead chain of one facility.
+FacilityResult evaluate_facility(const FacilityConfig& config);
+
+/// All four architectures with one IT load (the Section 4.4 comparison).
+std::vector<FacilityResult> facility_comparison(double it_power_kw = 100.0,
+                                                double outdoor_temp_c = 25.0);
+
+}  // namespace aqua

@@ -1,0 +1,52 @@
+#pragma once
+
+/// Floorplan blocks: named axis-aligned rectangles tagged with the kind of
+/// microarchitectural unit they hold. Power models assign per-kind power
+/// densities; the thermal grid rasterizes blocks into heat sources.
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace aqua {
+
+/// Microarchitectural unit classes with distinct power densities.
+enum class UnitKind {
+  kCore,       ///< out-of-order / in-order processor core (high density)
+  kL2Cache,    ///< L2 / LLC bank (low density)
+  kNocRouter,  ///< on-chip network router + links
+  kMemCtrl,    ///< memory / EDC controller
+  kUncore,     ///< system agent, I/O, PLLs
+};
+
+/// Human-readable name of a unit kind (stable, used in reports and maps).
+const char* to_string(UnitKind kind);
+
+/// Axis-aligned rectangle in die coordinates (meters, origin bottom-left).
+struct Rect {
+  double x = 0.0;       ///< left edge [m]
+  double y = 0.0;       ///< bottom edge [m]
+  double width = 0.0;   ///< [m]
+  double height = 0.0;  ///< [m]
+
+  [[nodiscard]] double area() const { return width * height; }
+  [[nodiscard]] double right() const { return x + width; }
+  [[nodiscard]] double top() const { return y + height; }
+
+  /// True if the point lies inside (half-open on the max edges).
+  [[nodiscard]] bool contains(double px, double py) const {
+    return px >= x && px < right() && py >= y && py < top();
+  }
+
+  /// Area of the intersection with another rectangle (0 if disjoint).
+  [[nodiscard]] double overlap_area(const Rect& o) const;
+};
+
+/// A named floorplan block.
+struct Block {
+  std::string name;  ///< unique within a floorplan, e.g. "CORE1", "L2_07"
+  UnitKind kind = UnitKind::kUncore;
+  Rect rect;
+};
+
+}  // namespace aqua

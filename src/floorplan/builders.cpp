@@ -1,0 +1,119 @@
+#include "floorplan/builders.hpp"
+
+#include <string>
+#include <vector>
+
+namespace aqua {
+
+namespace {
+
+std::string two_digits(std::size_t n) {
+  return (n < 10 ? "0" : "") + std::to_string(n);
+}
+
+}  // namespace
+
+Floorplan make_baseline_cmp_floorplan() {
+  // 13 mm x 13 mm = 169 mm^2 (Table 1).
+  constexpr double kDie = 13.0e-3;
+  constexpr double kTile = kDie / 4.0;
+  // Each tile gives its top 5% to the mesh router serving it.
+  constexpr double kRouterHeight = 0.05 * kTile;
+  constexpr double kUnitHeight = kTile - kRouterHeight;
+
+  std::vector<Block> blocks;
+  std::size_t l2 = 0;
+  for (std::size_t ty = 0; ty < 4; ++ty) {
+    for (std::size_t tx = 0; tx < 4; ++tx) {
+      const double x = static_cast<double>(tx) * kTile;
+      const double y = static_cast<double>(ty) * kTile;
+      Block unit;
+      if (ty == 0) {
+        // All four cores sit in the bottom tile row (paper Section 4.2).
+        unit.name = "CORE" + std::to_string(tx + 1);
+        unit.kind = UnitKind::kCore;
+      } else {
+        unit.name = "L2_" + two_digits(++l2);
+        unit.kind = UnitKind::kL2Cache;
+      }
+      unit.rect = Rect{x, y, kTile, kUnitHeight};
+      blocks.push_back(unit);
+
+      Block router;
+      router.name = "R" + std::to_string(ty) + std::to_string(tx);
+      router.kind = UnitKind::kNocRouter;
+      router.rect = Rect{x, y + kUnitHeight, kTile, kRouterHeight};
+      blocks.push_back(router);
+    }
+  }
+  return Floorplan("baseline_cmp", kDie, kDie, std::move(blocks));
+}
+
+Floorplan make_xeon_e5_floorplan() {
+  // Broadwell-EP LCC organization: ~246 mm^2.
+  constexpr double kWidth = 18.0e-3;
+  constexpr double kHeight = 13.7e-3;
+  constexpr double kUncoreH = 2.2e-3;   // system agent / IO strip on top
+  constexpr double kMemH = 1.5e-3;      // memory controllers at the bottom
+  constexpr double kCoreColW = 5.0e-3;  // two flanking core columns
+  const double core_region_h = kHeight - kUncoreH - kMemH;
+  const double core_h = core_region_h / 4.0;
+
+  std::vector<Block> blocks;
+  blocks.push_back({"SYS_AGENT", UnitKind::kUncore,
+                    Rect{0.0, kHeight - kUncoreH, kWidth, kUncoreH}});
+  blocks.push_back({"MEM_CTRL", UnitKind::kMemCtrl,
+                    Rect{0.0, 0.0, kWidth, kMemH}});
+  blocks.push_back({"LLC", UnitKind::kL2Cache,
+                    Rect{kCoreColW, kMemH, kWidth - 2.0 * kCoreColW,
+                         core_region_h}});
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double y = kMemH + static_cast<double>(i) * core_h;
+    blocks.push_back({"CORE" + std::to_string(i + 1), UnitKind::kCore,
+                      Rect{0.0, y, kCoreColW, core_h}});
+    blocks.push_back({"CORE" + std::to_string(i + 5), UnitKind::kCore,
+                      Rect{kWidth - kCoreColW, y, kCoreColW, core_h}});
+  }
+  return Floorplan("xeon_e5_2667v4", kWidth, kHeight, std::move(blocks));
+}
+
+Floorplan make_xeon_phi_floorplan() {
+  // Knights Landing organization: ~682 mm^2, 36 dual-core tiles.
+  constexpr double kWidth = 31.0e-3;
+  constexpr double kHeight = 22.0e-3;
+  constexpr double kEdcW = 2.5e-3;  // EDC / MCDRAM PHY strips on both sides
+  constexpr double kMemH = 2.0e-3;  // DDR memory controllers top and bottom
+
+  const double tiles_w = kWidth - 2.0 * kEdcW;
+  const double tiles_h = kHeight - 2.0 * kMemH;
+  const double tile_w = tiles_w / 6.0;
+  const double tile_h = tiles_h / 6.0;
+  // Within a tile the paired cores take ~70% of the height, the shared L2
+  // the rest — mirrors the KNL tile (2 cores + 1 MiB L2).
+  const double core_h = 0.7 * tile_h;
+
+  std::vector<Block> blocks;
+  blocks.push_back({"EDC_L", UnitKind::kMemCtrl, Rect{0.0, 0.0, kEdcW, kHeight}});
+  blocks.push_back({"EDC_R", UnitKind::kMemCtrl,
+                    Rect{kWidth - kEdcW, 0.0, kEdcW, kHeight}});
+  blocks.push_back({"MC_B", UnitKind::kUncore,
+                    Rect{kEdcW, 0.0, tiles_w, kMemH}});
+  blocks.push_back({"MC_T", UnitKind::kUncore,
+                    Rect{kEdcW, kHeight - kMemH, tiles_w, kMemH}});
+
+  std::size_t tile = 0;
+  for (std::size_t ty = 0; ty < 6; ++ty) {
+    for (std::size_t tx = 0; tx < 6; ++tx) {
+      ++tile;
+      const double x = kEdcW + static_cast<double>(tx) * tile_w;
+      const double y = kMemH + static_cast<double>(ty) * tile_h;
+      blocks.push_back({"TILE" + two_digits(tile) + "_CORES", UnitKind::kCore,
+                        Rect{x, y, tile_w, core_h}});
+      blocks.push_back({"TILE" + two_digits(tile) + "_L2", UnitKind::kL2Cache,
+                        Rect{x, y + core_h, tile_w, tile_h - core_h}});
+    }
+  }
+  return Floorplan("xeon_phi_7290", kWidth, kHeight, std::move(blocks));
+}
+
+}  // namespace aqua

@@ -1,0 +1,33 @@
+#pragma once
+
+/// Floorplan builders for the chips evaluated in the paper:
+///  * the baseline 16-tile CMP (Table 1 / Fig. 5): 4 cores in the bottom
+///    tile row + 12 L2 banks, 169 mm^2, 4x4 mesh NoC;
+///  * Intel Xeon E5-2667v4 (8-core Broadwell-EP organization);
+///  * Intel Xeon Phi 7290 (Knights Landing: 36 dual-core tiles).
+///
+/// The E5 / Phi plans reproduce the public die organization (core vs. LLC
+/// placement), which is all the thermal model consumes; exact sub-block
+/// geometry from the authors' die photos is not public.
+
+#include "floorplan/floorplan.hpp"
+
+namespace aqua {
+
+/// The Table 1 baseline chip: 13 mm x 13 mm (169 mm^2), 4x4 tile grid.
+/// Tiles in the bottom row are CORE1..CORE4; the remaining twelve are
+/// L2_01..L2_12. Each tile donates a thin strip to its mesh router
+/// (R00..R33) so NoC power has a physical footprint.
+Floorplan make_baseline_cmp_floorplan();
+
+/// Xeon E5-2667v4-like die: 8 cores in two side columns flanking a central
+/// LLC slab, uncore strip on top, memory controllers at the bottom.
+Floorplan make_xeon_e5_floorplan();
+
+/// Xeon Phi 7290-like die: 6x6 grid of dual-core tiles (each split into a
+/// core part and an L2 part), EDC strips on the sides, memory controllers
+/// top and bottom. Cores are spread across the whole die, which is what
+/// gives the Phi its comparatively uniform thermal map (paper Fig. 18).
+Floorplan make_xeon_phi_floorplan();
+
+}  // namespace aqua

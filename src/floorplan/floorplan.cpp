@@ -1,0 +1,123 @@
+#include "floorplan/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+const char* to_string(UnitKind kind) {
+  switch (kind) {
+    case UnitKind::kCore:
+      return "core";
+    case UnitKind::kL2Cache:
+      return "l2";
+    case UnitKind::kNocRouter:
+      return "noc";
+    case UnitKind::kMemCtrl:
+      return "memctrl";
+    case UnitKind::kUncore:
+      return "uncore";
+  }
+  return "?";
+}
+
+double Rect::overlap_area(const Rect& o) const {
+  const double ox = std::max(0.0, std::min(right(), o.right()) - std::max(x, o.x));
+  const double oy = std::max(0.0, std::min(top(), o.top()) - std::max(y, o.y));
+  return ox * oy;
+}
+
+Floorplan::Floorplan(std::string name, double width_m, double height_m,
+                     std::vector<Block> blocks)
+    : name_(std::move(name)),
+      width_(width_m),
+      height_(height_m),
+      blocks_(std::move(blocks)) {
+  require(width_ > 0.0 && height_ > 0.0, "floorplan dimensions must be positive");
+  require(!blocks_.empty(), "floorplan needs at least one block");
+
+  // Tolerance for geometric checks: a millionth of the die edge, squared for
+  // area comparisons.
+  const double eps = 1e-6 * std::max(width_, height_);
+  const double area_eps = eps * std::max(width_, height_);
+
+  std::unordered_set<std::string> names;
+  double covered = 0.0;
+  for (const Block& b : blocks_) {
+    require(b.rect.width > 0.0 && b.rect.height > 0.0,
+            "block '" + b.name + "' has non-positive size");
+    require(b.rect.x >= -eps && b.rect.y >= -eps &&
+                b.rect.right() <= width_ + eps && b.rect.top() <= height_ + eps,
+            "block '" + b.name + "' exceeds die bounds in '" + name_ + "'");
+    require(names.insert(b.name).second,
+            "duplicate block name '" + b.name + "' in '" + name_ + "'");
+    covered += b.rect.area();
+  }
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks_.size(); ++j) {
+      const double overlap = blocks_[i].rect.overlap_area(blocks_[j].rect);
+      require(overlap <= area_eps, "blocks '" + blocks_[i].name + "' and '" +
+                                       blocks_[j].name + "' overlap in '" +
+                                       name_ + "'");
+    }
+  }
+  require(covered >= 0.99 * area(),
+          "blocks cover less than 99% of die '" + name_ + "'");
+}
+
+std::optional<std::size_t> Floorplan::find(const std::string& block_name) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].name == block_name) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> Floorplan::block_at(double x, double y) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].rect.contains(x, y)) return i;
+  }
+  return std::nullopt;
+}
+
+double Floorplan::area_of(UnitKind kind) const {
+  double acc = 0.0;
+  for (const Block& b : blocks_) {
+    if (b.kind == kind) acc += b.rect.area();
+  }
+  return acc;
+}
+
+std::vector<double> Floorplan::rasterize(
+    std::size_t nx, std::size_t ny,
+    std::span<const double> block_values) const {
+  require(nx > 0 && ny > 0, "rasterize grid must be non-empty");
+  require(block_values.size() == blocks_.size(),
+          "rasterize needs one value per block");
+  std::vector<double> cells(nx * ny, 0.0);
+  const double dx = width_ / static_cast<double>(nx);
+  const double dy = height_ / static_cast<double>(ny);
+
+  for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+    const Rect& r = blocks_[bi].rect;
+    const double value_per_area = block_values[bi] / r.area();
+    // Only visit cells the block can intersect.
+    const auto ix_lo = static_cast<std::size_t>(std::max(0.0, std::floor(r.x / dx)));
+    const auto iy_lo = static_cast<std::size_t>(std::max(0.0, std::floor(r.y / dy)));
+    const auto ix_hi = std::min(nx, static_cast<std::size_t>(std::ceil(r.right() / dx)));
+    const auto iy_hi = std::min(ny, static_cast<std::size_t>(std::ceil(r.top() / dy)));
+    for (std::size_t iy = iy_lo; iy < iy_hi; ++iy) {
+      for (std::size_t ix = ix_lo; ix < ix_hi; ++ix) {
+        const Rect cell{static_cast<double>(ix) * dx,
+                        static_cast<double>(iy) * dy, dx, dy};
+        const double overlap = r.overlap_area(cell);
+        if (overlap > 0.0) cells[iy * nx + ix] += value_per_area * overlap;
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace aqua

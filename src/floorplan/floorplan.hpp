@@ -1,0 +1,61 @@
+#pragma once
+
+/// Die floorplan: a validated set of non-overlapping blocks covering a
+/// rectangular die, with rasterization onto regular grids for the thermal
+/// solver.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "floorplan/block.hpp"
+
+namespace aqua {
+
+/// An immutable, validated die floorplan.
+///
+/// Invariants checked at construction:
+///  * all blocks fit inside [0,width] x [0,height];
+///  * no two blocks overlap (beyond numeric tolerance);
+///  * block names are unique;
+///  * blocks cover at least 99% of the die (remaining slivers are treated
+///    as zero-power filler during rasterization).
+class Floorplan {
+ public:
+  Floorplan(std::string name, double width_m, double height_m,
+            std::vector<Block> blocks);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double width() const { return width_; }
+  [[nodiscard]] double height() const { return height_; }
+  [[nodiscard]] double area() const { return width_ * height_; }
+  [[nodiscard]] std::span<const Block> blocks() const { return blocks_; }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+
+  /// Index of the named block, if present.
+  [[nodiscard]] std::optional<std::size_t> find(const std::string& block_name) const;
+
+  /// Index of the block containing the point, if any.
+  [[nodiscard]] std::optional<std::size_t> block_at(double x, double y) const;
+
+  /// Total area of all blocks of a kind [m^2].
+  [[nodiscard]] double area_of(UnitKind kind) const;
+
+  /// Distributes per-block values (e.g. block power in W) onto an nx x ny
+  /// cell grid by exact area overlap. Cell (ix, iy) is returned at index
+  /// iy * nx + ix. The sum over cells equals the sum of `block_values`
+  /// (up to rounding) because overlap weights partition each block.
+  [[nodiscard]] std::vector<double> rasterize(
+      std::size_t nx, std::size_t ny,
+      std::span<const double> block_values) const;
+
+ private:
+  std::string name_;
+  double width_;
+  double height_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace aqua

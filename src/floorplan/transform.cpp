@@ -1,0 +1,54 @@
+#include "floorplan/transform.hpp"
+
+namespace aqua {
+
+const char* to_string(Rotation r) {
+  switch (r) {
+    case Rotation::kNone:
+      return "0";
+    case Rotation::kCw90:
+      return "90";
+    case Rotation::k180:
+      return "180";
+    case Rotation::kCw270:
+      return "270";
+  }
+  return "?";
+}
+
+Floorplan rotated(const Floorplan& fp, Rotation r) {
+  const double w = fp.width();
+  const double h = fp.height();
+  std::vector<Block> blocks(fp.blocks().begin(), fp.blocks().end());
+  for (Block& b : blocks) {
+    const Rect s = b.rect;
+    switch (r) {
+      case Rotation::kNone:
+        break;
+      case Rotation::k180:
+        b.rect = Rect{w - s.right(), h - s.top(), s.width, s.height};
+        break;
+      case Rotation::kCw90:
+        // (x, y) -> (y, w - x - width): new die is h x w.
+        b.rect = Rect{s.y, w - s.right(), s.height, s.width};
+        break;
+      case Rotation::kCw270:
+        b.rect = Rect{h - s.top(), s.x, s.height, s.width};
+        break;
+    }
+  }
+  const bool swaps = (r == Rotation::kCw90 || r == Rotation::kCw270);
+  return Floorplan(fp.name() + "@" + to_string(r), swaps ? h : w,
+                   swaps ? w : h, std::move(blocks));
+}
+
+Floorplan mirrored_x(const Floorplan& fp) {
+  std::vector<Block> blocks(fp.blocks().begin(), fp.blocks().end());
+  for (Block& b : blocks) {
+    b.rect.x = fp.width() - b.rect.right();
+  }
+  return Floorplan(fp.name() + "@mx", fp.width(), fp.height(),
+                   std::move(blocks));
+}
+
+}  // namespace aqua

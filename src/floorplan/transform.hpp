@@ -1,0 +1,29 @@
+#pragma once
+
+/// In-plane die transforms for thermal-aware 3-D stacking (the paper's
+/// HotSpot-6.0 extension [30]: chip rotation on 3-D integration).
+
+#include "floorplan/floorplan.hpp"
+
+namespace aqua {
+
+/// In-plane orientation of a die within a stack.
+enum class Rotation {
+  kNone,    ///< as drawn
+  kCw90,    ///< 90 degrees clockwise (swaps width/height)
+  k180,     ///< the paper's "flip" for even layers
+  kCw270,   ///< 270 degrees clockwise (swaps width/height)
+};
+
+const char* to_string(Rotation r);
+
+/// Returns a new floorplan with every block mapped through the rotation.
+/// 90/270-degree rotations swap the die's width and height, which is why
+/// rectangular dies cannot be stacked with 90-degree rotation (the paper's
+/// observation in Section 4.2) — Stack3d enforces footprint equality.
+Floorplan rotated(const Floorplan& fp, Rotation r);
+
+/// Returns a new floorplan mirrored left-right (x -> width - x).
+Floorplan mirrored_x(const Floorplan& fp);
+
+}  // namespace aqua

@@ -1,0 +1,138 @@
+#pragma once
+
+/// Generic set-associative tag store with true-LRU replacement, shared by
+/// the per-core L1s and the distributed L2 banks. Data payloads are not
+/// simulated (timing-only simulator); `LineState` carries the coherence
+/// metadata.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "perf/params.hpp"
+
+namespace aqua {
+
+/// Set-associative cache of LineState keyed by line address.
+template <class LineState>
+class SetAssocCache {
+ public:
+  /// `capacity_bytes / line_bytes / assoc` sets; all powers of two are
+  /// typical but not required (sets is computed by division).
+  SetAssocCache(std::size_t capacity_bytes, std::size_t line_bytes,
+                std::size_t assoc)
+      : assoc_(assoc),
+        sets_(capacity_bytes / line_bytes / assoc) {
+    require(assoc_ > 0 && sets_ > 0, "cache must have sets and ways");
+    ways_.resize(sets_ * assoc_);
+  }
+
+  [[nodiscard]] std::size_t sets() const { return sets_; }
+  [[nodiscard]] std::size_t assoc() const { return assoc_; }
+
+  /// Looks the line up; touches LRU on hit. Returns nullptr on miss.
+  LineState* find(LineAddr line) {
+    Way* w = lookup(line);
+    if (w == nullptr) return nullptr;
+    w->lru = ++clock_;
+    return &w->state;
+  }
+
+  /// Lookup without LRU update (for snoops / diagnostics).
+  const LineState* peek(LineAddr line) const {
+    const Way* w = const_cast<SetAssocCache*>(this)->lookup(line);
+    return w == nullptr ? nullptr : &w->state;
+  }
+
+  /// A victim evicted to make room during insert().
+  struct Evicted {
+    LineAddr line;
+    LineState state;
+  };
+
+  /// Inserts (or overwrites) the line. If the set is full, the LRU way for
+  /// which `can_evict` returns true is displaced and returned; if no way is
+  /// evictable the insert is rejected (nullopt + `inserted=false`), which
+  /// the caller must handle (the blocking directory retries later).
+  std::optional<Evicted> insert(
+      LineAddr line, LineState state, bool& inserted,
+      const std::function<bool(LineAddr, const LineState&)>& can_evict) {
+    inserted = true;
+    if (Way* w = lookup(line); w != nullptr) {
+      w->state = std::move(state);
+      w->lru = ++clock_;
+      return std::nullopt;
+    }
+    Way* base = set_base(line);
+    // Free way?
+    for (std::size_t i = 0; i < assoc_; ++i) {
+      if (!base[i].valid) {
+        base[i] = Way{true, line, ++clock_, std::move(state)};
+        return std::nullopt;
+      }
+    }
+    // Evict the least recently used evictable way.
+    Way* victim = nullptr;
+    for (std::size_t i = 0; i < assoc_; ++i) {
+      if (!can_evict(base[i].line, base[i].state)) continue;
+      if (victim == nullptr || base[i].lru < victim->lru) victim = &base[i];
+    }
+    if (victim == nullptr) {
+      inserted = false;
+      return std::nullopt;
+    }
+    Evicted out{victim->line, std::move(victim->state)};
+    *victim = Way{true, line, ++clock_, std::move(state)};
+    return out;
+  }
+
+  /// Unconditional insert: evicts the plain LRU way if needed.
+  std::optional<Evicted> insert(LineAddr line, LineState state) {
+    bool inserted = false;
+    auto out = insert(line, std::move(state), inserted,
+                      [](LineAddr, const LineState&) { return true; });
+    ensure(inserted, "unconditional insert failed");
+    return out;
+  }
+
+  /// Drops the line if present.
+  void erase(LineAddr line) {
+    if (Way* w = lookup(line); w != nullptr) w->valid = false;
+  }
+
+  /// Number of valid lines (diagnostics).
+  [[nodiscard]] std::size_t occupancy() const {
+    std::size_t n = 0;
+    for (const Way& w : ways_) n += w.valid ? 1 : 0;
+    return n;
+  }
+
+ private:
+  struct Way {
+    bool valid = false;
+    LineAddr line = 0;
+    std::uint64_t lru = 0;
+    LineState state{};
+  };
+
+  Way* set_base(LineAddr line) {
+    return &ways_[(line % sets_) * assoc_];
+  }
+
+  Way* lookup(LineAddr line) {
+    Way* base = set_base(line);
+    for (std::size_t i = 0; i < assoc_; ++i) {
+      if (base[i].valid && base[i].line == line) return &base[i];
+    }
+    return nullptr;
+  }
+
+  std::size_t assoc_;
+  std::size_t sets_;
+  std::uint64_t clock_ = 0;
+  std::vector<Way> ways_;
+};
+
+}  // namespace aqua

@@ -1,0 +1,36 @@
+#include "perf/event_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+void EventQueue::schedule(Cycle when, std::function<void()> fn) {
+  require(when >= now_, "cannot schedule an event in the past");
+  heap_.push(Entry{when, seq_++, std::move(fn)});
+}
+
+void EventQueue::step() {
+  ensure(!heap_.empty(), "step on empty event queue");
+  // priority_queue::top is const; the entry must be copied out before pop.
+  Entry e{heap_.top().when, heap_.top().seq,
+          std::move(const_cast<Entry&>(heap_.top()).fn)};
+  heap_.pop();
+  now_ = e.when;
+  e.fn();
+}
+
+void EventQueue::step_cycle() {
+  ensure(!heap_.empty(), "step_cycle on empty event queue");
+  const Cycle t = heap_.top().when;
+  while (!heap_.empty() && heap_.top().when == t) step();
+}
+
+bool EventQueue::run(Cycle limit) {
+  while (!heap_.empty()) {
+    if (heap_.top().when > limit) return false;
+    step();
+  }
+  return true;
+}
+
+}  // namespace aqua

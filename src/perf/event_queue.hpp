@@ -1,0 +1,59 @@
+#pragma once
+
+/// Discrete-event core of the CMP simulator: a time-ordered heap of typed
+/// callbacks. Events at the same cycle run in schedule order (a stable
+/// sequence number breaks ties) so simulations are fully deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "perf/params.hpp"
+
+namespace aqua {
+
+/// Deterministic discrete-event queue.
+class EventQueue {
+ public:
+  /// Schedules `fn` to run at absolute cycle `when` (>= now()).
+  void schedule(Cycle when, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` cycles from now.
+  void schedule_in(Cycle delay, std::function<void()> fn) {
+    schedule(now_ + delay, std::move(fn));
+  }
+
+  [[nodiscard]] Cycle now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Cycle of the earliest pending event; only valid when !empty().
+  [[nodiscard]] Cycle next_time() const { return heap_.top().when; }
+
+  /// Runs the single earliest event (advancing now()).
+  void step();
+
+  /// Runs every event scheduled at the current next_time() cycle.
+  void step_cycle();
+
+  /// Runs events until the queue drains or `limit` cycles elapse.
+  /// Returns true if the queue drained.
+  bool run(Cycle limit = ~Cycle{0});
+
+ private:
+  struct Entry {
+    Cycle when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Entry& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  Cycle now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace aqua

@@ -1,0 +1,263 @@
+#include "perf/noc.hpp"
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+Mesh3d::Mesh3d(const CmpConfig& config, DeliverFn deliver)
+    : config_(config), deliver_(std::move(deliver)) {
+  require(config_.num_vcs == 3, "Mesh3d is wired for 3 message classes");
+  require(static_cast<bool>(deliver_), "Mesh3d needs a delivery callback");
+  routers_.resize(config_.total_tiles());
+  ni_.resize(config_.total_tiles());
+  router_active_flag_.assign(config_.total_tiles(), 0);
+  ni_backlog_flag_.assign(config_.total_tiles(), 0);
+  for (Router& r : routers_) {
+    for (auto& per_port : r.credits) {
+      per_port.fill(static_cast<std::uint8_t>(config_.vc_buffer_flits));
+    }
+  }
+}
+
+void Mesh3d::activate_router(NodeId id) {
+  if (!router_active_flag_[id]) {
+    router_active_flag_[id] = 1;
+    active_routers_.push_back(id);
+  }
+}
+
+void Mesh3d::mark_ni_backlog(NodeId id) {
+  if (!ni_backlog_flag_[id]) {
+    ni_backlog_flag_[id] = 1;
+    ni_backlog_.push_back(id);
+  }
+}
+
+Mesh3d::Port Mesh3d::opposite(Port p) {
+  switch (p) {
+    case kXPos: return kXNeg;
+    case kXNeg: return kXPos;
+    case kYPos: return kYNeg;
+    case kYNeg: return kYPos;
+    case kUp: return kDown;
+    case kDown: return kUp;
+    default: return kLocal;
+  }
+}
+
+Mesh3d::Port Mesh3d::route(NodeId at, NodeId dst) const {
+  const TileCoord a = tile_coord(config_, at);
+  const TileCoord b = tile_coord(config_, dst);
+  if (a.x != b.x) return a.x < b.x ? kXPos : kXNeg;
+  if (a.y != b.y) return a.y < b.y ? kYPos : kYNeg;
+  if (a.z != b.z) return a.z < b.z ? kUp : kDown;
+  return kLocal;
+}
+
+bool Mesh3d::neighbor(NodeId at, Port port, NodeId& out) const {
+  TileCoord c = tile_coord(config_, at);
+  switch (port) {
+    case kXPos:
+      if (c.x + 1 >= config_.mesh_x) return false;
+      ++c.x;
+      break;
+    case kXNeg:
+      if (c.x == 0) return false;
+      --c.x;
+      break;
+    case kYPos:
+      if (c.y + 1 >= config_.mesh_y) return false;
+      ++c.y;
+      break;
+    case kYNeg:
+      if (c.y == 0) return false;
+      --c.y;
+      break;
+    case kUp:
+      if (c.z + 1 >= config_.chips) return false;
+      ++c.z;
+      break;
+    case kDown:
+      if (c.z == 0) return false;
+      --c.z;
+      break;
+    default:
+      return false;
+  }
+  out = tile_id(config_, c);
+  return true;
+}
+
+void Mesh3d::inject(Cycle now, Packet packet) {
+  require(packet.src < routers_.size() && packet.dst < routers_.size(),
+          "packet endpoints out of range");
+  require(packet.vc < 3, "packet vc class out of range");
+  packet.injected = now;
+
+  if (packet.src == packet.dst) {
+    // Tile-local delivery bypasses the network after the local-port hop.
+    ++stats_.packets_delivered;
+    stats_.flits_delivered += packet.flits;
+    stats_.total_packet_latency += 1;
+    deliver_(packet);
+    return;
+  }
+
+  auto& queue = ni_[packet.src][packet.vc];
+  for (std::uint8_t i = 0; i < packet.flits; ++i) {
+    Flit f;
+    f.pkt = packet;
+    f.head = (i == 0);
+    f.tail = (i + 1 == packet.flits);
+    f.ready = now;  // refined when the flit enters the router
+    queue.push_back(f);
+    ++flits_in_network_;
+  }
+  drain_ni(now, packet.src);
+}
+
+void Mesh3d::drain_ni(Cycle now, NodeId node) {
+  Router& r = routers_[node];
+  bool backlog = false;
+  for (std::uint8_t vc = 0; vc < 3; ++vc) {
+    auto& queue = ni_[node][vc];
+    InputVc& in = r.in[kLocal][vc];
+    while (!queue.empty() && in.buffer.size() < config_.vc_buffer_flits) {
+      Flit f = queue.front();
+      queue.pop_front();
+      // The router pipeline's RC+VSA stages precede switch traversal.
+      f.ready = now + (config_.router_pipeline - 1);
+      in.buffer.push_back(f);
+      ++r.occupancy;
+    }
+    if (!queue.empty()) backlog = true;
+  }
+  if (r.occupancy > 0) activate_router(node);
+  if (backlog) mark_ni_backlog(node);
+}
+
+void Mesh3d::tick(Cycle now) {
+  require(now >= last_tick_, "NoC ticks must move forward in time");
+  last_tick_ = now;
+
+  // Visit only routers known to hold flits. Routers that receive flits
+  // during this pass get activated for the next tick (their flits are not
+  // ready before then anyway).
+  router_work_.clear();
+  router_work_.swap(active_routers_);
+  for (NodeId id : router_work_) {
+    if (routers_[id].occupancy > 0) tick_router(now, id);
+  }
+  for (NodeId id : router_work_) {
+    if (routers_[id].occupancy > 0) {
+      active_routers_.push_back(id);  // flag already set
+    } else {
+      router_active_flag_[id] = 0;
+    }
+  }
+
+  // NI queues with backlog drain into any buffer slots this cycle freed.
+  if (!ni_backlog_.empty()) {
+    std::vector<NodeId> backlog;
+    backlog.swap(ni_backlog_);
+    for (NodeId id : backlog) {
+      ni_backlog_flag_[id] = 0;
+      drain_ni(now, id);  // re-marks itself if still backed up
+    }
+  }
+}
+
+void Mesh3d::tick_router(Cycle now, NodeId id) {
+  Router& r = routers_[id];
+  bool input_used[kPortCount] = {};
+  bool output_used[kPortCount] = {};
+
+  // One switch pass: every input VC (in rotating priority order) tries to
+  // move its head-of-buffer flit; constraints are one flit per input port
+  // and one per output port per cycle, wormhole output ownership, and
+  // downstream credit.
+  constexpr std::uint8_t kIvcCount = kPortCount * 3;
+  for (std::uint8_t k = 0; k < kIvcCount; ++k) {
+    const std::uint8_t idx = static_cast<std::uint8_t>((r.rr + k) % kIvcCount);
+    const auto port = static_cast<Port>(idx / 3);
+    const std::uint8_t vc = idx % 3;
+    InputVc& in = r.in[port][vc];
+    if (in.buffer.empty() || input_used[port]) continue;
+
+    Flit& f = in.buffer.front();
+    if (f.ready > now) continue;
+
+    Port out;
+    if (in.holds_output) {
+      out = static_cast<Port>(in.out_port);
+    } else if (f.head) {
+      out = route(id, f.pkt.dst);
+    } else {
+      continue;  // body flit whose head has not been switched yet
+    }
+    if (output_used[out]) continue;
+
+    const std::uint8_t enc = static_cast<std::uint8_t>(idx + 1);
+    if (f.head && !in.holds_output) {
+      if (r.out_owner[out][vc] != 0) continue;  // output VC busy (wormhole)
+    }
+
+    NodeId next = 0;
+    if (out != kLocal) {
+      ensure(neighbor(id, out, next), "route() pointed off the mesh");
+      if (r.credits[out][vc] == 0) continue;  // no downstream buffer space
+      Router& nr = routers_[next];
+      if (nr.in[opposite(out)][vc].buffer.size() >= config_.vc_buffer_flits) {
+        continue;  // safety net; credits should already prevent this
+      }
+    }
+
+    // Traverse.
+    Flit moved = f;
+    in.buffer.pop_front();
+    --r.occupancy;
+    input_used[port] = true;
+    output_used[out] = true;
+
+    if (moved.head) {
+      in.holds_output = true;
+      in.out_port = static_cast<std::uint8_t>(out);
+      r.out_owner[out][vc] = enc;
+    }
+    if (moved.tail) {
+      in.holds_output = false;
+      r.out_owner[out][vc] = 0;
+    }
+
+    // Freeing an input slot returns a credit upstream (1-cycle turnaround
+    // idealized to immediate).
+    if (port != kLocal) {
+      NodeId up = 0;
+      ensure(neighbor(id, port, up), "input port faces the mesh edge");
+      Router& ur = routers_[up];
+      ++ur.credits[opposite(port)][vc];
+    }
+
+    if (out == kLocal) {
+      --flits_in_network_;
+      ++stats_.flits_delivered;
+      if (moved.tail) {
+        ++stats_.packets_delivered;
+        stats_.total_packet_latency += (now + 1) - moved.pkt.injected;
+        deliver_(moved.pkt);
+      }
+    } else {
+      Router& nr = routers_[next];
+      --r.credits[out][vc];
+      moved.ready = now + config_.link_latency + (config_.router_pipeline - 1);
+      if (moved.head) ++stats_.total_hops;
+      nr.in[opposite(out)][vc].buffer.push_back(moved);
+      ++nr.occupancy;
+      activate_router(next);
+    }
+  }
+  ++r.rr;
+  if (r.rr >= kIvcCount) r.rr = 0;
+}
+
+}  // namespace aqua

@@ -1,0 +1,148 @@
+#pragma once
+
+/// Cycle-level 3-D mesh network-on-chip.
+///
+/// Implements the Table 1 NoC: per chip a 4x4 mesh of wormhole routers with
+/// a three-stage [RC][VSA][ST/LT] pipeline, three virtual channels (one per
+/// message class), 5-flit VC buffers with credit flow control, and
+/// dimension-order XYZ routing; corresponding tiles of adjacent chips are
+/// joined by vertical links (TSV / ThruChip), giving each router up to
+/// seven ports (local, +-x, +-y, up, down).
+///
+/// The mesh is ticked one cycle at a time, but only routers holding flits
+/// do work, so the host simulator can skip quiet cycles entirely (see
+/// `active()`).
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "perf/params.hpp"
+#include "perf/protocol.hpp"
+
+namespace aqua {
+
+/// A packet in flight: routing header + coherence message payload.
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint8_t vc = 0;      ///< message class == virtual channel
+  std::uint8_t flits = 1;   ///< 1 control / 5 data (Table 1)
+  Cycle injected = 0;       ///< stats: injection cycle
+  Message msg{};            ///< opaque to the network
+};
+
+/// Aggregate network statistics.
+struct NocStats {
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t flits_delivered = 0;
+  std::uint64_t total_packet_latency = 0;  ///< sum of (deliver - inject)
+  std::uint64_t total_hops = 0;
+
+  [[nodiscard]] double average_latency() const {
+    return packets_delivered == 0
+               ? 0.0
+               : static_cast<double>(total_packet_latency) /
+                     static_cast<double>(packets_delivered);
+  }
+  [[nodiscard]] double average_hops() const {
+    return packets_delivered == 0
+               ? 0.0
+               : static_cast<double>(total_hops) /
+                     static_cast<double>(packets_delivered);
+  }
+};
+
+/// The 3-D wormhole mesh.
+class Mesh3d {
+ public:
+  using DeliverFn = std::function<void(const Packet&)>;
+
+  Mesh3d(const CmpConfig& config, DeliverFn deliver);
+
+  /// Queues a packet at the source network interface at cycle `now`.
+  void inject(Cycle now, Packet packet);
+
+  /// True while any flit is buffered or queued anywhere in the network.
+  [[nodiscard]] bool active() const { return flits_in_network_ > 0; }
+
+  /// Advances the network one cycle. `now` must increase monotonically
+  /// across calls (gaps are fine — quiet cycles need no tick).
+  void tick(Cycle now);
+
+  [[nodiscard]] const NocStats& stats() const { return stats_; }
+  [[nodiscard]] const CmpConfig& config() const { return config_; }
+
+  /// Ports of a router. kLocal is the NI/ejection port.
+  enum Port : std::uint8_t {
+    kLocal = 0,
+    kXPos,
+    kXNeg,
+    kYPos,
+    kYNeg,
+    kUp,
+    kDown,
+    kPortCount
+  };
+
+  /// Dimension-order (X, then Y, then Z) output port toward `dst` from
+  /// router `at`; kLocal when at == dst. Exposed for tests.
+  [[nodiscard]] Port route(NodeId at, NodeId dst) const;
+
+  /// Neighbor of router `at` through `port`; returns false if the port
+  /// faces the mesh edge. Exposed for tests.
+  [[nodiscard]] bool neighbor(NodeId at, Port port, NodeId& out) const;
+
+ private:
+  struct Flit {
+    Packet pkt;       // full copy in the head flit; body flits carry routing
+    bool head = false;
+    bool tail = false;
+    Cycle ready = 0;  // earliest cycle this flit may traverse the switch
+  };
+
+  struct InputVc {
+    std::deque<Flit> buffer;
+    bool holds_output = false;
+    std::uint8_t out_port = 0;
+  };
+
+  struct Router {
+    // in[port][vc]
+    std::array<std::array<InputVc, 3>, kPortCount> in;
+    // Which input (encoded port*3+vc+1; 0 = free) owns each output VC.
+    std::array<std::array<std::uint8_t, 3>, kPortCount> out_owner{};
+    // Credits: free downstream buffer slots per output VC.
+    std::array<std::array<std::uint8_t, 3>, kPortCount> credits{};
+    std::uint8_t rr = 0;      // round-robin arbitration offset
+    std::uint32_t occupancy = 0;  // buffered flits (activity filter)
+  };
+
+  static Port opposite(Port p);
+
+  void drain_ni(Cycle now, NodeId node);
+  void tick_router(Cycle now, NodeId id);
+  void activate_router(NodeId id);
+  void mark_ni_backlog(NodeId id);
+
+  CmpConfig config_;
+  DeliverFn deliver_;
+  std::vector<Router> routers_;
+  // Per-node, per-class injection queues (unbounded NI).
+  std::vector<std::array<std::deque<Flit>, 3>> ni_;
+  std::uint64_t flits_in_network_ = 0;
+  Cycle last_tick_ = 0;
+  NocStats stats_;
+
+  // Activity tracking: only routers holding flits and NIs with queued
+  // backlog are visited per tick (the mesh is usually mostly quiet).
+  std::vector<NodeId> active_routers_;
+  std::vector<NodeId> router_work_;  // scratch, reused across ticks
+  std::vector<std::uint8_t> router_active_flag_;
+  std::vector<NodeId> ni_backlog_;
+  std::vector<std::uint8_t> ni_backlog_flag_;
+};
+
+}  // namespace aqua

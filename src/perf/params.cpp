@@ -1,0 +1,46 @@
+#include "perf/params.hpp"
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+TileCoord tile_coord(const CmpConfig& cfg, NodeId id) {
+  const auto per_chip = static_cast<std::uint32_t>(cfg.tiles_per_chip());
+  TileCoord c;
+  c.z = id / per_chip;
+  const std::uint32_t local = id % per_chip;
+  c.y = local / static_cast<std::uint32_t>(cfg.mesh_x);
+  c.x = local % static_cast<std::uint32_t>(cfg.mesh_x);
+  return c;
+}
+
+NodeId tile_id(const CmpConfig& cfg, TileCoord c) {
+  return static_cast<NodeId>(c.z * cfg.tiles_per_chip() +
+                             c.y * cfg.mesh_x + c.x);
+}
+
+NodeId core_tile(const CmpConfig& cfg, std::size_t chip, std::size_t core) {
+  require(core < cfg.cores_per_chip && chip < cfg.chips,
+          "core/chip index out of range");
+  // Cores fill the bottom row left to right.
+  return tile_id(cfg, TileCoord{static_cast<std::uint32_t>(core), 0,
+                                static_cast<std::uint32_t>(chip)});
+}
+
+NodeId l2_tile(const CmpConfig& cfg, std::size_t chip, std::size_t bank) {
+  require(bank < cfg.l2_banks_per_chip && chip < cfg.chips,
+          "bank/chip index out of range");
+  const std::uint32_t y = 1 + static_cast<std::uint32_t>(bank / cfg.mesh_x);
+  const std::uint32_t x = static_cast<std::uint32_t>(bank % cfg.mesh_x);
+  return tile_id(cfg, TileCoord{x, y, static_cast<std::uint32_t>(chip)});
+}
+
+NodeId home_tile(const CmpConfig& cfg, LineAddr line) {
+  const std::size_t bank_global =
+      static_cast<std::size_t>(line % cfg.total_l2_banks());
+  const std::size_t chip = bank_global / cfg.l2_banks_per_chip;
+  const std::size_t bank = bank_global % cfg.l2_banks_per_chip;
+  return l2_tile(cfg, chip, bank);
+}
+
+}  // namespace aqua

@@ -1,0 +1,88 @@
+#include "perf/protocol.hpp"
+
+namespace aqua {
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kGetS: return "GetS";
+    case MsgType::kGetM: return "GetM";
+    case MsgType::kPutS: return "PutS";
+    case MsgType::kPutM: return "PutM";
+    case MsgType::kFwdGetS: return "FwdGetS";
+    case MsgType::kFwdGetM: return "FwdGetM";
+    case MsgType::kInv: return "Inv";
+    case MsgType::kWBAck: return "WBAck";
+    case MsgType::kData: return "Data";
+    case MsgType::kDataE: return "DataE";
+    case MsgType::kDataM: return "DataM";
+    case MsgType::kInvAck: return "InvAck";
+    case MsgType::kAckCount: return "AckCount";
+    case MsgType::kDowngradeAck: return "DowngradeAck";
+    case MsgType::kUnblock: return "Unblock";
+  }
+  return "?";
+}
+
+std::uint8_t vc_class_of(MsgType t) {
+  switch (t) {
+    case MsgType::kGetS:
+    case MsgType::kGetM:
+    case MsgType::kPutS:
+    case MsgType::kPutM:
+      return 0;
+    case MsgType::kFwdGetS:
+    case MsgType::kFwdGetM:
+    case MsgType::kInv:
+    case MsgType::kWBAck:
+      return 1;
+    case MsgType::kData:
+    case MsgType::kDataE:
+    case MsgType::kDataM:
+    case MsgType::kInvAck:
+    case MsgType::kAckCount:
+    case MsgType::kDowngradeAck:
+    case MsgType::kUnblock:
+      return 2;
+  }
+  return 0;
+}
+
+bool carries_data(MsgType t) {
+  switch (t) {
+    case MsgType::kPutM:
+    case MsgType::kData:
+    case MsgType::kDataE:
+    case MsgType::kDataM:
+      return true;
+    case MsgType::kDowngradeAck:
+      // Carries data only when dirty, but packets are sized by type; use
+      // the conservative data size (an O owner's downgrade ships the line).
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* to_string(L1State s) {
+  switch (s) {
+    case L1State::kI: return "I";
+    case L1State::kS: return "S";
+    case L1State::kE: return "E";
+    case L1State::kO: return "O";
+    case L1State::kM: return "M";
+  }
+  return "?";
+}
+
+const char* to_string(DirState s) {
+  switch (s) {
+    case DirState::kUncached: return "Uncached";
+    case DirState::kShared: return "Shared";
+    case DirState::kExclusive: return "Exclusive";
+    case DirState::kOwned: return "Owned";
+    case DirState::kModified: return "Modified";
+  }
+  return "?";
+}
+
+}  // namespace aqua

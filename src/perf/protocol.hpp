@@ -1,0 +1,90 @@
+#pragma once
+
+/// Coherence message vocabulary of the MOESI directory protocol (Table 1:
+/// "MOESI directory", three message classes mapped one-to-one onto the
+/// three virtual channels).
+///
+/// The directory is *blocking*: a home bank admits one transaction per line
+/// at a time and queues the rest, which keeps the protocol race-free
+/// without transient-state explosion. Requestors finish a transaction with
+/// an Unblock to the home.
+
+#include <cstdint>
+
+#include "perf/params.hpp"
+
+namespace aqua {
+
+/// Protocol message types.
+enum class MsgType : std::uint8_t {
+  // Requests (class 0): L1 -> home.
+  kGetS,          ///< read miss
+  kGetM,          ///< write miss / upgrade
+  kPutS,          ///< clean sharer eviction notice
+  kPutM,          ///< dirty (M/O) or exclusive (E) eviction + data
+
+  // Forwards (class 1): home -> L1.
+  kFwdGetS,       ///< forward read to the current owner
+  kFwdGetM,       ///< forward write to the current owner
+  kInv,           ///< invalidate a sharer
+  kWBAck,         ///< writeback accepted
+
+  // Responses (class 2): data and completion.
+  kData,          ///< data, shared grant
+  kDataE,         ///< data, exclusive grant (no other sharer)
+  kDataM,         ///< data, modified grant (after invalidations)
+  kInvAck,        ///< sharer invalidated (sent to the requestor)
+  kAckCount,      ///< home tells the requestor how many InvAcks to expect
+  kDowngradeAck,  ///< owner tells home it serviced a FwdGetS (data if dirty)
+  kUnblock,       ///< requestor completes the transaction at the home
+};
+
+const char* to_string(MsgType t);
+
+/// Virtual-channel / message class of each type (0 req, 1 fwd, 2 resp).
+std::uint8_t vc_class_of(MsgType t);
+
+/// True for message types that carry a full cache line (5-flit packets).
+bool carries_data(MsgType t);
+
+/// Where a data response was ultimately served from (CPI-stack
+/// attribution at the requestor).
+enum class DataSource : std::uint8_t {
+  kNone,
+  kL2,       ///< home served from the L2 data array
+  kDram,     ///< home fetched from memory
+  kForward,  ///< another core's cache forwarded the line
+};
+
+/// One coherence message. `requestor` names the L1 the transaction is on
+/// behalf of (it differs from `sender` on forwarded paths).
+struct Message {
+  MsgType type = MsgType::kGetS;
+  LineAddr line = 0;
+  NodeId sender = 0;
+  NodeId requestor = 0;
+  DataSource source = DataSource::kNone;
+  /// PutM/DowngradeAck: payload is dirty. For kAckCount it is repurposed
+  /// as "a DataM forwarded from the previous owner follows" so a sharer
+  /// that upgrades does not complete before the in-flight data lands.
+  bool dirty = false;
+  std::int32_t acks = 0;  ///< kAckCount: invalidations the requestor awaits
+};
+
+/// MOESI stable states as seen by an L1 cache.
+enum class L1State : std::uint8_t { kI, kS, kE, kO, kM };
+
+const char* to_string(L1State s);
+
+/// Directory-side summary state of a line at its home bank.
+enum class DirState : std::uint8_t {
+  kUncached,   ///< no L1 holds the line
+  kShared,     ///< one or more clean sharers, L2 data valid
+  kExclusive,  ///< one L1 in E, clean
+  kOwned,      ///< one L1 in O (dirty) plus possible sharers
+  kModified,   ///< one L1 in M (dirty), sole copy
+};
+
+const char* to_string(DirState s);
+
+}  // namespace aqua

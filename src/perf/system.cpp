@@ -1,0 +1,769 @@
+#include "perf/system.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+void CmpSystem::init_topology() {
+  require(config_.total_cores() <= 64,
+          "sharer bitmask supports at most 64 cores");
+  require(config_.cores_per_chip <= config_.mesh_x,
+          "cores must fit the bottom mesh row");
+  require(config_.l2_banks_per_chip <= config_.mesh_x * (config_.mesh_y - 1),
+          "L2 banks must fit the remaining tile rows");
+
+  const double f_ghz = frequency_.gigahertz();
+  require(f_ghz > 0.0, "frequency must be positive");
+  dram_latency_cycles_ =
+      static_cast<Cycle>(std::ceil(config_.memory_latency_ns * f_ghz));
+  dram_service_cycles_ = std::max<Cycle>(
+      1, static_cast<Cycle>(std::ceil(config_.memory_service_ns * f_ghz)));
+
+  noc_ = std::make_unique<Mesh3d>(
+      config_, [this](const Packet& p) { deliver(p); });
+
+  cores_.resize(config_.total_cores());
+  for (std::size_t chip = 0; chip < config_.chips; ++chip) {
+    for (std::size_t c = 0; c < config_.cores_per_chip; ++c) {
+      const std::size_t idx = chip * config_.cores_per_chip + c;
+      Core& core = cores_[idx];
+      core.index = idx;
+      core.tile = core_tile(config_, chip, c);
+      core.l1 = std::make_unique<SetAssocCache<L1Line>>(
+          config_.l1_bytes, config_.line_bytes, config_.l1_assoc);
+    }
+  }
+
+  banks_.resize(config_.total_l2_banks());
+  for (std::size_t chip = 0; chip < config_.chips; ++chip) {
+    for (std::size_t b = 0; b < config_.l2_banks_per_chip; ++b) {
+      const std::size_t idx = chip * config_.l2_banks_per_chip + b;
+      Bank& bank = banks_[idx];
+      bank.tile = l2_tile(config_, chip, b);
+      bank.chip = chip;
+      bank.l2 = std::make_unique<SetAssocCache<L2Line>>(
+          config_.l2_bank_bytes, config_.line_bytes, config_.l2_assoc);
+      bank_of_tile_[bank.tile] = idx;
+    }
+  }
+
+  memory_.resize(config_.chips);
+}
+
+CmpSystem::CmpSystem(const CmpConfig& config, const WorkloadProfile& profile,
+                     Hertz frequency, std::uint64_t seed)
+    : config_(config), profile_(profile), frequency_(frequency) {
+  init_topology();
+  for (Core& core : cores_) {
+    core.trace = std::make_unique<TraceGenerator>(
+        profile_, core.index, config_.total_cores(), seed);
+  }
+}
+
+CmpSystem::CmpSystem(const CmpConfig& config, const TraceBundle& bundle,
+                     Hertz frequency)
+    : config_(config), frequency_(frequency), replay_bundle_(bundle) {
+  init_topology();
+  require(replay_bundle_.threads.size() == cores_.size(),
+          "trace bundle must carry exactly one thread per core");
+  // Mismatched barrier counts would deadlock the simulated barrier.
+  std::size_t barriers0 = 0;
+  for (std::size_t t = 0; t < replay_bundle_.threads.size(); ++t) {
+    std::size_t barriers = 0;
+    for (const RecordedTrace::Op& op : replay_bundle_.threads[t].ops()) {
+      barriers += op.kind == TraceOp::Kind::kBarrier;
+    }
+    if (t == 0) {
+      barriers0 = barriers;
+    } else {
+      require(barriers == barriers0,
+              "trace threads disagree on barrier count");
+    }
+    cores_[t].trace =
+        std::make_unique<TraceReplayer>(replay_bundle_.threads[t]);
+  }
+}
+
+std::size_t CmpSystem::core_index_of(NodeId tile) const {
+  const TileCoord c = tile_coord(config_, tile);
+  ensure(c.y == 0 && c.x < config_.cores_per_chip, "tile is not a core tile");
+  return c.z * config_.cores_per_chip + c.x;
+}
+
+NodeId CmpSystem::core_tile_of(std::size_t core_index) const {
+  return cores_[core_index].tile;
+}
+
+CmpSystem::Core& CmpSystem::core_at(NodeId tile) {
+  return cores_[core_index_of(tile)];
+}
+
+void CmpSystem::send(MsgType type, LineAddr line, NodeId from, NodeId to,
+                     NodeId requestor, bool dirty, std::int32_t acks,
+                     DataSource source) {
+  Packet p;
+  p.src = from;
+  p.dst = to;
+  p.vc = vc_class_of(type);
+  p.flits = static_cast<std::uint8_t>(carries_data(type)
+                                          ? config_.data_packet_flits
+                                          : config_.control_packet_flits);
+  p.msg = Message{type, line, from, requestor, source, dirty, acks};
+  noc_->inject(events_.now(), p);
+  if (!noc_pumping_ && noc_->active()) {
+    noc_pumping_ = true;
+    events_.schedule_in(1, [this] { pump_noc(); });
+  }
+}
+
+void CmpSystem::pump_noc() {
+  noc_->tick(events_.now());
+  if (noc_->active()) {
+    events_.schedule_in(1, [this] { pump_noc(); });
+  } else {
+    noc_pumping_ = false;
+  }
+}
+
+void CmpSystem::deliver(const Packet& packet) {
+  const Message msg = packet.msg;
+  const auto bank_it = bank_of_tile_.find(packet.dst);
+  if (bank_it != bank_of_tile_.end()) {
+    Bank& bank = banks_[bank_it->second];
+    // Home handling begins after the bank's tag/directory access.
+    events_.schedule_in(config_.l2_latency,
+                        [this, &bank, msg] { handle_home_message(bank, msg); });
+  } else {
+    Core& core = core_at(packet.dst);
+    events_.schedule_in(config_.l1_latency,
+                        [this, &core, msg] { handle_core_message(core, msg); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Core side
+// ---------------------------------------------------------------------------
+
+void CmpSystem::advance_core(Core& core) {
+  if (core.finished) return;
+  ensure(!core.miss_active, "core advanced with a miss outstanding");
+
+  const TraceOp op = core.trace->next();
+  switch (op.kind) {
+    case TraceOp::Kind::kDone:
+      core.finished = true;
+      ++finished_cores_;
+      completion_cycle_ = std::max(completion_cycle_, events_.now());
+      return;
+    case TraceOp::Kind::kBarrier:
+      arrive_barrier(core);
+      return;
+    case TraceOp::Kind::kMemory:
+      events_.schedule_in(
+          op.compute_cycles + config_.l1_latency,
+          [this, &core, op] { execute_access(core, op.is_store, op.line); });
+      return;
+  }
+}
+
+void CmpSystem::execute_access(Core& core, bool is_store, LineAddr line) {
+  ++stats_.mem_ops;
+  L1Line* l = core.l1->find(line);
+  if (l != nullptr) {
+    if (!is_store || l->state == L1State::kM) {
+      ++stats_.l1_hits;
+      advance_core(core);
+      return;
+    }
+    if (l->state == L1State::kE) {
+      // MOESI silent upgrade: E -> M without a message.
+      l->state = L1State::kM;
+      ++stats_.l1_hits;
+      advance_core(core);
+      return;
+    }
+    // Store to S or O: upgrade miss (data already held).
+    ++stats_.l1_misses;
+    start_miss(core, line, /*is_store=*/true, /*had_s=*/true);
+    return;
+  }
+  ++stats_.l1_misses;
+  start_miss(core, line, is_store, /*had_s=*/false);
+}
+
+void CmpSystem::start_miss(Core& core, LineAddr line, bool is_store,
+                           bool had_s) {
+  core.miss_active = true;
+  core.miss_start = events_.now();
+  core.miss_source = DataSource::kNone;
+  core.miss_is_store = is_store;
+  core.miss_had_s = had_s;
+  core.miss_line = line;
+  core.data_received = false;
+  // Loads never wait on invalidation acks; stores learn their count from
+  // the home's Data/AckCount message (-1 = not yet known).
+  core.acks_expected = is_store ? -1 : 0;
+  core.acks_received = 0;
+  send(is_store ? MsgType::kGetM : MsgType::kGetS, line, core.tile,
+       home_tile(config_, line), core.tile);
+}
+
+void CmpSystem::maybe_complete_miss(Core& core) {
+  if (!core.miss_active || !core.data_received || core.acks_expected < 0 ||
+      core.acks_received < core.acks_expected) {
+    return;
+  }
+  const LineAddr line = core.miss_line;
+  const Cycle stall = events_.now() - core.miss_start;
+  switch (core.miss_source) {
+    case DataSource::kL2:
+      stats_.stall_l2_cycles += stall;
+      break;
+    case DataSource::kDram:
+      stats_.stall_dram_cycles += stall;
+      break;
+    case DataSource::kForward:
+      stats_.stall_forward_cycles += stall;
+      break;
+    case DataSource::kNone:
+      stats_.stall_upgrade_cycles += stall;  // ack-only upgrade
+      break;
+  }
+  L1State new_state;
+  if (core.miss_is_store) {
+    new_state = L1State::kM;
+  } else {
+    new_state =
+        core.data_kind == MsgType::kDataE ? L1State::kE : L1State::kS;
+  }
+  install_line(core, line, new_state);
+  core.miss_active = false;
+  send(MsgType::kUnblock, line, core.tile, home_tile(config_, line),
+       core.tile);
+  events_.schedule_in(1, [this, &core] { advance_core(core); });
+}
+
+void CmpSystem::install_line(Core& core, LineAddr line, L1State state) {
+  if (L1Line* l = core.l1->find(line); l != nullptr) {
+    l->state = state;  // upgrade in place
+    return;
+  }
+  bool inserted = false;
+  auto evicted = core.l1->insert(
+      line, L1Line{state}, inserted,
+      [](LineAddr, const L1Line&) { return true; });
+  ensure(inserted, "L1 insert must always succeed");
+  if (!evicted) return;
+
+  const LineAddr victim = evicted->line;
+  switch (evicted->state.state) {
+    case L1State::kS:
+      send(MsgType::kPutS, victim, core.tile, home_tile(config_, victim),
+           core.tile);
+      break;
+    case L1State::kE:
+    case L1State::kM:
+    case L1State::kO: {
+      const bool dirty = evicted->state.state != L1State::kE;
+      // Keep the line in the writeback buffer until the home acknowledges;
+      // forwarded requests meanwhile are served from here.
+      WbEntry& wb = core.writeback_buffer[victim];
+      wb.dirty = dirty;
+      ++wb.pending_acks;
+      ++stats_.writebacks;
+      send(MsgType::kPutM, victim, core.tile, home_tile(config_, victim),
+           core.tile, dirty);
+      break;
+    }
+    case L1State::kI:
+      break;
+  }
+}
+
+void CmpSystem::handle_core_message(Core& core, const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kFwdGetS: {
+      L1Line* l = core.l1->find(msg.line);
+      if (l != nullptr) {
+        bool dirty = false;
+        switch (l->state) {
+          case L1State::kM:
+          case L1State::kO:
+            l->state = L1State::kO;
+            dirty = true;
+            break;
+          case L1State::kE:
+            l->state = L1State::kS;
+            dirty = false;
+            break;
+          default:
+            ensure(false, "FwdGetS to a non-owner L1 state");
+        }
+        send(MsgType::kData, msg.line, core.tile, msg.requestor,
+             msg.requestor, false, -1, DataSource::kForward);
+        send(MsgType::kDowngradeAck, msg.line, core.tile,
+             home_tile(config_, msg.line), msg.requestor, dirty);
+      } else {
+        const auto wb = core.writeback_buffer.find(msg.line);
+        ensure(wb != core.writeback_buffer.end(),
+               "FwdGetS owner holds the line in neither L1 nor WB buffer");
+        send(MsgType::kData, msg.line, core.tile, msg.requestor,
+             msg.requestor, false, -1, DataSource::kForward);
+        send(MsgType::kDowngradeAck, msg.line, core.tile,
+             home_tile(config_, msg.line), msg.requestor, wb->second.dirty);
+      }
+      return;
+    }
+
+    case MsgType::kFwdGetM: {
+      L1Line* l = core.l1->find(msg.line);
+      if (l == nullptr) {
+        ensure(core.writeback_buffer.contains(msg.line),
+               "FwdGetM owner holds the line in neither L1 nor WB buffer");
+      } else {
+        core.l1->erase(msg.line);
+      }
+      send(MsgType::kDataM, msg.line, core.tile, msg.requestor, msg.requestor,
+           false, -1, DataSource::kForward);
+      return;
+    }
+
+    case MsgType::kInv: {
+      core.l1->erase(msg.line);
+      ++stats_.invalidations;
+      // If this core is mid-upgrade on the same line, its S data just died:
+      // the transaction must now wait for real data.
+      if (core.miss_active && core.miss_line == msg.line && core.miss_had_s) {
+        core.miss_had_s = false;
+      }
+      send(MsgType::kInvAck, msg.line, core.tile, msg.requestor,
+           msg.requestor);
+      return;
+    }
+
+    case MsgType::kData:
+    case MsgType::kDataE:
+    case MsgType::kDataM: {
+      ensure(core.miss_active && core.miss_line == msg.line,
+             "data response without a matching miss");
+      core.data_received = true;
+      core.data_kind = msg.type;
+      if (msg.source != DataSource::kNone) core.miss_source = msg.source;
+      if (msg.acks >= 0) core.acks_expected = msg.acks;
+      maybe_complete_miss(core);
+      return;
+    }
+
+    case MsgType::kAckCount: {
+      ensure(core.miss_active && core.miss_line == msg.line,
+             "AckCount without a matching miss");
+      core.acks_expected = msg.acks;
+      // msg.dirty == "forwarded data follows": even a sharer that already
+      // holds the S data must then wait for the owner's DataM, or the
+      // in-flight data would land after the miss retired.
+      if (core.miss_had_s && !msg.dirty) core.data_received = true;
+      maybe_complete_miss(core);
+      return;
+    }
+
+    case MsgType::kInvAck: {
+      ++core.acks_received;
+      maybe_complete_miss(core);
+      return;
+    }
+
+    case MsgType::kWBAck: {
+      const auto it = core.writeback_buffer.find(msg.line);
+      if (it != core.writeback_buffer.end() &&
+          --it->second.pending_acks <= 0) {
+        core.writeback_buffer.erase(it);
+      }
+      return;
+    }
+
+    default:
+      ensure(false, "unexpected message type at an L1");
+  }
+}
+
+void CmpSystem::arrive_barrier(Core& core) {
+  core.at_barrier = true;
+  core.barrier_arrive = events_.now();
+  ++barrier_.waiting;
+  if (barrier_.waiting < cores_.size()) return;
+
+  // Last arrival releases everyone.
+  ++stats_.barriers;
+  ++barrier_.generation;
+  barrier_.waiting = 0;
+  for (Core& c : cores_) {
+    if (!c.at_barrier) continue;
+    c.at_barrier = false;
+    stats_.barrier_wait_cycles += events_.now() - c.barrier_arrive;
+    events_.schedule_in(1, [this, &c] { advance_core(c); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Home / directory side
+// ---------------------------------------------------------------------------
+
+void CmpSystem::handle_home_message(Bank& bank, const Message& msg) {
+  DirEntry& e = bank.directory[msg.line];
+  switch (msg.type) {
+    case MsgType::kGetS:
+    case MsgType::kGetM:
+    case MsgType::kPutS:
+    case MsgType::kPutM:
+      // Queue behind any earlier waiters even when the line is idle (a
+      // pop from the pending queue may be in flight): FIFO per line.
+      if (e.busy || !e.pending.empty()) {
+        e.pending.push_back(msg);
+        pump_pending(bank, msg.line);
+        return;
+      }
+      process_request(bank, msg);
+      return;
+
+    case MsgType::kDowngradeAck: {
+      ensure(e.busy && e.awaiting_downgrade,
+             "DowngradeAck outside a forward transaction");
+      const std::size_t req = core_index_of(msg.requestor);
+      if (msg.dirty) {
+        e.state = DirState::kOwned;
+        e.sharers |= (std::uint64_t{1} << req);
+      } else {
+        e.state = DirState::kShared;
+        e.sharers |= (std::uint64_t{1} << req);
+        e.sharers |= (std::uint64_t{1} << e.owner);
+      }
+      e.downgrade_received = true;
+      if (e.unblock_received) finish_transaction(bank, msg.line);
+      return;
+    }
+
+    case MsgType::kUnblock:
+      if (e.awaiting_downgrade && !e.downgrade_received) {
+        e.unblock_received = true;  // wait for the owner's DowngradeAck
+        return;
+      }
+      finish_transaction(bank, msg.line);
+      return;
+
+    default:
+      ensure(false, "unexpected message type at a home bank");
+  }
+}
+
+void CmpSystem::process_request(Bank& bank, const Message& msg) {
+  DirEntry& e = bank.directory[msg.line];
+  const LineAddr line = msg.line;
+
+  switch (msg.type) {
+    case MsgType::kPutS: {
+      const std::size_t s = core_index_of(msg.sender);
+      e.sharers &= ~(std::uint64_t{1} << s);
+      if (e.state == DirState::kShared && e.sharers == 0) {
+        e.state = DirState::kUncached;
+      }
+      return;
+    }
+
+    case MsgType::kPutM: {
+      const std::size_t s = core_index_of(msg.sender);
+      const bool is_owner =
+          (e.state == DirState::kExclusive || e.state == DirState::kModified ||
+           e.state == DirState::kOwned) &&
+          e.owner == s;
+      if (is_owner) {
+        // Accept the writeback into the L2 data array.
+        bool inserted = false;
+        auto evicted = bank.l2->insert(
+            line, L2Line{msg.dirty}, inserted,
+            [&bank](LineAddr l, const L2Line&) {
+              const auto it = bank.directory.find(l);
+              return it == bank.directory.end() ||
+                     (!it->second.busy &&
+                      it->second.state == DirState::kUncached);
+            });
+        if (!inserted) ++stats_.l2_overflow_inserts;
+        if (evicted) {
+          const auto it = bank.directory.find(evicted->line);
+          if (it != bank.directory.end()) it->second.l2_valid = false;
+        }
+        e.l2_valid = true;
+        if (e.state == DirState::kOwned && e.sharers != 0) {
+          e.state = DirState::kShared;
+        } else {
+          e.state = DirState::kUncached;
+          e.sharers = 0;
+        }
+      }
+      // Stale PutM (ownership already moved on): data dropped.
+      send(MsgType::kWBAck, line, bank.tile, msg.sender, msg.sender);
+      return;
+    }
+
+    case MsgType::kGetS: {
+      e.busy = true;
+      const std::size_t r = core_index_of(msg.requestor);
+      switch (e.state) {
+        case DirState::kUncached:
+          fetch_line(bank, line, [this, &bank, line, msg, r](DataSource src) {
+            DirEntry& entry = bank.directory[line];
+            entry.state = DirState::kExclusive;
+            entry.owner = static_cast<std::uint32_t>(r);
+            entry.sharers = 0;
+            respond_with_data(bank, line, msg.requestor, MsgType::kDataE, 0,
+                              src);
+          });
+          return;
+        case DirState::kShared:
+          ensure(e.l2_valid, "Shared line missing from L2 data array");
+          e.sharers |= (std::uint64_t{1} << r);
+          respond_with_data(bank, line, msg.requestor, MsgType::kData, 0,
+                            DataSource::kL2);
+          return;
+        case DirState::kExclusive:
+        case DirState::kModified:
+        case DirState::kOwned: {
+          ensure(e.owner != r, "owner re-requested its own line (GetS)");
+          ++stats_.coherence_forwards;
+          e.awaiting_downgrade = true;
+          send(MsgType::kFwdGetS, line, bank.tile, core_tile_of(e.owner),
+               msg.requestor);
+          return;  // DowngradeAck will update the directory state
+        }
+      }
+      return;
+    }
+
+    case MsgType::kGetM: {
+      e.busy = true;
+      const std::size_t r = core_index_of(msg.requestor);
+      const std::uint64_t r_bit = std::uint64_t{1} << r;
+      switch (e.state) {
+        case DirState::kUncached:
+          fetch_line(bank, line, [this, &bank, line, msg, r](DataSource src) {
+            DirEntry& entry = bank.directory[line];
+            entry.state = DirState::kModified;
+            entry.owner = static_cast<std::uint32_t>(r);
+            entry.sharers = 0;
+            entry.l2_valid = false;  // the new owner's copy supersedes L2
+            respond_with_data(bank, line, msg.requestor, MsgType::kDataM, 0,
+                              src);
+          });
+          return;
+
+        case DirState::kShared: {
+          const std::uint64_t others = e.sharers & ~r_bit;
+          const int n = std::popcount(others);
+          for (std::size_t c = 0; c < cores_.size(); ++c) {
+            if (others & (std::uint64_t{1} << c)) {
+              send(MsgType::kInv, line, bank.tile, core_tile_of(c),
+                   msg.requestor);
+            }
+          }
+          if (e.sharers & r_bit) {
+            send(MsgType::kAckCount, line, bank.tile, msg.requestor,
+                 msg.requestor, false, n);
+          } else {
+            ensure(e.l2_valid, "Shared line missing from L2 data array");
+            respond_with_data(bank, line, msg.requestor, MsgType::kDataM, n,
+                              DataSource::kL2);
+          }
+          e.state = DirState::kModified;
+          e.owner = static_cast<std::uint32_t>(r);
+          e.sharers = 0;
+          e.l2_valid = false;
+          return;
+        }
+
+        case DirState::kExclusive:
+        case DirState::kModified: {
+          ensure(e.owner != r, "owner re-requested its own line (GetM)");
+          ++stats_.coherence_forwards;
+          send(MsgType::kFwdGetM, line, bank.tile, core_tile_of(e.owner),
+               msg.requestor);
+          send(MsgType::kAckCount, line, bank.tile, msg.requestor,
+               msg.requestor, /*dirty=data-follows*/ true, 0);
+          e.state = DirState::kModified;
+          e.owner = static_cast<std::uint32_t>(r);
+          e.sharers = 0;
+          e.l2_valid = false;
+          return;
+        }
+
+        case DirState::kOwned: {
+          const std::uint64_t others = e.sharers & ~r_bit;
+          const int n = std::popcount(others);
+          for (std::size_t c = 0; c < cores_.size(); ++c) {
+            if (others & (std::uint64_t{1} << c)) {
+              send(MsgType::kInv, line, bank.tile, core_tile_of(c),
+                   msg.requestor);
+            }
+          }
+          if (e.owner == r) {
+            // The owner upgrades O -> M; it already holds the dirty data.
+            send(MsgType::kAckCount, line, bank.tile, msg.requestor,
+                 msg.requestor, false, n);
+          } else {
+            ++stats_.coherence_forwards;
+            send(MsgType::kFwdGetM, line, bank.tile, core_tile_of(e.owner),
+                 msg.requestor);
+            send(MsgType::kAckCount, line, bank.tile, msg.requestor,
+                 msg.requestor, /*dirty=data-follows*/ true, n);
+          }
+          e.state = DirState::kModified;
+          e.owner = static_cast<std::uint32_t>(r);
+          e.sharers = 0;
+          e.l2_valid = false;
+          return;
+        }
+      }
+      return;
+    }
+
+    default:
+      ensure(false, "process_request on a non-request message");
+  }
+}
+
+void CmpSystem::finish_transaction(Bank& bank, LineAddr line) {
+  DirEntry& e = bank.directory[line];
+  ensure(e.busy, "Unblock without an open transaction");
+  e.busy = false;
+  e.awaiting_downgrade = false;
+  e.downgrade_received = false;
+  e.unblock_received = false;
+  pump_pending(bank, line);
+}
+
+void CmpSystem::pump_pending(Bank& bank, LineAddr line) {
+  DirEntry& e = bank.directory[line];
+  if (e.busy || e.pending.empty()) return;
+  const Message next = e.pending.front();
+  e.pending.pop_front();
+  // Re-dispatch after one cycle to bound recursion and model queue pop.
+  // Draining must continue past non-transactional requests (Put*): they
+  // leave the line un-busy, and anything still queued behind them would
+  // otherwise be orphaned — a deadlock.
+  events_.schedule_in(1, [this, &bank, next] {
+    DirEntry& entry = bank.directory[next.line];
+    if (entry.busy) {
+      entry.pending.push_front(next);
+      return;
+    }
+    process_request(bank, next);
+    pump_pending(bank, next.line);
+  });
+}
+
+void CmpSystem::respond_with_data(Bank& bank, LineAddr line, NodeId requestor,
+                                  MsgType kind, std::int32_t acks,
+                                  DataSource source) {
+  send(kind, line, bank.tile, requestor, requestor, false, acks, source);
+}
+
+void CmpSystem::fetch_line(Bank& bank, LineAddr line,
+                           std::function<void(DataSource)> on_ready) {
+  if (bank.l2->find(line) != nullptr) {
+    ++stats_.l2_data_hits;
+    DirEntry& e = bank.directory[line];
+    e.l2_valid = true;
+    on_ready(DataSource::kL2);
+    return;
+  }
+  ++stats_.l2_data_misses;
+  ++stats_.dram_accesses;
+
+  MemoryController& mc = memory_[bank.chip];
+  const Cycle start = std::max(events_.now(), mc.next_free);
+  mc.next_free = start + dram_service_cycles_;
+  events_.schedule(
+      start + dram_latency_cycles_,
+      [this, &bank, line, on_ready = std::move(on_ready)] {
+        bool inserted = false;
+        auto evicted = bank.l2->insert(
+            line, L2Line{false}, inserted,
+            [&bank](LineAddr l, const L2Line&) {
+              const auto it = bank.directory.find(l);
+              return it == bank.directory.end() ||
+                     (!it->second.busy &&
+                      it->second.state == DirState::kUncached);
+            });
+        if (!inserted) ++stats_.l2_overflow_inserts;
+        if (evicted) {
+          const auto it = bank.directory.find(evicted->line);
+          if (it != bank.directory.end()) it->second.l2_valid = false;
+        }
+        bank.directory[line].l2_valid = true;
+        on_ready(DataSource::kDram);
+      });
+}
+
+// ---------------------------------------------------------------------------
+
+ExecStats CmpSystem::run() {
+  require(!ran_, "CmpSystem::run may only be called once");
+  ran_ = true;
+
+  for (Core& core : cores_) {
+    events_.schedule(0, [this, &core] { advance_core(core); });
+  }
+
+  while (finished_cores_ < cores_.size()) {
+    if (events_.empty()) {
+      // Deadlock: produce a diagnostic snapshot before failing.
+      std::string dump = "simulation deadlock at cycle " +
+                         std::to_string(events_.now()) + ": noc " +
+                         (noc_->active() ? "ACTIVE" : "idle");
+      for (const Core& c : cores_) {
+        dump += "\n core " + std::to_string(c.index) +
+                (c.finished ? " done" : "") +
+                (c.at_barrier ? " barrier" : "") +
+                (c.miss_active
+                     ? " miss line=" + std::to_string(c.miss_line) +
+                           (c.miss_is_store ? " store" : " load") +
+                           " data=" + std::to_string(c.data_received) +
+                           " acks=" + std::to_string(c.acks_received) + "/" +
+                           std::to_string(c.acks_expected)
+                     : "");
+      }
+      for (const Bank& b : banks_) {
+        for (const auto& [line, e] : b.directory) {
+          if (e.busy || !e.pending.empty()) {
+            dump += "\n bank tile " + std::to_string(b.tile) + " line " +
+                    std::to_string(line) + " state " +
+                    std::string(to_string(e.state)) +
+                    (e.busy ? " BUSY" : "") + " pending " +
+                    std::to_string(e.pending.size());
+          }
+        }
+      }
+      ensure(false, dump);
+    }
+    events_.step();
+  }
+
+  stats_.cycles = completion_cycle_;
+  stats_.seconds =
+      static_cast<double>(completion_cycle_) / frequency_.value();
+  stats_.core_utilization.reserve(cores_.size());
+  for (const Core& core : cores_) {
+    stats_.instructions += core.trace->instructions_issued();
+    stats_.core_utilization.push_back(
+        completion_cycle_ == 0
+            ? 0.0
+            : std::min(1.0, static_cast<double>(
+                                core.trace->instructions_issued()) /
+                                static_cast<double>(completion_cycle_)));
+  }
+  stats_.noc = noc_->stats();
+  return stats_;
+}
+
+}  // namespace aqua

@@ -1,0 +1,135 @@
+#include "perf/tracefile.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+std::uint64_t RecordedTrace::instructions() const {
+  std::uint64_t n = 0;
+  for (const Op& op : ops_) {
+    if (op.kind == TraceOp::Kind::kMemory) n += op.compute_cycles + 1;
+  }
+  return n;
+}
+
+TraceBundle TraceBundle::capture(const WorkloadProfile& profile,
+                                 std::size_t thread_count,
+                                 std::uint64_t seed) {
+  TraceBundle bundle;
+  bundle.threads.resize(thread_count);
+  for (std::size_t t = 0; t < thread_count; ++t) {
+    TraceGenerator gen(profile, t, thread_count, seed);
+    for (;;) {
+      const TraceOp op = gen.next();
+      if (op.kind == TraceOp::Kind::kDone) break;
+      bundle.threads[t].push(RecordedTrace::Op{op.kind, op.compute_cycles,
+                                               op.is_store, op.line});
+    }
+  }
+  return bundle;
+}
+
+void TraceBundle::save(std::ostream& os) const {
+  os << "# aquacmp trace v1: " << threads.size() << " threads\n";
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    os << "T " << t << '\n';
+    for (const RecordedTrace::Op& op : threads[t].ops()) {
+      switch (op.kind) {
+        case TraceOp::Kind::kMemory:
+          if (op.compute_cycles > 0) os << "C " << op.compute_cycles << '\n';
+          os << (op.is_store ? "S " : "L ") << std::hex << op.line
+             << std::dec << '\n';
+          break;
+        case TraceOp::Kind::kBarrier:
+          os << "B\n";
+          break;
+        case TraceOp::Kind::kDone:
+          break;
+      }
+    }
+  }
+}
+
+TraceBundle TraceBundle::load(std::istream& is) {
+  TraceBundle bundle;
+  RecordedTrace* current = nullptr;
+  std::uint32_t pending_compute = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    char tag = 0;
+    ss >> tag;
+    switch (tag) {
+      case 'T': {
+        std::size_t index = 0;
+        require(static_cast<bool>(ss >> index),
+                "trace line " + std::to_string(line_no) + ": bad thread");
+        require(index == bundle.threads.size(),
+                "trace line " + std::to_string(line_no) +
+                    ": threads must appear in order");
+        require(pending_compute == 0,
+                "trace: dangling compute burst before new thread");
+        bundle.threads.emplace_back();
+        current = &bundle.threads.back();
+        break;
+      }
+      case 'C': {
+        require(current != nullptr, "trace: op before first thread header");
+        std::uint32_t cycles = 0;
+        require(static_cast<bool>(ss >> cycles),
+                "trace line " + std::to_string(line_no) + ": bad cycles");
+        pending_compute += cycles;
+        break;
+      }
+      case 'L':
+      case 'S': {
+        require(current != nullptr, "trace: op before first thread header");
+        LineAddr addr = 0;
+        require(static_cast<bool>(ss >> std::hex >> addr),
+                "trace line " + std::to_string(line_no) + ": bad address");
+        current->push(RecordedTrace::Op{TraceOp::Kind::kMemory,
+                                        pending_compute, tag == 'S', addr});
+        pending_compute = 0;
+        break;
+      }
+      case 'B': {
+        require(current != nullptr, "trace: op before first thread header");
+        require(pending_compute == 0,
+                "trace: compute burst cannot precede a barrier");
+        current->push(RecordedTrace::Op{TraceOp::Kind::kBarrier, 0, false, 0});
+        break;
+      }
+      default:
+        throw Error("trace line " + std::to_string(line_no) +
+                    ": unknown tag '" + std::string(1, tag) + "'");
+    }
+  }
+  require(!bundle.threads.empty(), "trace has no threads");
+  return bundle;
+}
+
+TraceOp TraceReplayer::next() {
+  TraceOp op;
+  if (cursor_ >= trace_->ops().size()) {
+    op.kind = TraceOp::Kind::kDone;
+    return op;
+  }
+  const RecordedTrace::Op& rec = trace_->ops()[cursor_++];
+  op.kind = rec.kind;
+  op.compute_cycles = rec.compute_cycles;
+  op.is_store = rec.is_store;
+  op.line = rec.line;
+  if (op.kind == TraceOp::Kind::kMemory) {
+    instructions_ += rec.compute_cycles + 1;
+  }
+  return op;
+}
+
+}  // namespace aqua

@@ -1,0 +1,87 @@
+#pragma once
+
+/// Trace capture and replay.
+///
+/// The synthetic NPB profiles are parameterized generators; real studies
+/// often need to pin down the *exact* instruction stream (regression
+/// comparisons, sharing-pattern experiments, cross-simulator validation).
+/// This module serializes per-thread op streams to a line-oriented text
+/// format and replays them through the same CmpSystem interface.
+///
+/// Format (one op per line, '#' comments allowed):
+///   C <cycles>            compute burst
+///   L <line-hex>          load
+///   S <line-hex>          store
+///   B                     barrier
+/// Each thread has its own stream; a trace file bundles them with
+///   T <thread-index>      headers.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "perf/workload.hpp"
+
+namespace aqua {
+
+/// An explicit, replayable op stream for one thread. Compute bursts and
+/// memory ops are merged into TraceOps on the fly (a kMemory op carries
+/// its preceding compute gap, matching TraceGenerator's convention).
+class RecordedTrace {
+ public:
+  /// Ops of one thread, in order.
+  struct Op {
+    TraceOp::Kind kind = TraceOp::Kind::kMemory;
+    std::uint32_t compute_cycles = 0;
+    bool is_store = false;
+    LineAddr line = 0;
+  };
+
+  RecordedTrace() = default;
+  explicit RecordedTrace(std::vector<Op> ops) : ops_(std::move(ops)) {}
+
+  [[nodiscard]] const std::vector<Op>& ops() const { return ops_; }
+  void push(Op op) { ops_.push_back(op); }
+
+  /// Instruction count of the stream (compute + memory ops).
+  [[nodiscard]] std::uint64_t instructions() const;
+
+ private:
+  std::vector<Op> ops_;
+};
+
+/// A whole multi-threaded trace.
+struct TraceBundle {
+  std::vector<RecordedTrace> threads;
+
+  /// Captures `profile` for `thread_count` threads into explicit traces
+  /// (deterministic: same seed -> same bundle).
+  static TraceBundle capture(const WorkloadProfile& profile,
+                             std::size_t thread_count, std::uint64_t seed);
+
+  /// Serializes to the text format.
+  void save(std::ostream& os) const;
+
+  /// Parses the text format; throws aqua::Error on malformed input.
+  static TraceBundle load(std::istream& is);
+};
+
+/// Replay adapter: feeds a RecordedTrace through the OpSource interface
+/// used by CmpSystem's cores. The referenced trace must outlive the
+/// replayer (CmpSystem copies the bundle it is given).
+class TraceReplayer final : public OpSource {
+ public:
+  explicit TraceReplayer(const RecordedTrace& trace) : trace_(&trace) {}
+
+  TraceOp next() override;
+  [[nodiscard]] std::uint64_t instructions_issued() const override {
+    return instructions_;
+  }
+
+ private:
+  const RecordedTrace* trace_;
+  std::size_t cursor_ = 0;
+  std::uint64_t instructions_ = 0;
+};
+
+}  // namespace aqua

@@ -1,0 +1,191 @@
+#include "perf/traffic.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace aqua {
+
+const char* to_string(TrafficPattern pattern) {
+  switch (pattern) {
+    case TrafficPattern::kUniformRandom: return "uniform_random";
+    case TrafficPattern::kTranspose: return "transpose";
+    case TrafficPattern::kBitComplement: return "bit_complement";
+    case TrafficPattern::kHotspot: return "hotspot";
+    case TrafficPattern::kNearNeighbor: return "near_neighbor";
+  }
+  return "?";
+}
+
+namespace {
+
+NodeId destination(const CmpConfig& cfg, TrafficPattern pattern, NodeId src,
+                   Xoshiro256& rng, double hotspot_fraction) {
+  const std::size_t n = cfg.total_tiles();
+  const TileCoord c = tile_coord(cfg, src);
+  switch (pattern) {
+    case TrafficPattern::kUniformRandom: {
+      NodeId dst;
+      do {
+        dst = static_cast<NodeId>(rng.uniform_index(n));
+      } while (dst == src);
+      return dst;
+    }
+    case TrafficPattern::kTranspose: {
+      TileCoord t{c.y, c.x, c.z};  // square mesh assumed (4x4)
+      return tile_id(cfg, t);
+    }
+    case TrafficPattern::kBitComplement: {
+      TileCoord t{static_cast<std::uint32_t>(cfg.mesh_x - 1 - c.x),
+                  static_cast<std::uint32_t>(cfg.mesh_y - 1 - c.y),
+                  static_cast<std::uint32_t>(cfg.chips - 1 - c.z)};
+      return tile_id(cfg, t);
+    }
+    case TrafficPattern::kHotspot: {
+      if (rng.bernoulli(hotspot_fraction) && src != 0) return 0;
+      NodeId dst;
+      do {
+        dst = static_cast<NodeId>(rng.uniform_index(n));
+      } while (dst == src);
+      return dst;
+    }
+    case TrafficPattern::kNearNeighbor: {
+      TileCoord t = c;
+      t.x = (c.x + 1 < cfg.mesh_x) ? c.x + 1 : 0;
+      return tile_id(cfg, t);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+TrafficResult run_traffic(const CmpConfig& mesh_config,
+                          const TrafficConfig& traffic) {
+  require(traffic.injection_rate > 0.0 && traffic.injection_rate <= 1.0,
+          "injection rate must be in (0, 1] flits/node/cycle");
+  require(traffic.data_packet_fraction >= 0.0 &&
+              traffic.data_packet_fraction <= 1.0,
+          "data packet fraction must be in [0, 1]");
+
+  struct Record {
+    Cycle injected;
+    bool measured;
+  };
+  std::unordered_map<std::uint64_t, Record> in_flight;
+  std::uint64_t next_id = 1;
+
+  std::vector<double> latencies;
+  // Throughput counts every flit delivered inside the measurement window;
+  // latency tracks packets *injected* inside it (delivered whenever).
+  std::uint64_t window_delivered_flits = 0;
+  std::uint64_t window_injected_flits = 0;
+  std::uint64_t measured_injected = 0;
+  std::uint64_t measured_hops = 0;
+  const Cycle window_start = traffic.warmup_cycles;
+  const Cycle window_end = traffic.warmup_cycles + traffic.measure_cycles;
+
+  Cycle now = 0;
+  Mesh3d mesh(mesh_config, [&](const Packet& p) {
+    const auto it = in_flight.find(p.msg.line);
+    ensure(it != in_flight.end(), "delivered packet was never injected");
+    if (now >= window_start && now < window_end) {
+      window_delivered_flits += p.flits;
+    }
+    if (it->second.measured) {
+      latencies.push_back(static_cast<double>(now + 1 - it->second.injected));
+      const TileCoord a = tile_coord(mesh_config, p.src);
+      const TileCoord b = tile_coord(mesh_config, p.dst);
+      measured_hops += std::abs(static_cast<int>(a.x) - static_cast<int>(b.x)) +
+                       std::abs(static_cast<int>(a.y) - static_cast<int>(b.y)) +
+                       std::abs(static_cast<int>(a.z) - static_cast<int>(b.z));
+    }
+    in_flight.erase(it);
+  });
+
+  Xoshiro256 rng(traffic.seed);
+  const std::size_t nodes = mesh_config.total_tiles();
+  const double mean_flits =
+      traffic.data_packet_fraction * 5.0 +
+      (1.0 - traffic.data_packet_fraction) * 1.0;
+  const double packet_prob = traffic.injection_rate / mean_flits;
+
+  for (now = 0; now < window_end; ++now) {
+    for (NodeId src = 0; src < nodes; ++src) {
+      if (!rng.bernoulli(packet_prob)) continue;
+      Packet p;
+      p.src = src;
+      p.dst = destination(mesh_config, traffic.pattern, src, rng,
+                          traffic.hotspot_fraction);
+      if (p.dst == p.src) continue;  // patterns may map a node to itself
+      p.vc = static_cast<std::uint8_t>(rng.uniform_index(3));
+      p.flits = rng.bernoulli(traffic.data_packet_fraction) ? 5 : 1;
+      p.msg.line = next_id;
+      const bool measured = now >= window_start && now < window_end;
+      in_flight.emplace(next_id, Record{now, measured});
+      ++next_id;
+      if (measured) {
+        ++measured_injected;
+        window_injected_flits += p.flits;
+      }
+      mesh.inject(now, p);
+    }
+    mesh.tick(now);
+  }
+
+  // Drain.
+  const Cycle deadline = window_end + traffic.drain_cycles;
+  while (mesh.active() && now < deadline) {
+    mesh.tick(now++);
+  }
+
+  TrafficResult result;
+  // Offered load is what was actually injected: patterns that map nodes to
+  // themselves (transpose diagonal, self-complement centers) inject less
+  // than the nominal rate.
+  result.offered_flits_per_node_cycle =
+      static_cast<double>(window_injected_flits) /
+      (static_cast<double>(traffic.measure_cycles) *
+       static_cast<double>(nodes));
+  result.accepted_flits_per_node_cycle =
+      static_cast<double>(window_delivered_flits) /
+      (static_cast<double>(traffic.measure_cycles) *
+       static_cast<double>(nodes));
+  result.packets_measured = latencies.size();
+  if (!latencies.empty()) {
+    result.average_latency =
+        summarize(latencies).mean;
+    result.p99_latency = quantile(latencies, 0.99);
+    result.average_hops = static_cast<double>(measured_hops) /
+                          static_cast<double>(latencies.size());
+  }
+  // Saturation: stuck packets, or the window's deliveries fell well short
+  // of the offered load (queues were growing).
+  const bool stuck = mesh.active();
+  const bool shortfall = result.accepted_flits_per_node_cycle <
+                         0.85 * result.offered_flits_per_node_cycle;
+  result.saturated = stuck || (measured_injected > 0 && shortfall);
+  return result;
+}
+
+std::vector<TrafficResult> traffic_sweep(const CmpConfig& mesh_config,
+                                         TrafficPattern pattern,
+                                         const std::vector<double>& rates,
+                                         std::uint64_t seed) {
+  std::vector<TrafficResult> out;
+  out.reserve(rates.size());
+  for (double rate : rates) {
+    TrafficConfig cfg;
+    cfg.pattern = pattern;
+    cfg.injection_rate = rate;
+    cfg.seed = seed;
+    out.push_back(run_traffic(mesh_config, cfg));
+  }
+  return out;
+}
+
+}  // namespace aqua

@@ -1,0 +1,65 @@
+#pragma once
+
+/// Synthetic NoC traffic studies: open-loop injection of classic traffic
+/// patterns into the 3-D mesh, measuring the latency-throughput curve and
+/// the saturation point. This is the standard way to characterize the
+/// Table 1 router independent of the coherence protocol.
+
+#include <cstdint>
+#include <vector>
+
+#include "perf/noc.hpp"
+
+namespace aqua {
+
+/// Classic destination patterns.
+enum class TrafficPattern {
+  kUniformRandom,   ///< any other node, uniformly
+  kTranspose,       ///< (x, y, z) -> (y, x, z): adversarial for XY routing
+  kBitComplement,   ///< mirror every coordinate: longest average paths
+  kHotspot,         ///< a fraction of traffic targets one node
+  kNearNeighbor,    ///< +1 along x (reflecting at the edge): shortest paths
+};
+
+const char* to_string(TrafficPattern pattern);
+
+/// One traffic experiment.
+struct TrafficConfig {
+  TrafficPattern pattern = TrafficPattern::kUniformRandom;
+  /// Offered load in flits per node per cycle.
+  double injection_rate = 0.05;
+  /// Fraction of packets that are 5-flit data packets (rest are 1-flit).
+  double data_packet_fraction = 0.5;
+  Cycle warmup_cycles = 2000;
+  Cycle measure_cycles = 8000;
+  /// Extra drain budget after the measurement window.
+  Cycle drain_cycles = 50000;
+  std::uint64_t seed = 1;
+  /// Hotspot pattern: share of packets aimed at node 0.
+  double hotspot_fraction = 0.2;
+};
+
+/// Measured outcome.
+struct TrafficResult {
+  double offered_flits_per_node_cycle = 0.0;
+  double accepted_flits_per_node_cycle = 0.0;  ///< delivered during window
+  double average_latency = 0.0;   ///< cycles, packets injected in window
+  double p99_latency = 0.0;
+  double average_hops = 0.0;
+  std::uint64_t packets_measured = 0;
+  /// True when the network could not drain the offered load (accepted <
+  /// offered beyond tolerance, or packets stuck at the drain deadline).
+  bool saturated = false;
+};
+
+/// Runs one open-loop traffic experiment on a mesh of `config` geometry.
+TrafficResult run_traffic(const CmpConfig& mesh_config,
+                          const TrafficConfig& traffic);
+
+/// Latency-throughput sweep: one TrafficResult per injection rate.
+std::vector<TrafficResult> traffic_sweep(const CmpConfig& mesh_config,
+                                         TrafficPattern pattern,
+                                         const std::vector<double>& rates,
+                                         std::uint64_t seed = 1);
+
+}  // namespace aqua

@@ -1,0 +1,124 @@
+#include "power/chip_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "floorplan/builders.hpp"
+
+namespace aqua {
+
+namespace {
+std::string format_scale(double factor) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", factor);
+  return buf;
+}
+}  // namespace
+
+double KindWeights::of(UnitKind kind) const {
+  switch (kind) {
+    case UnitKind::kCore:
+      return core;
+    case UnitKind::kL2Cache:
+      return l2;
+    case UnitKind::kNocRouter:
+      return noc;
+    case UnitKind::kMemCtrl:
+      return memctrl;
+    case UnitKind::kUncore:
+      return uncore;
+  }
+  return 0.0;
+}
+
+ChipModel::ChipModel(std::string name, Floorplan floorplan, VfsLadder ladder,
+                     Technology tech, Watts max_power, double dynamic_fraction,
+                     KindWeights weights)
+    : name_(std::move(name)),
+      floorplan_(std::move(floorplan)),
+      ladder_(std::move(ladder)),
+      tech_(tech),
+      max_power_(max_power),
+      dynamic_fraction_(dynamic_fraction),
+      weights_(weights) {
+  require(max_power_.value() > 0.0, "chip max power must be positive");
+  require(dynamic_fraction_ >= 0.0 && dynamic_fraction_ <= 1.0,
+          "dynamic fraction must be within [0, 1]");
+}
+
+Watts ChipModel::total_power(Hertz f) const {
+  return max_power_ *
+         relative_power(tech_, f, ladder_.max(), dynamic_fraction_);
+}
+
+std::vector<double> ChipModel::block_powers(const Floorplan& fp,
+                                            Hertz f) const {
+  const double total = total_power(f).value();
+
+  // Renormalize the kind weights over the kinds present in this plan.
+  double present_weight = 0.0;
+  std::array<double, 5> kind_area{};
+  for (const Block& b : fp.blocks()) {
+    kind_area[static_cast<std::size_t>(b.kind)] += b.rect.area();
+  }
+  for (std::size_t k = 0; k < kind_area.size(); ++k) {
+    if (kind_area[k] > 0.0) {
+      present_weight += weights_.of(static_cast<UnitKind>(k));
+    }
+  }
+  ensure(present_weight > 0.0, "floorplan has no weighted unit kinds");
+
+  std::vector<double> powers;
+  powers.reserve(fp.block_count());
+  for (const Block& b : fp.blocks()) {
+    const double kind_power =
+        total * weights_.of(b.kind) / present_weight;
+    const double area_share =
+        b.rect.area() / kind_area[static_cast<std::size_t>(b.kind)];
+    powers.push_back(kind_power * area_share);
+  }
+  return powers;
+}
+
+double ChipModel::peak_power_density(Hertz f) const {
+  const std::vector<double> powers = block_powers(floorplan_, f);
+  double peak = 0.0;
+  for (std::size_t i = 0; i < powers.size(); ++i) {
+    peak = std::max(peak, powers[i] / floorplan_.blocks()[i].rect.area());
+  }
+  return peak;
+}
+
+ChipModel ChipModel::with_power_scale(double factor) const {
+  require(factor > 0.0, "power scale must be positive");
+  return ChipModel(name_ + "@x" + format_scale(factor), floorplan_, ladder_,
+                   tech_, max_power_ * factor, dynamic_fraction_, weights_);
+}
+
+ChipModel make_low_power_cmp() {
+  return ChipModel("low_power_cmp", make_baseline_cmp_floorplan(),
+                   VfsLadder::uniform(1.0, 2.0, 0.1), technology_22nm_hp(),
+                   Watts(47.2), /*dynamic_fraction=*/0.70);
+}
+
+ChipModel make_high_frequency_cmp() {
+  return ChipModel("high_frequency_cmp", make_baseline_cmp_floorplan(),
+                   VfsLadder::uniform(1.2, 3.6, 0.2), technology_22nm_hp(),
+                   Watts(56.8), /*dynamic_fraction=*/0.70);
+}
+
+ChipModel make_xeon_e5_2667v4() {
+  return ChipModel("xeon_e5_2667v4", make_xeon_e5_floorplan(),
+                   VfsLadder::uniform(1.2, 3.6, 0.2), technology_22nm_hp(),
+                   Watts(135.0), /*dynamic_fraction=*/0.72);
+}
+
+ChipModel make_xeon_phi_7290() {
+  return ChipModel("xeon_phi_7290", make_xeon_phi_floorplan(),
+                   VfsLadder::uniform(1.0, 1.6, 0.1), technology_22nm_hp(),
+                   Watts(245.0), /*dynamic_fraction=*/0.68);
+}
+
+}  // namespace aqua

@@ -1,0 +1,92 @@
+#pragma once
+
+/// Chip power models: total power across the VFS ladder and its spatial
+/// distribution over the floorplan blocks. This is the McPAT substitute —
+/// anchored at the paper's measured maxima rather than re-deriving circuit
+/// capacitances (DESIGN.md Section 2).
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "floorplan/floorplan.hpp"
+#include "power/technology.hpp"
+#include "power/vfs.hpp"
+
+namespace aqua {
+
+/// Share of chip power drawn by each unit kind at the maximum VFS step.
+/// Kinds not present in a floorplan are dropped and the remaining weights
+/// renormalized, so one weight set serves the baseline CMP (core/L2/NoC)
+/// and the Xeon plans (which add memctrl/uncore).
+struct KindWeights {
+  double core = 0.70;
+  double l2 = 0.15;
+  double noc = 0.08;
+  double memctrl = 0.04;
+  double uncore = 0.03;
+
+  [[nodiscard]] double of(UnitKind kind) const;
+};
+
+/// A chip: floorplan + VFS ladder + power anchors.
+class ChipModel {
+ public:
+  ChipModel(std::string name, Floorplan floorplan, VfsLadder ladder,
+            Technology tech, Watts max_power, double dynamic_fraction,
+            KindWeights weights = {});
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Floorplan& floorplan() const { return floorplan_; }
+  [[nodiscard]] const VfsLadder& ladder() const { return ladder_; }
+  [[nodiscard]] const Technology& technology() const { return tech_; }
+  [[nodiscard]] Watts max_power() const { return max_power_; }
+  [[nodiscard]] Hertz max_frequency() const { return ladder_.max(); }
+  [[nodiscard]] double dynamic_fraction() const { return dynamic_fraction_; }
+
+  /// Total chip power at frequency f (with its alpha-power-law voltage).
+  [[nodiscard]] Watts total_power(Hertz f) const;
+
+  /// Per-block power [W] over any floorplan sharing this chip's block kinds
+  /// (typically the chip's own plan or a rotated copy of it). The weight of
+  /// each kind is split across that kind's blocks proportionally to area.
+  [[nodiscard]] std::vector<double> block_powers(const Floorplan& fp,
+                                                 Hertz f) const;
+
+  /// Peak power density over the blocks at frequency f [W/m^2]. Useful as a
+  /// fast thermal-severity proxy in tests.
+  [[nodiscard]] double peak_power_density(Hertz f) const;
+
+  /// A copy of this chip whose power is scaled by `factor` — the
+  /// per-application activity correction discussed in the paper's Section
+  /// 4.3 (the shipped curves use the `stress` workload, which sits at the
+  /// average of the NPB programs; factor 1.0).
+  [[nodiscard]] ChipModel with_power_scale(double factor) const;
+
+ private:
+  std::string name_;
+  Floorplan floorplan_;
+  VfsLadder ladder_;
+  Technology tech_;
+  Watts max_power_;
+  double dynamic_fraction_;
+  KindWeights weights_;
+};
+
+/// Table 1 low-power CMP: baseline floorplan, 47.2 W @ 2.0 GHz, 11 VFS
+/// steps of 1.0-2.0 GHz.
+ChipModel make_low_power_cmp();
+
+/// Table 1 high-frequency CMP: baseline floorplan, 56.8 W @ 3.6 GHz, 13 VFS
+/// steps of 1.2-3.6 GHz.
+ChipModel make_high_frequency_cmp();
+
+/// Xeon E5-2667v4 under the paper's per-core `stress` workload: 135 W @
+/// 3.6 GHz, VFS 1.2-3.6 GHz (Fig. 1 / Fig. 6 "e5").
+ChipModel make_xeon_e5_2667v4();
+
+/// Xeon Phi 7290 under `stress`: 245 W @ 1.6 GHz, VFS 1.0-1.6 GHz
+/// (Fig. 17 / Fig. 6 "phi").
+ChipModel make_xeon_phi_7290();
+
+}  // namespace aqua

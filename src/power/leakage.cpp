@@ -1,0 +1,23 @@
+#include "power/leakage.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+double LeakageModel::scale(double temp_c) const {
+  require(e_folding_c > 0.0, "e-folding interval must be positive");
+  return std::exp((temp_c - reference_c) / e_folding_c);
+}
+
+double leakage_adjusted_power(double block_power_w, double dynamic_fraction,
+                              const LeakageModel& model, double temp_c) {
+  require(dynamic_fraction >= 0.0 && dynamic_fraction <= 1.0,
+          "dynamic fraction must be within [0, 1]");
+  const double dynamic = block_power_w * dynamic_fraction;
+  const double static_ref = block_power_w * (1.0 - dynamic_fraction);
+  return dynamic + static_ref * model.scale(temp_c);
+}
+
+}  // namespace aqua

@@ -1,0 +1,37 @@
+#pragma once
+
+/// Temperature-dependent leakage.
+///
+/// The paper designs for the worst case: power is evaluated once, at the
+/// temperature threshold. This module provides the refinement both McPAT
+/// and HotSpot users typically add — subthreshold leakage grows
+/// exponentially with temperature, so power and temperature must be solved
+/// together (see core/coupled.hpp for the fixed-point loop).
+
+#include "common/units.hpp"
+
+namespace aqua {
+
+/// Exponential leakage-vs-temperature model, anchored so that a chip's
+/// rated static power is exact at `reference_c` (the worst-case threshold
+/// temperature, keeping the paper's rated figures authoritative).
+struct LeakageModel {
+  /// Temperature at which the chip's nominal static power holds [deg C].
+  double reference_c = 80.0;
+  /// Leakage multiplies by e every `e_folding_c` degrees. Subthreshold
+  /// current roughly doubles every 10-20 C; 25 C per e-fold (~17 C per
+  /// doubling) is a representative 22 nm value.
+  double e_folding_c = 25.0;
+
+  /// Multiplier on static power at block temperature `temp_c`.
+  [[nodiscard]] double scale(double temp_c) const;
+};
+
+/// Splits a block's power into its dynamic and static parts at the given
+/// operating point and rescales the static part to temperature `temp_c`.
+/// `dynamic_fraction` is the chip's dynamic share at the SAME operating
+/// point (both parts already reflect the VFS voltage).
+double leakage_adjusted_power(double block_power_w, double dynamic_fraction,
+                              const LeakageModel& model, double temp_c);
+
+}  // namespace aqua

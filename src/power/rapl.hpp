@@ -1,0 +1,47 @@
+#pragma once
+
+/// Simulated RAPL (Running Average Power Limit) measurement.
+///
+/// The paper obtains its power profiles by capping the frequency with RAPL
+/// and measuring package power while one `stress` instance runs per core.
+/// We reproduce the measurement apparatus: sweep the VFS ladder, sample the
+/// model's true power with realistic meter noise and the RAPL energy-counter
+/// quantum, and return the measured curve. Fig. 6 overlays these "measured"
+/// curves on the analytical ones.
+
+#include "common/curve.hpp"
+#include "common/rng.hpp"
+#include "power/chip_model.hpp"
+
+namespace aqua {
+
+/// One measured sample of the frequency sweep.
+struct RaplSample {
+  Hertz frequency;
+  Watts power;          ///< quantized, noisy package power
+  Watts true_power;     ///< the model's exact value (for error analysis)
+};
+
+/// Emulated RAPL package-power meter.
+class RaplMeter {
+ public:
+  /// `noise_fraction` is the 1-sigma relative measurement noise (RAPL
+  /// package readings wander ~1-2% under a steady workload).
+  explicit RaplMeter(std::uint64_t seed, double noise_fraction = 0.015);
+
+  /// Measures package power with the chip pinned at VFS step `f` while the
+  /// stress workload runs on every core.
+  [[nodiscard]] RaplSample measure(const ChipModel& chip, Hertz f);
+
+  /// Full ladder sweep (the paper's Fig. 6 procedure).
+  [[nodiscard]] std::vector<RaplSample> sweep(const ChipModel& chip);
+
+  /// Sweep reduced to a frequency[GHz] -> power[W] curve.
+  [[nodiscard]] Curve sweep_curve(const ChipModel& chip);
+
+ private:
+  Xoshiro256 rng_;
+  double noise_fraction_;
+};
+
+}  // namespace aqua

@@ -1,0 +1,24 @@
+#pragma once
+
+/// Process-technology parameters for the voltage-frequency model.
+///
+/// The paper approximates each VFS pair through the alpha-power law
+///     Tdelay ∝ C V / (V - Vth)^alpha,   alpha = 1.3,
+/// with V and Vth from the McPAT 22 nm technology file. We carry the same
+/// three constants.
+
+#include "common/units.hpp"
+
+namespace aqua {
+
+/// Alpha-power-law technology constants.
+struct Technology {
+  Volts vdd_max{0.9};   ///< supply at the maximum VFS step
+  Volts vth{0.2};       ///< threshold voltage
+  double alpha = 1.3;   ///< velocity-saturation index (paper Section 3.1)
+};
+
+/// McPAT-like 22 nm high-performance node used for all chips in the paper.
+constexpr Technology technology_22nm_hp() { return Technology{}; }
+
+}  // namespace aqua

@@ -1,0 +1,75 @@
+#include "power/vfs.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+VfsLadder::VfsLadder(std::vector<Hertz> steps) : steps_(std::move(steps)) {
+  require(!steps_.empty(), "VFS ladder needs at least one step");
+  for (std::size_t i = 1; i < steps_.size(); ++i) {
+    require(steps_[i] > steps_[i - 1], "VFS steps must be ascending");
+  }
+  require(steps_.front().value() > 0.0, "VFS steps must be positive");
+}
+
+VfsLadder VfsLadder::uniform(double lo_ghz, double hi_ghz, double step_ghz) {
+  require(step_ghz > 0.0 && hi_ghz >= lo_ghz, "bad VFS ladder bounds");
+  std::vector<Hertz> steps;
+  // Walk in integer multiples to avoid accumulating float error across the
+  // 0.1 GHz ladder (1.0, 1.1, ..., 2.0 must be exactly 11 steps).
+  const long long n = std::llround((hi_ghz - lo_ghz) / step_ghz);
+  for (long long i = 0; i <= n; ++i) {
+    steps.push_back(gigahertz(lo_ghz + static_cast<double>(i) * step_ghz));
+  }
+  return VfsLadder(std::move(steps));
+}
+
+std::optional<std::size_t> VfsLadder::floor_step(Hertz f) const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    if (steps_[i] <= f) best = i;
+  }
+  return best;
+}
+
+namespace {
+
+/// Normalized frequency reached at supply v: (v - vth)^alpha / v.
+double speed(const Technology& tech, double v) {
+  return std::pow(v - tech.vth.value(), tech.alpha) / v;
+}
+
+}  // namespace
+
+Volts voltage_for_frequency(const Technology& tech, Hertz f, Hertz f_max) {
+  require(f.value() > 0.0 && f <= f_max, "frequency must be in (0, f_max]");
+  const double target = (f / f_max) * speed(tech, tech.vdd_max.value());
+
+  double lo = tech.vth.value() + 1e-6;
+  double hi = tech.vdd_max.value();
+  // speed() is monotone increasing in v on (vth, inf): bisection suffices.
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (speed(tech, mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return Volts(0.5 * (lo + hi));
+}
+
+double relative_power(const Technology& tech, Hertz f, Hertz f_max,
+                      double dynamic_fraction) {
+  require(dynamic_fraction >= 0.0 && dynamic_fraction <= 1.0,
+          "dynamic_fraction must be within [0, 1]");
+  const double v_rel =
+      voltage_for_frequency(tech, f, f_max).value() / tech.vdd_max.value();
+  const double dyn = v_rel * v_rel * (f / f_max);
+  const double stat = v_rel;
+  return dynamic_fraction * dyn + (1.0 - dynamic_fraction) * stat;
+}
+
+}  // namespace aqua

@@ -1,0 +1,50 @@
+#pragma once
+
+/// Voltage-and-frequency scaling: the paper's two VFS designs (Section 3.1)
+/// and the alpha-power-law voltage solution behind the relative power curve
+/// of Fig. 6.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "power/technology.hpp"
+
+namespace aqua {
+
+/// An ascending ladder of selectable clock frequencies.
+class VfsLadder {
+ public:
+  /// Explicit steps; must be non-empty and strictly ascending.
+  explicit VfsLadder(std::vector<Hertz> steps);
+
+  /// Uniform ladder from lo to hi inclusive in `step_ghz` increments, e.g.
+  /// the paper's 11 steps of 1.0-2.0 GHz or 13 steps of 1.2-3.6 GHz.
+  static VfsLadder uniform(double lo_ghz, double hi_ghz, double step_ghz);
+
+  [[nodiscard]] std::size_t size() const { return steps_.size(); }
+  [[nodiscard]] Hertz step(std::size_t i) const { return steps_.at(i); }
+  [[nodiscard]] Hertz min() const { return steps_.front(); }
+  [[nodiscard]] Hertz max() const { return steps_.back(); }
+  [[nodiscard]] const std::vector<Hertz>& steps() const { return steps_; }
+
+  /// Highest step <= f, if any.
+  [[nodiscard]] std::optional<std::size_t> floor_step(Hertz f) const;
+
+ private:
+  std::vector<Hertz> steps_;
+};
+
+/// Solves the supply voltage that reaches frequency `f`, given that
+/// `vdd_max` reaches `f_max`, under f ∝ (V - Vth)^alpha / V.
+/// Monotone bisection; requires 0 < f <= f_max.
+Volts voltage_for_frequency(const Technology& tech, Hertz f, Hertz f_max);
+
+/// Relative power at (f, V(f)) w.r.t. the maximum step, splitting the
+/// maximum power into a dynamic share (∝ V^2 f) and a static share (∝ V).
+/// `dynamic_fraction` is the dynamic share of power at the maximum step.
+double relative_power(const Technology& tech, Hertz f, Hertz f_max,
+                      double dynamic_fraction);
+
+}  // namespace aqua

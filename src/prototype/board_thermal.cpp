@@ -1,0 +1,67 @@
+#include "prototype/board_thermal.hpp"
+
+#include "thermal/material.hpp"
+
+namespace aqua {
+
+const char* to_string(BoardCooling cooling) {
+  switch (cooling) {
+    case BoardCooling::kForcedAir: return "forced_air";
+    case BoardCooling::kHeatsinkInWater: return "heatsink_in_water";
+    case BoardCooling::kFullImmersion: return "full_immersion";
+  }
+  return "?";
+}
+
+ThermalCircuit ServerBoardModel::build_circuit(BoardCooling cooling) const {
+  ThermalCircuit circuit(ambient_c);
+  const std::size_t die = circuit.add_node("die", Watts(cpu_power_w));
+  const std::size_t sink = circuit.add_node("heatsink");
+  const std::size_t board = circuit.add_node("board");
+
+  circuit.connect(die, sink, KelvinPerWatt(r_junction_sink));
+  circuit.connect(die, board, KelvinPerWatt(r_junction_board));
+
+  // Sink-side convection. The film over the heat-spreader face is broken
+  // and replaced by TIM + heatsink (paper Section 2.1), so the sink is in
+  // direct coolant contact in every option.
+  double h_sink = h_natural_air;
+  double h_board = h_natural_air;
+  bool board_in_water = false;
+  switch (cooling) {
+    case BoardCooling::kForcedAir:
+      h_sink = h_forced_air;
+      h_board = h_forced_air;
+      break;
+    case BoardCooling::kHeatsinkInWater:
+      h_sink = h_water;
+      h_board = h_natural_air;  // fan off, board above the surface
+      break;
+    case BoardCooling::kFullImmersion:
+      h_sink = h_water;
+      h_board = h_water;
+      board_in_water = true;
+      break;
+  }
+
+  circuit.connect_ambient(
+      sink, ThermalCircuit::convection(HeatTransferCoefficient(h_sink),
+                                       sink_area_m2));
+
+  KelvinPerWatt board_out = ThermalCircuit::convection(
+      HeatTransferCoefficient(h_board), board_area_m2);
+  if (board_in_water) {
+    // Underwater, the board-side heat crosses the parylene film.
+    const KelvinPerWatt film_r = ThermalCircuit::conduction(
+        film.thickness_um * 1e-6, parylene().conductivity, board_area_m2);
+    board_out = KelvinPerWatt(board_out.value() + film_r.value());
+  }
+  circuit.connect_ambient(board, board_out);
+  return circuit;
+}
+
+double ServerBoardModel::chip_temperature_c(BoardCooling cooling) const {
+  return build_circuit(cooling).solve()[0];
+}
+
+}  // namespace aqua

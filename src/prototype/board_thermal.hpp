@@ -1,0 +1,46 @@
+#pragma once
+
+/// Lumped thermal model of the film-coated PRIMERGY TX1320 M2 server used
+/// for the paper's Fig. 4 measurement: chip temperature under (i) forced
+/// air, (ii) only the heatsink dipped in water, (iii) full immersion.
+///
+/// Two heat paths leave the die: junction -> heatsink -> coolant and
+/// junction -> board -> coolant; full immersion upgrades *both* paths to
+/// water (through the parylene film on the board side), which is why it
+/// buys 20 degC while the heatsink-only dip buys 5 (paper Section 2.4).
+
+#include "prototype/coating.hpp"
+#include "thermal/circuit.hpp"
+
+namespace aqua {
+
+/// The three Fig. 4 cooling options.
+enum class BoardCooling {
+  kForcedAir,        ///< board next to a high-speed fan
+  kHeatsinkInWater,  ///< only the heatsink dipped; fan off
+  kFullImmersion,    ///< whole coated board underwater
+};
+
+const char* to_string(BoardCooling cooling);
+
+/// Calibrated TX1320 M2 (Xeon E3-1270v5) board model.
+struct ServerBoardModel {
+  double cpu_power_w = 65.0;     ///< package power under `stress`
+  double r_junction_sink = 0.86; ///< die -> heatsink base [K/W], incl. TIM
+  double r_junction_board = 0.95;///< die -> board plane [K/W]
+  double sink_area_m2 = 0.03;    ///< wetted/blown heatsink surface
+  double board_area_m2 = 0.03;   ///< effective board surface near the CPU
+  double h_forced_air = 50.0;    ///< fan-driven air [W/m^2 K]
+  double h_natural_air = 14.0;   ///< still air (Table 2 value)
+  double h_water = 800.0;        ///< still water (Table 2 value)
+  double ambient_c = 25.0;
+  FilmSpec film{};               ///< coating on the board-side path
+
+  /// Builds and solves the two-node circuit; returns the die temperature.
+  [[nodiscard]] double chip_temperature_c(BoardCooling cooling) const;
+
+  /// The full circuit (for inspection / tests).
+  [[nodiscard]] ThermalCircuit build_circuit(BoardCooling cooling) const;
+};
+
+}  // namespace aqua

@@ -1,0 +1,48 @@
+#include "prototype/coating.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+namespace {
+// Parylene C dielectric strength [V/um].
+constexpr double kDielectricStrength = 220.0;
+// Pinhole model: lambda0 * exp(-t/tau) defects per cm^2.
+constexpr double kDefectLambda0 = 8.0;
+constexpr double kDefectTauUm = 9.0;
+// Lifetime scale: eta(50 um) = 5 hours, doubling every ~5.5 um
+// (exp(+1/8 per um)); eta(120 um) ~ 3.6 years at unit complexity.
+constexpr double kEtaAt50Um = 5.0;
+constexpr double kEtaTauUm = 8.0;
+// Bulk resistivity-driven leakage through intact film [mA/cm^2 at 120 um].
+constexpr double kIntactLeakagePerCm2 = 2.0e-6;
+}  // namespace
+
+double breakdown_voltage_v(const FilmSpec& film) {
+  require(film.thickness_um > 0.0, "film thickness must be positive");
+  return kDielectricStrength * film.thickness_um;
+}
+
+double defect_density_per_cm2(const FilmSpec& film) {
+  require(film.thickness_um > 0.0, "film thickness must be positive");
+  require(film.process_quality > 0.0, "process quality must be positive");
+  return kDefectLambda0 * std::exp(-film.thickness_um / kDefectTauUm) /
+         film.process_quality;
+}
+
+double base_lifetime_hours(const FilmSpec& film) {
+  require(film.thickness_um > 0.0, "film thickness must be positive");
+  return kEtaAt50Um *
+         std::exp((film.thickness_um - 50.0) / kEtaTauUm) *
+         film.process_quality;
+}
+
+double intact_leakage_ma(const FilmSpec& film, double area_cm2) {
+  require(area_cm2 > 0.0, "area must be positive");
+  // Leakage scales inversely with thickness (series dielectric).
+  return kIntactLeakagePerCm2 * area_cm2 * (120.0 / film.thickness_um);
+}
+
+}  // namespace aqua

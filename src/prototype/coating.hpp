@@ -1,0 +1,43 @@
+#pragma once
+
+/// Parylene (diX C) insulation-film model.
+///
+/// The paper's prototypes live or die by the film: 50 um coatings failed
+/// within hours, 120-150 um coatings have run for over two years. This
+/// module captures that behaviour as (a) dielectric strength, (b) a
+/// through-defect (pinhole) density falling exponentially with thickness,
+/// and (c) a base lifetime scale used by the component hazard model
+/// (components.hpp). Constants are calibrated to the Section 2
+/// observations; see DESIGN.md.
+
+#include "common/units.hpp"
+
+namespace aqua {
+
+/// A conformal parylene coating.
+struct FilmSpec {
+  double thickness_um = 120.0;  ///< paper uses 120 and 150 um
+
+  /// CVD coverage quality; 1.0 = the commercial diX C Plus process.
+  double process_quality = 1.0;
+};
+
+/// Dielectric breakdown voltage of the film [V]. Parylene C withstands
+/// ~220 V/um, so even a 50 um film insulates 12 V rails electrically —
+/// failures come from defects and moisture ingress, not bulk breakdown.
+double breakdown_voltage_v(const FilmSpec& film);
+
+/// Expected density of through-film defects [1/cm^2]. CVD pinholes must
+/// align through the whole thickness, which decays exponentially.
+double defect_density_per_cm2(const FilmSpec& film);
+
+/// Base Weibull lifetime scale [hours] for a unit-complexity component
+/// under tap water. Calibrated so 50 um fails within hours and 120 um
+/// lasts years (~3.6 years at unit complexity).
+double base_lifetime_hours(const FilmSpec& film);
+
+/// Steady leakage current through an intact film under water [mA] for a
+/// given wetted area; the paper's test board measures this per supply.
+double intact_leakage_ma(const FilmSpec& film, double area_cm2);
+
+}  // namespace aqua

@@ -1,0 +1,73 @@
+#include "prototype/components.hpp"
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+const char* to_string(ComponentType type) {
+  switch (type) {
+    case ComponentType::kUsb: return "USB";
+    case ComponentType::kRj45: return "RJ45";
+    case ComponentType::kMPcie: return "mPCIe";
+    case ComponentType::kPcieX4: return "PCIex4";
+    case ComponentType::kCr2032: return "CR2032";
+    case ComponentType::kPga: return "PGA";
+    case ComponentType::kMegaAvr: return "megaAVR";
+    case ComponentType::kMemorySlot: return "MemorySlot";
+  }
+  return "?";
+}
+
+ComponentInfo component_info(ComponentType type) {
+  ComponentInfo info;
+  info.type = type;
+  info.name = to_string(type);
+  switch (type) {
+    case ComponentType::kUsb:
+      info.complexity = 0.20;
+      info.area_cm2 = 3.0;
+      break;
+    case ComponentType::kRj45:
+      info.complexity = 0.66;
+      info.area_cm2 = 6.0;
+      break;
+    case ComponentType::kMPcie:
+      info.complexity = 0.66;
+      info.area_cm2 = 8.0;
+      break;
+    case ComponentType::kPcieX4:
+      // Deep, narrow connector cavity: the CVD gas coats it worst, and the
+      // paper's five test boards lost all five PCIex4 slots.
+      info.complexity = 4.0;
+      info.area_cm2 = 10.0;
+      break;
+    case ComponentType::kCr2032:
+      info.complexity = 0.30;
+      info.galvanic = true;
+      info.area_cm2 = 3.0;
+      break;
+    case ComponentType::kPga:
+      info.complexity = 0.20;
+      info.area_cm2 = 12.0;
+      break;
+    case ComponentType::kMegaAvr:
+      info.complexity = 0.10;
+      info.area_cm2 = 2.0;
+      break;
+    case ComponentType::kMemorySlot:
+      info.complexity = 0.80;
+      info.fails_in_air_too = true;
+      info.area_cm2 = 14.0;
+      break;
+  }
+  return info;
+}
+
+std::vector<ComponentType> test_board_components() {
+  return {ComponentType::kUsb,    ComponentType::kRj45,
+          ComponentType::kMPcie,  ComponentType::kPcieX4,
+          ComponentType::kCr2032, ComponentType::kPga,
+          ComponentType::kMegaAvr};
+}
+
+}  // namespace aqua

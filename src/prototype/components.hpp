@@ -1,0 +1,51 @@
+#pragma once
+
+/// Board-component catalogue for the in-water test board (paper Section
+/// 2.2, Fig. 2): the seven component classes picked for their complex
+/// physical shapes, plus the memory slot whose masking the paper ends up
+/// recommending.
+
+#include <string>
+#include <vector>
+
+namespace aqua {
+
+/// Component classes on the test board / servers.
+enum class ComponentType {
+  kUsb,
+  kRj45,       ///< Ethernet jack — 1/5 leaked over two years
+  kMPcie,      ///< 1/5 leaked over two years
+  kPcieX4,     ///< all five leaked: deep connector cavity coats worst
+  kCr2032,     ///< micro cell — discharges galvanically through the film
+  kPga,        ///< pin grid array socket
+  kMegaAvr,    ///< microcontroller (flat package: easy to coat)
+  kMemorySlot, ///< DIMM slot; fails in air too (paper: mask it / keep dry)
+};
+
+/// Static description of a component class.
+struct ComponentInfo {
+  ComponentType type;
+  std::string name;
+  /// Coating-difficulty multiplier on the water-ingress hazard. Calibrated
+  /// so a 5-board, 2-year tap-water run reproduces the paper's outcome
+  /// (PCIex4 5/5, RJ45 1/5, mPCIe 1/5, others 0/5).
+  double complexity = 1.0;
+  /// True for parts that fail by galvanic self-discharge rather than
+  /// leakage-induced shorting (the CR2032 cell).
+  bool galvanic = false;
+  /// True for parts whose dominant failure is environment-independent
+  /// (the paper saw memory modules fail both in water and in air).
+  bool fails_in_air_too = false;
+  /// Wetted surface area [cm^2] (leakage magnitude scale).
+  double area_cm2 = 4.0;
+};
+
+/// Catalogue lookup.
+ComponentInfo component_info(ComponentType type);
+
+/// The seven test-board components (paper Fig. 2, without the memory slot).
+std::vector<ComponentType> test_board_components();
+
+const char* to_string(ComponentType type);
+
+}  // namespace aqua

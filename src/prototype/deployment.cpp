@@ -1,0 +1,57 @@
+#include "prototype/deployment.hpp"
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+const char* to_string(WaterEnvironment env) {
+  switch (env) {
+    case WaterEnvironment::kTapWater: return "tap_water";
+    case WaterEnvironment::kRiver: return "river";
+    case WaterEnvironment::kSeaWater: return "sea_water";
+  }
+  return "?";
+}
+
+EnvironmentInfo environment_info(WaterEnvironment env) {
+  EnvironmentInfo info;
+  info.env = env;
+  info.name = to_string(env);
+  switch (env) {
+    case WaterEnvironment::kTapWater:
+      info.hazard_multiplier = 1.0;
+      info.htc = HeatTransferCoefficient(800.0);  // Table 2 still water
+      info.fouling_tau_days = 1e9;                // nothing grows in the tank
+      info.water_temp_c = 25.0;
+      break;
+    case WaterEnvironment::kRiver:
+      info.hazard_multiplier = 3.0;   // silt + biology, but fresh water
+      info.htc = HeatTransferCoefficient(2400.0);  // flow-assisted
+      info.fouling_tau_days = 360.0;
+      info.water_temp_c = 18.0;
+      break;
+    case WaterEnvironment::kSeaWater:
+      // Calibrated so the median survival of a 120 um-coated board is
+      // ~2 months (the Tokyo Bay PC survived 53 days).
+      info.hazard_multiplier = 25.0;
+      info.htc = HeatTransferCoefficient(1600.0);  // tidal flow
+      info.fouling_tau_days = 60.0;  // shellfish on the box within weeks
+      info.water_temp_c = 20.0;
+      break;
+  }
+  return info;
+}
+
+HeatTransferCoefficient effective_htc(const EnvironmentInfo& env,
+                                      double days) {
+  require(days >= 0.0, "days must be non-negative");
+  return HeatTransferCoefficient(env.htc.value() /
+                                 (1.0 + days / env.fouling_tau_days));
+}
+
+double direct_cooling_pue(double overhead_fraction) {
+  require(overhead_fraction >= 0.0, "overhead must be non-negative");
+  return 1.0 + overhead_fraction;
+}
+
+}  // namespace aqua

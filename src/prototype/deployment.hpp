@@ -1,0 +1,51 @@
+#pragma once
+
+/// Water environments for immersed boards: tap water in a tank, a river
+/// intake/drain loop, and open sea (the Tokyo Bay proof of concept,
+/// Section 4.4.3). Environments differ in hazard acceleration (salinity,
+/// organisms) and in biofouling, which degrades the convective coefficient
+/// as shellfish and seaweed colonize the enclosure.
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace aqua {
+
+/// Deployment media.
+enum class WaterEnvironment {
+  kTapWater,  ///< the lab tank: the paper's multi-year runs
+  kRiver,     ///< flowing natural fresh water
+  kSeaWater,  ///< Tokyo Bay: 53-day record, heavy fouling
+};
+
+const char* to_string(WaterEnvironment env);
+
+/// Static description of an environment.
+struct EnvironmentInfo {
+  WaterEnvironment env;
+  std::string name;
+  /// Water-ingress hazard acceleration vs. tap water (ions + organisms).
+  double hazard_multiplier = 1.0;
+  /// Clean-surface convective coefficient [W/m^2 K]. Flowing water beats
+  /// the still-tank value of the paper's Table 2.
+  HeatTransferCoefficient htc{800.0};
+  /// Biofouling time constant [days]: h decays as h0 / (1 + days/tau).
+  double fouling_tau_days = 1e9;
+  /// Bulk water temperature [deg C].
+  double water_temp_c = 25.0;
+};
+
+EnvironmentInfo environment_info(WaterEnvironment env);
+
+/// Effective convective coefficient after `days` of fouling growth.
+HeatTransferCoefficient effective_htc(const EnvironmentInfo& env,
+                                      double days);
+
+/// Facility power-usage-effectiveness of a *directly* immersed deployment:
+/// no pumps, no chillers, no secondary loop — only the monitoring overhead
+/// remains, so PUE approaches 1.00 (Section 4.4.2). `overhead_fraction`
+/// is facility overhead power as a fraction of IT power.
+double direct_cooling_pue(double overhead_fraction = 0.003);
+
+}  // namespace aqua

@@ -1,0 +1,81 @@
+#pragma once
+
+/// Monte-Carlo lifetime simulation of the in-water test board (paper
+/// Section 2.2). Each board carries the seven component classes on five
+/// isolated supply rails; a component "fails" when water ingress through
+/// its coating shorts or leaks, and the board logs which component leaked
+/// and how much — exactly what the physical test board was built to
+/// measure.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "prototype/coating.hpp"
+#include "prototype/components.hpp"
+#include "prototype/deployment.hpp"
+
+namespace aqua {
+
+/// Configuration of one test-board campaign.
+struct TestBoardConfig {
+  FilmSpec film{};
+  WaterEnvironment environment = WaterEnvironment::kTapWater;
+  std::vector<ComponentType> components = test_board_components();
+  double duration_hours = 2.0 * 365.0 * 24.0;  ///< the paper's 2-year run
+  /// Weibull shape of the ingress lifetime (wear-out: > 1).
+  double weibull_shape = 1.5;
+};
+
+/// Outcome of one component on one board.
+struct ComponentOutcome {
+  ComponentType type;
+  bool failed = false;
+  double failure_hour = 0.0;     ///< valid when failed
+  double leakage_ma = 0.0;       ///< measured leakage at end / at failure
+  bool discharged = false;       ///< CR2032 galvanic discharge
+};
+
+/// Outcome of one board.
+struct BoardOutcome {
+  std::vector<ComponentOutcome> components;
+  /// Boards stay operational when only peripheral connectors leak; the
+  /// test board's purpose is to attribute the leak, not to die.
+  [[nodiscard]] std::size_t failure_count() const;
+};
+
+/// Aggregated campaign statistics per component type.
+struct ComponentSummary {
+  ComponentType type;
+  std::size_t boards = 0;
+  std::size_t failures = 0;
+  std::size_t discharges = 0;
+  double mean_failure_hour = 0.0;  ///< over failing boards
+  double mean_leakage_ma = 0.0;
+};
+
+/// The Monte-Carlo campaign.
+class TestBoardSim {
+ public:
+  explicit TestBoardSim(TestBoardConfig config, std::uint64_t seed = 2019);
+
+  /// Simulates one board.
+  BoardOutcome run_board();
+
+  /// Simulates `boards` boards (the paper ran five).
+  std::vector<BoardOutcome> run_campaign(std::size_t boards);
+
+  /// Aggregates a campaign per component type.
+  static std::vector<ComponentSummary> summarize(
+      const TestBoardConfig& config,
+      const std::vector<BoardOutcome>& outcomes);
+
+  [[nodiscard]] const TestBoardConfig& config() const { return config_; }
+
+ private:
+  TestBoardConfig config_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace aqua

@@ -1,0 +1,87 @@
+#include "thermal/circuit.hpp"
+
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+
+namespace aqua {
+
+ThermalCircuit::ThermalCircuit(double ambient_c) : ambient_c_(ambient_c) {}
+
+std::size_t ThermalCircuit::add_node(std::string name, Watts injected) {
+  nodes_.push_back(Node{std::move(name), injected.value(), 0.0});
+  return nodes_.size() - 1;
+}
+
+void ThermalCircuit::connect(std::size_t a, std::size_t b,
+                             KelvinPerWatt resistance) {
+  require(a < nodes_.size() && b < nodes_.size() && a != b,
+          "invalid circuit edge");
+  require(resistance.value() > 0.0, "resistance must be positive");
+  edges_.push_back(Edge{a, b, 1.0 / resistance.value()});
+}
+
+void ThermalCircuit::connect_ambient(std::size_t node,
+                                     KelvinPerWatt resistance) {
+  require(node < nodes_.size(), "invalid circuit node");
+  require(resistance.value() > 0.0, "resistance must be positive");
+  nodes_[node].ambient_conductance += 1.0 / resistance.value();
+}
+
+void ThermalCircuit::set_power(std::size_t node, Watts power) {
+  require(node < nodes_.size(), "invalid circuit node");
+  nodes_[node].power_w = power.value();
+}
+
+const std::string& ThermalCircuit::node_name(std::size_t i) const {
+  require(i < nodes_.size(), "invalid circuit node");
+  return nodes_[i].name;
+}
+
+std::vector<double> ThermalCircuit::solve() const {
+  const std::size_t n = nodes_.size();
+  require(n > 0, "circuit has no nodes");
+  Matrix g(n, n);
+  std::vector<double> rhs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g(i, i) = nodes_[i].ambient_conductance;
+    rhs[i] = nodes_[i].power_w;
+  }
+  for (const Edge& e : edges_) {
+    g(e.a, e.a) += e.conductance;
+    g(e.b, e.b) += e.conductance;
+    g(e.a, e.b) -= e.conductance;
+    g(e.b, e.a) -= e.conductance;
+  }
+  // A node network with no ambient tie anywhere is singular; solve_dense
+  // will throw, which we convert into a friendlier message.
+  std::vector<double> theta;
+  try {
+    theta = solve_dense(g, rhs);
+  } catch (const Error&) {
+    throw Error("thermal circuit is floating: no path to ambient");
+  }
+  for (double& t : theta) t += ambient_c_;
+  return theta;
+}
+
+double ThermalCircuit::temperature_c(std::size_t node) const {
+  require(node < nodes_.size(), "invalid circuit node");
+  return solve()[node];
+}
+
+KelvinPerWatt ThermalCircuit::conduction(double thickness_m,
+                                         WattsPerMeterKelvin conductivity,
+                                         double area_m2) {
+  require(thickness_m > 0.0 && conductivity.value() > 0.0 && area_m2 > 0.0,
+          "conduction parameters must be positive");
+  return KelvinPerWatt(thickness_m / (conductivity.value() * area_m2));
+}
+
+KelvinPerWatt ThermalCircuit::convection(HeatTransferCoefficient h,
+                                         double area_m2) {
+  require(h.value() > 0.0 && area_m2 > 0.0,
+          "convection parameters must be positive");
+  return KelvinPerWatt(1.0 / (h.value() * area_m2));
+}
+
+}  // namespace aqua

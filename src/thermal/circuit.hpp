@@ -1,0 +1,72 @@
+#pragma once
+
+/// Lumped thermal-resistance circuits.
+///
+/// The grid model (grid_model.hpp) resolves on-die gradients; this class
+/// covers the macro scale: whole boards (paper Fig. 4) and facility-level
+/// primary/secondary coolant chains (Section 4.4). Nodes are isothermal
+/// bodies; edges are thermal resistances; any node can inject power and/or
+/// tie to ambient through a resistance.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace aqua {
+
+/// A lumped steady-state thermal circuit.
+class ThermalCircuit {
+ public:
+  explicit ThermalCircuit(double ambient_c = 25.0);
+
+  /// Adds a node and returns its index.
+  std::size_t add_node(std::string name, Watts injected = Watts(0.0));
+
+  /// Connects two nodes through a resistance [K/W].
+  void connect(std::size_t a, std::size_t b, KelvinPerWatt resistance);
+
+  /// Ties a node to ambient through a resistance [K/W].
+  void connect_ambient(std::size_t node, KelvinPerWatt resistance);
+
+  /// Updates the power injected at a node.
+  void set_power(std::size_t node, Watts power);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::string& node_name(std::size_t i) const;
+  [[nodiscard]] double ambient_c() const { return ambient_c_; }
+
+  /// Solves the circuit; returns node temperatures [deg C].
+  /// Throws aqua::Error if some node has no path to ambient.
+  [[nodiscard]] std::vector<double> solve() const;
+
+  /// Convenience: temperature of one node after a fresh solve.
+  [[nodiscard]] double temperature_c(std::size_t node) const;
+
+  /// Series-resistance helper: conduction through a slab [K/W].
+  static KelvinPerWatt conduction(double thickness_m,
+                                  WattsPerMeterKelvin conductivity,
+                                  double area_m2);
+
+  /// Convection film resistance 1/(h A) [K/W].
+  static KelvinPerWatt convection(HeatTransferCoefficient h, double area_m2);
+
+ private:
+  struct Node {
+    std::string name;
+    double power_w = 0.0;
+    double ambient_conductance = 0.0;
+  };
+  struct Edge {
+    std::size_t a;
+    std::size_t b;
+    double conductance;
+  };
+
+  double ambient_c_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace aqua

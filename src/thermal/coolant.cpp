@@ -1,0 +1,48 @@
+#include "thermal/coolant.hpp"
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+const char* to_string(CoolantKind kind) {
+  switch (kind) {
+    case CoolantKind::kAir:
+      return "air";
+    case CoolantKind::kMineralOil:
+      return "mineral_oil";
+    case CoolantKind::kFluorinert:
+      return "fluorinert";
+    case CoolantKind::kWater:
+      return "water";
+  }
+  return "?";
+}
+
+Coolant coolant(CoolantKind kind) {
+  switch (kind) {
+    case CoolantKind::kAir:
+      return {kind, "air", HeatTransferCoefficient(14.0),
+              /*electrically_insulating=*/true, /*relative_cost=*/0.0,
+              /*density=*/1.2, /*specific_heat=*/1005.0};
+    case CoolantKind::kMineralOil:
+      return {kind, "mineral_oil", HeatTransferCoefficient(160.0),
+              /*electrically_insulating=*/true, /*relative_cost=*/40.0,
+              /*density=*/850.0, /*specific_heat=*/1900.0};
+    case CoolantKind::kFluorinert:
+      return {kind, "fluorinert", HeatTransferCoefficient(180.0),
+              /*electrically_insulating=*/true, /*relative_cost=*/400.0,
+              /*density=*/1850.0, /*specific_heat=*/1100.0};
+    case CoolantKind::kWater:
+      return {kind, "water", HeatTransferCoefficient(800.0),
+              /*electrically_insulating=*/false, /*relative_cost=*/1.0,
+              /*density=*/1000.0, /*specific_heat=*/4186.0};
+  }
+  throw Error("unknown coolant kind");
+}
+
+std::vector<Coolant> all_coolants() {
+  return {coolant(CoolantKind::kAir), coolant(CoolantKind::kMineralOil),
+          coolant(CoolantKind::kFluorinert), coolant(CoolantKind::kWater)};
+}
+
+}  // namespace aqua

@@ -1,0 +1,50 @@
+#pragma once
+
+/// Coolant catalogue. In the paper's HotSpot setup a coolant is fully
+/// described by its convective heat-transfer coefficient at the wetted
+/// surfaces: air 14, mineral oil 160, fluorinert 180, water 800 W/(m^2 K).
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace aqua {
+
+/// Immersion media evaluated in the paper (water-pipe cooling is a cooling
+/// *mode*, not a coolant — see core/cooling.hpp).
+enum class CoolantKind {
+  kAir,
+  kMineralOil,
+  kFluorinert,
+  kWater,
+};
+
+/// Physical description of an immersion coolant.
+struct Coolant {
+  CoolantKind kind;
+  std::string name;
+  HeatTransferCoefficient htc{0.0};  ///< natural-convection h [W/(m^2 K)]
+  bool electrically_insulating = false;
+  /// Relative cost per litre (water = 1); used only in reports.
+  double relative_cost = 1.0;
+  /// Bulk transport properties (used by the dense-packing study).
+  double density_kg_m3 = 1000.0;
+  double specific_heat_j_kgk = 4186.0;
+
+  /// Volumetric heat capacity [J/(m^3 K)] — how much heat a cubic meter of
+  /// flowing coolant carries away per kelvin of allowed temperature rise.
+  [[nodiscard]] double volumetric_heat_capacity() const {
+    return density_kg_m3 * specific_heat_j_kgk;
+  }
+};
+
+/// Paper Section 3.2 coefficients.
+Coolant coolant(CoolantKind kind);
+
+/// All four coolants in the paper's presentation order.
+std::vector<Coolant> all_coolants();
+
+const char* to_string(CoolantKind kind);
+
+}  // namespace aqua

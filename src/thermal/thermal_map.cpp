@@ -1,0 +1,132 @@
+#include "thermal/thermal_map.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace aqua {
+
+namespace {
+constexpr const char kRamp[] = " .:-=+*#%@";
+constexpr std::size_t kRampSize = sizeof(kRamp) - 1;
+}  // namespace
+
+void render_layer_ascii(std::ostream& os, const ThermalSolution& solution,
+                        std::size_t layer, const std::string& title) {
+  const std::vector<double> field = solution.layer_field(layer);
+  const auto [lo_it, hi_it] = std::minmax_element(field.begin(), field.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  const double span = std::max(1e-9, hi - lo);
+
+  os << title << "  [min " << format_double(lo, 1) << " C, max "
+     << format_double(hi, 1) << " C]\n";
+  // Print top row (largest iy) first so the map is oriented like a plot.
+  for (std::size_t row = solution.ny(); row-- > 0;) {
+    for (std::size_t ix = 0; ix < solution.nx(); ++ix) {
+      const double t = solution.at(layer, ix, row);
+      auto bin = static_cast<std::size_t>((t - lo) / span *
+                                          static_cast<double>(kRampSize - 1) +
+                                          0.5);
+      bin = std::min(bin, kRampSize - 1);
+      os << kRamp[bin];
+    }
+    os << '\n';
+  }
+}
+
+void render_stack_ascii(std::ostream& os, const ThermalSolution& solution,
+                        const std::string& title) {
+  os << title << '\n';
+  for (std::size_t l = 0; l < solution.die_layer_count(); ++l) {
+    std::ostringstream layer_title;
+    layer_title << "Layer " << (l + 1)
+                << (l == 0 ? " (bottom)" : "")
+                << (l + 1 == solution.die_layer_count() ? " (top)" : "");
+    render_layer_ascii(os, solution, l, layer_title.str());
+    os << '\n';
+  }
+}
+
+void write_layer_csv(std::ostream& os, const ThermalSolution& solution,
+                     std::size_t layer) {
+  for (std::size_t row = solution.ny(); row-- > 0;) {
+    for (std::size_t ix = 0; ix < solution.nx(); ++ix) {
+      if (ix) os << ',';
+      os << format_double(solution.at(layer, ix, row), 3);
+    }
+    os << '\n';
+  }
+}
+
+namespace {
+
+/// Blue -> cyan -> yellow -> red ramp for the normalized value in [0, 1].
+void heat_color(double v, unsigned char rgb[3]) {
+  v = std::clamp(v, 0.0, 1.0);
+  double r;
+  double g;
+  double b;
+  if (v < 1.0 / 3.0) {  // blue -> cyan
+    const double t = 3.0 * v;
+    r = 0.0;
+    g = t;
+    b = 1.0;
+  } else if (v < 2.0 / 3.0) {  // cyan -> yellow
+    const double t = 3.0 * v - 1.0;
+    r = t;
+    g = 1.0;
+    b = 1.0 - t;
+  } else {  // yellow -> red
+    const double t = 3.0 * v - 2.0;
+    r = 1.0;
+    g = 1.0 - t;
+    b = 0.0;
+  }
+  rgb[0] = static_cast<unsigned char>(255.0 * r);
+  rgb[1] = static_cast<unsigned char>(255.0 * g);
+  rgb[2] = static_cast<unsigned char>(255.0 * b);
+}
+
+}  // namespace
+
+void write_layer_ppm(std::ostream& os, const ThermalSolution& solution,
+                     std::size_t layer, std::size_t scale, double t_min,
+                     double t_max) {
+  const std::vector<double> field = solution.layer_field(layer);
+  if (t_min >= t_max) {
+    const auto [lo, hi] = std::minmax_element(field.begin(), field.end());
+    t_min = *lo;
+    t_max = *hi;
+  }
+  const double span = std::max(1e-9, t_max - t_min);
+  const std::size_t w = solution.nx() * scale;
+  const std::size_t h = solution.ny() * scale;
+  os << "P6\n" << w << ' ' << h << "\n255\n";
+  for (std::size_t py = 0; py < h; ++py) {
+    // Image rows run top-down; grid rows run bottom-up.
+    const std::size_t iy = solution.ny() - 1 - py / scale;
+    for (std::size_t px = 0; px < w; ++px) {
+      const std::size_t ix = px / scale;
+      unsigned char rgb[3];
+      heat_color((solution.at(layer, ix, iy) - t_min) / span, rgb);
+      os.write(reinterpret_cast<const char*>(rgb), 3);
+    }
+  }
+}
+
+std::string block_summary(const ThermalSolution& solution, std::size_t layer,
+                          const Floorplan& fp) {
+  const std::vector<double> temps = solution.block_temperatures_c(layer, fp);
+  std::ostringstream ss;
+  for (std::size_t b = 0; b < fp.block_count(); ++b) {
+    if (b) ss << " | ";
+    ss << fp.blocks()[b].name << ' ' << format_double(temps[b], 1);
+  }
+  return ss.str();
+}
+
+}  // namespace aqua

@@ -1,0 +1,41 @@
+#pragma once
+
+/// Rendering of per-layer thermal maps (paper Figs. 9 / 16 / 18) as ASCII
+/// heatmaps and CSV grids.
+
+#include <iosfwd>
+#include <string>
+
+#include "thermal/grid_model.hpp"
+
+namespace aqua {
+
+/// Renders one layer of a solution as an ASCII heatmap. The temperature
+/// range is binned into the glyph ramp " .:-=+*#%@" scaled to the layer's
+/// own min/max (the paper notes each map has its own color scale).
+/// A min/max annotation line precedes the grid.
+void render_layer_ascii(std::ostream& os, const ThermalSolution& solution,
+                        std::size_t layer, const std::string& title);
+
+/// Renders every die layer of the solution (bottom first).
+void render_stack_ascii(std::ostream& os, const ThermalSolution& solution,
+                        const std::string& title);
+
+/// Writes one layer's field as CSV (ny rows of nx temperatures, top row
+/// first so the file reads like the rendered map).
+void write_layer_csv(std::ostream& os, const ThermalSolution& solution,
+                     std::size_t layer);
+
+/// Per-block temperature summary line, e.g. "CORE1 81.2 | L2_01 64.3 ...".
+std::string block_summary(const ThermalSolution& solution, std::size_t layer,
+                          const Floorplan& fp);
+
+/// Writes one layer as a binary PPM (P6) heat image with a blue-to-red
+/// color ramp, upscaled by `scale` pixels per cell. The temperature range
+/// maps [t_min, t_max]; pass equal values (the default 0/0) to auto-scale
+/// to the layer's own range, as the paper's per-layer color scales do.
+void write_layer_ppm(std::ostream& os, const ThermalSolution& solution,
+                     std::size_t layer, std::size_t scale = 8,
+                     double t_min = 0.0, double t_max = 0.0);
+
+}  // namespace aqua

@@ -1,0 +1,101 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace aqua {
+namespace {
+
+const char* kSample = R"(
+# scenario file
+[experiment]
+chip   = high_frequency   ; inline comment
+chips  = 6
+threshold = 80.5
+verbose = yes
+
+[thermal]
+grid = 32
+)";
+
+TEST(Config, ParsesSectionsAndKeys) {
+  const Config c = Config::parse_string(kSample);
+  EXPECT_TRUE(c.has_section("experiment"));
+  EXPECT_TRUE(c.has_section("thermal"));
+  EXPECT_FALSE(c.has_section("nope"));
+  EXPECT_TRUE(c.has("experiment", "chip"));
+  EXPECT_FALSE(c.has("experiment", "nope"));
+}
+
+TEST(Config, StripsCommentsAndWhitespace) {
+  const Config c = Config::parse_string(kSample);
+  EXPECT_EQ(c.get_string("experiment", "chip"), "high_frequency");
+}
+
+TEST(Config, TypedGetters) {
+  const Config c = Config::parse_string(kSample);
+  EXPECT_EQ(c.get_int("experiment", "chips"), 6);
+  EXPECT_DOUBLE_EQ(c.get_double("experiment", "threshold"), 80.5);
+  EXPECT_TRUE(c.get_bool("experiment", "verbose", false));
+  EXPECT_FALSE(c.get_bool("experiment", "absent", false));
+}
+
+TEST(Config, Fallbacks) {
+  const Config c = Config::parse_string(kSample);
+  EXPECT_EQ(c.get_string("experiment", "absent", "dflt"), "dflt");
+  EXPECT_EQ(c.get_int("experiment", "absent", 7), 7);
+  EXPECT_DOUBLE_EQ(c.get_double("thermal", "absent", 1.5), 1.5);
+}
+
+TEST(Config, MissingRequiredKeyThrowsWithContext) {
+  const Config c = Config::parse_string(kSample);
+  try {
+    (void)c.get_string("experiment", "missing_key");
+    FAIL();
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("experiment"), std::string::npos);
+    EXPECT_NE(what.find("missing_key"), std::string::npos);
+  }
+}
+
+TEST(Config, TypeErrorsThrow) {
+  const Config c = Config::parse_string("[s]\nx = abc\nb = maybe\n");
+  EXPECT_THROW((void)c.get_int("s", "x"), Error);
+  EXPECT_THROW((void)c.get_double("s", "x"), Error);
+  EXPECT_THROW((void)c.get_bool("s", "b", false), Error);
+}
+
+TEST(Config, MalformedLinesThrow) {
+  EXPECT_THROW(Config::parse_string("[unterminated\n"), Error);
+  EXPECT_THROW(Config::parse_string("key_without_section = 1\n"), Error);
+  EXPECT_THROW(Config::parse_string("[s]\nno_equals_sign\n"), Error);
+  EXPECT_THROW(Config::parse_string("[]\n"), Error);
+}
+
+TEST(Config, LastAssignmentWins) {
+  const Config c = Config::parse_string("[s]\nx = 1\nx = 2\n");
+  EXPECT_EQ(c.get_int("s", "x"), 2);
+  EXPECT_EQ(c.keys("s").size(), 1u);
+}
+
+TEST(Config, KeysPreserveOrder) {
+  const Config c = Config::parse_string("[s]\nzebra = 1\nalpha = 2\n");
+  const auto keys = c.keys("s");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "zebra");
+  EXPECT_EQ(keys[1], "alpha");
+}
+
+TEST(Config, BooleanSpellings) {
+  const Config c = Config::parse_string(
+      "[s]\na = true\nb = ON\nc = 0\nd = No\n");
+  EXPECT_TRUE(c.get_bool("s", "a", false));
+  EXPECT_TRUE(c.get_bool("s", "b", false));
+  EXPECT_FALSE(c.get_bool("s", "c", true));
+  EXPECT_FALSE(c.get_bool("s", "d", true));
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,75 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace aqua {
+namespace {
+
+TEST(Matrix, IdentitySolve) {
+  const Matrix eye = Matrix::identity(4);
+  const std::vector<double> b{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> x = solve_dense(eye, b);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(x[i], b[i]);
+}
+
+TEST(Matrix, KnownSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1, 3]
+  Matrix a(2, 2);
+  a(0, 0) = 2.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0;
+  const std::vector<double> x = solve_dense(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Matrix, PivotingHandlesZeroLeadingEntry) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 0.0;
+  const std::vector<double> x = solve_dense(a, {3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Matrix, RandomRoundTrip) {
+  Xoshiro256 rng(99);
+  const std::size_t n = 20;
+  Matrix a(n, n);
+  std::vector<double> truth(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    truth[i] = rng.uniform(-5.0, 5.0);
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+    a(i, i) += static_cast<double>(n);  // diagonally dominant: nonsingular
+  }
+  const std::vector<double> b = a.multiply(truth);
+  const std::vector<double> x = solve_dense(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], truth[i], 1e-9);
+}
+
+TEST(Matrix, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 4.0;
+  EXPECT_THROW(solve_dense(a, {1.0, 2.0}), Error);
+}
+
+TEST(Matrix, DimensionMismatchThrows) {
+  EXPECT_THROW(solve_dense(Matrix(2, 3), {1.0, 2.0}), Error);
+  EXPECT_THROW(solve_dense(Matrix::identity(3), {1.0, 2.0}), Error);
+  EXPECT_THROW((void)Matrix(2, 2).multiply({1.0, 2.0, 3.0}), Error);
+}
+
+TEST(Matrix, MultiplyKnown) {
+  Matrix a(2, 3);
+  a(0, 0) = 1.0; a(0, 1) = 2.0; a(0, 2) = 3.0;
+  a(1, 0) = 4.0; a(1, 1) = 5.0; a(1, 2) = 6.0;
+  const std::vector<double> y = a.multiply({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+}  // namespace
+}  // namespace aqua

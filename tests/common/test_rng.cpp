@@ -1,0 +1,129 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace aqua {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsWellMixed) {
+  Xoshiro256 rng(0);
+  // splitmix64 seeding must not produce the all-zero degenerate state.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 32; ++i) seen.insert(rng());
+  EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Xoshiro256 rng(11);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformIndexUnbiasedCoverage) {
+  Xoshiro256 rng(5);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 / 5);
+}
+
+TEST(Rng, NormalMoments) {
+  Xoshiro256 rng(13);
+  double mean = 0.0;
+  double var = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    mean += x;
+    var += x * x;
+  }
+  mean /= n;
+  var = var / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted) {
+  Xoshiro256 rng(17);
+  double acc = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) acc += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(acc / n, 10.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Xoshiro256 rng(19);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.exponential(0.5);
+  EXPECT_NEAR(acc / n, 2.0, 0.1);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  Xoshiro256 rng(23);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.weibull(1.0, 3.0);
+  EXPECT_NEAR(acc / n, 3.0, 0.15);  // scale == mean for shape 1
+}
+
+TEST(Rng, WeibullPositive) {
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.weibull(1.5, 100.0), 0.0);
+}
+
+TEST(Rng, BernoulliRate) {
+  Xoshiro256 rng(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Xoshiro256 parent(42);
+  Xoshiro256 child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent() == child());
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace aqua

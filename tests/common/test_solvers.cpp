@@ -1,0 +1,130 @@
+#include "common/solvers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace aqua {
+namespace {
+
+/// 2-D grounded grid Laplacian of size n x n (SPD).
+SparseMatrix grid_laplacian(std::size_t n, double ground = 0.5) {
+  SparseBuilder b(n * n, n * n);
+  auto idx = [n](std::size_t i, std::size_t j) { return i * n + j; };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      b.add(idx(i, j), idx(i, j), ground);
+      if (i + 1 < n) {
+        b.add(idx(i, j), idx(i, j), 1.0);
+        b.add(idx(i + 1, j), idx(i + 1, j), 1.0);
+        b.add(idx(i, j), idx(i + 1, j), -1.0);
+        b.add(idx(i + 1, j), idx(i, j), -1.0);
+      }
+      if (j + 1 < n) {
+        b.add(idx(i, j), idx(i, j), 1.0);
+        b.add(idx(i, j + 1), idx(i, j + 1), 1.0);
+        b.add(idx(i, j), idx(i, j + 1), -1.0);
+        b.add(idx(i, j + 1), idx(i, j), -1.0);
+      }
+    }
+  }
+  return b.build();
+}
+
+TEST(Solvers, CgMatchesDenseSolve) {
+  const std::size_t n = 6;
+  const SparseMatrix a = grid_laplacian(n);
+  Matrix dense(n * n, n * n);
+  for (std::size_t r = 0; r < n * n; ++r) {
+    for (std::size_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      dense(r, a.col_idx()[k]) = a.values()[k];
+    }
+  }
+  Xoshiro256 rng(4);
+  std::vector<double> b(n * n);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+
+  const std::vector<double> ref = solve_dense(dense, b);
+  const SolveResult cg = solve_cg(a, b);
+  ASSERT_TRUE(cg.converged);
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_NEAR(cg.x[i], ref[i], 1e-6);
+}
+
+TEST(Solvers, CgZeroRhsGivesZero) {
+  const SparseMatrix a = grid_laplacian(4);
+  const SolveResult r = solve_cg(a, std::vector<double>(16, 0.0));
+  EXPECT_TRUE(r.converged);
+  for (double v : r.x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Solvers, CgWarmStartConvergesFaster) {
+  const SparseMatrix a = grid_laplacian(12);
+  std::vector<double> b(144, 1.0);
+  const SolveResult cold = solve_cg(a, b);
+  ASSERT_TRUE(cold.converged);
+  const SolveResult warm = solve_cg(a, b, {}, cold.x);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, 2u);
+  EXPECT_LT(warm.iterations, cold.iterations);
+}
+
+TEST(Solvers, GaussSeidelMatchesCg) {
+  const SparseMatrix a = grid_laplacian(5);
+  std::vector<double> b(25);
+  Xoshiro256 rng(8);
+  for (double& v : b) v = rng.uniform(0.0, 2.0);
+  const SolveResult cg = solve_cg(a, b);
+  SolverOptions gs_opts;
+  gs_opts.max_iterations = 100000;
+  gs_opts.tolerance = 1e-10;
+  const SolveResult gs = solve_gauss_seidel(a, b, gs_opts);
+  ASSERT_TRUE(cg.converged);
+  ASSERT_TRUE(gs.converged);
+  for (std::size_t i = 0; i < 25; ++i) EXPECT_NEAR(gs.x[i], cg.x[i], 1e-6);
+}
+
+TEST(Solvers, CgRespectsIterationBudget) {
+  const SparseMatrix a = grid_laplacian(16, 1e-4);
+  std::vector<double> b(256, 1.0);
+  SolverOptions opts;
+  opts.max_iterations = 2;
+  const SolveResult r = solve_cg(a, b, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 2u);
+}
+
+TEST(Solvers, CgRejectsNonSquare) {
+  SparseBuilder b(2, 3);
+  b.add(0, 0, 1.0);
+  EXPECT_THROW(solve_cg(b.build(), {1.0, 1.0}), Error);
+}
+
+TEST(Solvers, CgRejectsNonPositiveDiagonal) {
+  SparseBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, -1.0);
+  EXPECT_THROW(solve_cg(b.build(), {1.0, 1.0}), Error);
+}
+
+TEST(Solvers, ParallelSpmvCgMatchesSerialCg) {
+  const SparseMatrix a = grid_laplacian(20);
+  std::vector<double> b(400, 1.0);
+  SolverOptions serial;
+  SolverOptions parallel;
+  parallel.threads = 4;
+  const SolveResult r1 = solve_cg(a, b, serial);
+  const SolveResult r2 = solve_cg(a, b, parallel);
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r2.converged);
+  for (std::size_t i = 0; i < 400; ++i) EXPECT_NEAR(r1.x[i], r2.x[i], 1e-8);
+}
+
+TEST(Solvers, Norm2) {
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm2({}), 0.0);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,119 @@
+#include "common/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace aqua {
+namespace {
+
+SparseMatrix small_laplacian(std::size_t n) {
+  SparseBuilder b(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    b.add(i, i, 1.0);
+    b.add(i + 1, i + 1, 1.0);
+    b.add(i, i + 1, -1.0);
+    b.add(i + 1, i, -1.0);
+  }
+  b.add(0, 0, 1.0);  // ground node 0: nonsingular
+  return b.build();
+}
+
+TEST(Sparse, BuilderAccumulatesDuplicates) {
+  SparseBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.5);
+  b.add(1, 0, -1.0);
+  const SparseMatrix m = b.build();
+  EXPECT_EQ(m.nonzeros(), 2u);
+  std::vector<double> y(2);
+  m.multiply(std::vector<double>{1.0, 0.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.5);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(Sparse, ColumnsSortedWithinRow) {
+  SparseBuilder b(1, 4);
+  b.add(0, 3, 3.0);
+  b.add(0, 1, 1.0);
+  b.add(0, 2, 2.0);
+  const SparseMatrix m = b.build();
+  ASSERT_EQ(m.nonzeros(), 3u);
+  EXPECT_EQ(m.col_idx()[0], 1u);
+  EXPECT_EQ(m.col_idx()[1], 2u);
+  EXPECT_EQ(m.col_idx()[2], 3u);
+}
+
+TEST(Sparse, MultiplyMatchesDense) {
+  const SparseMatrix m = small_laplacian(5);
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> y(5);
+  m.multiply(x, y);
+  // Row 0: 2*x0 - x1 (with the extra ground term).
+  EXPECT_DOUBLE_EQ(y[0], 2.0 * 1.0 - 2.0);
+  // Interior row i: -x[i-1] + 2 x[i] - x[i+1].
+  EXPECT_DOUBLE_EQ(y[2], -2.0 + 6.0 - 4.0);
+  EXPECT_DOUBLE_EQ(y[4], -4.0 + 5.0);
+}
+
+TEST(Sparse, ParallelMultiplyMatchesSerial) {
+  Xoshiro256 rng(1);
+  const std::size_t n = 5000;
+  SparseBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add(i, i, 4.0 + rng.uniform());
+    if (i + 1 < n) {
+      b.add(i, i + 1, -1.0);
+      b.add(i + 1, i, -1.0);
+    }
+  }
+  const SparseMatrix m = b.build();
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> y1(n);
+  std::vector<double> y2(n);
+  m.multiply(x, y1);
+  m.multiply_parallel(x, y2, 4);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+TEST(Sparse, Diagonal) {
+  const SparseMatrix m = small_laplacian(4);
+  const std::vector<double> d = m.diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 2.0);  // 1 (chain) + 1 (ground)
+  EXPECT_DOUBLE_EQ(d[1], 2.0);
+  EXPECT_DOUBLE_EQ(d[3], 1.0);
+}
+
+TEST(Sparse, GaussSeidelSweepReducesResidual) {
+  const SparseMatrix m = small_laplacian(6);
+  const std::vector<double> bvec(6, 1.0);
+  std::vector<double> x(6, 0.0);
+  auto residual_norm = [&] {
+    std::vector<double> r(6);
+    m.multiply(x, r);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < 6; ++i) acc += (bvec[i] - r[i]) * (bvec[i] - r[i]);
+    return acc;
+  };
+  const double before = residual_norm();
+  for (int i = 0; i < 10; ++i) m.gauss_seidel_sweep(bvec, x);
+  EXPECT_LT(residual_norm(), before * 0.5);
+}
+
+TEST(Sparse, OutOfRangeEntryThrows) {
+  SparseBuilder b(2, 2);
+  EXPECT_THROW(b.add(2, 0, 1.0), Error);
+  EXPECT_THROW(b.add(0, 2, 1.0), Error);
+}
+
+TEST(Sparse, DimensionMismatchThrows) {
+  const SparseMatrix m = small_laplacian(3);
+  std::vector<double> bad(2);
+  std::vector<double> y(3);
+  EXPECT_THROW(m.multiply(bad, y), Error);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,83 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace aqua {
+namespace {
+
+TEST(Stats, SummaryOfKnownSet) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, SingleSample) {
+  const Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+}
+
+TEST(Stats, EmptyThrows) {
+  EXPECT_THROW(summarize({}), Error);
+  EXPECT_THROW(quantile({}, 0.5), Error);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(quantile({5.0, 1.0, 3.0}, 0.5), 3.0);
+}
+
+TEST(Stats, QuantileRejectsBadP) {
+  EXPECT_THROW(quantile({1.0}, -0.1), Error);
+  EXPECT_THROW(quantile({1.0}, 1.1), Error);
+}
+
+TEST(Stats, NormalSampleMoments) {
+  Xoshiro256 rng(3);
+  std::vector<double> v(20000);
+  for (double& x : v) x = rng.normal(5.0, 2.0);
+  const Summary s = summarize(v);
+  EXPECT_NEAR(s.mean, 5.0, 0.05);
+  EXPECT_NEAR(s.stddev, 2.0, 0.05);
+  EXPECT_NEAR(s.median, 5.0, 0.08);
+}
+
+TEST(Stats, WilsonIntervalBrackets) {
+  const Interval i = wilson_interval(5, 5);
+  EXPECT_GT(i.lo, 0.5);  // 5/5 successes: true rate very likely > 0.5
+  EXPECT_DOUBLE_EQ(i.hi, 1.0);
+  EXPECT_TRUE(i.contains(0.95));
+
+  const Interval z = wilson_interval(0, 5);
+  EXPECT_DOUBLE_EQ(z.lo, 0.0);
+  EXPECT_LT(z.hi, 0.5);
+}
+
+TEST(Stats, WilsonIntervalShrinksWithN) {
+  const Interval small = wilson_interval(10, 20);
+  const Interval big = wilson_interval(1000, 2000);
+  EXPECT_LT(big.hi - big.lo, small.hi - small.lo);
+  EXPECT_TRUE(big.contains(0.5));
+}
+
+TEST(Stats, WilsonValidation) {
+  EXPECT_THROW(wilson_interval(1, 0), Error);
+  EXPECT_THROW(wilson_interval(3, 2), Error);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,69 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(Units, ArithmeticKeepsStrongType) {
+  const Watts a(10.0);
+  const Watts b(5.0);
+  EXPECT_DOUBLE_EQ((a + b).value(), 15.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 5.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 20.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 20.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).value(), 5.0);
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsDouble) {
+  const Hertz f1 = gigahertz(3.6);
+  const Hertz f2 = gigahertz(1.8);
+  const double ratio = f1 / f2;
+  EXPECT_DOUBLE_EQ(ratio, 2.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Celsius t(20.0);
+  t += Celsius(5.0);
+  EXPECT_DOUBLE_EQ(t.value(), 25.0);
+  t -= Celsius(10.0);
+  EXPECT_DOUBLE_EQ(t.value(), 15.0);
+  t *= 2.0;
+  EXPECT_DOUBLE_EQ(t.value(), 30.0);
+  t /= 3.0;
+  EXPECT_DOUBLE_EQ(t.value(), 10.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Watts(1.0), Watts(2.0));
+  EXPECT_GT(gigahertz(2.0), gigahertz(1.9));
+  EXPECT_EQ(Celsius(25.0), Celsius(25.0));
+}
+
+TEST(Units, ConvenienceConstructors) {
+  EXPECT_DOUBLE_EQ(gigahertz(2.5).value(), 2.5e9);
+  EXPECT_DOUBLE_EQ(gigahertz(2.5).gigahertz(), 2.5);
+  EXPECT_DOUBLE_EQ(millimeters(13.0).value(), 0.013);
+  EXPECT_DOUBLE_EQ(micrometers(120.0).value(), 120e-6);
+  EXPECT_DOUBLE_EQ(millimeters(13.0).millimeters(), 13.0);
+  EXPECT_DOUBLE_EQ(micrometers(20.0).micrometers(), 20.0);
+}
+
+TEST(Units, AreaFromLengthProduct) {
+  const SquareMeters a = millimeters(13.0) * millimeters(13.0);
+  EXPECT_NEAR(a.square_millimeters(), 169.0, 1e-9);
+}
+
+TEST(Units, PowerTimesResistanceIsTemperature) {
+  const Celsius dt = Watts(100.0) * KelvinPerWatt(0.25);
+  EXPECT_DOUBLE_EQ(dt.value(), 25.0);
+  const Celsius dt2 = KelvinPerWatt(0.25) * Watts(100.0);
+  EXPECT_DOUBLE_EQ(dt2.value(), 25.0);
+}
+
+TEST(Units, SecondsMilliseconds) {
+  EXPECT_DOUBLE_EQ(Seconds(0.5).milliseconds(), 500.0);
+}
+
+}  // namespace
+}  // namespace aqua

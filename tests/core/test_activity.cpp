@@ -1,0 +1,109 @@
+#include "core/activity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "power/chip_model.hpp"
+
+namespace aqua {
+namespace {
+
+ExecStats stats_with_utils(std::vector<double> utils) {
+  ExecStats s;
+  s.core_utilization = std::move(utils);
+  return s;
+}
+
+TEST(Activity, FullUtilizationMatchesRatedPower) {
+  const ChipModel chip = make_high_frequency_cmp();
+  const Stack3d stack(chip.floorplan(), 2, FlipPolicy::kNone);
+  const auto powers = activity_scaled_powers(
+      chip, stack, gigahertz(3.0), stats_with_utils(std::vector<double>(8, 1.0)));
+  double total = 0.0;
+  for (const auto& layer : powers) {
+    for (double p : layer) total += p;
+  }
+  EXPECT_NEAR(total, 2.0 * chip.total_power(gigahertz(3.0)).value(), 1e-9);
+}
+
+TEST(Activity, IdleCoresDrawLess) {
+  const ChipModel chip = make_high_frequency_cmp();
+  const Stack3d stack(chip.floorplan(), 1, FlipPolicy::kNone);
+  const auto busy = activity_scaled_powers(
+      chip, stack, gigahertz(3.0), stats_with_utils({1.0, 1.0, 1.0, 1.0}));
+  const auto idle = activity_scaled_powers(
+      chip, stack, gigahertz(3.0), stats_with_utils({0.0, 0.0, 0.0, 0.0}));
+  double busy_total = 0.0;
+  double idle_total = 0.0;
+  for (double p : busy[0]) busy_total += p;
+  for (double p : idle[0]) idle_total += p;
+  EXPECT_LT(idle_total, busy_total);
+  // Idle still burns static power + the idle dynamic floor.
+  EXPECT_GT(idle_total, 0.4 * busy_total);
+}
+
+TEST(Activity, OnlyCoreBlocksRespond) {
+  const ChipModel chip = make_high_frequency_cmp();
+  const Stack3d stack(chip.floorplan(), 1, FlipPolicy::kNone);
+  const auto rated = chip.block_powers(stack.layer(0), gigahertz(3.0));
+  const auto scaled = activity_scaled_powers(
+      chip, stack, gigahertz(3.0), stats_with_utils({0.2, 0.2, 0.2, 0.2}));
+  for (std::size_t b = 0; b < rated.size(); ++b) {
+    if (stack.layer(0).blocks()[b].kind == UnitKind::kCore) {
+      EXPECT_LT(scaled[0][b], rated[b]);
+    } else {
+      EXPECT_DOUBLE_EQ(scaled[0][b], rated[b]);
+    }
+  }
+}
+
+TEST(Activity, PerCoreAsymmetryLandsOnTheRightBlock) {
+  const ChipModel chip = make_high_frequency_cmp();
+  const Stack3d stack(chip.floorplan(), 1, FlipPolicy::kNone);
+  // Core 0 busy, others idle: CORE1's block keeps more power than CORE4's.
+  const auto scaled = activity_scaled_powers(
+      chip, stack, gigahertz(3.0), stats_with_utils({1.0, 0.0, 0.0, 0.0}));
+  const Floorplan& fp = stack.layer(0);
+  const auto i1 = fp.find("CORE1");
+  const auto i4 = fp.find("CORE4");
+  ASSERT_TRUE(i1 && i4);
+  EXPECT_GT(scaled[0][*i1], scaled[0][*i4]);
+}
+
+TEST(Activity, MismatchedUtilizationThrows) {
+  const ChipModel chip = make_high_frequency_cmp();
+  const Stack3d stack(chip.floorplan(), 2, FlipPolicy::kNone);
+  EXPECT_THROW(
+      activity_scaled_powers(chip, stack, gigahertz(3.0),
+                             stats_with_utils({1.0, 1.0, 1.0})),
+      Error);
+}
+
+TEST(Activity, EndToEndStudyShowsHeadroom) {
+  WorkloadProfile p = npb_profile("is");  // memory-bound: low utilization
+  p.instructions_per_thread = 6000;
+  const ActivityThermalResult r = activity_thermal_study(
+      make_high_frequency_cmp(), 2,
+      CoolingOption(CoolingKind::kWaterImmersion), gigahertz(3.0), p, 1,
+      GridOptions{16, 16, {}});
+  EXPECT_GT(r.mean_utilization, 0.0);
+  EXPECT_LT(r.mean_utilization, 1.0);
+  EXPECT_LT(r.observed_peak_c, r.worst_case_peak_c);
+  EXPECT_LT(r.observed_power_w, r.worst_case_power_w);
+  EXPECT_GT(r.observed_peak_c, 25.0);
+}
+
+TEST(Activity, SystemReportsUtilizations) {
+  CmpConfig cfg;
+  cfg.chips = 2;
+  WorkloadProfile p = npb_profile("ep");
+  p.instructions_per_thread = 20000;
+  const ExecStats st = CmpSystem(cfg, p, gigahertz(2.0)).run();
+  ASSERT_EQ(st.core_utilization.size(), 8u);
+  for (double u : st.core_utilization) {
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/cooling.hpp"
+#include "core/pue.hpp"
+
+namespace aqua {
+namespace {
+
+// -------------------------------------------------------------- cooling ----
+
+TEST(Cooling, FiveOptionsInPaperOrder) {
+  const auto options = all_cooling_options();
+  ASSERT_EQ(options.size(), 5u);
+  EXPECT_EQ(options[0].kind(), CoolingKind::kAir);
+  EXPECT_EQ(options[1].kind(), CoolingKind::kWaterPipe);
+  EXPECT_EQ(options[2].kind(), CoolingKind::kMineralOil);
+  EXPECT_EQ(options[3].kind(), CoolingKind::kFluorinert);
+  EXPECT_EQ(options[4].kind(), CoolingKind::kWaterImmersion);
+}
+
+TEST(Cooling, ImmersionClassification) {
+  EXPECT_FALSE(CoolingOption(CoolingKind::kAir).immersion());
+  EXPECT_FALSE(CoolingOption(CoolingKind::kWaterPipe).immersion());
+  EXPECT_TRUE(CoolingOption(CoolingKind::kMineralOil).immersion());
+  EXPECT_TRUE(CoolingOption(CoolingKind::kFluorinert).immersion());
+  EXPECT_TRUE(CoolingOption(CoolingKind::kWaterImmersion).immersion());
+}
+
+TEST(Cooling, OnlyWaterRequiresTheFilm) {
+  for (const CoolingOption& o : all_cooling_options()) {
+    EXPECT_EQ(o.requires_film(), o.kind() == CoolingKind::kWaterImmersion)
+        << o.name();
+  }
+}
+
+TEST(Cooling, BoundaryCoefficients) {
+  const PackageConfig pkg;
+  const ThermalBoundary air =
+      CoolingOption(CoolingKind::kAir).boundary(pkg);
+  EXPECT_DOUBLE_EQ(air.top_htc.value(), 14.0);
+  EXPECT_TRUE(air.top_coolant_is_gas);
+  EXPECT_DOUBLE_EQ(air.coldplate_resistance, 0.0);
+  EXPECT_FALSE(air.film_on_bottom);
+
+  const ThermalBoundary pipe =
+      CoolingOption(CoolingKind::kWaterPipe).boundary(pkg);
+  EXPECT_DOUBLE_EQ(pipe.coldplate_resistance, kColdPlateResistance);
+  EXPECT_DOUBLE_EQ(pipe.bottom_htc.value(), 14.0);  // board still in air
+
+  const ThermalBoundary water =
+      CoolingOption(CoolingKind::kWaterImmersion).boundary(pkg);
+  EXPECT_DOUBLE_EQ(water.top_htc.value(), 800.0);
+  EXPECT_DOUBLE_EQ(water.bottom_htc.value(), 800.0);
+  EXPECT_TRUE(water.film_on_bottom);
+  EXPECT_FALSE(water.top_coolant_is_gas);
+
+  const ThermalBoundary oil =
+      CoolingOption(CoolingKind::kMineralOil).boundary(pkg);
+  EXPECT_DOUBLE_EQ(oil.top_htc.value(), 160.0);
+  const ThermalBoundary fc =
+      CoolingOption(CoolingKind::kFluorinert).boundary(pkg);
+  EXPECT_DOUBLE_EQ(fc.top_htc.value(), 180.0);
+}
+
+TEST(Cooling, AmbientFollowsPackage) {
+  PackageConfig pkg;
+  pkg.ambient_c = 30.0;
+  for (const CoolingOption& o : all_cooling_options()) {
+    EXPECT_DOUBLE_EQ(o.boundary(pkg).ambient_c, 30.0);
+  }
+}
+
+// ------------------------------------------------------------------ PUE ----
+
+TEST(Pue, DirectNaturalWaterApproachesOne) {
+  FacilityConfig cfg;
+  cfg.cooling = FacilityCooling::kDirectNaturalWater;
+  const FacilityResult r = evaluate_facility(cfg);
+  EXPECT_LT(r.pue, 1.01);
+  EXPECT_GE(r.pue, 1.0);
+  EXPECT_DOUBLE_EQ(r.chiller_kw, 0.0);
+  EXPECT_DOUBLE_EQ(r.pump_kw, 0.0);
+}
+
+TEST(Pue, ArchitectureOrdering) {
+  const auto results = facility_comparison(100.0);
+  ASSERT_EQ(results.size(), 4u);
+  // chilled air > warm water > oil immersion > direct natural water.
+  EXPECT_GT(results[0].pue, results[1].pue);
+  EXPECT_GT(results[1].pue, results[2].pue);
+  EXPECT_GT(results[2].pue, results[3].pue);
+}
+
+TEST(Pue, PublishedAnchors) {
+  const auto results = facility_comparison(100.0);
+  EXPECT_NEAR(results[0].pue, 1.4, 0.1);    // conventional chiller plant
+  EXPECT_NEAR(results[2].pue, 1.05, 0.02);  // GRC oil immersion [12]
+  EXPECT_NEAR(results[3].pue, 1.003, 1e-6); // Section 4.4.2
+}
+
+TEST(Pue, DirectCoolingAlsoCoolsChipsBetter) {
+  // Removing the secondary loop lowers the primary coolant temperature,
+  // hence the chip temperature (Section 4.4.1).
+  const auto results = facility_comparison(100.0, 25.0);
+  const FacilityResult& oil = results[2];
+  const FacilityResult& direct = results[3];
+  EXPECT_LT(direct.primary_coolant_temp_c, oil.primary_coolant_temp_c);
+  EXPECT_LT(direct.chip_temp_c, oil.chip_temp_c);
+}
+
+TEST(Pue, OverheadSumsMatchPue) {
+  for (const FacilityResult& r : facility_comparison(250.0)) {
+    EXPECT_NEAR(r.pue, (250.0 + r.overhead_kw()) / 250.0, 1e-12);
+  }
+}
+
+TEST(Pue, RejectsNonPositiveItPower) {
+  FacilityConfig cfg;
+  cfg.it_power_kw = 0.0;
+  EXPECT_THROW(evaluate_facility(cfg), Error);
+}
+
+}  // namespace
+}  // namespace aqua

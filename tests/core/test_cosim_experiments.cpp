@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "core/cosim.hpp"
+#include "core/experiments.hpp"
+#include "power/chip_model.hpp"
+
+namespace aqua {
+namespace {
+
+GridOptions coarse_grid() {
+  GridOptions g;
+  g.nx = 16;
+  g.ny = 16;
+  return g;
+}
+
+// ---------------------------------------------------------------- cosim ----
+
+TEST(CoSim, FeasibleConfigExecutesWorkload) {
+  CoSimulator sim(make_low_power_cmp(), PackageConfig{}, 80.0, CmpConfig{},
+                  coarse_grid());
+  WorkloadProfile p = npb_profile("ep");
+  p.instructions_per_thread = 4000;
+  const CoSimResult r =
+      sim.run(2, CoolingOption(CoolingKind::kWaterImmersion), p);
+  ASSERT_TRUE(r.cap.feasible);
+  ASSERT_TRUE(r.exec.has_value());
+  EXPECT_GT(r.exec->seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.cap.frequency.gigahertz(), 2.0);
+}
+
+TEST(CoSim, InfeasibleConfigSkipsExecution) {
+  CoSimulator sim(make_low_power_cmp(), PackageConfig{}, 80.0, CmpConfig{},
+                  coarse_grid());
+  WorkloadProfile p = npb_profile("ep");
+  p.instructions_per_thread = 4000;
+  const CoSimResult r = sim.run(10, CoolingOption(CoolingKind::kAir), p);
+  EXPECT_FALSE(r.cap.feasible);
+  EXPECT_FALSE(r.exec.has_value());
+}
+
+TEST(CoSim, BetterCoolantNeverSlower) {
+  CoSimulator sim(make_low_power_cmp(), PackageConfig{}, 80.0, CmpConfig{},
+                  coarse_grid());
+  WorkloadProfile p = npb_profile("ft");
+  p.instructions_per_thread = 4000;
+  const CoSimResult pipe =
+      sim.run(4, CoolingOption(CoolingKind::kWaterPipe), p);
+  const CoSimResult water =
+      sim.run(4, CoolingOption(CoolingKind::kWaterImmersion), p);
+  ASSERT_TRUE(pipe.exec.has_value());
+  ASSERT_TRUE(water.exec.has_value());
+  EXPECT_LE(water.exec->seconds, pipe.exec->seconds);
+}
+
+// ---------------------------------------------------- frequency vs chips ----
+
+TEST(Experiments, FrequencyVsChipsShapes) {
+  const FreqVsChipsData data =
+      frequency_vs_chips(make_low_power_cmp(), 6, 80.0, coarse_grid(), 1);
+  ASSERT_EQ(data.series.size(), 5u);
+  // Every feasible frequency is a ladder step within bounds, and each
+  // series is non-increasing in chips.
+  for (const FreqVsChipsSeries& s : data.series) {
+    double prev = 1e9;
+    for (const auto& g : s.ghz) {
+      if (!g.has_value()) continue;
+      EXPECT_GE(*g, 1.0);
+      EXPECT_LE(*g, 2.0);
+      EXPECT_LE(*g, prev);
+      prev = *g;
+    }
+  }
+  // Ordering at 4 chips: water at least as fast as oil, oil >= pipe >= air.
+  const auto at4 = [&](CoolingKind k) { return data.of(k).ghz[3]; };
+  ASSERT_TRUE(at4(CoolingKind::kWaterImmersion).has_value());
+  EXPECT_GE(*at4(CoolingKind::kWaterImmersion), *at4(CoolingKind::kMineralOil));
+  EXPECT_GE(*at4(CoolingKind::kMineralOil), *at4(CoolingKind::kWaterPipe));
+  EXPECT_GE(*at4(CoolingKind::kWaterPipe), *at4(CoolingKind::kAir));
+}
+
+TEST(Experiments, InfeasibleSeriesHasNoHoles) {
+  // Once a cooling option dies at N chips it stays dead for N+1 (frequency
+  // floors are fixed): the feasible prefix is contiguous.
+  const FreqVsChipsData data =
+      frequency_vs_chips(make_low_power_cmp(), 8, 80.0, coarse_grid(), 1);
+  for (const FreqVsChipsSeries& s : data.series) {
+    bool dead = false;
+    for (const auto& g : s.ghz) {
+      if (!g.has_value()) dead = true;
+      if (dead) {
+        EXPECT_FALSE(g.has_value());
+      }
+    }
+  }
+}
+
+TEST(Experiments, MaxFeasibleChipsHelper) {
+  const FreqVsChipsData data =
+      frequency_vs_chips(make_low_power_cmp(), 8, 80.0, coarse_grid(), 1);
+  EXPECT_GE(data.max_feasible_chips(CoolingKind::kWaterImmersion),
+            data.max_feasible_chips(CoolingKind::kWaterPipe));
+  EXPECT_GE(data.max_feasible_chips(CoolingKind::kWaterPipe),
+            data.max_feasible_chips(CoolingKind::kAir));
+}
+
+// ---------------------------------------------------------------- sweeps ----
+
+TEST(Experiments, HtcSweepMonotoneDecreasing) {
+  const std::vector<double> htcs{14.0, 100.0, 800.0, 3200.0};
+  const auto points =
+      htc_sweep(make_high_frequency_cmp(), 2, htcs, coarse_grid());
+  ASSERT_EQ(points.size(), htcs.size());
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i].temperature_c, points[i - 1].temperature_c);
+  }
+  // Fig. 14's observation: going beyond water's coefficient still helps.
+  EXPECT_GT(points[2].temperature_c - points[3].temperature_c, 0.1);
+}
+
+TEST(Experiments, RotationSweepFlipHelps) {
+  const auto points = rotation_sweep(make_high_frequency_cmp(), 4,
+                                     CoolingOption(CoolingKind::kAir),
+                                     coarse_grid());
+  ASSERT_EQ(points.size(), 13u);  // the high-frequency ladder
+  for (const RotationPoint& p : points) {
+    EXPECT_LE(p.temperature_flip_c, p.temperature_no_flip_c + 1e-9);
+  }
+  // At the top step the gap is significant (paper: ~13 C at 3.6 GHz for
+  // water; air shows a clear gap too).
+  EXPECT_GT(points.back().temperature_no_flip_c -
+                points.back().temperature_flip_c,
+            3.0);
+  // Temperatures rise with frequency.
+  EXPECT_GT(points.back().temperature_no_flip_c,
+            points.front().temperature_no_flip_c);
+}
+
+// ------------------------------------------------------------------ NPB ----
+
+TEST(Experiments, NpbExperimentSmall) {
+  // Tiny instruction scale keeps this integration test fast; shape checks
+  // only.
+  const NpbData data =
+      npb_experiment(make_low_power_cmp(), 4, CoolingKind::kWaterPipe, 80.0,
+                     /*instruction_scale=*/0.02, coarse_grid(), 1);
+  ASSERT_EQ(data.rows.size(), 10u);  // 9 programs + avg
+  ASSERT_EQ(data.coolings.size(), 4u);
+  EXPECT_EQ(data.threads, 16u);
+
+  // Baseline column is exactly 1.
+  for (const NpbRow& row : data.rows) {
+    if (row.benchmark == "avg") continue;
+    ASSERT_TRUE(row.relative[0].has_value()) << row.benchmark;
+    EXPECT_DOUBLE_EQ(*row.relative[0], 1.0);
+    // Water no slower than the water-pipe baseline.
+    ASSERT_TRUE(row.relative[3].has_value());
+    EXPECT_LE(*row.relative[3], 1.0 + 1e-9);
+  }
+  const auto mean = data.mean_relative(CoolingKind::kWaterImmersion);
+  ASSERT_TRUE(mean.has_value());
+  EXPECT_LT(*mean, 1.0);
+  EXPECT_GT(*mean, 0.5);
+}
+
+}  // namespace
+}  // namespace aqua

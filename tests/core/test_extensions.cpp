@@ -1,0 +1,229 @@
+/// Tests for the extension modules: temperature-dependent leakage and the
+/// coupled power-thermal loop, DTM, and the dense-packing study.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/coupled.hpp"
+#include "core/density.hpp"
+#include "core/dtm.hpp"
+#include "core/freq_cap.hpp"
+#include "power/chip_model.hpp"
+
+namespace aqua {
+namespace {
+
+GridOptions coarse_grid() {
+  GridOptions g;
+  g.nx = 16;
+  g.ny = 16;
+  return g;
+}
+
+// -------------------------------------------------------------- leakage ----
+
+TEST(Leakage, UnityAtReference) {
+  const LeakageModel m;
+  EXPECT_DOUBLE_EQ(m.scale(m.reference_c), 1.0);
+}
+
+TEST(Leakage, ExponentialGrowth) {
+  const LeakageModel m{80.0, 25.0};
+  EXPECT_NEAR(m.scale(105.0), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(m.scale(55.0), std::exp(-1.0), 1e-12);
+  EXPECT_GT(m.scale(90.0), m.scale(70.0));
+}
+
+TEST(Leakage, AdjustedPowerSplitsCorrectly) {
+  const LeakageModel m{80.0, 25.0};
+  // All-dynamic power is temperature independent.
+  EXPECT_DOUBLE_EQ(leakage_adjusted_power(10.0, 1.0, m, 40.0), 10.0);
+  // All-static power follows the scale exactly.
+  EXPECT_NEAR(leakage_adjusted_power(10.0, 0.0, m, 105.0),
+              10.0 * std::exp(1.0), 1e-9);
+  // At reference, any split returns the rated power.
+  EXPECT_DOUBLE_EQ(leakage_adjusted_power(10.0, 0.7, m, 80.0), 10.0);
+}
+
+// -------------------------------------------------------------- coupled ----
+
+TEST(Coupled, CoolConfigConvergesBelowWorstCase) {
+  CoupledOptions opts;
+  opts.grid = coarse_grid();
+  const CoupledResult r = solve_coupled(
+      make_low_power_cmp(), 2, CoolingOption(CoolingKind::kWaterImmersion),
+      gigahertz(1.5), PackageConfig{}, FlipPolicy::kNone, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.iterations, 0u);
+  // Running well below the 80 C reference, true leakage is lower than
+  // rated, so the self-consistent point is cooler and lower-power.
+  EXPECT_LT(r.max_temperature_c, r.worst_case_temperature_c);
+  EXPECT_LT(r.total_power.value(), r.worst_case_power.value());
+}
+
+TEST(Coupled, WorstCaseIsUpperBoundNearThreshold) {
+  // At an operating point whose worst-case peak sits near the reference
+  // temperature, the coupled solution stays at or below the worst case.
+  CoupledOptions opts;
+  opts.grid = coarse_grid();
+  MaxFrequencyFinder finder(make_high_frequency_cmp(), PackageConfig{}, 80.0,
+                            coarse_grid());
+  const CoolingOption water(CoolingKind::kWaterImmersion);
+  const FrequencyCap cap = finder.find(4, water);
+  ASSERT_TRUE(cap.feasible);
+  const CoupledResult r =
+      solve_coupled(make_high_frequency_cmp(), 4, water, cap.frequency,
+                    PackageConfig{}, FlipPolicy::kNone, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LE(r.max_temperature_c, r.worst_case_temperature_c + 1e-6);
+}
+
+TEST(Coupled, RunawayDetectedUnderHopelessCooling) {
+  // Ten air-cooled chips at full clock: leakage feedback diverges (or at
+  // minimum blows past the runaway guard).
+  CoupledOptions opts;
+  opts.grid = coarse_grid();
+  opts.runaway_c = 150.0;
+  const CoupledResult r = solve_coupled(
+      make_high_frequency_cmp(), 10, CoolingOption(CoolingKind::kAir),
+      gigahertz(3.6), PackageConfig{}, FlipPolicy::kNone, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_GT(r.max_temperature_c, 150.0);
+}
+
+TEST(Coupled, BetterCoolantLowersCoupledPower) {
+  CoupledOptions opts;
+  opts.grid = coarse_grid();
+  const ChipModel chip = make_low_power_cmp();
+  const CoupledResult oil =
+      solve_coupled(chip, 4, CoolingOption(CoolingKind::kMineralOil),
+                    gigahertz(1.5), PackageConfig{}, FlipPolicy::kNone, opts);
+  const CoupledResult water = solve_coupled(
+      chip, 4, CoolingOption(CoolingKind::kWaterImmersion), gigahertz(1.5),
+      PackageConfig{}, FlipPolicy::kNone, opts);
+  ASSERT_TRUE(oil.converged);
+  ASSERT_TRUE(water.converged);
+  // Cooler silicon leaks less: the water tank runs the same workload on
+  // less power — a second-order benefit the worst-case method cannot see.
+  EXPECT_LT(water.total_power.value(), oil.total_power.value());
+  EXPECT_LT(water.max_temperature_c, oil.max_temperature_c);
+}
+
+// ------------------------------------------------------------------ DTM ----
+
+struct DtmFixture {
+  ChipModel chip = make_high_frequency_cmp();
+  PackageConfig pkg{};
+  Stack3d stack{chip.floorplan(), 4, FlipPolicy::kNone};
+
+  DtmResult run(CoolingKind kind, double seconds = 40.0) {
+    StackThermalModel model(stack, pkg, CoolingOption(kind).boundary(pkg),
+                            GridOptions{12, 12, {}});
+    TransientOptions topts;
+    topts.dt_seconds = 0.1;
+    DtmPolicy policy;
+    return simulate_dtm(model, chip, chip.ladder().size() - 1, seconds,
+                        policy, topts);
+  }
+};
+
+TEST(Dtm, WaterSustainsMoreThanAir) {
+  DtmFixture f;
+  const DtmResult air = f.run(CoolingKind::kAir);
+  const DtmResult water = f.run(CoolingKind::kWaterImmersion);
+  EXPECT_GT(water.effective_ghz, air.effective_ghz);
+  EXPECT_GE(water.time_at_nominal, air.time_at_nominal);
+}
+
+TEST(Dtm, ControllerKeepsTemperatureNearTrigger) {
+  DtmFixture f;
+  const DtmResult r = f.run(CoolingKind::kAir, 60.0);
+  // The cold-start interval runs the nominal clock before the first
+  // sample, so the global peak may overshoot; once the controller is in
+  // charge (t > 2 s) the peak must hug the 80 C trigger.
+  double settled_peak = 0.0;
+  for (const DtmSample& s : r.samples) {
+    if (s.time_s > 2.0) settled_peak = std::max(settled_peak, s.max_die_temperature_c);
+  }
+  EXPECT_LT(settled_peak, 84.0);
+  EXPECT_GT(r.throttle_events, 0u);
+  EXPECT_LT(r.effective_ghz, f.chip.max_frequency().gigahertz());
+}
+
+TEST(Dtm, EffectiveFrequencyWithinLadder) {
+  DtmFixture f;
+  const DtmResult r = f.run(CoolingKind::kMineralOil);
+  EXPECT_GE(r.effective_ghz, f.chip.ladder().min().gigahertz() - 1e-9);
+  EXPECT_LE(r.effective_ghz, f.chip.ladder().max().gigahertz() + 1e-9);
+  ASSERT_FALSE(r.samples.empty());
+  EXPECT_NEAR(r.samples.back().time_s, 40.0, 0.2);
+}
+
+TEST(Dtm, ValidatesPolicy) {
+  DtmFixture f;
+  StackThermalModel model(
+      f.stack, f.pkg,
+      CoolingOption(CoolingKind::kAir).boundary(f.pkg),
+      GridOptions{12, 12, {}});
+  DtmPolicy bad;
+  bad.trigger_c = 70.0;
+  bad.release_c = 75.0;  // inverted hysteresis
+  EXPECT_THROW(simulate_dtm(model, f.chip, 0, 1.0, bad), Error);
+}
+
+// -------------------------------------------------------------- density ----
+
+TEST(Density, WaterPacksDensestForHotNodes) {
+  const auto results =
+      packing_study(make_high_frequency_cmp(), 4, 80.0, PackingConfig{},
+                    coarse_grid());
+  ASSERT_EQ(results.size(), 4u);
+  const PackingResult& air = results[0];
+  const PackingResult& water = results[3];
+  EXPECT_GT(water.kw_per_m3, 5.0 * std::max(0.001, air.kw_per_m3));
+  EXPECT_GT(water.node_ghz, air.node_ghz);
+}
+
+TEST(Density, AirIsTransportLimited) {
+  // Air's tiny volumetric heat capacity forces wide aisles between boards.
+  const auto results = packing_study(make_high_frequency_cmp(), 4, 80.0,
+                                     PackingConfig{}, coarse_grid());
+  EXPECT_TRUE(results[0].transport_limited);
+  EXPECT_FALSE(results[3].transport_limited);  // water: mechanical pitch
+  EXPECT_GT(results[0].pitch_m, results[3].pitch_m);
+}
+
+TEST(Density, InfeasibleNodeHasZeroDensity) {
+  PackingConfig cfg;
+  const PackingResult r =
+      packing_density(make_low_power_cmp(), 10, CoolingOption(CoolingKind::kAir),
+                      80.0, cfg, coarse_grid());
+  EXPECT_DOUBLE_EQ(r.nodes_per_m3, 0.0);
+  EXPECT_DOUBLE_EQ(r.node_power_w, 0.0);
+}
+
+TEST(Density, FasterFlowPacksTighter) {
+  PackingConfig slow;
+  slow.flow_velocity_m_s = 0.05;
+  PackingConfig fast;
+  fast.flow_velocity_m_s = 0.5;
+  const PackingResult a =
+      packing_density(make_high_frequency_cmp(), 4,
+                      CoolingOption(CoolingKind::kMineralOil), 80.0, slow,
+                      coarse_grid());
+  const PackingResult b =
+      packing_density(make_high_frequency_cmp(), 4,
+                      CoolingOption(CoolingKind::kMineralOil), 80.0, fast,
+                      coarse_grid());
+  EXPECT_GE(b.nodes_per_m3, a.nodes_per_m3);
+}
+
+TEST(Density, RejectsWaterPipe) {
+  EXPECT_THROW(packing_density(make_low_power_cmp(), 2,
+                               CoolingOption(CoolingKind::kWaterPipe)),
+               Error);
+}
+
+}  // namespace
+}  // namespace aqua

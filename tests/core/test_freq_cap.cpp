@@ -1,0 +1,123 @@
+#include "core/freq_cap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "power/chip_model.hpp"
+
+namespace aqua {
+namespace {
+
+GridOptions coarse_grid() {
+  GridOptions g;
+  g.nx = 16;
+  g.ny = 16;
+  return g;
+}
+
+TEST(FreqCap, SingleChipReachesMaxUnderWater) {
+  MaxFrequencyFinder finder(make_low_power_cmp(), PackageConfig{}, 80.0,
+                            coarse_grid());
+  const FrequencyCap cap =
+      finder.find(1, CoolingOption(CoolingKind::kWaterImmersion));
+  ASSERT_TRUE(cap.feasible);
+  EXPECT_DOUBLE_EQ(cap.frequency.gigahertz(), 2.0);
+  EXPECT_LE(cap.max_temperature_c, 80.0);
+  EXPECT_NEAR(cap.chip_power.value(), 47.2, 1e-6);
+  EXPECT_NEAR(cap.total_power.value(), 47.2, 1e-6);
+}
+
+TEST(FreqCap, CapRespectsThreshold) {
+  MaxFrequencyFinder finder(make_high_frequency_cmp(), PackageConfig{}, 80.0,
+                            coarse_grid());
+  for (CoolingKind kind : {CoolingKind::kAir, CoolingKind::kWaterPipe,
+                           CoolingKind::kWaterImmersion}) {
+    const FrequencyCap cap = finder.find(3, CoolingOption(kind));
+    if (!cap.feasible) continue;
+    EXPECT_LE(cap.max_temperature_c, 80.0) << to_string(kind);
+    // The next step up (if any) must violate the threshold.
+    const VfsLadder& ladder = finder.chip().ladder();
+    if (cap.step_index + 1 < ladder.size()) {
+      const double t_next = finder.temperature_at(
+          3, CoolingOption(kind), ladder.step(cap.step_index + 1));
+      EXPECT_GT(t_next, 80.0) << to_string(kind);
+    }
+  }
+}
+
+TEST(FreqCap, FrequencyMonotoneInChips) {
+  MaxFrequencyFinder finder(make_low_power_cmp(), PackageConfig{}, 80.0,
+                            coarse_grid());
+  const CoolingOption water(CoolingKind::kWaterImmersion);
+  double prev = 1e18;
+  for (std::size_t chips : {1u, 3u, 5u, 7u}) {
+    const FrequencyCap cap = finder.find(chips, water);
+    ASSERT_TRUE(cap.feasible) << chips;
+    EXPECT_LE(cap.frequency.gigahertz(), prev);
+    prev = cap.frequency.gigahertz();
+  }
+}
+
+TEST(FreqCap, CoolingOrderAtFourChips) {
+  // The paper's headline ordering: air <= pipe <= oil <= fluorinert <= water.
+  MaxFrequencyFinder finder(make_high_frequency_cmp(), PackageConfig{}, 80.0,
+                            coarse_grid());
+  double prev = 0.0;
+  for (const CoolingOption& o : all_cooling_options()) {
+    const FrequencyCap cap = finder.find(4, o);
+    ASSERT_TRUE(cap.feasible) << o.name();
+    EXPECT_GE(cap.frequency.gigahertz(), prev) << o.name();
+    prev = cap.frequency.gigahertz();
+  }
+}
+
+TEST(FreqCap, TallAirStackInfeasible) {
+  MaxFrequencyFinder finder(make_low_power_cmp(), PackageConfig{}, 80.0,
+                            coarse_grid());
+  const FrequencyCap cap = finder.find(10, CoolingOption(CoolingKind::kAir));
+  EXPECT_FALSE(cap.feasible);
+  EXPECT_GT(cap.max_temperature_c, 80.0);
+}
+
+TEST(FreqCap, LowerThresholdLowersFrequency) {
+  const CoolingOption water(CoolingKind::kWaterImmersion);
+  MaxFrequencyFinder strict(make_high_frequency_cmp(), PackageConfig{}, 60.0,
+                            coarse_grid());
+  MaxFrequencyFinder loose(make_high_frequency_cmp(), PackageConfig{}, 95.0,
+                           coarse_grid());
+  const FrequencyCap s = strict.find(6, water);
+  const FrequencyCap l = loose.find(6, water);
+  ASSERT_TRUE(l.feasible);
+  if (s.feasible) {
+    EXPECT_LT(s.frequency.gigahertz(), l.frequency.gigahertz());
+  }
+}
+
+TEST(FreqCap, FlipRunsCoolerOrEqual) {
+  MaxFrequencyFinder finder(make_high_frequency_cmp(), PackageConfig{}, 80.0,
+                            coarse_grid());
+  const CoolingOption water(CoolingKind::kWaterImmersion);
+  const double t_plain =
+      finder.temperature_at(4, water, gigahertz(3.6), FlipPolicy::kNone);
+  const double t_flip =
+      finder.temperature_at(4, water, gigahertz(3.6), FlipPolicy::kFlipEven);
+  EXPECT_LT(t_flip, t_plain);
+}
+
+TEST(FreqCap, SolveAtReturnsFullField) {
+  MaxFrequencyFinder finder(make_high_frequency_cmp(), PackageConfig{}, 80.0,
+                            coarse_grid());
+  const ThermalSolution sol = finder.solve_at(
+      4, CoolingOption(CoolingKind::kWaterImmersion), gigahertz(3.6));
+  EXPECT_EQ(sol.die_layer_count(), 4u);
+  EXPECT_EQ(sol.nx(), 16u);
+  EXPECT_GT(sol.max_die_temperature_c(), 25.0);
+}
+
+TEST(FreqCap, ThresholdMustExceedAmbient) {
+  EXPECT_THROW(
+      MaxFrequencyFinder(make_low_power_cmp(), PackageConfig{}, 20.0),
+      Error);
+}
+
+}  // namespace
+}  // namespace aqua

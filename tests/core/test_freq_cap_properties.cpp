@@ -1,0 +1,79 @@
+/// Parameterized frequency-cap properties over (chip model x cooling).
+
+#include <gtest/gtest.h>
+
+#include "core/freq_cap.hpp"
+#include "power/chip_model.hpp"
+
+namespace aqua {
+namespace {
+
+ChipModel chip_by_name(const std::string& name) {
+  if (name == "low_power") return make_low_power_cmp();
+  if (name == "high_frequency") return make_high_frequency_cmp();
+  if (name == "xeon_e5") return make_xeon_e5_2667v4();
+  return make_xeon_phi_7290();
+}
+
+class FreqCapProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, CoolingKind>> {
+ protected:
+  ChipModel chip_ = chip_by_name(std::get<0>(GetParam()));
+  CoolingOption cooling_{std::get<1>(GetParam())};
+  GridOptions grid_{16, 16, {}};
+};
+
+TEST_P(FreqCapProperty, CapIsALadderStepUnderThreshold) {
+  MaxFrequencyFinder finder(chip_, PackageConfig{}, 80.0, grid_);
+  const FrequencyCap cap = finder.find(2, cooling_);
+  if (!cap.feasible) {
+    EXPECT_GT(cap.max_temperature_c, 80.0);
+    return;
+  }
+  EXPECT_LE(cap.max_temperature_c, 80.0);
+  EXPECT_EQ(chip_.ladder().step(cap.step_index).value(),
+            cap.frequency.value());
+  EXPECT_NEAR(cap.chip_power.value(),
+              chip_.total_power(cap.frequency).value(), 1e-9);
+  EXPECT_NEAR(cap.total_power.value(), 2.0 * cap.chip_power.value(), 1e-9);
+}
+
+TEST_P(FreqCapProperty, HigherPowerChipNeverClocksHigher) {
+  // The Section 4.3 activity scaling: +15% power can only lower the cap.
+  MaxFrequencyFinder base(chip_, PackageConfig{}, 80.0, grid_);
+  MaxFrequencyFinder hot(chip_.with_power_scale(1.15), PackageConfig{}, 80.0,
+                         grid_);
+  const FrequencyCap a = base.find(3, cooling_);
+  const FrequencyCap b = hot.find(3, cooling_);
+  if (!a.feasible) {
+    EXPECT_FALSE(b.feasible);
+    return;
+  }
+  if (b.feasible) {
+    EXPECT_LE(b.frequency.value(), a.frequency.value());
+  }
+}
+
+TEST_P(FreqCapProperty, TemperatureAtCapMatchesSolve) {
+  MaxFrequencyFinder finder(chip_, PackageConfig{}, 80.0, grid_);
+  const FrequencyCap cap = finder.find(2, cooling_);
+  if (!cap.feasible) return;
+  const double t = finder.temperature_at(2, cooling_, cap.frequency);
+  EXPECT_NEAR(t, cap.max_temperature_c, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChipsByCooling, FreqCapProperty,
+    ::testing::Combine(::testing::Values("low_power", "high_frequency",
+                                         "xeon_e5", "xeon_phi"),
+                       ::testing::Values(CoolingKind::kAir,
+                                         CoolingKind::kWaterPipe,
+                                         CoolingKind::kMineralOil,
+                                         CoolingKind::kWaterImmersion)),
+    [](const auto& inst) {
+      return std::get<0>(inst.param) + "_" +
+             std::string(to_string(std::get<1>(inst.param)));
+    });
+
+}  // namespace
+}  // namespace aqua

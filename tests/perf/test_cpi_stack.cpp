@@ -1,0 +1,82 @@
+/// CPI-stack accounting invariants of the instrumented CmpSystem.
+
+#include <gtest/gtest.h>
+
+#include "perf/system.hpp"
+
+namespace aqua {
+namespace {
+
+WorkloadProfile tiny(const char* name, std::uint64_t instr = 8000) {
+  WorkloadProfile p = npb_profile(name);
+  p.instructions_per_thread = instr;
+  return p;
+}
+
+TEST(CpiStack, ComponentsBoundedByTotalCycles) {
+  CmpConfig cfg;
+  cfg.chips = 2;
+  CmpSystem sys(cfg, tiny("cg"), gigahertz(1.6));
+  const ExecStats st = sys.run();
+  const std::uint64_t core_cycles = st.cycles * cfg.total_cores();
+  EXPECT_LE(st.total_stall_cycles() + st.barrier_wait_cycles, core_cycles);
+  EXPECT_GT(st.total_stall_cycles(), 0u);
+}
+
+TEST(CpiStack, StallSourcesAllExercised) {
+  CmpConfig cfg;
+  cfg.chips = 2;
+  WorkloadProfile p = tiny("is", 15000);
+  p.shared_fraction = 0.2;
+  p.write_fraction = 0.5;
+  const ExecStats st = CmpSystem(cfg, p, gigahertz(2.0)).run();
+  // A sharing-heavy run touches every path: L2 hits, DRAM fetches,
+  // cache-to-cache forwards and ack-only upgrades.
+  EXPECT_GT(st.stall_l2_cycles, 0u);
+  EXPECT_GT(st.stall_dram_cycles, 0u);
+  EXPECT_GT(st.stall_forward_cycles, 0u);
+  EXPECT_GT(st.stall_upgrade_cycles, 0u);
+}
+
+TEST(CpiStack, EpIsComputeDominated) {
+  CmpConfig cfg;
+  const ExecStats ep = CmpSystem(cfg, tiny("ep", 300000), gigahertz(2.0)).run();
+  const ExecStats is = CmpSystem(cfg, tiny("is", 20000), gigahertz(2.0)).run();
+  const double ep_stall =
+      static_cast<double>(ep.total_stall_cycles()) /
+      (static_cast<double>(ep.cycles) * cfg.total_cores());
+  const double is_stall =
+      static_cast<double>(is.total_stall_cycles()) /
+      (static_cast<double>(is.cycles) * cfg.total_cores());
+  EXPECT_LT(ep_stall, is_stall);
+  EXPECT_LT(ep_stall, 0.35);
+}
+
+TEST(CpiStack, DramStallsGrowWithFrequency) {
+  // The DRAM component in *cycles* grows at higher clocks (fixed ns) —
+  // the mechanism capping the paper's NPB gains.
+  CmpConfig cfg;
+  const ExecStats slow = CmpSystem(cfg, tiny("mg", 15000), gigahertz(1.0)).run();
+  const ExecStats fast = CmpSystem(cfg, tiny("mg", 15000), gigahertz(2.0)).run();
+  const double slow_share =
+      static_cast<double>(slow.stall_dram_cycles) /
+      (static_cast<double>(slow.cycles) * cfg.total_cores());
+  const double fast_share =
+      static_cast<double>(fast.stall_dram_cycles) /
+      (static_cast<double>(fast.cycles) * cfg.total_cores());
+  EXPECT_GT(fast_share, slow_share);
+}
+
+TEST(CpiStack, BarrierWaitTracksImbalance) {
+  CmpConfig cfg;
+  WorkloadProfile balanced = tiny("bt", 10000);
+  balanced.imbalance = 0.0;
+  WorkloadProfile skewed = tiny("bt", 10000);
+  skewed.imbalance = 0.3;
+  const ExecStats a = CmpSystem(cfg, balanced, gigahertz(1.6)).run();
+  const ExecStats b = CmpSystem(cfg, skewed, gigahertz(1.6)).run();
+  EXPECT_GT(b.barrier_wait_cycles, a.barrier_wait_cycles);
+}
+
+}  // namespace
+}  // namespace aqua

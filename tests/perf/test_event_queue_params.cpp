@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "perf/event_queue.hpp"
+#include "perf/params.hpp"
+
+namespace aqua {
+namespace {
+
+// ---------------------------------------------------------- event queue ----
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  EXPECT_TRUE(q.run());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameCycleFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int hits = 0;
+  std::function<void()> chain = [&] {
+    ++hits;
+    if (hits < 5) q.schedule_in(2, chain);
+  };
+  q.schedule(0, chain);
+  q.run();
+  EXPECT_EQ(hits, 5);
+  EXPECT_EQ(q.now(), 8u);
+}
+
+TEST(EventQueue, RunLimitStopsEarly) {
+  EventQueue q;
+  int hits = 0;
+  q.schedule(1, [&] { ++hits; });
+  q.schedule(100, [&] { ++hits; });
+  EXPECT_FALSE(q.run(50));
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, SchedulingInPastThrows) {
+  EventQueue q;
+  q.schedule(10, [] {});
+  q.step();
+  EXPECT_THROW(q.schedule(5, [] {}), Error);
+}
+
+TEST(EventQueue, StepCycleRunsAllAtSameTime) {
+  EventQueue q;
+  int hits = 0;
+  q.schedule(4, [&] { ++hits; });
+  q.schedule(4, [&] { ++hits; });
+  q.schedule(9, [&] { ++hits; });
+  q.step_cycle();
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(q.next_time(), 9u);
+}
+
+// --------------------------------------------------------------- params ----
+
+TEST(Params, TileCoordRoundTrip) {
+  CmpConfig cfg;
+  cfg.chips = 4;
+  for (NodeId id = 0; id < cfg.total_tiles(); ++id) {
+    EXPECT_EQ(tile_id(cfg, tile_coord(cfg, id)), id);
+  }
+}
+
+TEST(Params, CoreTilesOnBottomRow) {
+  CmpConfig cfg;
+  cfg.chips = 2;
+  for (std::size_t chip = 0; chip < 2; ++chip) {
+    for (std::size_t c = 0; c < cfg.cores_per_chip; ++c) {
+      const TileCoord t = tile_coord(cfg, core_tile(cfg, chip, c));
+      EXPECT_EQ(t.y, 0u);
+      EXPECT_EQ(t.x, c);
+      EXPECT_EQ(t.z, chip);
+    }
+  }
+}
+
+TEST(Params, L2TilesAboveBottomRow) {
+  CmpConfig cfg;
+  cfg.chips = 2;
+  std::set<NodeId> seen;
+  for (std::size_t chip = 0; chip < 2; ++chip) {
+    for (std::size_t b = 0; b < cfg.l2_banks_per_chip; ++b) {
+      const NodeId id = l2_tile(cfg, chip, b);
+      EXPECT_TRUE(seen.insert(id).second);  // all distinct
+      EXPECT_GE(tile_coord(cfg, id).y, 1u);
+    }
+  }
+  EXPECT_EQ(seen.size(), 24u);
+}
+
+TEST(Params, HomeTileInterleavesAcrossAllBanks) {
+  CmpConfig cfg;
+  cfg.chips = 2;
+  std::set<NodeId> homes;
+  for (LineAddr line = 0; line < 1000; ++line) {
+    homes.insert(home_tile(cfg, line));
+  }
+  // Every one of the 24 banks is a home for some line.
+  EXPECT_EQ(homes.size(), cfg.total_l2_banks());
+}
+
+TEST(Params, DerivedCounts) {
+  CmpConfig cfg;
+  cfg.chips = 6;
+  EXPECT_EQ(cfg.total_tiles(), 96u);
+  EXPECT_EQ(cfg.total_cores(), 24u);  // the paper's 24 threads
+  EXPECT_EQ(cfg.total_l2_banks(), 72u);
+  cfg.chips = 8;
+  EXPECT_EQ(cfg.total_cores(), 32u);  // and 32 threads
+}
+
+TEST(Params, OutOfRangeThrows) {
+  CmpConfig cfg;
+  EXPECT_THROW(core_tile(cfg, 0, 99), Error);
+  EXPECT_THROW(l2_tile(cfg, 2, 0), Error);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,88 @@
+/// Parameterized sweeps over all nine NPB workload profiles: generator
+/// invariants and end-to-end system invariants per benchmark.
+
+#include <gtest/gtest.h>
+
+#include "perf/system.hpp"
+
+namespace aqua {
+namespace {
+
+class NpbProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  WorkloadProfile profile_ = npb_profile(GetParam());
+};
+
+TEST_P(NpbProperty, ProfileParametersInRange) {
+  EXPECT_GT(profile_.mem_fraction, 0.0);
+  EXPECT_LE(profile_.mem_fraction, 0.6);
+  EXPECT_GE(profile_.write_fraction, 0.0);
+  EXPECT_LE(profile_.write_fraction, 1.0);
+  EXPECT_LE(profile_.shared_fraction + profile_.streaming_fraction, 0.5);
+  EXPECT_GE(profile_.stride_locality, 0.0);
+  EXPECT_LE(profile_.stride_locality, 1.0);
+  EXPECT_GE(profile_.phases, 2u);
+  EXPECT_GT(profile_.instructions_per_thread, 10000u);
+}
+
+TEST_P(NpbProperty, GeneratorMemFractionMatchesProfile) {
+  WorkloadProfile p = profile_;
+  p.instructions_per_thread = 150000;
+  TraceGenerator gen(p, 0, 4, 11);
+  std::uint64_t mem = 0;
+  for (;;) {
+    const TraceOp op = gen.next();
+    if (op.kind == TraceOp::Kind::kDone) break;
+    mem += op.kind == TraceOp::Kind::kMemory;
+  }
+  const double measured =
+      static_cast<double>(mem) / static_cast<double>(gen.instructions_issued());
+  EXPECT_NEAR(measured, p.mem_fraction, 0.035) << p.name;
+}
+
+TEST_P(NpbProperty, GeneratorBarriersMatchPhases) {
+  WorkloadProfile p = profile_;
+  p.instructions_per_thread = 40000;
+  for (std::size_t thread : {0u, 3u}) {
+    TraceGenerator gen(p, thread, 4, 3);
+    std::size_t barriers = 0;
+    for (;;) {
+      const TraceOp op = gen.next();
+      if (op.kind == TraceOp::Kind::kDone) break;
+      barriers += op.kind == TraceOp::Kind::kBarrier;
+    }
+    EXPECT_EQ(barriers, p.phases - 1);
+  }
+}
+
+TEST_P(NpbProperty, SystemRunInvariants) {
+  WorkloadProfile p = profile_;
+  p.instructions_per_thread = 4000;
+  CmpConfig cfg;  // one chip, 4 cores
+  CmpSystem sys(cfg, p, gigahertz(1.6), 3);
+  const ExecStats st = sys.run();
+  EXPECT_EQ(st.l1_hits + st.l1_misses, st.mem_ops);
+  EXPECT_GE(st.instructions, 4u * 4000u);
+  EXPECT_EQ(st.barriers, p.phases - 1);
+  EXPECT_GT(st.ipc(), 0.02);
+  EXPECT_LT(st.ipc(), 4.0 + 1e-9);
+  // L2 data-array accounting never loses requests.
+  EXPECT_GE(st.dram_accesses, st.l2_data_misses);
+}
+
+TEST_P(NpbProperty, FrequencyNeverSlowsExecution) {
+  WorkloadProfile p = profile_;
+  p.instructions_per_thread = 3000;
+  CmpConfig cfg;
+  const double slow = CmpSystem(cfg, p, gigahertz(1.0), 7).run().seconds;
+  const double fast = CmpSystem(cfg, p, gigahertz(2.0), 7).run().seconds;
+  EXPECT_LT(fast, slow) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNpb, NpbProperty,
+                         ::testing::Values("bt", "cg", "ep", "ft", "is", "lu",
+                                           "mg", "sp", "ua"),
+                         [](const auto& inst) { return inst.param; });
+
+}  // namespace
+}  // namespace aqua

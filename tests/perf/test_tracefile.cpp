@@ -1,0 +1,134 @@
+#include "perf/tracefile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "perf/system.hpp"
+
+namespace aqua {
+namespace {
+
+WorkloadProfile tiny_profile() {
+  WorkloadProfile p = npb_profile("ft");
+  p.instructions_per_thread = 3000;
+  return p;
+}
+
+TEST(TraceFile, CaptureMatchesGenerator) {
+  const WorkloadProfile p = tiny_profile();
+  const TraceBundle bundle = TraceBundle::capture(p, 4, 7);
+  ASSERT_EQ(bundle.threads.size(), 4u);
+
+  // Replaying thread 2 reproduces the generator's stream exactly.
+  TraceGenerator gen(p, 2, 4, 7);
+  TraceReplayer rep(bundle.threads[2]);
+  for (;;) {
+    const TraceOp a = gen.next();
+    const TraceOp b = rep.next();
+    ASSERT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind));
+    if (a.kind == TraceOp::Kind::kDone) break;
+    EXPECT_EQ(a.line, b.line);
+    EXPECT_EQ(a.is_store, b.is_store);
+    EXPECT_EQ(a.compute_cycles, b.compute_cycles);
+  }
+  EXPECT_EQ(gen.instructions_issued(), rep.instructions_issued());
+}
+
+TEST(TraceFile, SaveLoadRoundTrip) {
+  const TraceBundle bundle = TraceBundle::capture(tiny_profile(), 3, 9);
+  std::stringstream file;
+  bundle.save(file);
+  const TraceBundle loaded = TraceBundle::load(file);
+  ASSERT_EQ(loaded.threads.size(), bundle.threads.size());
+  for (std::size_t t = 0; t < bundle.threads.size(); ++t) {
+    const auto& a = bundle.threads[t].ops();
+    const auto& b = loaded.threads[t].ops();
+    ASSERT_EQ(a.size(), b.size()) << "thread " << t;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(static_cast<int>(a[i].kind), static_cast<int>(b[i].kind));
+      EXPECT_EQ(a[i].line, b[i].line);
+      EXPECT_EQ(a[i].is_store, b[i].is_store);
+      EXPECT_EQ(a[i].compute_cycles, b[i].compute_cycles);
+    }
+  }
+}
+
+TEST(TraceFile, ReplayedSystemMatchesSyntheticRun) {
+  // The headline property: replaying a captured bundle produces the exact
+  // cycle count of the synthetic run it was captured from.
+  const WorkloadProfile p = tiny_profile();
+  CmpConfig cfg;  // 1 chip, 4 cores
+  const TraceBundle bundle = TraceBundle::capture(p, 4, 5);
+
+  CmpSystem synthetic(cfg, p, gigahertz(1.6), 5);
+  const ExecStats a = synthetic.run();
+  CmpSystem replayed(cfg, bundle, gigahertz(1.6));
+  const ExecStats b = replayed.run();
+
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.l1_misses, b.l1_misses);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.noc.packets_delivered, b.noc.packets_delivered);
+}
+
+TEST(TraceFile, RejectsWrongThreadCount) {
+  CmpConfig cfg;  // 4 cores
+  const TraceBundle bundle = TraceBundle::capture(tiny_profile(), 3, 1);
+  EXPECT_THROW(CmpSystem(cfg, bundle, gigahertz(1.0)), Error);
+}
+
+TEST(TraceFile, RejectsMismatchedBarriers) {
+  TraceBundle bundle = TraceBundle::capture(tiny_profile(), 4, 1);
+  bundle.threads[1].push(
+      RecordedTrace::Op{TraceOp::Kind::kBarrier, 0, false, 0});
+  CmpConfig cfg;
+  EXPECT_THROW(CmpSystem(cfg, bundle, gigahertz(1.0)), Error);
+}
+
+TEST(TraceFile, LoadRejectsMalformedInput) {
+  {
+    std::stringstream s("X nonsense\n");
+    EXPECT_THROW(TraceBundle::load(s), Error);
+  }
+  {
+    std::stringstream s("L deadbeef\n");  // op before thread header
+    EXPECT_THROW(TraceBundle::load(s), Error);
+  }
+  {
+    std::stringstream s("# only comments\n");
+    EXPECT_THROW(TraceBundle::load(s), Error);
+  }
+  {
+    std::stringstream s("T 1\n");  // threads out of order
+    EXPECT_THROW(TraceBundle::load(s), Error);
+  }
+}
+
+TEST(TraceFile, HandComposedTraceRuns) {
+  // Two tiny hand-written threads with one barrier each, sharing line 0x10.
+  std::stringstream file(
+      "# hand-made\n"
+      "T 0\nC 5\nL 10\nB\nC 3\nS 10\n"
+      "T 1\nC 4\nS 10\nB\nC 2\nL 10\n");
+  const TraceBundle bundle = TraceBundle::load(file);
+  CmpConfig cfg;
+  cfg.cores_per_chip = 2;  // match the 2-thread trace
+  CmpSystem sys(cfg, bundle, gigahertz(2.0));
+  const ExecStats st = sys.run();
+  EXPECT_EQ(st.mem_ops, 4u);
+  EXPECT_EQ(st.barriers, 1u);
+  EXPECT_GT(st.cycles, 0u);
+}
+
+TEST(TraceFile, InstructionsAccounting) {
+  RecordedTrace t;
+  t.push({TraceOp::Kind::kMemory, 9, false, 1});
+  t.push({TraceOp::Kind::kBarrier, 0, false, 0});
+  t.push({TraceOp::Kind::kMemory, 0, true, 2});
+  EXPECT_EQ(t.instructions(), 11u);  // (9+1) + (0+1)
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,107 @@
+#include "perf/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace aqua {
+namespace {
+
+CmpConfig two_chip_mesh() {
+  CmpConfig cfg;
+  cfg.chips = 2;
+  return cfg;
+}
+
+TrafficConfig light_load(TrafficPattern p, double rate = 0.02) {
+  TrafficConfig t;
+  t.pattern = p;
+  t.injection_rate = rate;
+  t.warmup_cycles = 500;
+  t.measure_cycles = 3000;
+  return t;
+}
+
+TEST(Traffic, ZeroLoadLatencyNearAnalytic) {
+  // At near-zero load a packet pays ~4 cycles/hop (3-stage pipeline +
+  // link) plus serialization; uniform traffic on a 4x4x2 mesh averages
+  // ~3.2 hops.
+  const TrafficResult r = run_traffic(
+      two_chip_mesh(), light_load(TrafficPattern::kUniformRandom, 0.005));
+  EXPECT_FALSE(r.saturated);
+  EXPECT_GT(r.packets_measured, 50u);
+  EXPECT_GT(r.average_latency, 8.0);
+  EXPECT_LT(r.average_latency, 40.0);
+  EXPECT_GT(r.average_hops, 2.0);
+  EXPECT_LT(r.average_hops, 5.0);
+}
+
+TEST(Traffic, AcceptedMatchesOfferedBelowSaturation) {
+  const TrafficResult r = run_traffic(
+      two_chip_mesh(), light_load(TrafficPattern::kUniformRandom, 0.05));
+  EXPECT_FALSE(r.saturated);
+  EXPECT_NEAR(r.accepted_flits_per_node_cycle,
+              r.offered_flits_per_node_cycle,
+              0.15 * r.offered_flits_per_node_cycle);
+}
+
+TEST(Traffic, LatencyMonotoneInLoad) {
+  const auto sweep = traffic_sweep(two_chip_mesh(),
+                                   TrafficPattern::kUniformRandom,
+                                   {0.01, 0.05, 0.12});
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_LT(sweep[0].average_latency, sweep[1].average_latency);
+  EXPECT_LT(sweep[1].average_latency, sweep[2].average_latency);
+}
+
+TEST(Traffic, SaturatesAtHighLoad) {
+  TrafficConfig t = light_load(TrafficPattern::kUniformRandom, 0.9);
+  t.drain_cycles = 4000;  // don't wait forever for the backlog
+  const TrafficResult r = run_traffic(two_chip_mesh(), t);
+  EXPECT_TRUE(r.saturated);
+  EXPECT_LT(r.accepted_flits_per_node_cycle, 0.9);
+}
+
+TEST(Traffic, NearNeighborOutperformsBitComplement) {
+  // Short paths saturate later and run faster at equal load.
+  const TrafficResult nn = run_traffic(
+      two_chip_mesh(), light_load(TrafficPattern::kNearNeighbor, 0.1));
+  const TrafficResult bc = run_traffic(
+      two_chip_mesh(), light_load(TrafficPattern::kBitComplement, 0.1));
+  EXPECT_LT(nn.average_latency, bc.average_latency);
+  EXPECT_LT(nn.average_hops, bc.average_hops);
+}
+
+TEST(Traffic, HotspotDegradesLatency) {
+  const TrafficResult uniform = run_traffic(
+      two_chip_mesh(), light_load(TrafficPattern::kUniformRandom, 0.08));
+  const TrafficResult hotspot = run_traffic(
+      two_chip_mesh(), light_load(TrafficPattern::kHotspot, 0.08));
+  EXPECT_GT(hotspot.p99_latency, uniform.p99_latency);
+}
+
+TEST(Traffic, P99AtLeastAverage) {
+  const TrafficResult r = run_traffic(
+      two_chip_mesh(), light_load(TrafficPattern::kTranspose, 0.05));
+  EXPECT_GE(r.p99_latency, r.average_latency);
+}
+
+TEST(Traffic, DeterministicPerSeed) {
+  const TrafficConfig t = light_load(TrafficPattern::kUniformRandom, 0.05);
+  const TrafficResult a = run_traffic(two_chip_mesh(), t);
+  const TrafficResult b = run_traffic(two_chip_mesh(), t);
+  EXPECT_EQ(a.packets_measured, b.packets_measured);
+  EXPECT_DOUBLE_EQ(a.average_latency, b.average_latency);
+}
+
+TEST(Traffic, RejectsBadRates) {
+  EXPECT_THROW(
+      run_traffic(two_chip_mesh(), light_load(TrafficPattern::kUniformRandom, 0.0)),
+      Error);
+  EXPECT_THROW(
+      run_traffic(two_chip_mesh(), light_load(TrafficPattern::kUniformRandom, 1.5)),
+      Error);
+}
+
+}  // namespace
+}  // namespace aqua

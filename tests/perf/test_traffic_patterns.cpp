@@ -1,0 +1,68 @@
+/// Parameterized sweep: every traffic pattern must behave sanely at light
+/// load on meshes of different heights.
+
+#include <gtest/gtest.h>
+
+#include "perf/traffic.hpp"
+
+namespace aqua {
+namespace {
+
+class TrafficPatternProperty
+    : public ::testing::TestWithParam<std::tuple<TrafficPattern, std::size_t>> {
+ protected:
+  TrafficPattern pattern_ = std::get<0>(GetParam());
+  std::size_t chips_ = std::get<1>(GetParam());
+
+  TrafficResult run(double rate) {
+    CmpConfig mesh;
+    mesh.chips = chips_;
+    TrafficConfig t;
+    t.pattern = pattern_;
+    t.injection_rate = rate;
+    t.warmup_cycles = 400;
+    t.measure_cycles = 2500;
+    return run_traffic(mesh, t);
+  }
+};
+
+TEST_P(TrafficPatternProperty, LightLoadIsStable) {
+  const TrafficResult r = run(0.02);
+  EXPECT_FALSE(r.saturated) << to_string(pattern_);
+  EXPECT_GT(r.packets_measured, 20u);
+  // All packets drained and delivered: accepted tracks offered.
+  EXPECT_NEAR(r.accepted_flits_per_node_cycle,
+              r.offered_flits_per_node_cycle,
+              0.2 * r.offered_flits_per_node_cycle + 1e-3);
+}
+
+TEST_P(TrafficPatternProperty, LatencyExceedsPipelineFloor) {
+  const TrafficResult r = run(0.02);
+  // Even a 1-hop packet pays router pipeline + link + ejection.
+  EXPECT_GT(r.average_latency, 4.0);
+  EXPECT_LT(r.average_latency, 200.0);
+}
+
+TEST_P(TrafficPatternProperty, HopsWithinMeshDiameter) {
+  const TrafficResult r = run(0.02);
+  const double diameter = 3.0 + 3.0 + static_cast<double>(chips_ - 1);
+  EXPECT_GT(r.average_hops, 0.9);
+  EXPECT_LE(r.average_hops, diameter);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, TrafficPatternProperty,
+    ::testing::Combine(
+        ::testing::Values(TrafficPattern::kUniformRandom,
+                          TrafficPattern::kTranspose,
+                          TrafficPattern::kBitComplement,
+                          TrafficPattern::kHotspot,
+                          TrafficPattern::kNearNeighbor),
+        ::testing::Values(std::size_t{1}, std::size_t{4})),
+    [](const auto& inst) {
+      return std::string(to_string(std::get<0>(inst.param))) + "_" +
+             std::to_string(std::get<1>(inst.param)) + "chip";
+    });
+
+}  // namespace
+}  // namespace aqua

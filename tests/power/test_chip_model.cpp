@@ -1,0 +1,143 @@
+#include "power/chip_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "floorplan/transform.hpp"
+#include "power/rapl.hpp"
+
+namespace aqua {
+namespace {
+
+TEST(ChipModel, PaperPowerAnchors) {
+  // Table 1: 47.2 W @ 2.0 GHz (low-power), 56.8 W @ 3.6 GHz (high-freq).
+  const ChipModel low = make_low_power_cmp();
+  EXPECT_NEAR(low.total_power(gigahertz(2.0)).value(), 47.2, 1e-9);
+  const ChipModel high = make_high_frequency_cmp();
+  EXPECT_NEAR(high.total_power(gigahertz(3.6)).value(), 56.8, 1e-9);
+}
+
+TEST(ChipModel, XeonAnchors) {
+  EXPECT_NEAR(make_xeon_e5_2667v4().total_power(gigahertz(3.6)).value(),
+              135.0, 1e-9);
+  EXPECT_NEAR(make_xeon_phi_7290().total_power(gigahertz(1.6)).value(),
+              245.0, 1e-9);
+}
+
+TEST(ChipModel, PowerMonotoneOverLadder) {
+  for (const ChipModel& chip :
+       {make_low_power_cmp(), make_high_frequency_cmp(), make_xeon_e5_2667v4(),
+        make_xeon_phi_7290()}) {
+    double prev = 0.0;
+    for (Hertz f : chip.ladder().steps()) {
+      const double p = chip.total_power(f).value();
+      EXPECT_GT(p, prev) << chip.name();
+      prev = p;
+    }
+    EXPECT_NEAR(prev, chip.max_power().value(), 1e-9) << chip.name();
+  }
+}
+
+TEST(ChipModel, BlockPowersSumToTotal) {
+  const ChipModel chip = make_high_frequency_cmp();
+  for (double g : {1.2, 2.4, 3.6}) {
+    const std::vector<double> powers =
+        chip.block_powers(chip.floorplan(), gigahertz(g));
+    const double sum = std::accumulate(powers.begin(), powers.end(), 0.0);
+    EXPECT_NEAR(sum, chip.total_power(gigahertz(g)).value(), 1e-9);
+  }
+}
+
+TEST(ChipModel, CoresDenserThanCaches) {
+  const ChipModel chip = make_high_frequency_cmp();
+  const Floorplan& fp = chip.floorplan();
+  const std::vector<double> powers =
+      chip.block_powers(fp, chip.max_frequency());
+  double core_density = 0.0;
+  double l2_density = 0.0;
+  for (std::size_t i = 0; i < fp.block_count(); ++i) {
+    const Block& b = fp.blocks()[i];
+    const double d = powers[i] / b.rect.area();
+    if (b.kind == UnitKind::kCore) core_density = d;
+    if (b.kind == UnitKind::kL2Cache) l2_density = d;
+  }
+  // The paper's Fig. 9 thermal contrast comes from this density gap.
+  EXPECT_GT(core_density, 3.0 * l2_density);
+}
+
+TEST(ChipModel, BlockPowersFollowRotatedPlan) {
+  const ChipModel chip = make_high_frequency_cmp();
+  const Floorplan flipped = rotated(chip.floorplan(), Rotation::k180);
+  const std::vector<double> p0 =
+      chip.block_powers(chip.floorplan(), gigahertz(2.0));
+  const std::vector<double> p1 = chip.block_powers(flipped, gigahertz(2.0));
+  // Same blocks in the same order, so the same power vector.
+  ASSERT_EQ(p0.size(), p1.size());
+  for (std::size_t i = 0; i < p0.size(); ++i) EXPECT_NEAR(p0[i], p1[i], 1e-12);
+}
+
+TEST(ChipModel, WeightsRenormalizeOverPresentKinds) {
+  // The E5 plan has no NoC routers; its weights renormalize and the total
+  // still matches.
+  const ChipModel chip = make_xeon_e5_2667v4();
+  const std::vector<double> powers =
+      chip.block_powers(chip.floorplan(), gigahertz(2.0));
+  const double sum = std::accumulate(powers.begin(), powers.end(), 0.0);
+  EXPECT_NEAR(sum, chip.total_power(gigahertz(2.0)).value(), 1e-9);
+}
+
+TEST(ChipModel, PeakPowerDensityScalesWithFrequency) {
+  const ChipModel chip = make_low_power_cmp();
+  EXPECT_GT(chip.peak_power_density(gigahertz(2.0)),
+            chip.peak_power_density(gigahertz(1.0)));
+}
+
+// ----------------------------------------------------------------- RAPL ----
+
+TEST(Rapl, SweepCoversLadder) {
+  const ChipModel chip = make_xeon_e5_2667v4();
+  RaplMeter meter(1);
+  const std::vector<RaplSample> sweep = meter.sweep(chip);
+  EXPECT_EQ(sweep.size(), chip.ladder().size());
+}
+
+TEST(Rapl, MeasurementsNearTruth) {
+  const ChipModel chip = make_xeon_e5_2667v4();
+  RaplMeter meter(2, 0.015);
+  for (const RaplSample& s : meter.sweep(chip)) {
+    EXPECT_NEAR(s.power.value(), s.true_power.value(),
+                0.1 * s.true_power.value() + 0.25);
+  }
+}
+
+TEST(Rapl, QuantizedToEighthWatt) {
+  const ChipModel chip = make_low_power_cmp();
+  RaplMeter meter(3);
+  for (const RaplSample& s : meter.sweep(chip)) {
+    const double q = s.power.value() / 0.125;
+    EXPECT_NEAR(q, std::round(q), 1e-9);
+  }
+}
+
+TEST(Rapl, DeterministicPerSeed) {
+  const ChipModel chip = make_low_power_cmp();
+  RaplMeter a(7);
+  RaplMeter b(7);
+  const auto sa = a.sweep(chip);
+  const auto sb = b.sweep(chip);
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sa[i].power.value(), sb[i].power.value());
+  }
+}
+
+TEST(Rapl, SweepCurveMonotone) {
+  const ChipModel chip = make_xeon_phi_7290();
+  RaplMeter meter(11, 0.005);
+  const Curve c = meter.sweep_curve(chip);
+  EXPECT_EQ(c.size(), chip.ladder().size());
+  EXPECT_LT(c.at(1.0), c.at(1.6));
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,102 @@
+/// Parameterized property sweeps over every chip model in the catalogue.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "power/chip_model.hpp"
+#include "power/rapl.hpp"
+
+namespace aqua {
+namespace {
+
+ChipModel make_chip(const std::string& name) {
+  if (name == "low_power") return make_low_power_cmp();
+  if (name == "high_frequency") return make_high_frequency_cmp();
+  if (name == "xeon_e5") return make_xeon_e5_2667v4();
+  return make_xeon_phi_7290();
+}
+
+class ChipProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  ChipModel chip_ = make_chip(GetParam());
+};
+
+TEST_P(ChipProperty, LadderWithinPhysicalBounds) {
+  EXPECT_GE(chip_.ladder().min().gigahertz(), 0.5);
+  EXPECT_LE(chip_.ladder().max().gigahertz(), 4.0);
+  EXPECT_GE(chip_.ladder().size(), 5u);
+}
+
+TEST_P(ChipProperty, VoltageWithinRailForEveryStep) {
+  const Technology& tech = chip_.technology();
+  for (Hertz f : chip_.ladder().steps()) {
+    const Volts v = voltage_for_frequency(tech, f, chip_.max_frequency());
+    EXPECT_GT(v.value(), tech.vth.value());
+    EXPECT_LE(v.value(), tech.vdd_max.value() + 1e-9);
+  }
+}
+
+TEST_P(ChipProperty, PowerStrictlyIncreasingOverLadder) {
+  double prev = 0.0;
+  for (Hertz f : chip_.ladder().steps()) {
+    const double p = chip_.total_power(f).value();
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST_P(ChipProperty, MinStepPowerSubstantiallyBelowMax) {
+  const double lo = chip_.total_power(chip_.ladder().min()).value();
+  EXPECT_LT(lo, 0.6 * chip_.max_power().value());
+  EXPECT_GT(lo, 0.05 * chip_.max_power().value());
+}
+
+TEST_P(ChipProperty, BlockPowersConserveTotalAtEveryStep) {
+  for (Hertz f : chip_.ladder().steps()) {
+    const auto powers = chip_.block_powers(chip_.floorplan(), f);
+    const double sum = std::accumulate(powers.begin(), powers.end(), 0.0);
+    EXPECT_NEAR(sum, chip_.total_power(f).value(), 1e-9);
+    for (double p : powers) EXPECT_GE(p, 0.0);
+  }
+}
+
+TEST_P(ChipProperty, PeakDensityIsCoreDensity) {
+  const Floorplan& fp = chip_.floorplan();
+  const auto powers = chip_.block_powers(fp, chip_.max_frequency());
+  double best = 0.0;
+  UnitKind best_kind = UnitKind::kUncore;
+  for (std::size_t i = 0; i < powers.size(); ++i) {
+    const double d = powers[i] / fp.blocks()[i].rect.area();
+    if (d > best) {
+      best = d;
+      best_kind = fp.blocks()[i].kind;
+    }
+  }
+  EXPECT_EQ(best_kind, UnitKind::kCore);
+  EXPECT_NEAR(best, chip_.peak_power_density(chip_.max_frequency()), 1e-9);
+}
+
+TEST_P(ChipProperty, RaplSweepTracksModelWithinNoise) {
+  RaplMeter meter(99, 0.01);
+  for (const RaplSample& s : meter.sweep(chip_)) {
+    EXPECT_NEAR(s.power.value(), s.true_power.value(),
+                0.06 * s.true_power.value() + 0.26);
+  }
+}
+
+TEST_P(ChipProperty, FloorplanFullyTiled) {
+  // The Floorplan constructor enforces >= 99% coverage; re-assert through
+  // the public surface so catalogue changes stay honest.
+  double covered = 0.0;
+  for (const Block& b : chip_.floorplan().blocks()) covered += b.rect.area();
+  EXPECT_GE(covered, 0.99 * chip_.floorplan().area());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChips, ChipProperty,
+                         ::testing::Values("low_power", "high_frequency",
+                                           "xeon_e5", "xeon_phi"),
+                         [](const auto& inst) { return inst.param; });
+
+}  // namespace
+}  // namespace aqua

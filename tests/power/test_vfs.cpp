@@ -1,0 +1,120 @@
+#include "power/vfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace aqua {
+namespace {
+
+TEST(VfsLadder, PaperLaddersHaveRightStepCounts) {
+  // Section 3.1: 11 steps 1.0-2.0 GHz and 13 steps 1.2-3.6 GHz.
+  const VfsLadder low = VfsLadder::uniform(1.0, 2.0, 0.1);
+  EXPECT_EQ(low.size(), 11u);
+  EXPECT_DOUBLE_EQ(low.min().gigahertz(), 1.0);
+  EXPECT_DOUBLE_EQ(low.max().gigahertz(), 2.0);
+
+  const VfsLadder high = VfsLadder::uniform(1.2, 3.6, 0.2);
+  EXPECT_EQ(high.size(), 13u);
+  EXPECT_DOUBLE_EQ(high.min().gigahertz(), 1.2);
+  EXPECT_DOUBLE_EQ(high.max().gigahertz(), 3.6);
+}
+
+TEST(VfsLadder, StepsExactOnTenthGHz) {
+  const VfsLadder l = VfsLadder::uniform(1.0, 2.0, 0.1);
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    EXPECT_NEAR(l.step(i).gigahertz(), 1.0 + 0.1 * static_cast<double>(i),
+                1e-12);
+  }
+}
+
+TEST(VfsLadder, FloorStep) {
+  const VfsLadder l = VfsLadder::uniform(1.0, 2.0, 0.1);
+  EXPECT_EQ(*l.floor_step(gigahertz(1.55)), 5u);  // 1.5
+  EXPECT_EQ(*l.floor_step(gigahertz(2.0)), 10u);
+  EXPECT_EQ(*l.floor_step(gigahertz(9.9)), 10u);
+  EXPECT_FALSE(l.floor_step(gigahertz(0.9)).has_value());
+}
+
+TEST(VfsLadder, RejectsBadInput) {
+  EXPECT_THROW(VfsLadder(std::vector<Hertz>{}), Error);
+  EXPECT_THROW(VfsLadder({gigahertz(2.0), gigahertz(1.0)}), Error);
+  EXPECT_THROW(VfsLadder::uniform(2.0, 1.0, 0.1), Error);
+}
+
+TEST(Voltage, MaxFrequencyUsesMaxVoltage) {
+  const Technology tech = technology_22nm_hp();
+  const Volts v = voltage_for_frequency(tech, gigahertz(3.6), gigahertz(3.6));
+  EXPECT_NEAR(v.value(), tech.vdd_max.value(), 1e-6);
+}
+
+TEST(Voltage, MonotoneInFrequency) {
+  const Technology tech = technology_22nm_hp();
+  const Hertz fmax = gigahertz(3.6);
+  double prev = 0.0;
+  for (double g = 1.2; g <= 3.6; g += 0.2) {
+    const double v = voltage_for_frequency(tech, gigahertz(g), fmax).value();
+    EXPECT_GT(v, prev);
+    EXPECT_GT(v, tech.vth.value());
+    EXPECT_LE(v, tech.vdd_max.value() + 1e-9);
+    prev = v;
+  }
+}
+
+TEST(Voltage, RejectsOutOfRangeFrequency) {
+  const Technology tech = technology_22nm_hp();
+  EXPECT_THROW(voltage_for_frequency(tech, gigahertz(4.0), gigahertz(3.6)),
+               Error);
+  EXPECT_THROW(voltage_for_frequency(tech, Hertz(0.0), gigahertz(3.6)),
+               Error);
+}
+
+TEST(RelativePower, OneAtMaxStep) {
+  const Technology tech = technology_22nm_hp();
+  EXPECT_NEAR(relative_power(tech, gigahertz(2.0), gigahertz(2.0), 0.7), 1.0,
+              1e-9);
+}
+
+TEST(RelativePower, MonotoneAndBounded) {
+  const Technology tech = technology_22nm_hp();
+  const VfsLadder ladder = VfsLadder::uniform(1.2, 3.6, 0.2);
+  const Hertz fmax = ladder.max();
+  double prev = 0.0;
+  for (Hertz f : ladder.steps()) {
+    const double p = relative_power(tech, f, fmax, 0.7);
+    EXPECT_GT(p, prev);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0 + 1e-9);
+    prev = p;
+  }
+}
+
+TEST(RelativePower, Fig6ShapeSuperlinearDrop) {
+  // Fig. 6: at one third of the max frequency the chip draws far less than
+  // a third of its max power (voltage scales down with frequency).
+  const Technology tech = technology_22nm_hp();
+  const double p = relative_power(tech, gigahertz(1.2), gigahertz(3.6), 0.7);
+  EXPECT_LT(p, 0.33);
+  EXPECT_GT(p, 0.05);
+}
+
+TEST(RelativePower, StaticShareRaisesLowFrequencyPower) {
+  // More static power (smaller dynamic fraction) means the curve flattens:
+  // low-frequency power is higher.
+  const Technology tech = technology_22nm_hp();
+  const Hertz f = gigahertz(1.2);
+  const Hertz fmax = gigahertz(3.6);
+  EXPECT_GT(relative_power(tech, f, fmax, 0.3),
+            relative_power(tech, f, fmax, 0.9));
+}
+
+TEST(RelativePower, RejectsBadDynamicFraction) {
+  const Technology tech = technology_22nm_hp();
+  EXPECT_THROW(relative_power(tech, gigahertz(1.0), gigahertz(2.0), -0.1),
+               Error);
+  EXPECT_THROW(relative_power(tech, gigahertz(1.0), gigahertz(2.0), 1.1),
+               Error);
+}
+
+}  // namespace
+}  // namespace aqua

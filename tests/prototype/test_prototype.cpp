@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "prototype/board_thermal.hpp"
+#include "prototype/coating.hpp"
+#include "prototype/components.hpp"
+#include "prototype/deployment.hpp"
+#include "prototype/testboard.hpp"
+
+namespace aqua {
+namespace {
+
+// -------------------------------------------------------------- coating ----
+
+TEST(Coating, BreakdownVoltageScalesWithThickness) {
+  const FilmSpec thin{50.0};
+  const FilmSpec thick{150.0};
+  EXPECT_NEAR(breakdown_voltage_v(thin), 50.0 * 220.0, 1e-9);
+  EXPECT_GT(breakdown_voltage_v(thick), breakdown_voltage_v(thin));
+  // Even the failing 50 um film insulates 12 V rails electrically; the
+  // failures are defects, not bulk breakdown.
+  EXPECT_GT(breakdown_voltage_v(thin), 1000.0);
+}
+
+TEST(Coating, DefectDensityDropsExponentially) {
+  const double d50 = defect_density_per_cm2(FilmSpec{50.0});
+  const double d120 = defect_density_per_cm2(FilmSpec{120.0});
+  const double d150 = defect_density_per_cm2(FilmSpec{150.0});
+  EXPECT_GT(d50, 100.0 * d120);
+  EXPECT_GT(d120, d150);
+}
+
+TEST(Coating, PaperLifetimeCalibration) {
+  // 50 um prototypes failed within hours; 120-150 um run for years.
+  EXPECT_LT(base_lifetime_hours(FilmSpec{50.0}), 24.0);
+  EXPECT_GT(base_lifetime_hours(FilmSpec{120.0}), 2.0 * 365.0 * 24.0);
+  EXPECT_GT(base_lifetime_hours(FilmSpec{150.0}),
+            base_lifetime_hours(FilmSpec{120.0}) * 10.0);
+}
+
+TEST(Coating, LeakageInverseInThickness) {
+  EXPECT_GT(intact_leakage_ma(FilmSpec{60.0}, 4.0),
+            intact_leakage_ma(FilmSpec{120.0}, 4.0));
+}
+
+// ----------------------------------------------------------- components ----
+
+TEST(Components, PcieIsHardestToCoat) {
+  const double pcie = component_info(ComponentType::kPcieX4).complexity;
+  for (ComponentType t : test_board_components()) {
+    if (t != ComponentType::kPcieX4) {
+      EXPECT_GT(pcie, component_info(t).complexity) << to_string(t);
+    }
+  }
+}
+
+TEST(Components, Cr2032IsGalvanic) {
+  EXPECT_TRUE(component_info(ComponentType::kCr2032).galvanic);
+  EXPECT_FALSE(component_info(ComponentType::kPcieX4).galvanic);
+}
+
+TEST(Components, MemorySlotFailsInAirToo) {
+  EXPECT_TRUE(component_info(ComponentType::kMemorySlot).fails_in_air_too);
+  EXPECT_FALSE(component_info(ComponentType::kRj45).fails_in_air_too);
+}
+
+TEST(Components, TestBoardHasSevenComponents) {
+  EXPECT_EQ(test_board_components().size(), 7u);
+}
+
+// ------------------------------------------------------------ testboard ----
+
+TEST(TestBoard, ReproducesPaperFailurePattern) {
+  // Paper Section 2.2: 5 boards, 2 years of tap water, 120/150 um film:
+  // all five PCIex4 leaked; ~1 RJ45 and ~1 mPCIe; USB/PGA/AVR survived;
+  // CR2032 discharged. Run a larger campaign and check the rates.
+  TestBoardConfig cfg;  // defaults: 120 um, tap water, 2 years
+  TestBoardSim sim(cfg, 2019);
+  const auto outcomes = sim.run_campaign(400);
+  const auto summary = TestBoardSim::summarize(cfg, outcomes);
+
+  for (const ComponentSummary& s : summary) {
+    const double rate =
+        static_cast<double>(s.failures) / static_cast<double>(s.boards);
+    switch (s.type) {
+      case ComponentType::kPcieX4:
+        EXPECT_GT(rate, 0.80) << "PCIex4 should almost always leak";
+        break;
+      case ComponentType::kRj45:
+      case ComponentType::kMPcie:
+        EXPECT_GT(rate, 0.05);
+        EXPECT_LT(rate, 0.55);
+        break;
+      case ComponentType::kUsb:
+      case ComponentType::kPga:
+      case ComponentType::kMegaAvr:
+        EXPECT_LT(rate, 0.15) << to_string(s.type);
+        break;
+      case ComponentType::kCr2032: {
+        const double discharge_rate =
+            static_cast<double>(s.discharges) /
+            static_cast<double>(s.boards);
+        EXPECT_GT(discharge_rate, 0.9);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+TEST(TestBoard, ThinFilmDiesInHours) {
+  TestBoardConfig cfg;
+  cfg.film.thickness_um = 50.0;
+  cfg.duration_hours = 48.0;
+  TestBoardSim sim(cfg, 7);
+  const auto outcomes = sim.run_campaign(50);
+  std::size_t boards_with_failure = 0;
+  for (const auto& b : outcomes) {
+    boards_with_failure += b.failure_count() > 0;
+  }
+  EXPECT_GT(boards_with_failure, 45u);
+}
+
+TEST(TestBoard, SeaWaterShortensLife) {
+  TestBoardConfig tap;
+  TestBoardConfig sea;
+  sea.environment = WaterEnvironment::kSeaWater;
+  // Compare mean PCIe failure times.
+  auto mean_fail = [](const TestBoardConfig& cfg) {
+    TestBoardSim sim(cfg, 3);
+    const auto outcomes = sim.run_campaign(200);
+    const auto summary = TestBoardSim::summarize(cfg, outcomes);
+    for (const auto& s : summary) {
+      if (s.type == ComponentType::kPcieX4) return s.mean_failure_hour;
+    }
+    return 0.0;
+  };
+  EXPECT_LT(mean_fail(sea), mean_fail(tap) * 0.5);
+}
+
+TEST(TestBoard, DeterministicPerSeed) {
+  TestBoardConfig cfg;
+  TestBoardSim a(cfg, 11);
+  TestBoardSim b(cfg, 11);
+  const auto oa = a.run_campaign(5);
+  const auto ob = b.run_campaign(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t c = 0; c < oa[i].components.size(); ++c) {
+      EXPECT_EQ(oa[i].components[c].failed, ob[i].components[c].failed);
+      EXPECT_DOUBLE_EQ(oa[i].components[c].leakage_ma,
+                       ob[i].components[c].leakage_ma);
+    }
+  }
+}
+
+TEST(TestBoard, FailedComponentsLeakMoreThanIntact) {
+  TestBoardConfig cfg;
+  cfg.film.thickness_um = 50.0;  // force failures
+  TestBoardSim sim(cfg, 23);
+  const auto outcomes = sim.run_campaign(50);
+  for (const auto& b : outcomes) {
+    for (const auto& c : b.components) {
+      if (c.failed) {
+        EXPECT_GT(c.leakage_ma, intact_leakage_ma(cfg.film, 20.0));
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- deployment ----
+
+TEST(Deployment, FoulingDegradesHtc) {
+  const EnvironmentInfo bay = environment_info(WaterEnvironment::kSeaWater);
+  const double fresh = effective_htc(bay, 0.0).value();
+  const double fouled = effective_htc(bay, 60.0).value();
+  EXPECT_NEAR(fouled, fresh / 2.0, 1e-9);  // one time constant
+  EXPECT_LT(effective_htc(bay, 120.0).value(), fouled);
+}
+
+TEST(Deployment, TapTankDoesNotFoul) {
+  const EnvironmentInfo tap = environment_info(WaterEnvironment::kTapWater);
+  EXPECT_NEAR(effective_htc(tap, 365.0).value(), tap.htc.value(),
+              tap.htc.value() * 1e-3);
+}
+
+TEST(Deployment, SeaIsHarshest) {
+  EXPECT_GT(environment_info(WaterEnvironment::kSeaWater).hazard_multiplier,
+            environment_info(WaterEnvironment::kRiver).hazard_multiplier);
+  EXPECT_GT(environment_info(WaterEnvironment::kRiver).hazard_multiplier,
+            environment_info(WaterEnvironment::kTapWater).hazard_multiplier);
+}
+
+TEST(Deployment, DirectCoolingPueNearOne) {
+  EXPECT_NEAR(direct_cooling_pue(), 1.003, 1e-9);
+  EXPECT_GE(direct_cooling_pue(0.0), 1.0);
+}
+
+// -------------------------------------------------------- board thermal ----
+
+TEST(BoardThermal, ReproducesFig4Temperatures) {
+  // Paper Section 2.4: air 76 C, heatsink-in-water 71 C, full immersion
+  // 56 C on the film-coated PRIMERGY TX1320 M2.
+  const ServerBoardModel board;
+  EXPECT_NEAR(board.chip_temperature_c(BoardCooling::kForcedAir), 76.0, 2.0);
+  EXPECT_NEAR(board.chip_temperature_c(BoardCooling::kHeatsinkInWater), 71.0,
+              2.0);
+  EXPECT_NEAR(board.chip_temperature_c(BoardCooling::kFullImmersion), 56.0,
+              2.0);
+}
+
+TEST(BoardThermal, FullImmersionBeatsEverything) {
+  const ServerBoardModel board;
+  const double air = board.chip_temperature_c(BoardCooling::kForcedAir);
+  const double sink = board.chip_temperature_c(BoardCooling::kHeatsinkInWater);
+  const double full = board.chip_temperature_c(BoardCooling::kFullImmersion);
+  EXPECT_LT(full, sink);
+  EXPECT_LT(sink, air);
+  // The ~20 C headline reduction.
+  EXPECT_NEAR(air - full, 20.0, 4.0);
+}
+
+TEST(BoardThermal, ThickerFilmRunsSlightlyHotterImmersed) {
+  ServerBoardModel thin;
+  thin.film.thickness_um = 60.0;
+  ServerBoardModel thick;
+  thick.film.thickness_um = 240.0;
+  EXPECT_LT(thin.chip_temperature_c(BoardCooling::kFullImmersion),
+            thick.chip_temperature_c(BoardCooling::kFullImmersion));
+}
+
+TEST(BoardThermal, PowerScalesTemperatureRise) {
+  ServerBoardModel base;
+  ServerBoardModel hot = base;
+  hot.cpu_power_w = 2.0 * base.cpu_power_w;
+  const double rise_base =
+      base.chip_temperature_c(BoardCooling::kForcedAir) - base.ambient_c;
+  const double rise_hot =
+      hot.chip_temperature_c(BoardCooling::kForcedAir) - hot.ambient_c;
+  EXPECT_NEAR(rise_hot, 2.0 * rise_base, 1e-6);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,141 @@
+/// Closed-form validation of the grid model: with spatially uniform power
+/// and a blocked board path, the stack is a 1-D series chain whose
+/// temperatures follow directly from the layer resistances. The grid must
+/// match the hand computation, not merely behave plausibly.
+
+#include <gtest/gtest.h>
+
+#include "power/chip_model.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace aqua {
+namespace {
+
+/// A single-block floorplan: perfectly uniform power density.
+Floorplan uniform_die(double w, double h) {
+  std::vector<Block> blocks{{"DIE", UnitKind::kCore, Rect{0.0, 0.0, w, h}}};
+  return Floorplan("uniform", w, h, std::move(blocks));
+}
+
+TEST(Analytic, SingleLayerSeriesChain) {
+  const double w = 13e-3;
+  const PackageConfig pkg;
+  const double area = w * w;
+
+  ThermalBoundary b;
+  b.ambient_c = pkg.ambient_c;
+  b.top_htc = HeatTransferCoefficient(800.0);
+  b.top_coolant_is_gas = false;
+  // Choke the board path so the chain is purely top-sided.
+  b.bottom_htc = HeatTransferCoefficient(1e-9);
+
+  const Floorplan die = uniform_die(w, w);
+  const Stack3d stack(die, 1, FlipPolicy::kNone);
+  StackThermalModel model(stack, pkg, b, GridOptions{16, 16, {}});
+
+  const double p_w = 40.0;
+  const ThermalSolution sol =
+      model.solve_steady({std::vector<double>{p_w}});
+
+  // Hand-computed series chain (uniform heat: no lateral flow, so the
+  // lateral boost terms are irrelevant and each layer is isothermal):
+  // die(center) -> TIM -> spreader(center) -> sink(center) -> convection.
+  const double r_die_tim_spr =
+      (pkg.die_thickness / (2.0 * pkg.die_material.conductivity.value()) +
+       pkg.tim_thickness / pkg.tim_material.conductivity.value() +
+       pkg.spreader_thickness /
+           (2.0 * pkg.spreader_material.conductivity.value())) /
+      area;
+  const double r_spr_sink =
+      (pkg.spreader_thickness /
+           (2.0 * pkg.spreader_material.conductivity.value()) +
+       pkg.heatsink_thickness /
+           (2.0 * pkg.heatsink_material.conductivity.value())) /
+      area;
+  const double r_conv = 1.0 / (800.0 * pkg.heatsink_fin_area);
+  const double expected =
+      pkg.ambient_c + p_w * (r_die_tim_spr + r_spr_sink + r_conv);
+
+  EXPECT_NEAR(sol.max_die_temperature_c(), expected, 0.01);
+  // Uniform power on a uniform die: the field must be flat.
+  const auto field = sol.layer_field(0);
+  const auto [lo, hi] = std::minmax_element(field.begin(), field.end());
+  EXPECT_NEAR(*hi - *lo, 0.0, 1e-6);
+}
+
+TEST(Analytic, TwoLayerStackAddsGlueInterface) {
+  const double w = 13e-3;
+  const PackageConfig pkg;
+  const double area = w * w;
+
+  ThermalBoundary b;
+  b.ambient_c = pkg.ambient_c;
+  b.top_htc = HeatTransferCoefficient(800.0);
+  b.top_coolant_is_gas = false;
+  b.bottom_htc = HeatTransferCoefficient(1e-9);
+
+  const Floorplan die = uniform_die(w, w);
+  const Stack3d stack(die, 2, FlipPolicy::kNone);
+  StackThermalModel model(stack, pkg, b, GridOptions{16, 16, {}});
+
+  const double p_w = 20.0;  // per layer
+  const ThermalSolution sol = model.solve_steady(
+      {std::vector<double>{p_w}, std::vector<double>{p_w}});
+
+  const double r_glue =
+      (pkg.die_thickness / pkg.die_material.conductivity.value() +
+       pkg.glue_thickness / pkg.glue_material.conductivity.value()) /
+      area;
+  const double r_die_tim_spr =
+      (pkg.die_thickness / (2.0 * pkg.die_material.conductivity.value()) +
+       pkg.tim_thickness / pkg.tim_material.conductivity.value() +
+       pkg.spreader_thickness /
+           (2.0 * pkg.spreader_material.conductivity.value())) /
+      area;
+  const double r_spr_sink =
+      (pkg.spreader_thickness /
+           (2.0 * pkg.spreader_material.conductivity.value()) +
+       pkg.heatsink_thickness /
+           (2.0 * pkg.heatsink_material.conductivity.value())) /
+      area;
+  const double r_conv = 1.0 / (800.0 * pkg.heatsink_fin_area);
+
+  // Bottom die carries its own power through the glue interface, then both
+  // layers' power continues up the shared chain.
+  const double t_top = pkg.ambient_c +
+                       2.0 * p_w * (r_die_tim_spr + r_spr_sink + r_conv);
+  const double t_bottom = t_top + p_w * r_glue;
+
+  EXPECT_NEAR(sol.layer_max_c(1), t_top, 0.01);
+  EXPECT_NEAR(sol.layer_max_c(0), t_bottom, 0.01);
+}
+
+TEST(Analytic, ColdPlateChain) {
+  const double w = 13e-3;
+  const PackageConfig pkg;
+
+  ThermalBoundary b;
+  b.ambient_c = pkg.ambient_c;
+  b.coldplate_resistance = 0.05;
+  b.bottom_htc = HeatTransferCoefficient(1e-9);
+
+  const Floorplan die = uniform_die(w, w);
+  const Stack3d stack(die, 1, FlipPolicy::kNone);
+  StackThermalModel model(stack, pkg, b, GridOptions{16, 16, {}});
+  const double p_w = 60.0;
+  const ThermalSolution sol = model.solve_steady({std::vector<double>{p_w}});
+
+  const double area = w * w;
+  const double r_internal =
+      (pkg.die_thickness / (2.0 * pkg.die_material.conductivity.value()) +
+       pkg.tim_thickness / pkg.tim_material.conductivity.value() +
+       pkg.spreader_thickness / pkg.spreader_material.conductivity.value() +
+       pkg.heatsink_thickness /
+           (2.0 * pkg.heatsink_material.conductivity.value())) /
+      area;
+  const double expected = pkg.ambient_c + p_w * (r_internal + 0.05);
+  EXPECT_NEAR(sol.max_die_temperature_c(), expected, 0.02);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,93 @@
+/// Energy-conservation and heat-path-split tests of the grid model's
+/// boundary-flux accounting — the quantitative evidence behind the
+/// double-sided immersion mechanism (DESIGN.md Section 2).
+
+#include <gtest/gtest.h>
+
+#include "core/cooling.hpp"
+#include "power/chip_model.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace aqua {
+namespace {
+
+struct FluxRig {
+  ChipModel chip = make_low_power_cmp();
+  PackageConfig pkg{};
+  std::size_t chips;
+  Stack3d stack;
+  StackThermalModel model;
+  std::vector<std::vector<double>> powers;
+  double total_w = 0.0;
+
+  FluxRig(CoolingKind kind, std::size_t n, double ghz = 1.5)
+      : chips(n),
+        stack(chip.floorplan(), n, FlipPolicy::kNone),
+        model(stack, pkg, CoolingOption(kind).boundary(pkg),
+              GridOptions{16, 16, {}}) {
+    for (std::size_t l = 0; l < n; ++l) {
+      powers.push_back(chip.block_powers(stack.layer(l), gigahertz(ghz)));
+      for (double p : powers.back()) total_w += p;
+    }
+  }
+};
+
+TEST(BoundaryFlux, ConservesEnergyUnderEveryCoolingOption) {
+  for (CoolingKind kind : {CoolingKind::kAir, CoolingKind::kWaterPipe,
+                           CoolingKind::kMineralOil, CoolingKind::kFluorinert,
+                           CoolingKind::kWaterImmersion}) {
+    FluxRig s(kind, 3);
+    const ThermalSolution sol = s.model.solve_steady(s.powers);
+    const auto flux = s.model.boundary_flux(sol);
+    // Steady state: everything injected leaves through the two paths.
+    EXPECT_NEAR(flux.total(), s.total_w, 1e-4 * s.total_w)
+        << to_string(kind);
+    EXPECT_GT(flux.top_w, 0.0);
+    EXPECT_GT(flux.bottom_w, 0.0);
+  }
+}
+
+TEST(BoundaryFlux, ImmersionUsesBothPaths) {
+  FluxRig water(CoolingKind::kWaterImmersion, 6);
+  const auto flux = water.model.boundary_flux(water.model.solve_steady(water.powers));
+  // The board path must carry a significant share for the tall-stack
+  // feasibility of Figs. 7/8 (the double-sided mechanism).
+  EXPECT_GT(flux.bottom_w / flux.total(), 0.2);
+  EXPECT_GT(flux.top_w / flux.total(), 0.2);
+}
+
+// Under air neither path dominates: the fins are throttled by the gas
+// boundary layer, so the board carries a comparable share.
+TEST(BoundaryFlux, AirBottomPathBelowHalf) {
+  FluxRig air(CoolingKind::kAir, 3);
+  const auto flux = air.model.boundary_flux(air.model.solve_steady(air.powers));
+  EXPECT_LT(flux.bottom_w / flux.total(), 0.5);
+}
+
+TEST(BoundaryFlux, WaterPipeIsTopDominated) {
+  FluxRig pipe(CoolingKind::kWaterPipe, 3);
+  const auto flux = pipe.model.boundary_flux(pipe.model.solve_steady(pipe.powers));
+  EXPECT_GT(flux.top_w / flux.total(), 0.7);
+}
+
+TEST(BoundaryFlux, ScalesWithPower) {
+  FluxRig s(CoolingKind::kWaterImmersion, 2, 1.0);
+  const auto lo = s.model.boundary_flux(s.model.solve_steady(s.powers));
+  for (auto& layer : s.powers) {
+    for (double& p : layer) p *= 3.0;
+  }
+  const auto hi = s.model.boundary_flux(s.model.solve_steady(s.powers));
+  EXPECT_NEAR(hi.total(), 3.0 * lo.total(), 1e-3 * hi.total());
+  // Linearity: the split ratio is power-independent.
+  EXPECT_NEAR(hi.top_w / hi.total(), lo.top_w / lo.total(), 1e-6);
+}
+
+TEST(BoundaryFlux, RejectsForeignSolution) {
+  FluxRig a(CoolingKind::kWaterImmersion, 2);
+  FluxRig b(CoolingKind::kWaterImmersion, 3);
+  const ThermalSolution sol = b.model.solve_steady(b.powers);
+  EXPECT_THROW((void)a.model.boundary_flux(sol), Error);
+}
+
+}  // namespace
+}  // namespace aqua

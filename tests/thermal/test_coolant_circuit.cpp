@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "thermal/circuit.hpp"
+#include "thermal/coolant.hpp"
+#include "thermal/material.hpp"
+
+namespace aqua {
+namespace {
+
+// -------------------------------------------------------------- coolant ----
+
+TEST(Coolant, PaperCoefficients) {
+  // Section 3.2: air 14, mineral oil 160, fluorinert 180, water 800.
+  EXPECT_DOUBLE_EQ(coolant(CoolantKind::kAir).htc.value(), 14.0);
+  EXPECT_DOUBLE_EQ(coolant(CoolantKind::kMineralOil).htc.value(), 160.0);
+  EXPECT_DOUBLE_EQ(coolant(CoolantKind::kFluorinert).htc.value(), 180.0);
+  EXPECT_DOUBLE_EQ(coolant(CoolantKind::kWater).htc.value(), 800.0);
+}
+
+TEST(Coolant, OnlyWaterConducts) {
+  for (const Coolant& c : all_coolants()) {
+    EXPECT_EQ(c.electrically_insulating, c.kind != CoolantKind::kWater)
+        << c.name;
+  }
+}
+
+TEST(Coolant, WaterIsCheapest) {
+  const double water_cost = coolant(CoolantKind::kWater).relative_cost;
+  EXPECT_LT(water_cost, coolant(CoolantKind::kMineralOil).relative_cost);
+  EXPECT_LT(water_cost, coolant(CoolantKind::kFluorinert).relative_cost);
+}
+
+TEST(Coolant, AllFourListed) {
+  EXPECT_EQ(all_coolants().size(), 4u);
+}
+
+// ------------------------------------------------------------ materials ----
+
+TEST(Materials, Table2Values) {
+  EXPECT_DOUBLE_EQ(copper().conductivity.value(), 400.0);   // sink/spreader
+  EXPECT_DOUBLE_EQ(parylene().conductivity.value(), 0.14);  // film
+  EXPECT_DOUBLE_EQ(tim().conductivity.value(), 0.25);       // bulk TIM
+}
+
+// -------------------------------------------------------------- circuit ----
+
+TEST(Circuit, SingleNodeAnalytic) {
+  ThermalCircuit c(25.0);
+  const std::size_t n = c.add_node("die", Watts(50.0));
+  c.connect_ambient(n, KelvinPerWatt(0.5));
+  // T = 25 + 50 * 0.5 = 50.
+  EXPECT_NEAR(c.temperature_c(n), 50.0, 1e-9);
+}
+
+TEST(Circuit, TwoNodeSeries) {
+  ThermalCircuit c(25.0);
+  const std::size_t die = c.add_node("die", Watts(10.0));
+  const std::size_t sink = c.add_node("sink");
+  c.connect(die, sink, KelvinPerWatt(1.0));
+  c.connect_ambient(sink, KelvinPerWatt(2.0));
+  const std::vector<double> t = c.solve();
+  EXPECT_NEAR(t[sink], 25.0 + 10.0 * 2.0, 1e-9);
+  EXPECT_NEAR(t[die], 25.0 + 10.0 * 3.0, 1e-9);
+}
+
+TEST(Circuit, ParallelPathsSplitHeat) {
+  ThermalCircuit c(0.0);
+  const std::size_t die = c.add_node("die", Watts(30.0));
+  c.connect_ambient(die, KelvinPerWatt(1.0));
+  c.connect_ambient(die, KelvinPerWatt(2.0));
+  // Parallel 1 || 2 = 2/3 -> T = 20.
+  EXPECT_NEAR(c.temperature_c(die), 20.0, 1e-9);
+}
+
+TEST(Circuit, FloatingCircuitThrows) {
+  ThermalCircuit c;
+  const std::size_t a = c.add_node("a", Watts(1.0));
+  const std::size_t b = c.add_node("b");
+  c.connect(a, b, KelvinPerWatt(1.0));
+  EXPECT_THROW((void)c.solve(), Error);
+}
+
+TEST(Circuit, SetPowerUpdatesSolution) {
+  ThermalCircuit c(25.0);
+  const std::size_t n = c.add_node("die", Watts(10.0));
+  c.connect_ambient(n, KelvinPerWatt(1.0));
+  EXPECT_NEAR(c.temperature_c(n), 35.0, 1e-9);
+  c.set_power(n, Watts(20.0));
+  EXPECT_NEAR(c.temperature_c(n), 45.0, 1e-9);
+}
+
+TEST(Circuit, HelperResistances) {
+  // 1 mm of 400 W/mK over 1 cm^2: R = 1e-3 / (400 * 1e-4) = 0.025 K/W.
+  EXPECT_NEAR(ThermalCircuit::conduction(1e-3, WattsPerMeterKelvin(400.0),
+                                         1e-4).value(),
+              0.025, 1e-12);
+  // h = 800 over 0.05 m^2: R = 1/40.
+  EXPECT_NEAR(
+      ThermalCircuit::convection(HeatTransferCoefficient(800.0), 0.05).value(),
+      0.025, 1e-12);
+}
+
+TEST(Circuit, HelperValidation) {
+  EXPECT_THROW(
+      ThermalCircuit::conduction(0.0, WattsPerMeterKelvin(1.0), 1.0), Error);
+  EXPECT_THROW(
+      ThermalCircuit::convection(HeatTransferCoefficient(0.0), 1.0), Error);
+}
+
+TEST(Circuit, InvalidEdgesThrow) {
+  ThermalCircuit c;
+  const std::size_t a = c.add_node("a");
+  EXPECT_THROW(c.connect(a, a, KelvinPerWatt(1.0)), Error);
+  EXPECT_THROW(c.connect(a, 5, KelvinPerWatt(1.0)), Error);
+  EXPECT_THROW(c.connect_ambient(a, KelvinPerWatt(0.0)), Error);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,104 @@
+/// Parameterized sweeps over the five cooling options: boundary sanity and
+/// solved-temperature ordering against air.
+
+#include <gtest/gtest.h>
+
+#include "core/cooling.hpp"
+#include "power/chip_model.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace aqua {
+namespace {
+
+class CoolingProperty : public ::testing::TestWithParam<CoolingKind> {
+ protected:
+  CoolingOption option_{GetParam()};
+  PackageConfig pkg_{};
+
+  double solve_two_chip_peak() {
+    const ChipModel chip = make_low_power_cmp();
+    const Stack3d stack(chip.floorplan(), 2, FlipPolicy::kNone);
+    GridOptions grid;
+    grid.nx = 16;
+    grid.ny = 16;
+    StackThermalModel model(stack, pkg_, option_.boundary(pkg_), grid);
+    std::vector<std::vector<double>> powers;
+    for (std::size_t l = 0; l < 2; ++l) {
+      powers.push_back(chip.block_powers(stack.layer(l), gigahertz(1.5)));
+    }
+    return model.solve_steady(powers).max_die_temperature_c();
+  }
+};
+
+TEST_P(CoolingProperty, BoundaryIsPhysical) {
+  const ThermalBoundary b = option_.boundary(pkg_);
+  EXPECT_GT(b.top_htc.value(), 0.0);
+  EXPECT_GT(b.bottom_htc.value(), 0.0);
+  EXPECT_GE(b.coldplate_resistance, 0.0);
+  EXPECT_DOUBLE_EQ(b.ambient_c, pkg_.ambient_c);
+  // Only immersion options wet the board face through the film.
+  if (b.film_on_bottom) {
+    EXPECT_TRUE(option_.immersion());
+  }
+}
+
+TEST_P(CoolingProperty, NoWorseThanPlainAir) {
+  const double mine = solve_two_chip_peak();
+  CoolingOption air(CoolingKind::kAir);
+  const ChipModel chip = make_low_power_cmp();
+  const Stack3d stack(chip.floorplan(), 2, FlipPolicy::kNone);
+  GridOptions grid;
+  grid.nx = 16;
+  grid.ny = 16;
+  StackThermalModel model(stack, pkg_, air.boundary(pkg_), grid);
+  std::vector<std::vector<double>> powers;
+  for (std::size_t l = 0; l < 2; ++l) {
+    powers.push_back(chip.block_powers(stack.layer(l), gigahertz(1.5)));
+  }
+  const double air_peak = model.solve_steady(powers).max_die_temperature_c();
+  EXPECT_LE(mine, air_peak + 1e-9);
+}
+
+TEST_P(CoolingProperty, PeakAboveAmbientAndFinite) {
+  const double peak = solve_two_chip_peak();
+  EXPECT_GT(peak, pkg_.ambient_c);
+  EXPECT_LT(peak, 400.0);
+}
+
+TEST_P(CoolingProperty, NameRoundTrips) {
+  EXPECT_EQ(option_.name(), to_string(option_.kind()));
+  EXPECT_FALSE(option_.name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOptions, CoolingProperty,
+    ::testing::Values(CoolingKind::kAir, CoolingKind::kWaterPipe,
+                      CoolingKind::kMineralOil, CoolingKind::kFluorinert,
+                      CoolingKind::kWaterImmersion),
+    [](const auto& inst) { return std::string(to_string(inst.param)); });
+
+/// Immersion coolant h ordering must carry through to solved temperatures.
+TEST(CoolingOrdering, SolvedTemperatureFollowsHtc) {
+  const ChipModel chip = make_low_power_cmp();
+  const PackageConfig pkg;
+  const Stack3d stack(chip.floorplan(), 3, FlipPolicy::kNone);
+  GridOptions grid;
+  grid.nx = 16;
+  grid.ny = 16;
+  std::vector<std::vector<double>> powers;
+  for (std::size_t l = 0; l < 3; ++l) {
+    powers.push_back(chip.block_powers(stack.layer(l), gigahertz(1.5)));
+  }
+  double prev = 1e9;
+  for (CoolingKind kind : {CoolingKind::kMineralOil, CoolingKind::kFluorinert,
+                           CoolingKind::kWaterImmersion}) {
+    StackThermalModel model(stack, pkg, CoolingOption(kind).boundary(pkg),
+                            grid);
+    const double peak = model.solve_steady(powers).max_die_temperature_c();
+    EXPECT_LE(peak, prev) << to_string(kind);
+    prev = peak;
+  }
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "power/chip_model.hpp"
+#include "thermal/grid_model.hpp"
+#include "thermal/thermal_map.hpp"
+
+namespace aqua {
+namespace {
+
+ThermalSolution small_solution() {
+  const ChipModel chip = make_high_frequency_cmp();
+  const PackageConfig pkg;
+  ThermalBoundary b;
+  b.ambient_c = pkg.ambient_c;
+  b.top_htc = HeatTransferCoefficient(800.0);
+  b.top_coolant_is_gas = false;
+  b.bottom_htc = HeatTransferCoefficient(800.0);
+  b.film_on_bottom = true;
+  const Stack3d stack(chip.floorplan(), 1, FlipPolicy::kNone);
+  StackThermalModel model(stack, pkg, b, GridOptions{8, 8, {}});
+  return model.solve_steady(
+      {chip.block_powers(chip.floorplan(), chip.max_frequency())});
+}
+
+TEST(Ppm, HeaderAndSize) {
+  const ThermalSolution sol = small_solution();
+  std::ostringstream os(std::ios::binary);
+  write_layer_ppm(os, sol, 0, /*scale=*/4);
+  const std::string data = os.str();
+  // "P6\n32 32\n255\n" + 32*32*3 payload bytes.
+  EXPECT_EQ(data.rfind("P6\n32 32\n255\n", 0), 0u);
+  const std::size_t header = std::string("P6\n32 32\n255\n").size();
+  EXPECT_EQ(data.size(), header + 32u * 32u * 3u);
+}
+
+TEST(Ppm, HotCoreRowIsRedder) {
+  const ThermalSolution sol = small_solution();
+  std::ostringstream os(std::ios::binary);
+  write_layer_ppm(os, sol, 0, /*scale=*/1);
+  const std::string data = os.str();
+  const std::size_t header = std::string("P6\n8 8\n255\n").size();
+  // Bottom image row = grid row iy 0 = the core row (hot, red channel
+  // high); top image row = far L2 (cool, blue channel high).
+  const auto px = [&](std::size_t row, std::size_t col, int ch) {
+    return static_cast<unsigned char>(
+        data[header + (row * 8 + col) * 3 + ch]);
+  };
+  EXPECT_GT(px(7, 2, 0), 200);  // red at the hot bottom
+  EXPECT_GT(px(0, 2, 2), 200);  // blue at the cool top
+  EXPECT_LT(px(0, 2, 0), 60);
+}
+
+TEST(Ppm, FixedRangeClampsOutside) {
+  const ThermalSolution sol = small_solution();
+  std::ostringstream narrow(std::ios::binary);
+  // A range entirely below the field: everything clamps to full red.
+  write_layer_ppm(narrow, sol, 0, 1, -100.0, -50.0);
+  const std::string data = narrow.str();
+  const std::size_t header = std::string("P6\n8 8\n255\n").size();
+  for (std::size_t i = 0; i < 8 * 8; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(data[header + i * 3 + 0]), 255);
+    EXPECT_EQ(static_cast<unsigned char>(data[header + i * 3 + 2]), 0);
+  }
+}
+
+TEST(Ppm, Deterministic) {
+  const ThermalSolution sol = small_solution();
+  std::ostringstream a(std::ios::binary);
+  std::ostringstream b(std::ios::binary);
+  write_layer_ppm(a, sol, 0);
+  write_layer_ppm(b, sol, 0);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace aqua

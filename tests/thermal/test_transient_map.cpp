@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "power/chip_model.hpp"
+#include "thermal/grid_model.hpp"
+#include "thermal/thermal_map.hpp"
+#include "thermal/transient.hpp"
+
+namespace aqua {
+namespace {
+
+GridOptions tiny_grid() {
+  GridOptions g;
+  g.nx = 8;
+  g.ny = 8;
+  return g;
+}
+
+ThermalBoundary water_boundary(const PackageConfig& pkg) {
+  ThermalBoundary b;
+  b.ambient_c = pkg.ambient_c;
+  b.top_htc = HeatTransferCoefficient(800.0);
+  b.top_coolant_is_gas = false;
+  b.bottom_htc = HeatTransferCoefficient(800.0);
+  b.film_on_bottom = true;
+  return b;
+}
+
+struct Fixture {
+  ChipModel chip = make_low_power_cmp();
+  PackageConfig pkg{};
+  Stack3d stack{chip.floorplan(), 2, FlipPolicy::kNone};
+  StackThermalModel model{stack, pkg, water_boundary(pkg), tiny_grid()};
+
+  std::vector<std::vector<double>> powers(double ghz) {
+    std::vector<std::vector<double>> out;
+    for (std::size_t l = 0; l < stack.layer_count(); ++l) {
+      out.push_back(chip.block_powers(stack.layer(l), gigahertz(ghz)));
+    }
+    return out;
+  }
+};
+
+// ------------------------------------------------------------ transient ----
+
+TEST(Transient, StepResponseApproachesSteadyState) {
+  Fixture f;
+  const auto powers = f.powers(1.5);
+  const double steady = f.model.solve_steady(powers).max_die_temperature_c();
+
+  TransientOptions opts;
+  opts.dt_seconds = 0.05;
+  TransientSolver solver(f.model, opts);
+  const std::vector<TransientSample> samples = solver.run_step(30.0, powers);
+  ASSERT_FALSE(samples.empty());
+  EXPECT_NEAR(samples.back().max_die_temperature_c, steady, 0.5);
+}
+
+TEST(Transient, TemperatureRisesMonotonically) {
+  Fixture f;
+  TransientOptions opts;
+  opts.dt_seconds = 0.05;
+  TransientSolver solver(f.model, opts);
+  const auto samples = solver.run_step(2.0, f.powers(1.5));
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].max_die_temperature_c,
+              samples[i - 1].max_die_temperature_c - 1e-9);
+  }
+}
+
+TEST(Transient, StartsNearAmbient) {
+  Fixture f;
+  TransientOptions opts;
+  opts.dt_seconds = 0.001;
+  TransientSolver solver(f.model, opts);
+  const auto samples = solver.run_step(0.002, f.powers(2.0));
+  // Two milliseconds in, the stack has barely warmed.
+  EXPECT_LT(samples.front().max_die_temperature_c, f.pkg.ambient_c + 10.0);
+}
+
+TEST(Transient, TimeVaryingPowerTracksInput) {
+  Fixture f;
+  TransientOptions opts;
+  opts.dt_seconds = 0.05;
+  TransientSolver solver(f.model, opts);
+  const auto low = f.powers(1.0);
+  const auto high = f.powers(2.0);
+  // High power for 15 s, then low: the peak must come in the first half.
+  const auto samples = solver.run(30.0, [&](double t) {
+    return t < 15.0 ? high : low;
+  });
+  double peak = 0.0;
+  double peak_time = 0.0;
+  for (const auto& s : samples) {
+    if (s.max_die_temperature_c > peak) {
+      peak = s.max_die_temperature_c;
+      peak_time = s.time_s;
+    }
+  }
+  EXPECT_LE(peak_time, 15.1);
+  EXPECT_GT(samples.back().max_die_temperature_c, f.pkg.ambient_c);
+  EXPECT_LT(samples.back().max_die_temperature_c, peak);
+}
+
+TEST(Transient, FinalStateMatchesLastSample) {
+  Fixture f;
+  TransientOptions opts;
+  opts.dt_seconds = 0.05;
+  TransientSolver solver(f.model, opts);
+  const auto samples = solver.run_step(1.0, f.powers(1.5));
+  const std::vector<double>& state = solver.final_state_c();
+  double max_die = -1e9;
+  const std::size_t die_nodes = 2 * 8 * 8;
+  for (std::size_t i = 0; i < die_nodes; ++i) {
+    max_die = std::max(max_die, state[i]);
+  }
+  EXPECT_NEAR(max_die, samples.back().max_die_temperature_c, 1e-9);
+}
+
+// ---------------------------------------------------------- thermal map ----
+
+TEST(ThermalMap, AsciiRenderHasGridShape) {
+  Fixture f;
+  const ThermalSolution sol = f.model.solve_steady(f.powers(1.5));
+  std::ostringstream os;
+  render_layer_ascii(os, sol, 0, "Layer 1");
+  const std::string s = os.str();
+  // Header line + 8 rows of 8 glyphs.
+  std::size_t lines = 0;
+  for (char c : s) lines += c == '\n';
+  EXPECT_EQ(lines, 9u);
+  EXPECT_NE(s.find("min"), std::string::npos);
+  EXPECT_NE(s.find("max"), std::string::npos);
+}
+
+TEST(ThermalMap, StackRenderCoversAllDieLayers) {
+  Fixture f;
+  const ThermalSolution sol = f.model.solve_steady(f.powers(1.5));
+  std::ostringstream os;
+  render_stack_ascii(os, sol, "title");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Layer 1"), std::string::npos);
+  EXPECT_NE(s.find("Layer 2"), std::string::npos);
+  EXPECT_NE(s.find("(bottom)"), std::string::npos);
+  EXPECT_NE(s.find("(top)"), std::string::npos);
+}
+
+TEST(ThermalMap, CsvHasNyRowsNxColumns) {
+  Fixture f;
+  const ThermalSolution sol = f.model.solve_steady(f.powers(1.5));
+  std::ostringstream os;
+  write_layer_csv(os, sol, 0);
+  std::istringstream in(os.str());
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+    std::size_t commas = 0;
+    for (char c : line) commas += c == ',';
+    EXPECT_EQ(commas, 7u);
+  }
+  EXPECT_EQ(rows, 8u);
+}
+
+TEST(ThermalMap, BlockSummaryNamesAllBlocks) {
+  Fixture f;
+  const ThermalSolution sol = f.model.solve_steady(f.powers(1.5));
+  const std::string s = block_summary(sol, 0, f.stack.layer(0));
+  EXPECT_NE(s.find("CORE1"), std::string::npos);
+  EXPECT_NE(s.find("L2_12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqua
