@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_double_sided.dir/abl_double_sided.cpp.o"
+  "CMakeFiles/abl_double_sided.dir/abl_double_sided.cpp.o.d"
+  "abl_double_sided"
+  "abl_double_sided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_double_sided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_film_thickness.dir/abl_film_thickness.cpp.o"
+  "CMakeFiles/abl_film_thickness.dir/abl_film_thickness.cpp.o.d"
+  "abl_film_thickness"
+  "abl_film_thickness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_film_thickness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_noc_buffers.dir/abl_noc_buffers.cpp.o"
+  "CMakeFiles/abl_noc_buffers.dir/abl_noc_buffers.cpp.o.d"
+  "abl_noc_buffers"
+  "abl_noc_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_noc_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_solver.dir/abl_solver.cpp.o"
+  "CMakeFiles/abl_solver.dir/abl_solver.cpp.o.d"
+  "abl_solver"
+  "abl_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_workload_power.dir/abl_workload_power.cpp.o"
+  "CMakeFiles/abl_workload_power.dir/abl_workload_power.cpp.o.d"
+  "abl_workload_power"
+  "abl_workload_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_workload_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/aqua_bench_util.dir/bench_util.cpp.o.d"
+  "libaqua_bench_util.a"
+  "libaqua_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

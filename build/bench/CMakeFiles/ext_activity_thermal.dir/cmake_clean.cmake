@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_activity_thermal.dir/ext_activity_thermal.cpp.o"
+  "CMakeFiles/ext_activity_thermal.dir/ext_activity_thermal.cpp.o.d"
+  "ext_activity_thermal"
+  "ext_activity_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_activity_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

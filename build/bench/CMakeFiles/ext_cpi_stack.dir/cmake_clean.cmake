@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cpi_stack.dir/ext_cpi_stack.cpp.o"
+  "CMakeFiles/ext_cpi_stack.dir/ext_cpi_stack.cpp.o.d"
+  "ext_cpi_stack"
+  "ext_cpi_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cpi_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_density.dir/ext_density.cpp.o"
+  "CMakeFiles/ext_density.dir/ext_density.cpp.o.d"
+  "ext_density"
+  "ext_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dtm.dir/ext_dtm.cpp.o"
+  "CMakeFiles/ext_dtm.dir/ext_dtm.cpp.o.d"
+  "ext_dtm"
+  "ext_dtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hetero_stack.dir/ext_hetero_stack.cpp.o"
+  "CMakeFiles/ext_hetero_stack.dir/ext_hetero_stack.cpp.o.d"
+  "ext_hetero_stack"
+  "ext_hetero_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hetero_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

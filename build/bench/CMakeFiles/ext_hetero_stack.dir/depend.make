@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_hetero_stack.
+# This may be replaced when dependencies are built.

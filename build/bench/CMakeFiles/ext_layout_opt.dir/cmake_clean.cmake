@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_layout_opt.dir/ext_layout_opt.cpp.o"
+  "CMakeFiles/ext_layout_opt.dir/ext_layout_opt.cpp.o.d"
+  "ext_layout_opt"
+  "ext_layout_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_layout_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

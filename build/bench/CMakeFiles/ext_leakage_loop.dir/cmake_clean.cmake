@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_leakage_loop.dir/ext_leakage_loop.cpp.o"
+  "CMakeFiles/ext_leakage_loop.dir/ext_leakage_loop.cpp.o.d"
+  "ext_leakage_loop"
+  "ext_leakage_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_leakage_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_microchannel.dir/ext_microchannel.cpp.o"
+  "CMakeFiles/ext_microchannel.dir/ext_microchannel.cpp.o.d"
+  "ext_microchannel"
+  "ext_microchannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_microchannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

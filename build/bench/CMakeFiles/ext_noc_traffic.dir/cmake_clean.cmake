@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_noc_traffic.dir/ext_noc_traffic.cpp.o"
+  "CMakeFiles/ext_noc_traffic.dir/ext_noc_traffic.cpp.o.d"
+  "ext_noc_traffic"
+  "ext_noc_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_noc_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_xeon_e5_stack.dir/fig01_xeon_e5_stack.cpp.o"
+  "CMakeFiles/fig01_xeon_e5_stack.dir/fig01_xeon_e5_stack.cpp.o.d"
+  "fig01_xeon_e5_stack"
+  "fig01_xeon_e5_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_xeon_e5_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig01_xeon_e5_stack.
+# This may be replaced when dependencies are built.

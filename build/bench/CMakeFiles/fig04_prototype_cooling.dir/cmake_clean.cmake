@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_prototype_cooling.dir/fig04_prototype_cooling.cpp.o"
+  "CMakeFiles/fig04_prototype_cooling.dir/fig04_prototype_cooling.cpp.o.d"
+  "fig04_prototype_cooling"
+  "fig04_prototype_cooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_prototype_cooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

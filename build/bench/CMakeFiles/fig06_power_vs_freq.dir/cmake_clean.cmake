@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_power_vs_freq.dir/fig06_power_vs_freq.cpp.o"
+  "CMakeFiles/fig06_power_vs_freq.dir/fig06_power_vs_freq.cpp.o.d"
+  "fig06_power_vs_freq"
+  "fig06_power_vs_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_power_vs_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_power_vs_freq.
+# This may be replaced when dependencies are built.

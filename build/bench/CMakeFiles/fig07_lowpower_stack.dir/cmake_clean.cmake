@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_lowpower_stack.dir/fig07_lowpower_stack.cpp.o"
+  "CMakeFiles/fig07_lowpower_stack.dir/fig07_lowpower_stack.cpp.o.d"
+  "fig07_lowpower_stack"
+  "fig07_lowpower_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_lowpower_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_highfreq_stack.dir/fig08_highfreq_stack.cpp.o"
+  "CMakeFiles/fig08_highfreq_stack.dir/fig08_highfreq_stack.cpp.o.d"
+  "fig08_highfreq_stack"
+  "fig08_highfreq_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_highfreq_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_thermal_map.dir/fig09_thermal_map.cpp.o"
+  "CMakeFiles/fig09_thermal_map.dir/fig09_thermal_map.cpp.o.d"
+  "fig09_thermal_map"
+  "fig09_thermal_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_thermal_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_npb_6chip_lowpower.dir/fig10_npb_6chip_lowpower.cpp.o"
+  "CMakeFiles/fig10_npb_6chip_lowpower.dir/fig10_npb_6chip_lowpower.cpp.o.d"
+  "fig10_npb_6chip_lowpower"
+  "fig10_npb_6chip_lowpower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_npb_6chip_lowpower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

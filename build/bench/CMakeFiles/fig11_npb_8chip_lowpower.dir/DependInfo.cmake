@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_npb_8chip_lowpower.cpp" "bench/CMakeFiles/fig11_npb_8chip_lowpower.dir/fig11_npb_8chip_lowpower.cpp.o" "gcc" "bench/CMakeFiles/fig11_npb_8chip_lowpower.dir/fig11_npb_8chip_lowpower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/aqua_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aqua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/aqua_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/aqua_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/prototype/CMakeFiles/aqua_prototype.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/aqua_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/aqua_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

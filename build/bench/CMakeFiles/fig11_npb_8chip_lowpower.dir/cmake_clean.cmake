@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_npb_8chip_lowpower.dir/fig11_npb_8chip_lowpower.cpp.o"
+  "CMakeFiles/fig11_npb_8chip_lowpower.dir/fig11_npb_8chip_lowpower.cpp.o.d"
+  "fig11_npb_8chip_lowpower"
+  "fig11_npb_8chip_lowpower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_npb_8chip_lowpower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_npb_8chip_lowpower.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_npb_6chip_highfreq.dir/fig12_npb_6chip_highfreq.cpp.o"
+  "CMakeFiles/fig12_npb_6chip_highfreq.dir/fig12_npb_6chip_highfreq.cpp.o.d"
+  "fig12_npb_6chip_highfreq"
+  "fig12_npb_6chip_highfreq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_npb_6chip_highfreq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

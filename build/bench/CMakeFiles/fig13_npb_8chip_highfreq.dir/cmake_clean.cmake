@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_npb_8chip_highfreq.dir/fig13_npb_8chip_highfreq.cpp.o"
+  "CMakeFiles/fig13_npb_8chip_highfreq.dir/fig13_npb_8chip_highfreq.cpp.o.d"
+  "fig13_npb_8chip_highfreq"
+  "fig13_npb_8chip_highfreq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_npb_8chip_highfreq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_npb_8chip_highfreq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_rotation.dir/fig15_rotation.cpp.o"
+  "CMakeFiles/fig15_rotation.dir/fig15_rotation.cpp.o.d"
+  "fig15_rotation"
+  "fig15_rotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_thermal_map_flip.dir/fig16_thermal_map_flip.cpp.o"
+  "CMakeFiles/fig16_thermal_map_flip.dir/fig16_thermal_map_flip.cpp.o.d"
+  "fig16_thermal_map_flip"
+  "fig16_thermal_map_flip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_thermal_map_flip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

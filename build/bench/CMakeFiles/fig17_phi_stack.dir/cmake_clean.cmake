@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_phi_stack.dir/fig17_phi_stack.cpp.o"
+  "CMakeFiles/fig17_phi_stack.dir/fig17_phi_stack.cpp.o.d"
+  "fig17_phi_stack"
+  "fig17_phi_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_phi_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

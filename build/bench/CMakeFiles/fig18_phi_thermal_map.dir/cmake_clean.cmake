@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_phi_thermal_map.dir/fig18_phi_thermal_map.cpp.o"
+  "CMakeFiles/fig18_phi_thermal_map.dir/fig18_phi_thermal_map.cpp.o.d"
+  "fig18_phi_thermal_map"
+  "fig18_phi_thermal_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_phi_thermal_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec22_testboard_lifetime.dir/sec22_testboard_lifetime.cpp.o"
+  "CMakeFiles/sec22_testboard_lifetime.dir/sec22_testboard_lifetime.cpp.o.d"
+  "sec22_testboard_lifetime"
+  "sec22_testboard_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec22_testboard_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec44_pue_direct.dir/sec44_pue_direct.cpp.o"
+  "CMakeFiles/sec44_pue_direct.dir/sec44_pue_direct.cpp.o.d"
+  "sec44_pue_direct"
+  "sec44_pue_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec44_pue_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

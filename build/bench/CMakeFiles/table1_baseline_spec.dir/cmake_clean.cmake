@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_baseline_spec.dir/table1_baseline_spec.cpp.o"
+  "CMakeFiles/table1_baseline_spec.dir/table1_baseline_spec.cpp.o.d"
+  "table1_baseline_spec"
+  "table1_baseline_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_baseline_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

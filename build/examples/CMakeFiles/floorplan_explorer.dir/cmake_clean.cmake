@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floorplan_explorer.dir/floorplan_explorer.cpp.o"
+  "CMakeFiles/floorplan_explorer.dir/floorplan_explorer.cpp.o.d"
+  "floorplan_explorer"
+  "floorplan_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floorplan_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

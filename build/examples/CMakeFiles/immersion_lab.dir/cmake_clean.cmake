@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/immersion_lab.dir/immersion_lab.cpp.o"
+  "CMakeFiles/immersion_lab.dir/immersion_lab.cpp.o.d"
+  "immersion_lab"
+  "immersion_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/immersion_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_campaign.dir/npb_campaign.cpp.o"
+  "CMakeFiles/npb_campaign.dir/npb_campaign.cpp.o.d"
+  "npb_campaign"
+  "npb_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_reproduction.dir/verify_reproduction.cpp.o"
+  "CMakeFiles/verify_reproduction.dir/verify_reproduction.cpp.o.d"
+  "verify_reproduction"
+  "verify_reproduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_reproduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_common.dir/config.cpp.o"
+  "CMakeFiles/aqua_common.dir/config.cpp.o.d"
+  "CMakeFiles/aqua_common.dir/curve.cpp.o"
+  "CMakeFiles/aqua_common.dir/curve.cpp.o.d"
+  "CMakeFiles/aqua_common.dir/matrix.cpp.o"
+  "CMakeFiles/aqua_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/aqua_common.dir/solvers.cpp.o"
+  "CMakeFiles/aqua_common.dir/solvers.cpp.o.d"
+  "CMakeFiles/aqua_common.dir/sparse.cpp.o"
+  "CMakeFiles/aqua_common.dir/sparse.cpp.o.d"
+  "CMakeFiles/aqua_common.dir/stats.cpp.o"
+  "CMakeFiles/aqua_common.dir/stats.cpp.o.d"
+  "CMakeFiles/aqua_common.dir/table.cpp.o"
+  "CMakeFiles/aqua_common.dir/table.cpp.o.d"
+  "CMakeFiles/aqua_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/aqua_common.dir/thread_pool.cpp.o.d"
+  "libaqua_common.a"
+  "libaqua_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/activity.cpp" "src/core/CMakeFiles/aqua_core.dir/activity.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/activity.cpp.o.d"
+  "/root/repo/src/core/cooling.cpp" "src/core/CMakeFiles/aqua_core.dir/cooling.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/cooling.cpp.o.d"
+  "/root/repo/src/core/cosim.cpp" "src/core/CMakeFiles/aqua_core.dir/cosim.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/cosim.cpp.o.d"
+  "/root/repo/src/core/coupled.cpp" "src/core/CMakeFiles/aqua_core.dir/coupled.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/coupled.cpp.o.d"
+  "/root/repo/src/core/density.cpp" "src/core/CMakeFiles/aqua_core.dir/density.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/density.cpp.o.d"
+  "/root/repo/src/core/dtm.cpp" "src/core/CMakeFiles/aqua_core.dir/dtm.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/dtm.cpp.o.d"
+  "/root/repo/src/core/experiments.cpp" "src/core/CMakeFiles/aqua_core.dir/experiments.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/experiments.cpp.o.d"
+  "/root/repo/src/core/freq_cap.cpp" "src/core/CMakeFiles/aqua_core.dir/freq_cap.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/freq_cap.cpp.o.d"
+  "/root/repo/src/core/pue.cpp" "src/core/CMakeFiles/aqua_core.dir/pue.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/pue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/aqua_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/aqua_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/aqua_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/aqua_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_core.dir/activity.cpp.o"
+  "CMakeFiles/aqua_core.dir/activity.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/cooling.cpp.o"
+  "CMakeFiles/aqua_core.dir/cooling.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/cosim.cpp.o"
+  "CMakeFiles/aqua_core.dir/cosim.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/coupled.cpp.o"
+  "CMakeFiles/aqua_core.dir/coupled.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/density.cpp.o"
+  "CMakeFiles/aqua_core.dir/density.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/dtm.cpp.o"
+  "CMakeFiles/aqua_core.dir/dtm.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/experiments.cpp.o"
+  "CMakeFiles/aqua_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/freq_cap.cpp.o"
+  "CMakeFiles/aqua_core.dir/freq_cap.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/pue.cpp.o"
+  "CMakeFiles/aqua_core.dir/pue.cpp.o.d"
+  "libaqua_core.a"
+  "libaqua_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

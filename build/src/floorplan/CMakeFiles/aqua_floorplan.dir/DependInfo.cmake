@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/floorplan/builders.cpp" "src/floorplan/CMakeFiles/aqua_floorplan.dir/builders.cpp.o" "gcc" "src/floorplan/CMakeFiles/aqua_floorplan.dir/builders.cpp.o.d"
+  "/root/repo/src/floorplan/floorplan.cpp" "src/floorplan/CMakeFiles/aqua_floorplan.dir/floorplan.cpp.o" "gcc" "src/floorplan/CMakeFiles/aqua_floorplan.dir/floorplan.cpp.o.d"
+  "/root/repo/src/floorplan/optimizer.cpp" "src/floorplan/CMakeFiles/aqua_floorplan.dir/optimizer.cpp.o" "gcc" "src/floorplan/CMakeFiles/aqua_floorplan.dir/optimizer.cpp.o.d"
+  "/root/repo/src/floorplan/stack.cpp" "src/floorplan/CMakeFiles/aqua_floorplan.dir/stack.cpp.o" "gcc" "src/floorplan/CMakeFiles/aqua_floorplan.dir/stack.cpp.o.d"
+  "/root/repo/src/floorplan/transform.cpp" "src/floorplan/CMakeFiles/aqua_floorplan.dir/transform.cpp.o" "gcc" "src/floorplan/CMakeFiles/aqua_floorplan.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_floorplan.dir/builders.cpp.o"
+  "CMakeFiles/aqua_floorplan.dir/builders.cpp.o.d"
+  "CMakeFiles/aqua_floorplan.dir/floorplan.cpp.o"
+  "CMakeFiles/aqua_floorplan.dir/floorplan.cpp.o.d"
+  "CMakeFiles/aqua_floorplan.dir/optimizer.cpp.o"
+  "CMakeFiles/aqua_floorplan.dir/optimizer.cpp.o.d"
+  "CMakeFiles/aqua_floorplan.dir/stack.cpp.o"
+  "CMakeFiles/aqua_floorplan.dir/stack.cpp.o.d"
+  "CMakeFiles/aqua_floorplan.dir/transform.cpp.o"
+  "CMakeFiles/aqua_floorplan.dir/transform.cpp.o.d"
+  "libaqua_floorplan.a"
+  "libaqua_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/event_queue.cpp" "src/perf/CMakeFiles/aqua_perf.dir/event_queue.cpp.o" "gcc" "src/perf/CMakeFiles/aqua_perf.dir/event_queue.cpp.o.d"
+  "/root/repo/src/perf/noc.cpp" "src/perf/CMakeFiles/aqua_perf.dir/noc.cpp.o" "gcc" "src/perf/CMakeFiles/aqua_perf.dir/noc.cpp.o.d"
+  "/root/repo/src/perf/params.cpp" "src/perf/CMakeFiles/aqua_perf.dir/params.cpp.o" "gcc" "src/perf/CMakeFiles/aqua_perf.dir/params.cpp.o.d"
+  "/root/repo/src/perf/protocol.cpp" "src/perf/CMakeFiles/aqua_perf.dir/protocol.cpp.o" "gcc" "src/perf/CMakeFiles/aqua_perf.dir/protocol.cpp.o.d"
+  "/root/repo/src/perf/system.cpp" "src/perf/CMakeFiles/aqua_perf.dir/system.cpp.o" "gcc" "src/perf/CMakeFiles/aqua_perf.dir/system.cpp.o.d"
+  "/root/repo/src/perf/tracefile.cpp" "src/perf/CMakeFiles/aqua_perf.dir/tracefile.cpp.o" "gcc" "src/perf/CMakeFiles/aqua_perf.dir/tracefile.cpp.o.d"
+  "/root/repo/src/perf/traffic.cpp" "src/perf/CMakeFiles/aqua_perf.dir/traffic.cpp.o" "gcc" "src/perf/CMakeFiles/aqua_perf.dir/traffic.cpp.o.d"
+  "/root/repo/src/perf/workload.cpp" "src/perf/CMakeFiles/aqua_perf.dir/workload.cpp.o" "gcc" "src/perf/CMakeFiles/aqua_perf.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

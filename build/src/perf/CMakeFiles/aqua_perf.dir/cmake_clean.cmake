@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_perf.dir/event_queue.cpp.o"
+  "CMakeFiles/aqua_perf.dir/event_queue.cpp.o.d"
+  "CMakeFiles/aqua_perf.dir/noc.cpp.o"
+  "CMakeFiles/aqua_perf.dir/noc.cpp.o.d"
+  "CMakeFiles/aqua_perf.dir/params.cpp.o"
+  "CMakeFiles/aqua_perf.dir/params.cpp.o.d"
+  "CMakeFiles/aqua_perf.dir/protocol.cpp.o"
+  "CMakeFiles/aqua_perf.dir/protocol.cpp.o.d"
+  "CMakeFiles/aqua_perf.dir/system.cpp.o"
+  "CMakeFiles/aqua_perf.dir/system.cpp.o.d"
+  "CMakeFiles/aqua_perf.dir/tracefile.cpp.o"
+  "CMakeFiles/aqua_perf.dir/tracefile.cpp.o.d"
+  "CMakeFiles/aqua_perf.dir/traffic.cpp.o"
+  "CMakeFiles/aqua_perf.dir/traffic.cpp.o.d"
+  "CMakeFiles/aqua_perf.dir/workload.cpp.o"
+  "CMakeFiles/aqua_perf.dir/workload.cpp.o.d"
+  "libaqua_perf.a"
+  "libaqua_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/chip_model.cpp" "src/power/CMakeFiles/aqua_power.dir/chip_model.cpp.o" "gcc" "src/power/CMakeFiles/aqua_power.dir/chip_model.cpp.o.d"
+  "/root/repo/src/power/leakage.cpp" "src/power/CMakeFiles/aqua_power.dir/leakage.cpp.o" "gcc" "src/power/CMakeFiles/aqua_power.dir/leakage.cpp.o.d"
+  "/root/repo/src/power/rapl.cpp" "src/power/CMakeFiles/aqua_power.dir/rapl.cpp.o" "gcc" "src/power/CMakeFiles/aqua_power.dir/rapl.cpp.o.d"
+  "/root/repo/src/power/vfs.cpp" "src/power/CMakeFiles/aqua_power.dir/vfs.cpp.o" "gcc" "src/power/CMakeFiles/aqua_power.dir/vfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/aqua_floorplan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

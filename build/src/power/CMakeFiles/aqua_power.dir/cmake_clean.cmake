@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_power.dir/chip_model.cpp.o"
+  "CMakeFiles/aqua_power.dir/chip_model.cpp.o.d"
+  "CMakeFiles/aqua_power.dir/leakage.cpp.o"
+  "CMakeFiles/aqua_power.dir/leakage.cpp.o.d"
+  "CMakeFiles/aqua_power.dir/rapl.cpp.o"
+  "CMakeFiles/aqua_power.dir/rapl.cpp.o.d"
+  "CMakeFiles/aqua_power.dir/vfs.cpp.o"
+  "CMakeFiles/aqua_power.dir/vfs.cpp.o.d"
+  "libaqua_power.a"
+  "libaqua_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

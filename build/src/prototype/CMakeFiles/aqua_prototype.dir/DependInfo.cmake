@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prototype/board_thermal.cpp" "src/prototype/CMakeFiles/aqua_prototype.dir/board_thermal.cpp.o" "gcc" "src/prototype/CMakeFiles/aqua_prototype.dir/board_thermal.cpp.o.d"
+  "/root/repo/src/prototype/coating.cpp" "src/prototype/CMakeFiles/aqua_prototype.dir/coating.cpp.o" "gcc" "src/prototype/CMakeFiles/aqua_prototype.dir/coating.cpp.o.d"
+  "/root/repo/src/prototype/components.cpp" "src/prototype/CMakeFiles/aqua_prototype.dir/components.cpp.o" "gcc" "src/prototype/CMakeFiles/aqua_prototype.dir/components.cpp.o.d"
+  "/root/repo/src/prototype/deployment.cpp" "src/prototype/CMakeFiles/aqua_prototype.dir/deployment.cpp.o" "gcc" "src/prototype/CMakeFiles/aqua_prototype.dir/deployment.cpp.o.d"
+  "/root/repo/src/prototype/testboard.cpp" "src/prototype/CMakeFiles/aqua_prototype.dir/testboard.cpp.o" "gcc" "src/prototype/CMakeFiles/aqua_prototype.dir/testboard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/aqua_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/aqua_floorplan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_prototype.dir/board_thermal.cpp.o"
+  "CMakeFiles/aqua_prototype.dir/board_thermal.cpp.o.d"
+  "CMakeFiles/aqua_prototype.dir/coating.cpp.o"
+  "CMakeFiles/aqua_prototype.dir/coating.cpp.o.d"
+  "CMakeFiles/aqua_prototype.dir/components.cpp.o"
+  "CMakeFiles/aqua_prototype.dir/components.cpp.o.d"
+  "CMakeFiles/aqua_prototype.dir/deployment.cpp.o"
+  "CMakeFiles/aqua_prototype.dir/deployment.cpp.o.d"
+  "CMakeFiles/aqua_prototype.dir/testboard.cpp.o"
+  "CMakeFiles/aqua_prototype.dir/testboard.cpp.o.d"
+  "libaqua_prototype.a"
+  "libaqua_prototype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/circuit.cpp" "src/thermal/CMakeFiles/aqua_thermal.dir/circuit.cpp.o" "gcc" "src/thermal/CMakeFiles/aqua_thermal.dir/circuit.cpp.o.d"
+  "/root/repo/src/thermal/coolant.cpp" "src/thermal/CMakeFiles/aqua_thermal.dir/coolant.cpp.o" "gcc" "src/thermal/CMakeFiles/aqua_thermal.dir/coolant.cpp.o.d"
+  "/root/repo/src/thermal/grid_model.cpp" "src/thermal/CMakeFiles/aqua_thermal.dir/grid_model.cpp.o" "gcc" "src/thermal/CMakeFiles/aqua_thermal.dir/grid_model.cpp.o.d"
+  "/root/repo/src/thermal/thermal_map.cpp" "src/thermal/CMakeFiles/aqua_thermal.dir/thermal_map.cpp.o" "gcc" "src/thermal/CMakeFiles/aqua_thermal.dir/thermal_map.cpp.o.d"
+  "/root/repo/src/thermal/transient.cpp" "src/thermal/CMakeFiles/aqua_thermal.dir/transient.cpp.o" "gcc" "src/thermal/CMakeFiles/aqua_thermal.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/aqua_floorplan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

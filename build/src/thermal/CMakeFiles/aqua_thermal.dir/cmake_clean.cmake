@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_thermal.dir/circuit.cpp.o"
+  "CMakeFiles/aqua_thermal.dir/circuit.cpp.o.d"
+  "CMakeFiles/aqua_thermal.dir/coolant.cpp.o"
+  "CMakeFiles/aqua_thermal.dir/coolant.cpp.o.d"
+  "CMakeFiles/aqua_thermal.dir/grid_model.cpp.o"
+  "CMakeFiles/aqua_thermal.dir/grid_model.cpp.o.d"
+  "CMakeFiles/aqua_thermal.dir/thermal_map.cpp.o"
+  "CMakeFiles/aqua_thermal.dir/thermal_map.cpp.o.d"
+  "CMakeFiles/aqua_thermal.dir/transient.cpp.o"
+  "CMakeFiles/aqua_thermal.dir/transient.cpp.o.d"
+  "libaqua_thermal.a"
+  "libaqua_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_config.cpp" "tests/CMakeFiles/test_common.dir/common/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_config.cpp.o.d"
+  "/root/repo/tests/common/test_matrix.cpp" "tests/CMakeFiles/test_common.dir/common/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_matrix.cpp.o.d"
+  "/root/repo/tests/common/test_misc.cpp" "tests/CMakeFiles/test_common.dir/common/test_misc.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_misc.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_solvers.cpp" "tests/CMakeFiles/test_common.dir/common/test_solvers.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_solvers.cpp.o.d"
+  "/root/repo/tests/common/test_sparse.cpp" "tests/CMakeFiles/test_common.dir/common/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_sparse.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_units.cpp" "tests/CMakeFiles/test_common.dir/common/test_units.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aqua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prototype/CMakeFiles/aqua_prototype.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/aqua_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/aqua_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/aqua_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/aqua_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

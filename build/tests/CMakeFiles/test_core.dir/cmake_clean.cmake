@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_activity.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_activity.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cooling_pue.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cooling_pue.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cosim_experiments.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cosim_experiments.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_extensions.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_extensions.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_freq_cap.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_freq_cap.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_freq_cap_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_freq_cap_properties.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

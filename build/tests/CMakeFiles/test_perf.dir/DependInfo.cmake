@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/perf/test_cache_workload.cpp" "tests/CMakeFiles/test_perf.dir/perf/test_cache_workload.cpp.o" "gcc" "tests/CMakeFiles/test_perf.dir/perf/test_cache_workload.cpp.o.d"
+  "/root/repo/tests/perf/test_cpi_stack.cpp" "tests/CMakeFiles/test_perf.dir/perf/test_cpi_stack.cpp.o" "gcc" "tests/CMakeFiles/test_perf.dir/perf/test_cpi_stack.cpp.o.d"
+  "/root/repo/tests/perf/test_event_queue_params.cpp" "tests/CMakeFiles/test_perf.dir/perf/test_event_queue_params.cpp.o" "gcc" "tests/CMakeFiles/test_perf.dir/perf/test_event_queue_params.cpp.o.d"
+  "/root/repo/tests/perf/test_noc.cpp" "tests/CMakeFiles/test_perf.dir/perf/test_noc.cpp.o" "gcc" "tests/CMakeFiles/test_perf.dir/perf/test_noc.cpp.o.d"
+  "/root/repo/tests/perf/test_npb_properties.cpp" "tests/CMakeFiles/test_perf.dir/perf/test_npb_properties.cpp.o" "gcc" "tests/CMakeFiles/test_perf.dir/perf/test_npb_properties.cpp.o.d"
+  "/root/repo/tests/perf/test_system.cpp" "tests/CMakeFiles/test_perf.dir/perf/test_system.cpp.o" "gcc" "tests/CMakeFiles/test_perf.dir/perf/test_system.cpp.o.d"
+  "/root/repo/tests/perf/test_tracefile.cpp" "tests/CMakeFiles/test_perf.dir/perf/test_tracefile.cpp.o" "gcc" "tests/CMakeFiles/test_perf.dir/perf/test_tracefile.cpp.o.d"
+  "/root/repo/tests/perf/test_traffic.cpp" "tests/CMakeFiles/test_perf.dir/perf/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/test_perf.dir/perf/test_traffic.cpp.o.d"
+  "/root/repo/tests/perf/test_traffic_patterns.cpp" "tests/CMakeFiles/test_perf.dir/perf/test_traffic_patterns.cpp.o" "gcc" "tests/CMakeFiles/test_perf.dir/perf/test_traffic_patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aqua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prototype/CMakeFiles/aqua_prototype.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/aqua_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/aqua_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/aqua_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/aqua_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

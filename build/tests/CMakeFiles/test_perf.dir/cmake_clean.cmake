@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf.dir/perf/test_cache_workload.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_cache_workload.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/test_cpi_stack.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_cpi_stack.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/test_event_queue_params.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_event_queue_params.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/test_noc.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_noc.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/test_npb_properties.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_npb_properties.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/test_system.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_system.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/test_tracefile.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_tracefile.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/test_traffic.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_traffic.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/test_traffic_patterns.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_traffic_patterns.cpp.o.d"
+  "test_perf"
+  "test_perf.pdb"
+  "test_perf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

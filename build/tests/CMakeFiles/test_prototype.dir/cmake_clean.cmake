@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prototype.dir/prototype/test_prototype.cpp.o"
+  "CMakeFiles/test_prototype.dir/prototype/test_prototype.cpp.o.d"
+  "test_prototype"
+  "test_prototype.pdb"
+  "test_prototype[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermal.dir/thermal/test_analytic.cpp.o"
+  "CMakeFiles/test_thermal.dir/thermal/test_analytic.cpp.o.d"
+  "CMakeFiles/test_thermal.dir/thermal/test_boundary_flux.cpp.o"
+  "CMakeFiles/test_thermal.dir/thermal/test_boundary_flux.cpp.o.d"
+  "CMakeFiles/test_thermal.dir/thermal/test_coolant_circuit.cpp.o"
+  "CMakeFiles/test_thermal.dir/thermal/test_coolant_circuit.cpp.o.d"
+  "CMakeFiles/test_thermal.dir/thermal/test_cooling_properties.cpp.o"
+  "CMakeFiles/test_thermal.dir/thermal/test_cooling_properties.cpp.o.d"
+  "CMakeFiles/test_thermal.dir/thermal/test_grid_model.cpp.o"
+  "CMakeFiles/test_thermal.dir/thermal/test_grid_model.cpp.o.d"
+  "CMakeFiles/test_thermal.dir/thermal/test_ppm.cpp.o"
+  "CMakeFiles/test_thermal.dir/thermal/test_ppm.cpp.o.d"
+  "CMakeFiles/test_thermal.dir/thermal/test_transient_map.cpp.o"
+  "CMakeFiles/test_thermal.dir/thermal/test_transient_map.cpp.o.d"
+  "test_thermal"
+  "test_thermal.pdb"
+  "test_thermal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
