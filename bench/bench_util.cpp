@@ -1,6 +1,12 @@
 #include "bench_util.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
 
 namespace aqua::bench {
 
@@ -59,6 +65,91 @@ double npb_scale() {
     if (v > 0.0) return v;
   }
   return 0.5;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonReport::JsonReport(std::string name) : name_(std::move(name)) {
+  require(!name_.empty(), "JSON report needs a name");
+}
+
+JsonReport& JsonReport::add_raw(const std::string& key, std::string rendered) {
+  entries_.emplace_back(key, std::move(rendered));
+  return *this;
+}
+
+JsonReport& JsonReport::add(const std::string& key, double value,
+                            int decimals) {
+  if (!std::isfinite(value)) return add_raw(key, "null");
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << value;
+  return add_raw(key, os.str());
+}
+
+JsonReport& JsonReport::add(const std::string& key, std::int64_t value) {
+  return add_raw(key, std::to_string(value));
+}
+
+JsonReport& JsonReport::add(const std::string& key, std::size_t value) {
+  return add_raw(key, std::to_string(value));
+}
+
+JsonReport& JsonReport::add(const std::string& key, bool value) {
+  return add_raw(key, value ? "true" : "false");
+}
+
+JsonReport& JsonReport::add(const std::string& key,
+                            const std::string& value) {
+  return add_raw(key, "\"" + json_escape(value) + "\"");
+}
+
+JsonReport& JsonReport::add_stats(const std::string& prefix,
+                                  const SolverStats& stats) {
+  add(prefix + "_solves", stats.solves);
+  add(prefix + "_iterations", stats.iterations);
+  add(prefix + "_vcycles", stats.vcycles);
+  add(prefix + "_wall_seconds", stats.wall_seconds, 6);
+  return *this;
+}
+
+std::string JsonReport::write() const {
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  require(out.good(), "cannot open " + path + " for writing");
+  out << "{\n  \"bench\": \"" << json_escape(name_) << "\"";
+  for (const auto& [key, rendered] : entries_) {
+    out << ",\n  \"" << json_escape(key) << "\": " << rendered;
+  }
+  out << "\n}\n";
+  ensure(out.good(), "failed writing " + path);
+  std::cout << "\n[telemetry] wrote " << path << "\n";
+  return path;
 }
 
 int run_microbenchmarks(int argc, char** argv) {

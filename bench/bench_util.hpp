@@ -8,9 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/solvers.hpp"
 #include "common/table.hpp"
 #include "core/experiments.hpp"
 
@@ -32,5 +36,33 @@ double npb_scale();
 
 /// Standard tail: parse benchmark flags and run registered micro-benches.
 int run_microbenchmarks(int argc, char** argv);
+
+/// Machine-readable counterpart of the printed tables: a flat ordered
+/// key -> value map written as `BENCH_<name>.json` in the working
+/// directory (EXPERIMENTS.md documents the format). Values are JSON
+/// numbers, booleans or strings; insertion order is preserved.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name);
+
+  JsonReport& add(const std::string& key, double value, int decimals = 6);
+  JsonReport& add(const std::string& key, std::int64_t value);
+  JsonReport& add(const std::string& key, std::size_t value);
+  JsonReport& add(const std::string& key, bool value);
+  JsonReport& add(const std::string& key, const std::string& value);
+
+  /// Expands one SolverStats into `<prefix>_solves`, `_iterations`,
+  /// `_vcycles` and `_wall_seconds` entries.
+  JsonReport& add_stats(const std::string& prefix, const SolverStats& stats);
+
+  /// Writes `BENCH_<name>.json` and prints the path; returns it.
+  std::string write() const;
+
+ private:
+  JsonReport& add_raw(const std::string& key, std::string rendered);
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace aqua::bench

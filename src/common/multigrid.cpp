@@ -1,0 +1,247 @@
+#include "common/multigrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+namespace {
+
+/// Parent map for 2x2x1 coarsening of `shape`; fills `coarse` with the
+/// coarse-grid shape.
+std::vector<std::uint32_t> make_parent_map(const GridShape& shape,
+                                           GridShape& coarse) {
+  coarse.nx = (shape.nx + 1) / 2;
+  coarse.ny = (shape.ny + 1) / 2;
+  coarse.layers = shape.layers;
+  std::vector<std::uint32_t> parent(shape.nodes());
+  for (std::size_t l = 0; l < shape.layers; ++l) {
+    for (std::size_t iy = 0; iy < shape.ny; ++iy) {
+      for (std::size_t ix = 0; ix < shape.nx; ++ix) {
+        const std::size_t fine_node =
+            l * shape.nx * shape.ny + iy * shape.nx + ix;
+        const std::size_t coarse_node =
+            l * coarse.nx * coarse.ny + (iy / 2) * coarse.nx + ix / 2;
+        parent[fine_node] = static_cast<std::uint32_t>(coarse_node);
+      }
+    }
+  }
+  return parent;
+}
+
+/// Galerkin triple product R A R^T with piecewise-constant restriction:
+/// A_c[I, J] = sum of A[i, j] over children i of I, j of J.
+SparseMatrix galerkin_coarse(const SparseMatrix& fine,
+                             const std::vector<std::uint32_t>& parent,
+                             std::size_t coarse_nodes) {
+  SparseBuilder builder(coarse_nodes, coarse_nodes);
+  for (std::size_t r = 0; r < fine.rows(); ++r) {
+    for (std::size_t k = fine.row_ptr()[r]; k < fine.row_ptr()[r + 1]; ++k) {
+      builder.add(parent[r], parent[fine.col_idx()[k]], fine.values()[k]);
+    }
+  }
+  return builder.build();
+}
+
+std::vector<double> inverted_diagonal(const SparseMatrix& a) {
+  std::vector<double> inv = a.diagonal();
+  for (double& d : inv) {
+    ensure(d > 0.0, "multigrid: non-positive diagonal on a level");
+    d = 1.0 / d;
+  }
+  return inv;
+}
+
+}  // namespace
+
+MultigridPreconditioner::MultigridPreconditioner(const SparseMatrix& fine,
+                                                 GridShape shape,
+                                                 MultigridOptions options)
+    : shape_(shape), options_(options) {
+  require(shape_.nodes() == fine.rows(),
+          "multigrid: shape does not match matrix dimension");
+  require(shape_.nx >= 1 && shape_.ny >= 1 && shape_.layers >= 1,
+          "multigrid: degenerate grid shape");
+  require(options_.smooth_sweeps >= 1, "multigrid: need >= 1 smoothing sweep");
+
+  Level finest;
+  finest.a = fine;  // copy: levels own their operators
+  finest.shape = shape_;
+  levels_.push_back(std::move(finest));
+
+  while (levels_.size() < options_.max_levels) {
+    Level& top = levels_.back();
+    if (top.shape.nx <= options_.coarsest_extent &&
+        top.shape.ny <= options_.coarsest_extent) {
+      break;
+    }
+    GridShape coarse_shape;
+    top.parent = make_parent_map(top.shape, coarse_shape);
+    Level next;
+    next.a = galerkin_coarse(top.a, top.parent, coarse_shape.nodes());
+    next.shape = coarse_shape;
+    // Entry map: position of each fine nonzero inside the coarse CSR, so
+    // refresh_values can re-accumulate without rebuilding index arrays.
+    top.entry_map.resize(top.a.nonzeros());
+    for (std::size_t r = 0; r < top.a.rows(); ++r) {
+      for (std::size_t k = top.a.row_ptr()[r]; k < top.a.row_ptr()[r + 1];
+           ++k) {
+        top.entry_map[k] =
+            next.a.entry_index(top.parent[r], top.parent[top.a.col_idx()[k]]);
+      }
+    }
+    levels_.push_back(std::move(next));
+  }
+
+  for (Level& level : levels_) {
+    level.inv_diag = inverted_diagonal(level.a);
+    level.x.resize(level.shape.nodes());
+    level.rhs.resize(level.shape.nodes());
+    level.res.resize(level.shape.nodes());
+  }
+  factor_coarsest();
+}
+
+void MultigridPreconditioner::refresh_values(const SparseMatrix& fine) {
+  require(fine.rows() == shape_.nodes() &&
+              fine.nonzeros() == levels_.front().a.nonzeros(),
+          "multigrid refresh: structure mismatch");
+  // Copy the new fine values, then push them down the hierarchy through the
+  // cached entry maps (pure value accumulation — no index rebuilds).
+  for (std::size_t k = 0; k < fine.nonzeros(); ++k) {
+    levels_.front().a.set_value(k, fine.values()[k]);
+  }
+  for (std::size_t l = 0; l + 1 < levels_.size(); ++l) {
+    const Level& from = levels_[l];
+    Level& to = levels_[l + 1];
+    for (std::size_t k = 0; k < to.a.nonzeros(); ++k) to.a.set_value(k, 0.0);
+    for (std::size_t k = 0; k < from.a.nonzeros(); ++k) {
+      to.a.set_value(from.entry_map[k],
+                     to.a.values()[from.entry_map[k]] + from.a.values()[k]);
+    }
+  }
+  for (Level& level : levels_) level.inv_diag = inverted_diagonal(level.a);
+  factor_coarsest();
+}
+
+void MultigridPreconditioner::factor_coarsest() {
+  const SparseMatrix& a = levels_.back().a;
+  const std::size_t n = a.rows();
+  lu_.assign(n * n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      lu_[r * n + a.col_idx()[k]] = a.values()[k];
+    }
+  }
+  // In-place LU with partial pivoting.
+  pivots_.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    std::size_t pivot = c;
+    double best = std::abs(lu_[c * n + c]);
+    for (std::size_t r = c + 1; r < n; ++r) {
+      const double mag = std::abs(lu_[r * n + c]);
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    ensure(best > 0.0, "multigrid: singular coarsest operator");
+    pivots_[c] = pivot;
+    if (pivot != c) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(lu_[c * n + j], lu_[pivot * n + j]);
+      }
+    }
+    const double inv_pivot = 1.0 / lu_[c * n + c];
+    for (std::size_t r = c + 1; r < n; ++r) {
+      const double factor = lu_[r * n + c] * inv_pivot;
+      lu_[r * n + c] = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t j = c + 1; j < n; ++j) {
+        lu_[r * n + j] -= factor * lu_[c * n + j];
+      }
+    }
+  }
+}
+
+void MultigridPreconditioner::smooth(const Level& level,
+                                     const std::vector<double>& rhs,
+                                     std::vector<double>& x,
+                                     bool x_is_zero) const {
+  const double w = options_.jacobi_weight;
+  const std::size_t n = level.shape.nodes();
+  std::size_t sweeps = options_.smooth_sweeps;
+  if (x_is_zero) {
+    // First sweep from a zero guess collapses to a diagonal scale.
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = w * level.inv_diag[i] * rhs[i];
+    }
+    --sweeps;
+  }
+  for (std::size_t s = 0; s < sweeps; ++s) {
+    level.a.multiply(x, level.res);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += w * level.inv_diag[i] * (rhs[i] - level.res[i]);
+    }
+  }
+}
+
+void MultigridPreconditioner::cycle(std::size_t depth,
+                                    const std::vector<double>& rhs,
+                                    std::vector<double>& x) const {
+  const Level& level = levels_[depth];
+  const std::size_t n = level.shape.nodes();
+
+  if (depth + 1 == levels_.size()) {
+    // Coarsest: direct solve through the cached LU.
+    x = rhs;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (pivots_[c] != c) std::swap(x[c], x[pivots_[c]]);
+    }
+    for (std::size_t r = 1; r < n; ++r) {
+      double acc = x[r];
+      for (std::size_t c = 0; c < r; ++c) acc -= lu_[r * n + c] * x[c];
+      x[r] = acc;
+    }
+    for (std::size_t r = n; r-- > 0;) {
+      double acc = x[r];
+      for (std::size_t c = r + 1; c < n; ++c) acc -= lu_[r * n + c] * x[c];
+      x[r] = acc / lu_[r * n + r];
+    }
+    return;
+  }
+
+  smooth(level, rhs, x, /*x_is_zero=*/true);
+
+  // Residual, restricted by summing children into parents.
+  level.a.multiply(x, level.res);
+  const Level& coarse = levels_[depth + 1];
+  std::fill(coarse.rhs.begin(), coarse.rhs.end(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    coarse.rhs[level.parent[i]] += rhs[i] - level.res[i];
+  }
+
+  cycle(depth + 1, coarse.rhs, coarse.x);
+
+  // Prolong (inject the parent correction into each child) and correct.
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] += coarse.x[level.parent[i]];
+  }
+
+  smooth(level, rhs, x, /*x_is_zero=*/false);
+}
+
+void MultigridPreconditioner::apply(std::span<const double> r,
+                                    std::span<double> z) const {
+  require(r.size() == shape_.nodes() && z.size() == shape_.nodes(),
+          "multigrid apply: dimension mismatch");
+  const Level& finest = levels_.front();
+  std::copy(r.begin(), r.end(), finest.rhs.begin());
+  cycle(0, finest.rhs, finest.x);
+  std::copy(finest.x.begin(), finest.x.end(), z.begin());
+  ++vcycles_;
+}
+
+}  // namespace aqua

@@ -1,0 +1,146 @@
+#pragma once
+
+/// Move-only callable wrapper with a generous inline buffer — the event
+/// queue's replacement for std::function.
+///
+/// The DES schedules millions of short-lived closures per simulated run,
+/// each capturing a couple of pointers. libstdc++'s std::function inlines
+/// only 16 bytes, so anything past two words heap-allocates on schedule and
+/// frees on dispatch — pure allocator traffic on the simulator's hottest
+/// path. SmallFunction stores callables up to `BufferBytes` (default 48)
+/// directly inside the object; larger or over-aligned callables fall back
+/// to the heap transparently. Being move-only it also accepts captures that
+/// std::function rejects (std::function requires copyability).
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace aqua {
+
+template <typename Signature, std::size_t BufferBytes = 48>
+class SmallFunction;
+
+template <typename R, typename... Args, std::size_t BufferBytes>
+class SmallFunction<R(Args...), BufferBytes> {
+  static_assert(BufferBytes >= sizeof(void*),
+                "buffer must at least hold the heap fallback pointer");
+
+ public:
+  SmallFunction() noexcept = default;
+
+  /// Wraps any callable invocable as R(Args...). Callables that fit the
+  /// buffer (size, alignment, nothrow-movable) live inline; the rest are
+  /// heap-allocated.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(f));
+      ops_ = inline_ops<Fn>();
+    } else {
+      ::new (static_cast<void*>(buffer_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = heap_ops<Fn>();
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  R operator()(Args... args) {
+    ensure(ops_ != nullptr, "call through an empty SmallFunction");
+    return ops_->invoke(buffer_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+ private:
+  /// Manual vtable: one static instance per wrapped callable type.
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    /// Move-constructs the callable into `dst` from `src` and ends `src`'s
+    /// lifetime (a "destructive move", so moved-from objects hold nothing).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= BufferBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static Fn* as(void* p) noexcept {
+    return std::launder(reinterpret_cast<Fn*>(p));
+  }
+
+  template <typename Fn>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops{
+        [](void* p, Args&&... args) -> R {
+          return (*as<Fn>(p))(std::forward<Args>(args)...);
+        },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) Fn(std::move(*as<Fn>(src)));
+          as<Fn>(src)->~Fn();
+        },
+        [](void* p) noexcept { as<Fn>(p)->~Fn(); }};
+    return &ops;
+  }
+
+  template <typename Fn>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops{
+        [](void* p, Args&&... args) -> R {
+          return (**as<Fn*>(p))(std::forward<Args>(args)...);
+        },
+        [](void* dst, void* src) noexcept {
+          // Relocating heap storage is just stealing the pointer.
+          ::new (dst) Fn*(*as<Fn*>(src));
+        },
+        [](void* p) noexcept { delete *as<Fn*>(p); }};
+    return &ops;
+  }
+
+  void move_from(SmallFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      ops_->relocate(buffer_, other.buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buffer_[BufferBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace aqua

@@ -1,6 +1,8 @@
 #include "common/solvers.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <optional>
 
 #include "common/error.hpp"
 
@@ -12,6 +14,21 @@ double norm2(const std::vector<double>& v) {
   return std::sqrt(acc);
 }
 
+JacobiPreconditioner::JacobiPreconditioner(const SparseMatrix& a)
+    : inv_diag_(a.diagonal()) {
+  for (double& d : inv_diag_) {
+    ensure(d > 0.0, "jacobi: non-positive diagonal (matrix not SPD?)");
+    d = 1.0 / d;
+  }
+}
+
+void JacobiPreconditioner::apply(std::span<const double> r,
+                                 std::span<double> z) const {
+  require(r.size() == inv_diag_.size() && z.size() == inv_diag_.size(),
+          "jacobi: dimension mismatch");
+  for (std::size_t i = 0; i < r.size(); ++i) z[i] = inv_diag_[i] * r[i];
+}
+
 namespace {
 
 double dot(const std::vector<double>& a, const std::vector<double>& b) {
@@ -20,64 +37,86 @@ double dot(const std::vector<double>& a, const std::vector<double>& b) {
   return acc;
 }
 
-std::vector<double> residual(const SparseMatrix& a,
-                             const std::vector<double>& b,
-                             const std::vector<double>& x) {
-  std::vector<double> r(b.size());
+/// r = b - A x into a caller-provided scratch buffer (no allocation).
+void residual_into(const SparseMatrix& a, const std::vector<double>& b,
+                   const std::vector<double>& x, std::vector<double>& r) {
+  r.resize(b.size());
   a.multiply(x, r);
   for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
-  return r;
 }
 
 }  // namespace
 
 SolveResult solve_cg(const SparseMatrix& a, const std::vector<double>& b,
-                     const SolverOptions& options, std::vector<double> x0) {
+                     const SolverOptions& options, std::vector<double> x0,
+                     const Preconditioner* preconditioner, SolverStats* stats) {
   require(a.rows() == a.cols(), "solve_cg: matrix must be square");
   require(b.size() == a.rows(), "solve_cg: rhs dimension mismatch");
   const std::size_t n = b.size();
+  const auto start = std::chrono::steady_clock::now();
 
   SolveResult out;
   out.x = x0.empty() ? std::vector<double>(n, 0.0) : std::move(x0);
   require(out.x.size() == n, "solve_cg: warm start dimension mismatch");
 
+  const auto finish = [&](SolveResult&& result) {
+    if (stats) {
+      stats->solves += 1;
+      stats->iterations += result.iterations;
+      stats->wall_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+    }
+    return std::move(result);
+  };
+
   const double bnorm = norm2(b);
   if (bnorm == 0.0) {
     out.x.assign(n, 0.0);
     out.converged = true;
-    return out;
+    return finish(std::move(out));
   }
 
-  std::vector<double> inv_diag = a.diagonal();
-  for (double& d : inv_diag) {
-    ensure(d > 0.0, "solve_cg: non-positive diagonal (matrix not SPD?)");
-    d = 1.0 / d;
+  // Default to Jacobi when the caller supplies no preconditioner.
+  std::optional<JacobiPreconditioner> jacobi_storage;
+  if (!preconditioner) {
+    jacobi_storage.emplace(a);
+    preconditioner = &*jacobi_storage;
   }
 
-  std::vector<double> r = residual(a, b, out.x);
+  std::vector<double> r;
+  residual_into(a, b, out.x, r);
   std::vector<double> z(n);
-  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  preconditioner->apply(r, z);
   std::vector<double> p = z;
   std::vector<double> ap(n);
   double rz = dot(r, z);
+  // ||r||^2 is maintained from the update recurrence below instead of an
+  // extra O(n) norm pass per iteration.
+  double rr = dot(r, r);
 
   const double target = options.tolerance * bnorm;
+  const double target_sq = target * target;
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    out.residual_norm = norm2(r);
-    if (out.residual_norm <= target) {
+    if (rr <= target_sq) {
+      out.residual_norm = std::sqrt(rr);
       out.converged = true;
       out.iterations = it;
-      return out;
+      return finish(std::move(out));
     }
     a.multiply_parallel(p, ap, options.threads);
     const double pap = dot(p, ap);
     ensure(pap > 0.0, "solve_cg: curvature non-positive (matrix not SPD?)");
     const double alpha = rz / pap;
+    double rr_next = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       out.x[i] += alpha * p[i];
       r[i] -= alpha * ap[i];
+      rr_next += r[i] * r[i];
     }
-    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    rr = rr_next;
+    preconditioner->apply(r, z);
     const double rz_next = dot(r, z);
     const double beta = rz_next / rz;
     rz = rz_next;
@@ -85,9 +124,9 @@ SolveResult solve_cg(const SparseMatrix& a, const std::vector<double>& b,
   }
 
   out.iterations = options.max_iterations;
-  out.residual_norm = norm2(r);
+  out.residual_norm = std::sqrt(rr);
   out.converged = out.residual_norm <= target;
-  return out;
+  return finish(std::move(out));
 }
 
 SolveResult solve_gauss_seidel(const SparseMatrix& a,
@@ -110,12 +149,14 @@ SolveResult solve_gauss_seidel(const SparseMatrix& a,
   }
   const double target = options.tolerance * bnorm;
 
+  std::vector<double> r;  // residual scratch, reused across checks
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     a.gauss_seidel_sweep(b, out.x);
     // Checking the residual every sweep would double the cost; every 8th
     // sweep keeps the overhead ~12% while bounding extra sweeps.
     if (it % 8 == 7 || it + 1 == options.max_iterations) {
-      out.residual_norm = norm2(residual(a, b, out.x));
+      residual_into(a, b, out.x, r);
+      out.residual_norm = norm2(r);
       if (out.residual_norm <= target) {
         out.converged = true;
         out.iterations = it + 1;
@@ -124,7 +165,8 @@ SolveResult solve_gauss_seidel(const SparseMatrix& a,
     }
   }
   out.iterations = options.max_iterations;
-  out.residual_norm = norm2(residual(a, b, out.x));
+  residual_into(a, b, out.x, r);
+  out.residual_norm = norm2(r);
   out.converged = out.residual_norm <= target;
   return out;
 }

@@ -3,16 +3,60 @@
 /// Iterative linear solvers for the thermal grid systems.
 ///
 /// The steady-state heat equation on the finite-volume grid yields a
-/// symmetric positive-definite conductance matrix, so Jacobi-preconditioned
-/// conjugate gradients is the workhorse; Gauss-Seidel is kept as a reference
-/// and for the solver-ablation bench.
+/// symmetric positive-definite conductance matrix, so preconditioned
+/// conjugate gradients is the workhorse. Preconditioning is pluggable
+/// through the `Preconditioner` interface: Jacobi (diagonal scaling) is the
+/// robust default for small systems, and the geometric multigrid V-cycle
+/// (common/multigrid.hpp) is the production choice for the 3-D stack grids.
+/// Gauss-Seidel is kept as a reference and for the solver-ablation bench.
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/sparse.hpp"
 
 namespace aqua {
+
+/// Applies an SPD approximation of A^{-1}: z = M^{-1} r. Implementations
+/// must be symmetric positive-definite operators or CG loses its
+/// convergence guarantee.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+
+  /// z = M^{-1} r. `z` must already have the system dimension; `r` and `z`
+  /// never alias.
+  virtual void apply(std::span<const double> r, std::span<double> z) const = 0;
+};
+
+/// Diagonal (Jacobi) scaling: z_i = r_i / a_ii.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(const SparseMatrix& a);
+
+  void apply(std::span<const double> r, std::span<double> z) const override;
+
+ private:
+  std::vector<double> inv_diag_;
+};
+
+/// Cumulative counters for solver observability. Threaded from `solve_cg`
+/// up through `StackThermalModel` and aggregated across sweeps; benches
+/// print them and emit them to BENCH_<name>.json.
+struct SolverStats {
+  std::size_t solves = 0;       ///< number of solve_cg invocations
+  std::size_t iterations = 0;   ///< CG iterations across all solves
+  std::size_t vcycles = 0;      ///< multigrid V-cycles across all solves
+  double wall_seconds = 0.0;    ///< wall time spent inside solve_cg
+
+  void merge(const SolverStats& other) {
+    solves += other.solves;
+    iterations += other.iterations;
+    vcycles += other.vcycles;
+    wall_seconds += other.wall_seconds;
+  }
+};
 
 /// Outcome of an iterative solve.
 struct SolveResult {
@@ -29,11 +73,15 @@ struct SolverOptions {
   std::size_t threads = 1;      ///< worker threads for the SpMV
 };
 
-/// Jacobi-preconditioned conjugate gradients for SPD systems.
+/// Preconditioned conjugate gradients for SPD systems.
 /// `x0` (optional) provides a warm start; pass an empty vector for zeros.
+/// `preconditioner` defaults to Jacobi when null; `stats` (optional)
+/// accumulates solve/iteration/wall-time counters.
 SolveResult solve_cg(const SparseMatrix& a, const std::vector<double>& b,
                      const SolverOptions& options = {},
-                     std::vector<double> x0 = {});
+                     std::vector<double> x0 = {},
+                     const Preconditioner* preconditioner = nullptr,
+                     SolverStats* stats = nullptr);
 
 /// Gauss-Seidel fixed-point iteration; converges for the diagonally dominant
 /// thermal systems but much slower than CG. Reference / ablation use.

@@ -29,13 +29,25 @@ void SparseMatrix::multiply_parallel(std::span<const double> x,
     multiply(x, y);
     return;
   }
+  // Partition rows so every worker owns roughly nnz/threads nonzeros — the
+  // SpMV cost is per-nonzero, and boundary rows can be much denser than
+  // interior ones. row_ptr_ is non-decreasing, so the first row whose
+  // prefix-nnz exceeds t * nnz/threads is found by binary search.
+  const std::size_t nnz = values_.size();
   std::vector<std::jthread> workers;
   workers.reserve(threads);
-  const std::size_t chunk = (n + threads - 1) / threads;
-  for (std::size_t t = 0; t < threads; ++t) {
-    const std::size_t lo = t * chunk;
-    const std::size_t hi = std::min(n, lo + chunk);
-    if (lo >= hi) break;
+  std::size_t lo = 0;
+  for (std::size_t t = 0; t < threads && lo < n; ++t) {
+    std::size_t hi;
+    if (t + 1 == threads) {
+      hi = n;
+    } else {
+      const std::size_t target_nnz = (t + 1) * nnz / threads;
+      hi = static_cast<std::size_t>(
+          std::upper_bound(row_ptr_.begin(), row_ptr_.end(), target_nnz) -
+          row_ptr_.begin());
+      hi = std::clamp(hi == 0 ? 0 : hi - 1, lo + 1, n);
+    }
     workers.emplace_back([this, &x, &y, lo, hi] {
       for (std::size_t r = lo; r < hi; ++r) {
         double acc = 0.0;
@@ -45,6 +57,7 @@ void SparseMatrix::multiply_parallel(std::span<const double> x,
         y[r] = acc;
       }
     });
+    lo = hi;
   }
 }
 
@@ -78,6 +91,17 @@ void SparseMatrix::gauss_seidel_sweep(std::span<const double> b,
   }
 }
 
+std::size_t SparseMatrix::entry_index(std::size_t row, std::size_t col) const {
+  require(row < rows() && col < cols_, "entry_index out of range");
+  // Columns are sorted within a row (SparseBuilder invariant).
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row + 1]);
+  const auto it =
+      std::lower_bound(begin, end, static_cast<std::uint32_t>(col));
+  require(it != end && *it == col, "entry_index: entry structurally absent");
+  return static_cast<std::size_t>(it - col_idx_.begin());
+}
+
 SparseMatrix SparseBuilder::build() const {
   std::vector<Entry> sorted = entries_;
   std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
@@ -94,7 +118,7 @@ SparseMatrix SparseBuilder::build() const {
   for (std::size_t r = 0; r < rows_; ++r) {
     m.row_ptr_[r] = m.values_.size();
     while (i < sorted.size() && sorted[i].row == r) {
-      const std::size_t c = sorted[i].col;
+      const std::uint32_t c = sorted[i].col;
       double acc = 0.0;
       while (i < sorted.size() && sorted[i].row == r && sorted[i].col == c) {
         acc += sorted[i].value;

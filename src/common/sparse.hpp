@@ -5,8 +5,12 @@
 /// The thermal grid model assembles its conductance matrix by accumulating
 /// pairwise conductances (classic finite-volume stamping); SparseBuilder
 /// supports duplicate-coordinate accumulation and converts to CSR once.
+/// Column indices are stored as 32 bits: the largest grids are a few
+/// hundred thousand nodes, and halving the index footprint measurably
+/// speeds up the memory-bound SpMV at the heart of the CG solver.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -16,7 +20,9 @@ namespace aqua {
 
 class SparseBuilder;
 
-/// Immutable CSR sparse matrix.
+/// Immutable-structure CSR sparse matrix. Values may be updated in place
+/// through `set_value` / `value_at` (used by the thermal model to refresh
+/// boundary conductances without reassembling the matrix).
 class SparseMatrix {
  public:
   SparseMatrix() = default;
@@ -28,8 +34,10 @@ class SparseMatrix {
   /// y = A * x. `y` must already have rows() elements.
   void multiply(std::span<const double> x, std::span<double> y) const;
 
-  /// Multi-threaded y = A * x over the given number of chunks (used by the
-  /// CG solver on large grids). Falls back to serial when chunks <= 1.
+  /// Multi-threaded y = A * x (used by the CG solver on large grids).
+  /// Rows are partitioned so each worker gets an equal share of the
+  /// *nonzeros*, not the rows — boundary-heavy rows would otherwise skew
+  /// the per-thread work. Falls back to serial when threads <= 1.
   void multiply_parallel(std::span<const double> x, std::span<double> y,
                          std::size_t threads) const;
 
@@ -41,9 +49,21 @@ class SparseMatrix {
   void gauss_seidel_sweep(std::span<const double> b,
                           std::span<double> x) const;
 
+  /// Position of entry (row, col) inside the values() array; throws if the
+  /// entry is structurally absent. For value-refresh bookkeeping.
+  [[nodiscard]] std::size_t entry_index(std::size_t row,
+                                        std::size_t col) const;
+
+  /// Overwrites the value at position `k` (from entry_index). The sparsity
+  /// structure is immutable; only the numeric value changes.
+  void set_value(std::size_t k, double v) {
+    require(k < values_.size(), "set_value: index out of range");
+    values_[k] = v;
+  }
+
   /// Access to the raw CSR arrays (read-only, for tests and diagnostics).
   [[nodiscard]] std::span<const std::size_t> row_ptr() const { return row_ptr_; }
-  [[nodiscard]] std::span<const std::size_t> col_idx() const { return col_idx_; }
+  [[nodiscard]] std::span<const std::uint32_t> col_idx() const { return col_idx_; }
   [[nodiscard]] std::span<const double> values() const { return values_; }
 
  private:
@@ -51,7 +71,7 @@ class SparseMatrix {
 
   std::size_t cols_ = 0;
   std::vector<std::size_t> row_ptr_;
-  std::vector<std::size_t> col_idx_;
+  std::vector<std::uint32_t> col_idx_;
   std::vector<double> values_;
 };
 
@@ -63,12 +83,14 @@ class SparseMatrix {
 class SparseBuilder {
  public:
   SparseBuilder(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols) {}
+      : rows_(rows), cols_(cols) {
+    require(cols_ <= UINT32_MAX, "sparse matrix limited to 2^32 columns");
+  }
 
   /// Accumulates `value` into entry (row, col). Duplicate coordinates sum.
   void add(std::size_t row, std::size_t col, double value) {
     require(row < rows_ && col < cols_, "sparse entry out of range");
-    entries_.push_back({row, col, value});
+    entries_.push_back({row, static_cast<std::uint32_t>(col), value});
   }
 
   [[nodiscard]] std::size_t rows() const { return rows_; }
@@ -82,7 +104,7 @@ class SparseBuilder {
  private:
   struct Entry {
     std::size_t row;
-    std::size_t col;
+    std::uint32_t col;
     double value;
   };
 

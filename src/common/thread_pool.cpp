@@ -68,10 +68,16 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+ThreadPool& shared_pool() {
+  // Constructed on first use, joined at process exit. Function-local so
+  // sweeps that never parallelize pay nothing.
+  static ThreadPool pool;
+  return pool;
+}
+
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body) {
-  ThreadPool pool;
-  parallel_for(pool, count, body);
+  parallel_for(shared_pool(), count, body);
 }
 
 }  // namespace aqua

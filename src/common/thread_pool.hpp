@@ -6,6 +6,10 @@
 /// height x coolant grids) and Monte-Carlo replication. The DES simulator
 /// itself is single-threaded per instance — determinism matters more there —
 /// so parallelism happens across instances.
+///
+/// Sweeps should share the process-wide `shared_pool()` instead of
+/// constructing a pool per sweep: thread creation/join costs dominate short
+/// sweeps, and nested per-sweep pools oversubscribe the machine.
 
 #include <condition_variable>
 #include <cstddef>
@@ -15,6 +19,8 @@
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/error.hpp"
 
 namespace aqua {
 
@@ -34,6 +40,9 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
   /// Enqueues a task; the returned future resolves with its result.
+  /// The wake-up is signalled while the lock is held so a worker observing
+  /// the notification always sees the queued task (no lost wake-ups on
+  /// shutdown races).
   template <class F>
   auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -42,9 +51,10 @@ class ThreadPool {
     std::future<R> fut = packaged->get_future();
     {
       std::lock_guard lock(mutex_);
+      require(!stopping_, "ThreadPool::submit after shutdown began");
       tasks_.emplace([packaged] { (*packaged)(); });
+      cv_.notify_one();
     }
-    cv_.notify_one();
     return fut;
   }
 
@@ -58,13 +68,18 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// Process-wide pool sized to hardware concurrency, created on first use.
+/// Experiment sweeps should run on this instead of constructing (and
+/// joining) a private pool per sweep.
+ThreadPool& shared_pool();
+
 /// Runs body(i) for i in [0, count) across the pool, blocking until all
 /// iterations complete. Exceptions from iterations propagate (first one
 /// wins).
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
 
-/// Convenience: transient pool sized to hardware concurrency.
+/// Convenience: runs on the shared process-wide pool.
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body);
 

@@ -26,7 +26,7 @@ std::size_t FreqVsChipsData::max_feasible_chips(CoolingKind kind) const {
 
 FreqVsChipsData frequency_vs_chips(const ChipModel& chip,
                                    std::size_t max_chips, double threshold_c,
-                                   GridOptions grid, std::size_t threads) {
+                                   GridOptions grid, std::size_t /*threads*/) {
   require(max_chips >= 1, "need at least one chip");
   const std::vector<CoolingOption> options = all_cooling_options();
 
@@ -40,18 +40,24 @@ FreqVsChipsData frequency_vs_chips(const ChipModel& chip,
     data.series[k].ghz.resize(max_chips);
   }
 
-  // One task per (cooling, chips) cell. Each task owns its finder — the
-  // grid model is not shared across threads.
-  const std::size_t cells = options.size() * max_chips;
-  ThreadPool pool(threads);
-  parallel_for(pool, cells, [&](std::size_t cell) {
-    const std::size_t k = cell / max_chips;
-    const std::size_t chips = 1 + cell % max_chips;
+  // One task per stack height, run on the process-wide shared pool. Each
+  // task owns one finder and walks every cooling option on it: the matrix
+  // structure and multigrid hierarchy are assembled once per height, and
+  // each cooling change is only a boundary value-refresh on that cached
+  // model. (Grid models are not shared across threads.)
+  std::mutex stats_mutex;
+  parallel_for(max_chips, [&](std::size_t c) {
+    const std::size_t chips = c + 1;
     MaxFrequencyFinder finder(chip, PackageConfig{}, threshold_c, grid);
-    const FrequencyCap cap = finder.find(chips, options[k]);
-    if (cap.feasible) {
-      data.series[k].ghz[chips - 1] = cap.frequency.gigahertz();
+    for (std::size_t k = 0; k < options.size(); ++k) {
+      const FrequencyCap cap = finder.find(chips, options[k]);
+      if (cap.feasible) {
+        data.series[k].ghz[chips - 1] = cap.frequency.gigahertz();
+      }
     }
+    const SolverStats stats = finder.solver_stats();
+    const std::lock_guard<std::mutex> lock(stats_mutex);
+    data.solver.merge(stats);
   });
   return data;
 }
@@ -76,7 +82,7 @@ std::optional<double> NpbData::mean_relative(CoolingKind kind) const {
 NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
                        CoolingKind baseline, double threshold_c,
                        double instruction_scale, GridOptions grid,
-                       std::size_t worker_threads, std::uint64_t seed) {
+                       std::size_t /*worker_threads*/, std::uint64_t seed) {
   require(instruction_scale > 0.0, "instruction scale must be positive");
 
   NpbData data;
@@ -88,10 +94,13 @@ NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
   data.coolings = {CoolingKind::kWaterPipe, CoolingKind::kMineralOil,
                    CoolingKind::kFluorinert, CoolingKind::kWaterImmersion};
 
-  // Thermal caps: one per cooling option.
-  for (CoolingKind kind : data.coolings) {
+  // Thermal caps: one finder for all options, so the four coolings share a
+  // single cached model and differ only by a boundary value-refresh.
+  {
     MaxFrequencyFinder finder(chip, PackageConfig{}, threshold_c, grid);
-    data.caps.push_back(finder.find(chips, CoolingOption(kind)));
+    for (CoolingKind kind : data.coolings) {
+      data.caps.push_back(finder.find(chips, CoolingOption(kind)));
+    }
   }
 
   std::vector<WorkloadProfile> suite = npb_suite();
@@ -111,10 +120,10 @@ NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
     data.rows[b].relative.resize(data.coolings.size());
   }
 
-  // One DES run per feasible (benchmark, cooling) pair, in parallel.
+  // One DES run per feasible (benchmark, cooling) pair, in parallel on the
+  // shared pool.
   const std::size_t cells = suite.size() * data.coolings.size();
-  ThreadPool pool(worker_threads);
-  parallel_for(pool, cells, [&](std::size_t cell) {
+  parallel_for(cells, [&](std::size_t cell) {
     const std::size_t b = cell / data.coolings.size();
     const std::size_t k = cell % data.coolings.size();
     if (!data.caps[k].feasible) return;

@@ -34,6 +34,9 @@ struct FreqVsChipsData {
   std::size_t max_chips = 0;
   double threshold_c = 80.0;
   std::vector<FreqVsChipsSeries> series;  ///< in all_cooling_options() order
+  /// Aggregated linear-solver counters over the whole sweep (every finder,
+  /// every bisection step) — what the benches print and emit as JSON.
+  SolverStats solver;
 
   /// Curve for one cooling kind (throws if absent).
   [[nodiscard]] const FreqVsChipsSeries& of(CoolingKind kind) const;
@@ -42,7 +45,10 @@ struct FreqVsChipsData {
 };
 
 /// Runs the frequency-cap sweep for `chip` over 1..max_chips and all five
-/// cooling options. `threads` parallelizes over configurations.
+/// cooling options. Parallelizes over stack heights on the process-wide
+/// shared pool; within a height, the five cooling options share one cached
+/// thermal model (a cooling change is a boundary value-refresh, not a
+/// rebuild). `threads` is retained for source compatibility and ignored.
 FreqVsChipsData frequency_vs_chips(const ChipModel& chip,
                                    std::size_t max_chips,
                                    double threshold_c = 80.0,
@@ -81,8 +87,9 @@ struct NpbData {
 /// Runs the nine NPB profiles on a `chips`-high stack of `chip` under the
 /// non-air cooling options (the paper omits air for 6+ chips), normalized
 /// to `baseline`. `instruction_scale` scales per-thread instruction counts
-/// (1.0 = the default profile length). `worker_threads` parallelizes the
-/// 9 x 4 simulations.
+/// (1.0 = the default profile length). The 9 x 4 simulations run on the
+/// process-wide shared pool; `worker_threads` is retained for source
+/// compatibility and ignored.
 NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
                        CoolingKind baseline, double threshold_c = 80.0,
                        double instruction_scale = 1.0,

@@ -14,11 +14,29 @@ MaxFrequencyFinder::MaxFrequencyFinder(ChipModel chip, PackageConfig package,
           "threshold must exceed the ambient temperature");
 }
 
-StackThermalModel MaxFrequencyFinder::make_model(
-    std::size_t chips, const CoolingOption& cooling, FlipPolicy flip) const {
-  const Stack3d stack(chip_.floorplan(), chips, flip);
-  return StackThermalModel(stack, package_, cooling.boundary(package_),
-                           grid_);
+StackThermalModel& MaxFrequencyFinder::model_for(std::size_t chips,
+                                                 const CoolingOption& cooling,
+                                                 FlipPolicy flip) {
+  const auto key = std::make_pair(chips, flip);
+  auto it = models_.find(key);
+  if (it == models_.end()) {
+    const Stack3d stack(chip_.floorplan(), chips, flip);
+    it = models_
+             .emplace(key, StackThermalModel(stack, package_,
+                                             cooling.boundary(package_),
+                                             grid_))
+             .first;
+  } else {
+    // Same structure, new boundary values (no-op for the same cooling).
+    it->second.set_boundary(cooling.boundary(package_));
+  }
+  return it->second;
+}
+
+SolverStats MaxFrequencyFinder::solver_stats() const {
+  SolverStats total;
+  for (const auto& [key, model] : models_) total.merge(model.stats());
+  return total;
 }
 
 namespace {
@@ -41,7 +59,7 @@ std::vector<std::vector<double>> stack_powers(const ChipModel& chip,
 FrequencyCap MaxFrequencyFinder::find(std::size_t chips,
                                       const CoolingOption& cooling,
                                       FlipPolicy flip) {
-  StackThermalModel model = make_model(chips, cooling, flip);
+  StackThermalModel& model = model_for(chips, cooling, flip);
   const VfsLadder& ladder = chip_.ladder();
 
   auto temperature_of_step = [&](std::size_t step) {
@@ -101,7 +119,7 @@ double MaxFrequencyFinder::temperature_at(std::size_t chips,
 ThermalSolution MaxFrequencyFinder::solve_at(std::size_t chips,
                                              const CoolingOption& cooling,
                                              Hertz f, FlipPolicy flip) {
-  StackThermalModel model = make_model(chips, cooling, flip);
+  StackThermalModel& model = model_for(chips, cooling, flip);
   return model.solve_steady(stack_powers(chip_, model.stack(), f));
 }
 

@@ -5,7 +5,9 @@
 /// steady-state peak die temperature stays under the threshold — the
 /// computation behind the paper's Figs. 1, 7, 8, 15 and 17.
 
+#include <map>
 #include <optional>
+#include <utility>
 
 #include "core/cooling.hpp"
 #include "power/chip_model.hpp"
@@ -25,7 +27,10 @@ struct FrequencyCap {
 
 /// Searches maximum feasible frequencies over (chips, cooling) configs.
 ///
-/// Thermal models are constructed per call; the monotonicity of steady
+/// Thermal models are cached per (chips, flip) across calls: the matrix
+/// structure and multigrid hierarchy depend only on the stack geometry,
+/// and a cooling change is a boundary value-refresh on the cached model
+/// (StackThermalModel::set_boundary). The monotonicity of steady
 /// temperature in frequency (power rises with f, the system is linear in
 /// power) lets the search bisect over the VFS ladder with warm-started
 /// solves.
@@ -54,15 +59,21 @@ class MaxFrequencyFinder {
   [[nodiscard]] double threshold_c() const { return threshold_c_; }
   [[nodiscard]] const PackageConfig& package() const { return package_; }
 
+  /// Aggregated solver counters across every cached model this finder has
+  /// driven (for benches and BENCH_*.json telemetry).
+  [[nodiscard]] SolverStats solver_stats() const;
+
  private:
-  StackThermalModel make_model(std::size_t chips,
-                               const CoolingOption& cooling,
-                               FlipPolicy flip) const;
+  /// Cached model for (chips, flip), with its boundary refreshed to the
+  /// given cooling option.
+  StackThermalModel& model_for(std::size_t chips,
+                               const CoolingOption& cooling, FlipPolicy flip);
 
   ChipModel chip_;
   PackageConfig package_;
   double threshold_c_;
   GridOptions grid_;
+  std::map<std::pair<std::size_t, FlipPolicy>, StackThermalModel> models_;
 };
 
 }  // namespace aqua

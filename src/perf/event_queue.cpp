@@ -4,7 +4,7 @@
 
 namespace aqua {
 
-void EventQueue::schedule(Cycle when, std::function<void()> fn) {
+void EventQueue::schedule(Cycle when, Callback fn) {
   require(when >= now_, "cannot schedule an event in the past");
   heap_.push(Entry{when, seq_++, std::move(fn)});
 }

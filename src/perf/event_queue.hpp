@@ -5,10 +5,10 @@
 /// sequence number breaks ties) so simulations are fully deterministic.
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "common/small_function.hpp"
 #include "perf/params.hpp"
 
 namespace aqua {
@@ -16,11 +16,17 @@ namespace aqua {
 /// Deterministic discrete-event queue.
 class EventQueue {
  public:
+  /// Event callback. SmallFunction keeps typical simulator closures (a
+  /// `this` pointer plus a couple of operands) inline in the heap entry
+  /// instead of behind a std::function heap allocation — scheduling is the
+  /// DES hot path (see bench/perf_event_queue).
+  using Callback = SmallFunction<void()>;
+
   /// Schedules `fn` to run at absolute cycle `when` (>= now()).
-  void schedule(Cycle when, std::function<void()> fn);
+  void schedule(Cycle when, Callback fn);
 
   /// Schedules `fn` `delay` cycles from now.
-  void schedule_in(Cycle delay, std::function<void()> fn) {
+  void schedule_in(Cycle delay, Callback fn) {
     schedule(now_ + delay, std::move(fn));
   }
 
@@ -45,7 +51,7 @@ class EventQueue {
   struct Entry {
     Cycle when;
     std::uint64_t seq;
-    std::function<void()> fn;
+    Callback fn;
     bool operator>(const Entry& o) const {
       return when != o.when ? when > o.when : seq > o.seq;
     }

@@ -127,6 +127,9 @@ void StackThermalModel::assemble() {
                    k_sink * sink_ratio * sink_ratio,
                    package_.heatsink_material.heat_capacity.value()});
 
+  // The builder stamps *interior* conductances only; the boundary terms are
+  // applied afterwards as in-place diagonal updates so a cooling swap never
+  // reassembles (set_boundary).
   SparseBuilder builder(node_count_, node_count_);
   capacities_.assign(node_count_, 0.0);
 
@@ -181,59 +184,98 @@ void StackThermalModel::assemble() {
     }
   }
 
+  matrix_ = builder.build();
+
+  // Record the CSR diagonal positions of the boundary rows and their
+  // interior-only ("base") values; apply_boundary_values() then writes
+  // base + g_boundary into them, now and on every set_boundary call.
+  top_diag_pos_.clear();
+  bottom_diag_pos_.clear();
+  top_diag_base_.clear();
+  bottom_diag_base_.clear();
+  top_diag_pos_.reserve(ncells);
+  bottom_diag_pos_.reserve(ncells);
+  const std::size_t sink = n_layers - 1;
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const std::size_t top_node = node(sink, ix, iy);
+      const std::size_t bottom_node = node(0, ix, iy);
+      top_diag_pos_.push_back(matrix_.entry_index(top_node, top_node));
+      bottom_diag_pos_.push_back(
+          matrix_.entry_index(bottom_node, bottom_node));
+      top_diag_base_.push_back(matrix_.values()[top_diag_pos_.back()]);
+      bottom_diag_base_.push_back(matrix_.values()[bottom_diag_pos_.back()]);
+    }
+  }
+
+  apply_boundary_values();
+  multigrid_.reset();
+  warm_start_.clear();
+}
+
+void StackThermalModel::apply_boundary_values() {
+  const std::size_t ncells = options_.nx * options_.ny;
+
   // Top boundary: heatsink cells -> ambient. Either convection over the
   // full fin area or the water-pipe cold plate's fixed resistance, shared
   // equally across cells (the sink is near-isothermal).
-  {
-    double total_g;
-    if (boundary_.coldplate_resistance > 0.0) {
-      total_g = 1.0 / boundary_.coldplate_resistance;
-    } else {
-      const double fin_area =
-          package_.heatsink_fin_area *
-          (boundary_.top_coolant_is_gas ? package_.gas_fin_efficiency : 1.0);
-      total_g = boundary_.top_htc.value() * fin_area;
-    }
-    const double g_cell = total_g / static_cast<double>(ncells);
-    top_g_per_cell_ = g_cell;
-    const std::size_t sink = n_layers - 1;
-    for (std::size_t iy = 0; iy < ny; ++iy) {
-      for (std::size_t ix = 0; ix < nx; ++ix) {
-        builder.add(node(sink, ix, iy), node(sink, ix, iy), g_cell);
-      }
-    }
+  double total_g;
+  if (boundary_.coldplate_resistance > 0.0) {
+    total_g = 1.0 / boundary_.coldplate_resistance;
+  } else {
+    const double fin_area =
+        package_.heatsink_fin_area *
+        (boundary_.top_coolant_is_gas ? package_.gas_fin_efficiency : 1.0);
+    total_g = boundary_.top_htc.value() * fin_area;
   }
+  top_g_per_cell_ = total_g / static_cast<double>(ncells);
 
   // Bottom boundary: bottom die -> board [-> film] -> convection over the
-  // wetted board area. Expressed per cell column with the convection
-  // conductance shared by cell.
-  {
-    // The board's copper planes spread the heat beyond the die footprint,
-    // so the slab, film and convection terms act over the wetted board
-    // area (shared per cell), while the die half-thickness keeps the cell
-    // footprint.
-    const double a_cell_board =
-        package_.board_wetted_area / static_cast<double>(ncells);
-    double r = package_.die_thickness /
-               (2.0 * package_.die_material.conductivity.value() * cell_area);
-    r += package_.board_thickness /
-         (package_.board_material.conductivity.value() * a_cell_board);
-    if (boundary_.film_on_bottom) {
-      r += package_.film_thickness /
-           (package_.film_material.conductivity.value() * a_cell_board);
-    }
-    r += 1.0 / (boundary_.bottom_htc.value() * a_cell_board);
-    const double g_cell = 1.0 / r;
-    bottom_g_per_cell_ = g_cell;
-    for (std::size_t iy = 0; iy < ny; ++iy) {
-      for (std::size_t ix = 0; ix < nx; ++ix) {
-        builder.add(node(0, ix, iy), node(0, ix, iy), g_cell);
-      }
-    }
+  // wetted board area. The board's copper planes spread the heat beyond
+  // the die footprint, so the slab, film and convection terms act over the
+  // wetted board area (shared per cell), while the die half-thickness
+  // keeps the cell footprint.
+  const double cell_area = (stack_.width() / static_cast<double>(options_.nx)) *
+                           (stack_.height() / static_cast<double>(options_.ny));
+  const double a_cell_board =
+      package_.board_wetted_area / static_cast<double>(ncells);
+  double r = package_.die_thickness /
+             (2.0 * package_.die_material.conductivity.value() * cell_area);
+  r += package_.board_thickness /
+       (package_.board_material.conductivity.value() * a_cell_board);
+  if (boundary_.film_on_bottom) {
+    r += package_.film_thickness /
+         (package_.film_material.conductivity.value() * a_cell_board);
   }
+  r += 1.0 / (boundary_.bottom_htc.value() * a_cell_board);
+  bottom_g_per_cell_ = 1.0 / r;
 
-  matrix_ = builder.build();
-  warm_start_.clear();
+  for (std::size_t c = 0; c < ncells; ++c) {
+    matrix_.set_value(top_diag_pos_[c], top_diag_base_[c] + top_g_per_cell_);
+    matrix_.set_value(bottom_diag_pos_[c],
+                      bottom_diag_base_[c] + bottom_g_per_cell_);
+  }
+}
+
+void StackThermalModel::set_boundary(const ThermalBoundary& boundary) {
+  if (boundary == boundary_) return;
+  boundary_ = boundary;
+  apply_boundary_values();
+  // The hierarchy's index structure survives a value refresh; the previous
+  // solution stays as a warm start (still a valid initial guess).
+  if (multigrid_) multigrid_->refresh_values(matrix_);
+}
+
+const Preconditioner* StackThermalModel::preconditioner() {
+  if (options_.preconditioner != PreconditionerKind::kMultigrid) {
+    return nullptr;  // solve_cg falls back to Jacobi
+  }
+  if (!multigrid_) {
+    multigrid_ =
+        std::make_unique<MultigridPreconditioner>(matrix_, grid_shape());
+    vcycles_seen_ = 0;
+  }
+  return multigrid_.get();
 }
 
 std::vector<double> StackThermalModel::power_vector(
@@ -256,8 +298,13 @@ std::vector<double> StackThermalModel::power_vector(
 ThermalSolution StackThermalModel::solve_steady(
     const std::vector<std::vector<double>>& layer_block_powers) {
   const std::vector<double> rhs = power_vector(layer_block_powers);
-  last_solve_ = solve_cg(matrix_, rhs, options_.solver, warm_start_);
+  last_solve_ = solve_cg(matrix_, rhs, options_.solver, warm_start_,
+                         preconditioner(), &stats_);
   ensure(last_solve_.converged, "steady-state thermal solve did not converge");
+  if (multigrid_) {
+    stats_.vcycles += multigrid_->vcycles() - vcycles_seen_;
+    vcycles_seen_ = multigrid_->vcycles();
+  }
   warm_start_ = last_solve_.x;
 
   std::vector<double> temps = last_solve_.x;

@@ -15,10 +15,20 @@
 /// their larger physical extent enters as a lateral-conductivity boost
 /// (they are nearly isothermal in reality) and as the full fin area in the
 /// convective boundary term.
+///
+/// Solver path: the assembled conductance matrix's *structure* depends only
+/// on (stack, grid); the cooling option enters exclusively through the
+/// boundary conductances on the top/bottom layer diagonals. `set_boundary`
+/// therefore refreshes those values in place — no reassembly — and the
+/// cached multigrid hierarchy is value-refreshed along with it. This is
+/// what makes coolant sweeps (Figs. 7/8/17) cheap: one model per stack,
+/// five boundary swaps.
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "common/multigrid.hpp"
 #include "common/solvers.hpp"
 #include "common/sparse.hpp"
 #include "floorplan/stack.hpp"
@@ -26,11 +36,18 @@
 
 namespace aqua {
 
+/// Which preconditioner drives the steady-state CG solve.
+enum class PreconditionerKind {
+  kJacobi,     ///< diagonal scaling (reference / tiny grids)
+  kMultigrid,  ///< geometric V-cycle over the structured grid (default)
+};
+
 /// Discretization and solver options for the grid model.
 struct GridOptions {
   std::size_t nx = 32;  ///< cells across the die width
   std::size_t ny = 32;  ///< cells across the die height
   SolverOptions solver{};
+  PreconditionerKind preconditioner = PreconditionerKind::kMultigrid;
 };
 
 /// The temperature field produced by a solve. All values in deg C.
@@ -74,9 +91,11 @@ class ThermalSolution {
 
 /// Steady-state thermal model of one stack + package + boundary.
 ///
-/// Typical use: construct once per (stack, cooling) pair, then call
+/// Typical use: construct once per (stack, grid) pair, then call
 /// `solve_steady` repeatedly with different power maps (e.g. across a VFS
-/// sweep); the previous solution warm-starts the next solve.
+/// sweep) and `set_boundary` across cooling options; the previous solution
+/// warm-starts the next solve and the matrix structure, multigrid
+/// hierarchy and heat capacities are reused throughout.
 class StackThermalModel {
  public:
   StackThermalModel(const Stack3d& stack, const PackageConfig& package,
@@ -91,6 +110,12 @@ class StackThermalModel {
   [[nodiscard]] ThermalSolution solve_steady_uniform(
       const std::vector<double>& block_powers);
 
+  /// Swaps the boundary conditions (cooling option) in place: only the
+  /// boundary-row conductance values change, so the CSR structure, the
+  /// multigrid hierarchy's index arrays and the warm-start survive. A
+  /// no-op when `boundary` equals the current one.
+  void set_boundary(const ThermalBoundary& boundary);
+
   [[nodiscard]] const Stack3d& stack() const { return stack_; }
   [[nodiscard]] const PackageConfig& package() const { return package_; }
   [[nodiscard]] const ThermalBoundary& boundary() const { return boundary_; }
@@ -98,6 +123,12 @@ class StackThermalModel {
 
   /// The assembled conductance matrix (for tests / diagnostics).
   [[nodiscard]] const SparseMatrix& conductance() const { return matrix_; }
+
+  /// Grid topology of the assembled system (die layers + spreader +
+  /// heatsink on the nx x ny plane) — what the multigrid coarsening needs.
+  [[nodiscard]] GridShape grid_shape() const {
+    return {options_.nx, options_.ny, stack_.layer_count() + 2};
+  }
 
   /// Per-node heat capacity [J/K] (used by the transient solver).
   [[nodiscard]] const std::vector<double>& capacities() const {
@@ -125,8 +156,14 @@ class StackThermalModel {
   /// Statistics of the most recent solve.
   [[nodiscard]] const SolveResult& last_solve() const { return last_solve_; }
 
+  /// Cumulative solver counters over this model's lifetime (solves,
+  /// iterations, V-cycles, wall time inside solve_cg).
+  [[nodiscard]] const SolverStats& stats() const { return stats_; }
+
  private:
   void assemble();
+  void apply_boundary_values();
+  [[nodiscard]] const Preconditioner* preconditioner();
 
   [[nodiscard]] std::size_t node(std::size_t layer, std::size_t ix,
                                  std::size_t iy) const {
@@ -143,6 +180,20 @@ class StackThermalModel {
   std::vector<double> capacities_;
   std::vector<double> warm_start_;
   SolveResult last_solve_;
+  SolverStats stats_;
+
+  // Boundary-row bookkeeping for the in-place value refresh: CSR positions
+  // of the top/bottom boundary diagonals and their interior-only values.
+  std::vector<std::size_t> top_diag_pos_;
+  std::vector<std::size_t> bottom_diag_pos_;
+  std::vector<double> top_diag_base_;
+  std::vector<double> bottom_diag_base_;
+
+  // Cached multigrid hierarchy (built on first multigrid solve, value-
+  // refreshed on boundary swaps).
+  std::unique_ptr<MultigridPreconditioner> multigrid_;
+  std::size_t vcycles_seen_ = 0;
+
   // Per-cell conductances of the two ambient boundaries (uniform).
   double top_g_per_cell_ = 0.0;
   double bottom_g_per_cell_ = 0.0;

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 #include "common/curve.hpp"
 #include "common/error.hpp"
@@ -128,6 +130,30 @@ TEST(ThreadPool, SubmitReturnsValue) {
 TEST(ThreadPool, ZeroIterationsIsNoop) {
   ThreadPool pool(2);
   parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SharedPoolIsProcessWide) {
+  EXPECT_EQ(&shared_pool(), &shared_pool());
+  std::atomic<int> count{0};
+  parallel_for(shared_pool(), 64, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingTasks) {
+  // Destroying a pool with queued work must run every task and join
+  // cleanly — a lost wake-up here deadlocks the destructor.
+  std::atomic<int> done{0};
+  constexpr int kTasks = 200;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      (void)pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ++done;
+      });
+    }
+  }  // ~ThreadPool: tasks are still pending when shutdown begins
+  EXPECT_EQ(done.load(), kTasks);
 }
 
 // ---------------------------------------------------------------- error ----

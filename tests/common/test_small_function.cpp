@@ -1,0 +1,107 @@
+#include "common/small_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace aqua {
+namespace {
+
+TEST(SmallFunction, CallsSmallCapture) {
+  int hits = 0;
+  SmallFunction<void()> f([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFunction, ReturnsValueAndTakesArguments) {
+  SmallFunction<int(int, int)> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(SmallFunction, EmptyThrowsOnCall) {
+  SmallFunction<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_THROW(f(), Error);
+}
+
+TEST(SmallFunction, LargeCaptureFallsBackToHeap) {
+  // 256 bytes of capture — far past the inline buffer.
+  std::array<double, 32> payload{};
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<double>(i);
+  }
+  SmallFunction<double()> f([payload] {
+    double acc = 0.0;
+    for (double v : payload) acc += v;
+    return acc;
+  });
+  EXPECT_DOUBLE_EQ(f(), 496.0);  // sum 0..31
+
+  // Moving a heap-backed callable transfers ownership.
+  SmallFunction<double()> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_DOUBLE_EQ(g(), 496.0);
+}
+
+TEST(SmallFunction, MoveTransfersInlineState) {
+  int hits = 0;
+  SmallFunction<void()> f([&hits] { ++hits; });
+  SmallFunction<void()> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));
+  ASSERT_TRUE(static_cast<bool>(g));
+  g();
+  EXPECT_EQ(hits, 1);
+
+  SmallFunction<void()> h;
+  h = std::move(g);
+  EXPECT_FALSE(static_cast<bool>(g));
+  h();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFunction, AcceptsMoveOnlyCapture) {
+  // std::function would reject this (it requires copyable callables).
+  auto owned = std::make_unique<int>(41);
+  SmallFunction<int()> f([p = std::move(owned)] { return *p + 1; });
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(SmallFunction, DestroysCaptureExactlyOnce) {
+  struct Probe {
+    int* dtors;
+    explicit Probe(int* d) : dtors(d) {}
+    Probe(Probe&& o) noexcept : dtors(o.dtors) { o.dtors = nullptr; }
+    Probe(const Probe&) = delete;
+    ~Probe() {
+      if (dtors != nullptr) ++*dtors;
+    }
+    void operator()() const {}
+  };
+  int dtors = 0;
+  {
+    SmallFunction<void()> f{Probe(&dtors)};
+    SmallFunction<void()> g = std::move(f);  // relocation must not destroy
+    g();
+    EXPECT_EQ(dtors, 0);
+  }
+  EXPECT_EQ(dtors, 1);
+}
+
+TEST(SmallFunction, AssignmentReplacesOldCallable) {
+  std::string log;
+  SmallFunction<void()> f([&log] { log += 'a'; });
+  f = SmallFunction<void()>([&log] { log += 'b'; });
+  f();
+  EXPECT_EQ(log, "b");
+}
+
+}  // namespace
+}  // namespace aqua

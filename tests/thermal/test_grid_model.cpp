@@ -218,6 +218,80 @@ TEST(GridModel, ColdPlateBeatsNaturalAir) {
             air_model.solve_steady(powers).max_die_temperature_c());
 }
 
+TEST(GridModel, MultigridMatchesJacobiOnFlippedStack) {
+  // Asymmetric problem: four chips with every even layer rotated 180
+  // degrees, so the power map (and the field) has no symmetry the V-cycle
+  // could accidentally depend on.
+  const ChipModel chip = make_high_frequency_cmp();
+  const PackageConfig pkg;
+  const Stack3d stack(chip.floorplan(), 4, FlipPolicy::kFlipEven);
+
+  GridOptions jacobi = coarse_grid();
+  jacobi.preconditioner = PreconditionerKind::kJacobi;
+  GridOptions mg = coarse_grid();
+  mg.preconditioner = PreconditionerKind::kMultigrid;
+
+  StackThermalModel jacobi_model(stack, pkg, water_boundary(pkg), jacobi);
+  StackThermalModel mg_model(stack, pkg, water_boundary(pkg), mg);
+
+  const auto powers = uniform_powers(chip, stack, gigahertz(3.0));
+  const ThermalSolution sj = jacobi_model.solve_steady(powers);
+  const ThermalSolution sm = mg_model.solve_steady(powers);
+
+  for (std::size_t l = 0; l < sj.total_layer_count(); ++l) {
+    for (std::size_t iy = 0; iy < sj.ny(); ++iy) {
+      for (std::size_t ix = 0; ix < sj.nx(); ++ix) {
+        ASSERT_NEAR(sm.at(l, ix, iy), sj.at(l, ix, iy), 1e-5);
+      }
+    }
+  }
+  EXPECT_GT(mg_model.stats().vcycles, 0u);
+  EXPECT_LE(3 * mg_model.stats().iterations, jacobi_model.stats().iterations);
+}
+
+TEST(GridModel, BoundaryRefreshMatchesRebuild) {
+  const ChipModel chip = make_low_power_cmp();
+  const PackageConfig pkg;
+  const Stack3d stack(chip.floorplan(), 3, FlipPolicy::kNone);
+  const auto powers = uniform_powers(chip, stack, gigahertz(1.5));
+
+  ThermalBoundary air;
+  air.ambient_c = pkg.ambient_c;
+
+  // Refresh path: build under water, solve, then swap to air in place.
+  StackThermalModel model(stack, pkg, water_boundary(pkg), coarse_grid());
+  const double t_water = model.solve_steady(powers).max_die_temperature_c();
+  model.set_boundary(air);
+  EXPECT_EQ(model.boundary(), air);
+  const double t_air = model.solve_steady(powers).max_die_temperature_c();
+  EXPECT_GT(t_air, t_water);  // air cools far worse
+
+  // Reference: a model assembled directly with the air boundary.
+  StackThermalModel rebuilt(stack, pkg, air, coarse_grid());
+  const double t_ref = rebuilt.solve_steady(powers).max_die_temperature_c();
+  EXPECT_NEAR(t_air, t_ref, 1e-6);
+
+  // Swapping back reproduces the original answer, still on the same
+  // matrix structure and multigrid hierarchy.
+  model.set_boundary(water_boundary(pkg));
+  EXPECT_NEAR(model.solve_steady(powers).max_die_temperature_c(), t_water,
+              1e-6);
+  EXPECT_EQ(model.stats().solves, 3u);
+}
+
+TEST(GridModel, SetBoundarySameValueIsNoop) {
+  const ChipModel chip = make_low_power_cmp();
+  const PackageConfig pkg;
+  const Stack3d stack(chip.floorplan(), 2, FlipPolicy::kNone);
+  StackThermalModel model(stack, pkg, water_boundary(pkg), coarse_grid());
+  const auto powers = uniform_powers(chip, stack, gigahertz(1.5));
+  const double t1 = model.solve_steady(powers).max_die_temperature_c();
+  model.set_boundary(water_boundary(pkg));  // identical boundary
+  const double t2 = model.solve_steady(powers).max_die_temperature_c();
+  EXPECT_NEAR(t1, t2, 1e-9);
+  EXPECT_LE(model.last_solve().iterations, 3u);  // warm start survived
+}
+
 TEST(GridModel, ValidatesInput) {
   const ChipModel chip = make_low_power_cmp();
   const PackageConfig pkg;
