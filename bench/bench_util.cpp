@@ -1,12 +1,18 @@
 #include "bench_util.hpp"
 
 #include <cmath>
-#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+#ifndef AQUA_GIT_DESCRIBE
+#define AQUA_GIT_DESCRIBE "unknown"
+#endif
 
 namespace aqua::bench {
 
@@ -67,34 +73,16 @@ double npb_scale() {
   return 0.5;
 }
 
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 JsonReport::JsonReport(std::string name) : name_(std::move(name)) {
   require(!name_.empty(), "JSON report needs a name");
+  // Benches are the usual tracing subjects; when AQUA_TRACE=1 picked the
+  // generic default path, rename the output after this bench so several
+  // traced benches in one directory do not clobber each other. An explicit
+  // AQUA_TRACE=<path> always wins.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (tracer.enabled() && !tracer.has_explicit_path()) {
+    tracer.set_path("TRACE_" + name_ + ".json");
+  }
 }
 
 JsonReport& JsonReport::add_raw(const std::string& key, std::string rendered) {
@@ -126,7 +114,7 @@ JsonReport& JsonReport::add(const std::string& key, bool value) {
 
 JsonReport& JsonReport::add(const std::string& key,
                             const std::string& value) {
-  return add_raw(key, "\"" + json_escape(value) + "\"");
+  return add_raw(key, "\"" + obs::json_escape(value) + "\"");
 }
 
 JsonReport& JsonReport::add_stats(const std::string& prefix,
@@ -142,13 +130,20 @@ std::string JsonReport::write() const {
   const std::string path = "BENCH_" + name_ + ".json";
   std::ofstream out(path);
   require(out.good(), "cannot open " + path + " for writing");
-  out << "{\n  \"bench\": \"" << json_escape(name_) << "\"";
+  out << "{\n  \"bench\": \"" << obs::json_escape(name_) << "\"";
+  out << ",\n  \"schema_version\": " << kSchemaVersion;
+  out << ",\n  \"git\": \"" << obs::json_escape(AQUA_GIT_DESCRIBE) << "\"";
   for (const auto& [key, rendered] : entries_) {
-    out << ",\n  \"" << json_escape(key) << "\": " << rendered;
+    out << ",\n  \"" << obs::json_escape(key) << "\": " << rendered;
   }
   out << "\n}\n";
   ensure(out.good(), "failed writing " + path);
   std::cout << "\n[telemetry] wrote " << path << "\n";
+
+  // When metrics are on, snapshot the registry into the run report so the
+  // bench's counters land next to its stage records.
+  obs::RunReport& report = obs::RunReport::instance();
+  if (report.enabled()) report.emit_metrics_dump();
   return path;
 }
 

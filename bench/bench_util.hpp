@@ -37,10 +37,24 @@ double npb_scale();
 /// Standard tail: parse benchmark flags and run registered micro-benches.
 int run_microbenchmarks(int argc, char** argv);
 
+/// Version of the BENCH_*.json schema, written as "schema_version" in
+/// every file. Bump when keys change meaning or disappear; consumers
+/// should skip files with a newer version than they understand.
+/// History: 1 = flat key map (implicit, unversioned); 2 = adds
+/// schema_version + git provenance.
+inline constexpr int kSchemaVersion = 2;
+
 /// Machine-readable counterpart of the printed tables: a flat ordered
 /// key -> value map written as `BENCH_<name>.json` in the working
-/// directory (EXPERIMENTS.md documents the format). Values are JSON
+/// directory (EXPERIMENTS.md documents the format). Every file carries
+/// "bench", "schema_version" (kSchemaVersion) and "git" (`git describe`
+/// of the configured tree) before the bench's own keys. Values are JSON
 /// numbers, booleans or strings; insertion order is preserved.
+///
+/// Constructing a JsonReport also retargets the obs tracer's default
+/// output to TRACE_<name>.json (explicit AQUA_TRACE=<path> wins), and
+/// write() snapshots the metrics registry into the run report when
+/// AQUA_METRICS is on.
 class JsonReport {
  public:
   explicit JsonReport(std::string name);

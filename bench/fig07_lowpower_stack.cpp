@@ -39,10 +39,14 @@ int main(int argc, char** argv) {
   std::cout << "\npaper: air <= 4 chips, water-pipe <= 7, immersion to 14, "
                "order air < pipe < oil <= fluorinert <= water\n"
             << "measured max chips:";
+  aqua::bench::JsonReport report("fig07_lowpower");
   for (const auto& s : data.series) {
-    std::cout << ' ' << to_string(s.cooling) << '='
-              << data.max_feasible_chips(s.cooling);
+    const std::size_t chips = data.max_feasible_chips(s.cooling);
+    std::cout << ' ' << to_string(s.cooling) << '=' << chips;
+    report.add(std::string("max_chips_") + to_string(s.cooling), chips);
   }
   std::cout << "\n\n";
+  report.add_stats("sweep", data.solver);
+  report.write();
   return aqua::bench::run_microbenchmarks(argc, argv);
 }

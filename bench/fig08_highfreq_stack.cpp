@@ -32,10 +32,14 @@ int main(int argc, char** argv) {
   std::cout << "\npaper: immersion reaches 14-15 chips; water-pipe carries "
                "the 8-chip stack (Fig. 13 baseline); water on top\n"
             << "measured max chips:";
+  aqua::bench::JsonReport report("fig08_highfreq");
   for (const auto& s : data.series) {
-    std::cout << ' ' << to_string(s.cooling) << '='
-              << data.max_feasible_chips(s.cooling);
+    const std::size_t chips = data.max_feasible_chips(s.cooling);
+    std::cout << ' ' << to_string(s.cooling) << '=' << chips;
+    report.add(std::string("max_chips_") + to_string(s.cooling), chips);
   }
   std::cout << "\n\n";
+  report.add_stats("sweep", data.solver);
+  report.write();
   return aqua::bench::run_microbenchmarks(argc, argv);
 }

@@ -1,15 +1,25 @@
 /// Trace tools: capture a synthetic NPB workload to a portable text trace,
-/// replay it bit-exactly, or run your own hand-written trace.
+/// replay it bit-exactly, run your own hand-written trace — and inspect the
+/// Chrome trace-event JSON files the obs layer writes under AQUA_TRACE=1.
 ///
 ///   $ ./build/examples/trace_tools capture cg 4 /tmp/cg.trace
 ///   $ ./build/examples/trace_tools replay /tmp/cg.trace 2.0
+///   $ ./build/examples/trace_tools summarize TRACE_aqua.json
+///   $ ./build/examples/trace_tools merge out.json a.json b.json
+///   $ ./build/examples/trace_tools check TRACE_aqua.json
 ///
 /// Replaying a captured trace reproduces the synthetic run cycle-for-cycle
-/// — the regression-pinning workflow for simulator changes.
+/// — the regression-pinning workflow for simulator changes. `summarize`
+/// prints a per-span wall-time table, `merge` concatenates several trace
+/// files into one Chrome-loadable file, and `check` validates a file parses
+/// as trace-event JSON (exit status 1 when it does not — the CI gate).
 
 #include <fstream>
 #include <iostream>
 
+#include "common/table.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/trace_reader.hpp"
 #include "perf/system.hpp"
 
 namespace {
@@ -17,8 +27,104 @@ namespace {
 int usage() {
   std::cerr << "usage:\n"
             << "  trace_tools capture <npb> <threads> <file>\n"
-            << "  trace_tools replay <file> <ghz>\n";
+            << "  trace_tools replay <file> <ghz>\n"
+            << "  trace_tools summarize <trace.json>...\n"
+            << "  trace_tools merge <out.json> <trace.json>...\n"
+            << "  trace_tools check <trace.json>...\n";
   return 1;
+}
+
+/// Loads every file's events into one list; dies with the parse error.
+std::vector<aqua::obs::ParsedTraceEvent> load_all(int argc, char** argv,
+                                                  int first) {
+  std::vector<aqua::obs::ParsedTraceEvent> events;
+  for (int i = first; i < argc; ++i) {
+    std::vector<aqua::obs::ParsedTraceEvent> part =
+        aqua::obs::load_trace_file(argv[i]);
+    events.insert(events.end(), part.begin(), part.end());
+  }
+  return events;
+}
+
+int run_summarize(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto events = load_all(argc, argv, 2);
+  const auto spans = aqua::obs::summarize_spans(events);
+  aqua::Table table({"span", "category", "count", "total ms", "mean us",
+                     "min us", "max us"});
+  for (const aqua::obs::SpanSummary& s : spans) {
+    table.row()
+        .add(s.name)
+        .add(s.category)
+        .add_int(static_cast<long long>(s.count))
+        .add(s.total_us / 1e3)
+        .add(s.count ? s.total_us / static_cast<double>(s.count) : 0.0)
+        .add(s.min_us)
+        .add(s.max_us);
+  }
+  table.print(std::cout);
+  std::cout << events.size() << " events, " << spans.size()
+            << " distinct spans\n";
+  return 0;
+}
+
+int run_merge(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto events = load_all(argc, argv, 3);
+  std::ofstream out(argv[2]);
+  if (!out) {
+    std::cerr << "cannot open " << argv[2] << "\n";
+    return 1;
+  }
+  // Re-emit as one Chrome trace-event file. Thread ids from different
+  // source files may collide; that only overlays their rows in the viewer.
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const aqua::obs::ParsedTraceEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
+    aqua::obs::JsonWriter w;
+    w.add("name", e.name)
+        .add("cat", e.category)
+        .add("ph", e.phase)
+        .add("ts", e.ts_us)
+        .add("dur", e.dur_us)
+        .add("pid", static_cast<std::int64_t>(e.pid))
+        .add("tid", static_cast<std::int64_t>(e.tid));
+    if (e.has_arg) {
+      aqua::obs::JsonWriter args;
+      args.add("v", e.arg);
+      w.add_raw("args", args.str());
+    }
+    out << w.str();
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+  std::cout << "merged " << events.size() << " events from " << (argc - 3)
+            << " file(s) into " << argv[2] << "\n";
+  return 0;
+}
+
+int run_check(int argc, char** argv) {
+  if (argc < 3) return usage();
+  bool ok = true;
+  for (int i = 2; i < argc; ++i) {
+    const std::string path = argv[i];
+    const bool jsonl = path.size() >= 6 &&
+                       path.compare(path.size() - 6, 6, ".jsonl") == 0;
+    try {
+      if (jsonl) {
+        const auto records = aqua::obs::load_jsonl_file(path);
+        std::cout << path << ": OK (" << records.size() << " records)\n";
+      } else {
+        const auto events = aqua::obs::load_trace_file(path);
+        std::cout << path << ": OK (" << events.size() << " events)\n";
+      }
+    } catch (const std::exception& e) {
+      std::cerr << path << ": FAIL (" << e.what() << ")\n";
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
 }
 
 }  // namespace
@@ -27,6 +133,10 @@ int main(int argc, char** argv) {
   using namespace aqua;
   if (argc < 2) return usage();
   const std::string mode = argv[1];
+
+  if (mode == "summarize") return run_summarize(argc, argv);
+  if (mode == "merge") return run_merge(argc, argv);
+  if (mode == "check") return run_check(argc, argv);
 
   if (mode == "capture") {
     if (argc != 5) return usage();

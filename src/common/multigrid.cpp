@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace aqua {
 
@@ -60,6 +61,7 @@ MultigridPreconditioner::MultigridPreconditioner(const SparseMatrix& fine,
                                                  GridShape shape,
                                                  MultigridOptions options)
     : shape_(shape), options_(options) {
+  AQUA_TRACE_SCOPE_C("multigrid.build", "solver");
   require(shape_.nodes() == fine.rows(),
           "multigrid: shape does not match matrix dimension");
   require(shape_.nx >= 1 && shape_.ny >= 1 && shape_.layers >= 1,
@@ -105,6 +107,7 @@ MultigridPreconditioner::MultigridPreconditioner(const SparseMatrix& fine,
 }
 
 void MultigridPreconditioner::refresh_values(const SparseMatrix& fine) {
+  AQUA_TRACE_SCOPE_C("multigrid.refresh_values", "solver");
   require(fine.rows() == shape_.nodes() &&
               fine.nonzeros() == levels_.front().a.nonzeros(),
           "multigrid refresh: structure mismatch");

@@ -5,8 +5,53 @@
 #include <optional>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace aqua {
+
+namespace {
+
+/// Cached references into the metrics registry (lookup once, atomic adds
+/// afterwards). Wall time is carried in nanoseconds so a plain counter
+/// suffices.
+struct GlobalSolverCounters {
+  obs::Counter& solves = obs::Registry::instance().counter("solver.solves");
+  obs::Counter& iterations =
+      obs::Registry::instance().counter("solver.cg_iterations");
+  obs::Counter& vcycles = obs::Registry::instance().counter("solver.vcycles");
+  obs::Counter& wall_ns = obs::Registry::instance().counter("solver.wall_ns");
+};
+
+GlobalSolverCounters& global_solver_counters() {
+  static GlobalSolverCounters counters;
+  return counters;
+}
+
+}  // namespace
+
+SolverStats solver_totals() {
+  const GlobalSolverCounters& c = global_solver_counters();
+  SolverStats totals;
+  totals.solves = c.solves.value();
+  totals.iterations = c.iterations.value();
+  totals.vcycles = c.vcycles.value();
+  totals.wall_seconds = static_cast<double>(c.wall_ns.value()) * 1e-9;
+  return totals;
+}
+
+SolverStats solver_totals_since(const SolverStats& before) {
+  SolverStats now = solver_totals();
+  now.solves -= before.solves;
+  now.iterations -= before.iterations;
+  now.vcycles -= before.vcycles;
+  now.wall_seconds -= before.wall_seconds;
+  return now;
+}
+
+void record_global_vcycles(std::size_t vcycles) {
+  global_solver_counters().vcycles.add(vcycles);
+}
 
 double norm2(const std::vector<double>& v) {
   double acc = 0.0;
@@ -50,6 +95,7 @@ void residual_into(const SparseMatrix& a, const std::vector<double>& b,
 SolveResult solve_cg(const SparseMatrix& a, const std::vector<double>& b,
                      const SolverOptions& options, std::vector<double> x0,
                      const Preconditioner* preconditioner, SolverStats* stats) {
+  AQUA_TRACE_SCOPE_C("solver.cg", "solver");
   require(a.rows() == a.cols(), "solve_cg: matrix must be square");
   require(b.size() == a.rows(), "solve_cg: rhs dimension mismatch");
   const std::size_t n = b.size();
@@ -60,13 +106,22 @@ SolveResult solve_cg(const SparseMatrix& a, const std::vector<double>& b,
   require(out.x.size() == n, "solve_cg: warm start dimension mismatch");
 
   const auto finish = [&](SolveResult&& result) {
+    const auto wall = std::chrono::steady_clock::now() - start;
     if (stats) {
       stats->solves += 1;
       stats->iterations += result.iterations;
-      stats->wall_seconds +=
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
+      stats->wall_seconds += std::chrono::duration<double>(wall).count();
+    }
+    GlobalSolverCounters& global = global_solver_counters();
+    global.solves.add(1);
+    global.iterations.add(result.iterations);
+    global.wall_ns.add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count()));
+    obs::Registry& registry = obs::Registry::instance();
+    if (registry.enabled()) {
+      static obs::Histogram& iteration_histogram = registry.histogram(
+          "solver.cg_iterations_per_solve", obs::exponential_bounds(1, 2, 12));
+      iteration_histogram.observe(static_cast<double>(result.iterations));
     }
     return std::move(result);
   };

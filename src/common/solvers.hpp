@@ -41,9 +41,11 @@ class JacobiPreconditioner final : public Preconditioner {
   std::vector<double> inv_diag_;
 };
 
-/// Cumulative counters for solver observability. Threaded from `solve_cg`
-/// up through `StackThermalModel` and aggregated across sweeps; benches
-/// print them and emit them to BENCH_<name>.json.
+/// Cumulative counters for solver observability. `solve_cg` publishes
+/// every solve to the process-wide metrics registry (src/obs/metrics.hpp)
+/// under `solver.*`; this struct is the snapshot/aggregate view of those
+/// counters that models, finders and benches hand around and emit to
+/// BENCH_<name>.json.
 struct SolverStats {
   std::size_t solves = 0;       ///< number of solve_cg invocations
   std::size_t iterations = 0;   ///< CG iterations across all solves
@@ -57,6 +59,18 @@ struct SolverStats {
     wall_seconds += other.wall_seconds;
   }
 };
+
+/// Process-wide totals of the `solver.*` registry counters (every solve_cg
+/// in every thread since process start).
+SolverStats solver_totals();
+
+/// Totals accumulated since `before` (field-wise difference) — the way
+/// sweep-level telemetry is collected: snapshot, run the sweep, diff.
+SolverStats solver_totals_since(const SolverStats& before);
+
+/// Adds `vcycles` V-cycles to the global `solver.vcycles` counter (called
+/// by the thermal model, which owns the preconditioner).
+void record_global_vcycles(std::size_t vcycles);
 
 /// Outcome of an iterative solve.
 struct SolveResult {

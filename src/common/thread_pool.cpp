@@ -2,9 +2,37 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace aqua {
+
+namespace {
+
+/// Pool instrumentation, aggregated across every ThreadPool in the process
+/// (in practice: the shared pool). Queue depth and worker count are gauges;
+/// submitted/executed counts and busy time feed the utilization view
+/// (busy_ns / (workers * elapsed)) in run reports.
+struct PoolMetrics {
+  obs::Counter& submitted =
+      obs::Registry::instance().counter("pool.tasks_submitted");
+  obs::Counter& executed =
+      obs::Registry::instance().counter("pool.tasks_executed");
+  obs::Counter& busy_ns = obs::Registry::instance().counter("pool.busy_ns");
+  obs::Gauge& queue_depth =
+      obs::Registry::instance().gauge("pool.queue_depth");
+  obs::Gauge& workers = obs::Registry::instance().gauge("pool.workers");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   std::size_t n = threads;
@@ -15,6 +43,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  pool_metrics().workers.add(static_cast<double>(n));
 }
 
 ThreadPool::~ThreadPool() {
@@ -24,6 +53,13 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  pool_metrics().workers.add(-static_cast<double>(workers_.size()));
+}
+
+void ThreadPool::note_submit(std::size_t queue_depth) {
+  PoolMetrics& metrics = pool_metrics();
+  metrics.submitted.add(1);
+  metrics.queue_depth.set(static_cast<double>(queue_depth));
 }
 
 void ThreadPool::worker_loop() {
@@ -35,14 +71,32 @@ void ThreadPool::worker_loop() {
       if (tasks_.empty()) return;  // stopping and drained
       task = std::move(tasks_.front());
       tasks_.pop();
+      pool_metrics().queue_depth.set(static_cast<double>(tasks_.size()));
     }
-    task();
+    {
+      AQUA_TRACE_SCOPE_C("pool.task", "pool");
+      PoolMetrics& metrics = pool_metrics();
+      // Busy-time accounting is gated: two clock reads per task are cheap
+      // but pointless when nobody will read the utilization numbers.
+      if (obs::Registry::instance().enabled()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        task();
+        metrics.busy_ns.add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+      } else {
+        task();
+      }
+      metrics.executed.add(1);
+    }
   }
 }
 
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
+  AQUA_TRACE_SCOPE_ARG("pool.parallel_for", "pool", count);
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;

@@ -53,6 +53,7 @@ class ThreadPool {
       std::lock_guard lock(mutex_);
       require(!stopping_, "ThreadPool::submit after shutdown began");
       tasks_.emplace([packaged] { (*packaged)(); });
+      note_submit(tasks_.size());
       cv_.notify_one();
     }
     return fut;
@@ -60,6 +61,9 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// Publishes the post-push queue depth and submit count to the metrics
+  /// registry (called under mutex_).
+  void note_submit(std::size_t queue_depth);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

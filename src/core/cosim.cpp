@@ -1,5 +1,10 @@
 #include "core/cosim.hpp"
 
+#include <chrono>
+
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
 namespace aqua {
 
 CoSimulator::CoSimulator(ChipModel chip, PackageConfig package,
@@ -11,6 +16,11 @@ CoSimulator::CoSimulator(ChipModel chip, PackageConfig package,
 CoSimResult CoSimulator::run(std::size_t chips, const CoolingOption& cooling,
                              const WorkloadProfile& workload,
                              std::uint64_t seed, FlipPolicy flip) {
+  // The paper's McPAT -> HotSpot -> gem5 chain in one span: the finder
+  // emits the power/thermal stage records, CmpSystem::run the perf one.
+  AQUA_TRACE_SCOPE_ARG("cosim.run", "pipeline", chips);
+  const auto t0 = std::chrono::steady_clock::now();
+
   CoSimResult result;
   result.cap = finder_.find(chips, cooling, flip);
   if (!result.cap.feasible) return result;
@@ -19,6 +29,21 @@ CoSimResult CoSimulator::run(std::size_t chips, const CoolingOption& cooling,
   config.chips = chips;
   CmpSystem system(config, workload, result.cap.frequency, seed);
   result.exec = system.run();
+
+  obs::RunReport& report = obs::RunReport::instance();
+  if (report.enabled()) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    report.emit("cosim", [&](obs::JsonWriter& w) {
+      w.add("workload", workload.name)
+          .add("chips", static_cast<std::uint64_t>(chips))
+          .add("cooling", to_string(cooling.kind()))
+          .add("ghz", result.cap.frequency.gigahertz())
+          .add("sim_seconds", result.exec->seconds)
+          .add("seconds", seconds);
+    });
+  }
   return result;
 }
 

@@ -4,8 +4,29 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 namespace aqua {
+
+namespace {
+
+/// Appends a "dtm_decision" run-report record for a VFS step change.
+void report_decision(double t, double peak_c, std::size_t from,
+                     std::size_t to, const char* reason) {
+  obs::RunReport& report = obs::RunReport::instance();
+  if (!report.enabled()) return;
+  report.emit("dtm_decision", [&](obs::JsonWriter& w) {
+    w.add("t_s", t)
+        .add("peak_c", peak_c)
+        .add("from_step", static_cast<std::uint64_t>(from))
+        .add("to_step", static_cast<std::uint64_t>(to))
+        .add("reason", reason);
+  });
+}
+
+}  // namespace
 
 DtmResult simulate_dtm(StackThermalModel& model, const ChipModel& chip,
                        std::size_t nominal_step, double duration_s,
@@ -18,6 +39,8 @@ DtmResult simulate_dtm(StackThermalModel& model, const ChipModel& chip,
   require(policy.control_period_s >= transient_options.dt_seconds,
           "control period must cover at least one transient step");
   require(duration_s > 0.0, "duration must be positive");
+  AQUA_TRACE_SCOPE_ARG("dtm.simulate", "thermal",
+                       static_cast<std::int64_t>(nominal_step));
 
   // Per-step power maps, reused every control interval.
   const Stack3d& stack = model.stack();
@@ -53,15 +76,22 @@ DtmResult simulate_dtm(StackThermalModel& model, const ChipModel& chip,
 
     // Hysteresis DVFS decision for the next interval.
     if (peak > policy.trigger_c + policy.emergency_margin_c && step > 0) {
+      report_decision(t, peak, step, 0, "emergency");
       step = 0;  // thermal emergency: straight to the floor
       ++result.throttle_events;
     } else if (peak > policy.trigger_c && step > 0) {
+      report_decision(t, peak, step, step - 1, "throttle");
       --step;
       ++result.throttle_events;
     } else if (peak < policy.release_c && step < nominal_step) {
+      report_decision(t, peak, step, step + 1, "release");
       ++step;
     }
   }
+
+  static obs::Counter& throttles =
+      obs::Registry::instance().counter("dtm.throttle_events");
+  throttles.add(result.throttle_events);
 
   result.effective_ghz = ghz_time / duration_s;
   result.time_at_nominal = nominal_time / duration_s;

@@ -1,12 +1,37 @@
 #include "core/experiments.hpp"
 
 #include <algorithm>
-#include <mutex>
+#include <chrono>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 namespace aqua {
+
+namespace {
+
+/// Emits an "experiment" run-report record with the sweep's wall time and
+/// the solver work it caused (snapshot-diff of the global solver counters).
+void report_experiment(const char* name,
+                       std::chrono::steady_clock::time_point start,
+                       const SolverStats& solver) {
+  obs::RunReport& report = obs::RunReport::instance();
+  if (!report.enabled()) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  report.emit("experiment", [&](obs::JsonWriter& w) {
+    w.add("name", name)
+        .add("seconds", seconds)
+        .add("solves", static_cast<std::uint64_t>(solver.solves))
+        .add("cg_iterations", static_cast<std::uint64_t>(solver.iterations))
+        .add("vcycles", static_cast<std::uint64_t>(solver.vcycles));
+  });
+}
+
+}  // namespace
 
 const FreqVsChipsSeries& FreqVsChipsData::of(CoolingKind kind) const {
   for (const FreqVsChipsSeries& s : series) {
@@ -28,6 +53,10 @@ FreqVsChipsData frequency_vs_chips(const ChipModel& chip,
                                    std::size_t max_chips, double threshold_c,
                                    GridOptions grid, std::size_t /*threads*/) {
   require(max_chips >= 1, "need at least one chip");
+  AQUA_TRACE_SCOPE_ARG("experiment.frequency_vs_chips", "experiment",
+                       max_chips);
+  const auto start = std::chrono::steady_clock::now();
+  const SolverStats before = solver_totals();
   const std::vector<CoolingOption> options = all_cooling_options();
 
   FreqVsChipsData data;
@@ -45,9 +74,9 @@ FreqVsChipsData frequency_vs_chips(const ChipModel& chip,
   // structure and multigrid hierarchy are assembled once per height, and
   // each cooling change is only a boundary value-refresh on that cached
   // model. (Grid models are not shared across threads.)
-  std::mutex stats_mutex;
   parallel_for(max_chips, [&](std::size_t c) {
     const std::size_t chips = c + 1;
+    AQUA_TRACE_SCOPE_ARG("experiment.height", "experiment", chips);
     MaxFrequencyFinder finder(chip, PackageConfig{}, threshold_c, grid);
     for (std::size_t k = 0; k < options.size(); ++k) {
       const FrequencyCap cap = finder.find(chips, options[k]);
@@ -55,10 +84,12 @@ FreqVsChipsData frequency_vs_chips(const ChipModel& chip,
         data.series[k].ghz[chips - 1] = cap.frequency.gigahertz();
       }
     }
-    const SolverStats stats = finder.solver_stats();
-    const std::lock_guard<std::mutex> lock(stats_mutex);
-    data.solver.merge(stats);
   });
+  // Sweep-wide solver totals come from the process-wide registry counters
+  // that solve_cg publishes, so no per-finder mutex/merge plumbing is
+  // needed (and work from every thread is captured exactly once).
+  data.solver = solver_totals_since(before);
+  report_experiment("frequency_vs_chips", start, data.solver);
   return data;
 }
 
@@ -84,6 +115,9 @@ NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
                        double instruction_scale, GridOptions grid,
                        std::size_t /*worker_threads*/, std::uint64_t seed) {
   require(instruction_scale > 0.0, "instruction scale must be positive");
+  AQUA_TRACE_SCOPE_ARG("experiment.npb", "experiment", chips);
+  const auto start = std::chrono::steady_clock::now();
+  const SolverStats before = solver_totals();
 
   NpbData data;
   data.chip_name = chip.name();
@@ -127,6 +161,7 @@ NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
     const std::size_t b = cell / data.coolings.size();
     const std::size_t k = cell % data.coolings.size();
     if (!data.caps[k].feasible) return;
+    AQUA_TRACE_SCOPE_ARG("experiment.npb_cell", "experiment", cell);
     CmpSystem system(base_config, suite[b], data.caps[k].frequency, seed);
     data.rows[b].seconds[k] = system.run().seconds;
   });
@@ -167,12 +202,16 @@ NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
     if (complete && n > 0) avg.relative[k] = acc / static_cast<double>(n);
   }
   data.rows.push_back(std::move(avg));
+  report_experiment("npb", start, solver_totals_since(before));
   return data;
 }
 
 std::vector<HtcSweepPoint> htc_sweep(const ChipModel& chip, std::size_t chips,
                                      const std::vector<double>& htcs,
                                      GridOptions grid) {
+  AQUA_TRACE_SCOPE_ARG("experiment.htc_sweep", "experiment", chips);
+  const auto start = std::chrono::steady_clock::now();
+  const SolverStats before = solver_totals();
   std::vector<HtcSweepPoint> points(htcs.size());
   parallel_for(htcs.size(), [&](std::size_t i) {
     PackageConfig package;
@@ -192,6 +231,7 @@ std::vector<HtcSweepPoint> htc_sweep(const ChipModel& chip, std::size_t chips,
     }
     points[i] = {htcs[i], model.solve_steady(powers).max_die_temperature_c()};
   });
+  report_experiment("htc_sweep", start, solver_totals_since(before));
   return points;
 }
 
@@ -199,6 +239,9 @@ std::vector<RotationPoint> rotation_sweep(const ChipModel& chip,
                                           std::size_t chips,
                                           const CoolingOption& cooling,
                                           GridOptions grid) {
+  AQUA_TRACE_SCOPE_ARG("experiment.rotation_sweep", "experiment", chips);
+  const auto start = std::chrono::steady_clock::now();
+  const SolverStats before = solver_totals();
   const VfsLadder& ladder = chip.ladder();
   std::vector<RotationPoint> points(ladder.size());
   parallel_for(ladder.size(), [&](std::size_t i) {
@@ -210,6 +253,7 @@ std::vector<RotationPoint> rotation_sweep(const ChipModel& chip,
     points[i].temperature_flip_c =
         finder.temperature_at(chips, cooling, f, FlipPolicy::kFlipEven);
   });
+  report_experiment("rotation_sweep", start, solver_totals_since(before));
   return points;
 }
 

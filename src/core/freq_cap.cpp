@@ -1,6 +1,10 @@
 #include "core/freq_cap.hpp"
 
+#include <chrono>
+
 #include "common/error.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 namespace aqua {
 
@@ -59,14 +63,64 @@ std::vector<std::vector<double>> stack_powers(const ChipModel& chip,
 FrequencyCap MaxFrequencyFinder::find(std::size_t chips,
                                       const CoolingOption& cooling,
                                       FlipPolicy flip) {
+  AQUA_TRACE_SCOPE_ARG("freq_cap.find", "thermal", chips);
+  const auto find_start = std::chrono::steady_clock::now();
   StackThermalModel& model = model_for(chips, cooling, flip);
   const VfsLadder& ladder = chip_.ladder();
 
+  // Stage attribution for the run report: the power-model evaluations
+  // (McPAT stand-in) vs. the thermal solves (HotSpot stand-in) inside the
+  // bisection.
+  double power_seconds = 0.0;
+  std::size_t steps_evaluated = 0;
+
   auto temperature_of_step = [&](std::size_t step) {
     const Hertz f = ladder.step(step);
-    return model
-        .solve_steady(stack_powers(chip_, model.stack(), f))
-        .max_die_temperature_c();
+    std::vector<std::vector<double>> powers;
+    {
+      AQUA_TRACE_SCOPE_ARG("power.block_powers", "power", step);
+      const auto t0 = std::chrono::steady_clock::now();
+      powers = stack_powers(chip_, model.stack(), f);
+      power_seconds += std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    }
+    ++steps_evaluated;
+    return model.solve_steady(powers).max_die_temperature_c();
+  };
+
+  // Per-stage timings and the cap decision, recorded when reporting is on
+  // (AQUA_METRICS / AQUA_RUN_REPORT). "power" covers the power-model
+  // evaluations, "thermal" the solves — together the find() wall time.
+  const auto emit_report = [&](const FrequencyCap& cap) {
+    obs::RunReport& report = obs::RunReport::instance();
+    if (!report.enabled()) return;
+    const double total_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      find_start)
+            .count();
+    report.emit("stage", [&](obs::JsonWriter& w) {
+      w.add("stage", "power")
+          .add("op", "freq_cap.block_powers")
+          .add("chips", static_cast<std::uint64_t>(chips))
+          .add("steps", static_cast<std::uint64_t>(steps_evaluated))
+          .add("seconds", power_seconds);
+    });
+    report.emit("stage", [&](obs::JsonWriter& w) {
+      w.add("stage", "thermal")
+          .add("op", "freq_cap.solve")
+          .add("chips", static_cast<std::uint64_t>(chips))
+          .add("steps", static_cast<std::uint64_t>(steps_evaluated))
+          .add("seconds", total_seconds - power_seconds);
+    });
+    report.emit("freq_cap", [&](obs::JsonWriter& w) {
+      w.add("chips", static_cast<std::uint64_t>(chips))
+          .add("cooling", to_string(cooling.kind()))
+          .add("feasible", cap.feasible)
+          .add("ghz", cap.frequency.gigahertz())
+          .add("max_temperature_c", cap.max_temperature_c)
+          .add("seconds", total_seconds);
+    });
   };
 
   FrequencyCap cap;
@@ -77,6 +131,7 @@ FrequencyCap MaxFrequencyFinder::find(std::size_t chips,
   if (t_lo > threshold_c_) {
     cap.feasible = false;
     cap.max_temperature_c = t_lo;
+    emit_report(cap);
     return cap;
   }
   std::size_t lo = 0;                    // known feasible
@@ -107,6 +162,7 @@ FrequencyCap MaxFrequencyFinder::find(std::size_t chips,
   cap.max_temperature_c = t_best;
   cap.chip_power = chip_.total_power(cap.frequency);
   cap.total_power = cap.chip_power * static_cast<double>(chips);
+  emit_report(cap);
   return cap;
 }
 

@@ -1,0 +1,86 @@
+#include "obs/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace aqua::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value, int decimals) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  if (decimals < 0) {
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    // %.17g round-trips but is noisy; try shorter forms first.
+    for (int p = 6; p < 17; ++p) {
+      char probe[64];
+      std::snprintf(probe, sizeof probe, "%.*g", p, value);
+      double back = 0.0;
+      std::sscanf(probe, "%lf", &back);
+      if (back == value) return probe;
+    }
+    return buf;
+  }
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+JsonWriter& JsonWriter::add_raw(std::string_view key,
+                                std::string_view rendered) {
+  if (!body_.empty()) body_ += ", ";
+  body_ += '"';
+  body_ += json_escape(key);
+  body_ += "\": ";
+  body_ += rendered;
+  return *this;
+}
+
+JsonWriter& JsonWriter::add(std::string_view key, double value, int decimals) {
+  return add_raw(key, json_number(value, decimals));
+}
+
+JsonWriter& JsonWriter::add(std::string_view key, std::int64_t value) {
+  return add_raw(key, std::to_string(value));
+}
+
+JsonWriter& JsonWriter::add(std::string_view key, std::uint64_t value) {
+  return add_raw(key, std::to_string(value));
+}
+
+JsonWriter& JsonWriter::add(std::string_view key, bool value) {
+  return add_raw(key, value ? "true" : "false");
+}
+
+JsonWriter& JsonWriter::add(std::string_view key, std::string_view value) {
+  return add_raw(key, "\"" + json_escape(value) + "\"");
+}
+
+JsonWriter& JsonWriter::add(std::string_view key, const char* value) {
+  return add(key, std::string_view(value));
+}
+
+std::string JsonWriter::str() const { return "{" + body_ + "}"; }
+
+}  // namespace aqua::obs

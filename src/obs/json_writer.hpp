@@ -1,0 +1,41 @@
+#pragma once
+
+/// Minimal JSON object/array rendering shared by the observability sinks
+/// (Chrome trace export, run-report lines, metrics dumps) and the bench
+/// telemetry writer. Insertion order is preserved; no external dependency.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace aqua::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string json_escape(std::string_view s);
+
+/// Renders a finite double compactly ("null" for NaN/inf); `decimals` < 0
+/// uses shortest round-trip formatting.
+std::string json_number(double value, int decimals = -1);
+
+/// Incremental `{...}` builder. Values render immediately; call `str()` for
+/// the closed object.
+class JsonWriter {
+ public:
+  JsonWriter& add(std::string_view key, double value, int decimals = -1);
+  JsonWriter& add(std::string_view key, std::int64_t value);
+  JsonWriter& add(std::string_view key, std::uint64_t value);
+  JsonWriter& add(std::string_view key, bool value);
+  JsonWriter& add(std::string_view key, std::string_view value);
+  JsonWriter& add(std::string_view key, const char* value);
+  /// `rendered` must already be valid JSON (nested object/array).
+  JsonWriter& add_raw(std::string_view key, std::string_view rendered);
+
+  /// The closed `{...}` object.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::string body_;  // comma-joined "key": value pairs
+};
+
+}  // namespace aqua::obs

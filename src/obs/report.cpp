@@ -1,0 +1,95 @@
+#include "obs/report.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace aqua::obs {
+
+RunReport::RunReport() {
+  const char* path_env = std::getenv("AQUA_RUN_REPORT");
+  if (path_env != nullptr && path_env[0] != '\0') {
+    path_ = path_env;
+    enabled_.store(true, std::memory_order_relaxed);
+  } else {
+    const char* metrics_env = std::getenv("AQUA_METRICS");
+    if (metrics_env != nullptr && metrics_env[0] != '\0' &&
+        std::string_view(metrics_env) != "0") {
+      enabled_.store(true, std::memory_order_relaxed);
+    }
+  }
+  if (enabled()) {
+    // Env-enabled runs always end with a registry dump, even if no code
+    // finalizes explicitly.
+    std::atexit([] {
+      RunReport& r = RunReport::instance();
+      if (r.enabled()) r.emit_metrics_dump();
+    });
+  }
+}
+
+RunReport& RunReport::instance() {
+  static RunReport* report = new RunReport();  // leaky; see Tracer
+  return *report;
+}
+
+void RunReport::set_enabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void RunReport::set_path(std::string path) {
+  std::lock_guard lock(mutex_);
+  if (out_.is_open()) out_.close();
+  path_ = std::move(path);
+  records_ = 0;
+  metrics_dumped_ = false;
+}
+
+std::string RunReport::path() const {
+  std::lock_guard lock(mutex_);
+  return path_;
+}
+
+std::size_t RunReport::records_written() const {
+  std::lock_guard lock(mutex_);
+  return records_;
+}
+
+void RunReport::emit(std::string_view kind,
+                     const std::function<void(JsonWriter&)>& fill) {
+  if (!enabled()) return;
+  JsonWriter w;
+  w.add("ts_us", Tracer::instance().now_us(), 3);
+  w.add("kind", kind);
+  fill(w);
+  const std::string line = w.str();
+
+  std::lock_guard lock(mutex_);
+  if (!out_.is_open()) {
+    out_.open(path_, std::ios::trunc);
+    if (!out_.good()) {
+      std::cerr << "[obs] cannot open run report " << path_ << "\n";
+      enabled_.store(false, std::memory_order_relaxed);
+      return;
+    }
+  }
+  out_ << line << '\n';
+  out_.flush();
+  ++records_;
+}
+
+void RunReport::emit_metrics_dump() {
+  if (!enabled()) return;
+  {
+    std::lock_guard lock(mutex_);
+    if (metrics_dumped_) return;
+    metrics_dumped_ = true;
+  }
+  const std::string metrics = Registry::instance().to_json();
+  emit("metrics",
+       [&](JsonWriter& w) { w.add_raw("registry", metrics); });
+}
+
+}  // namespace aqua::obs

@@ -1,0 +1,71 @@
+#pragma once
+
+/// Structured run reports: JSON-lines records of what a run actually did —
+/// per-stage timings of the power -> thermal -> perf pipeline, solver
+/// convergence, DTM/VFS decisions, NoC and event-queue counters, and a
+/// final metrics-registry dump. One record per line, so reports stream,
+/// append and grep cleanly; `trace_tools check` validates them.
+///
+/// Env contract (read once at first use):
+///   AQUA_METRICS=1           -> reporting on, default path RUN_REPORT.jsonl
+///   AQUA_RUN_REPORT=<path>   -> reporting on, records appended to <path>
+/// With neither set, emit() is a no-op costing one relaxed atomic load.
+///
+/// Every record carries "ts_us" (microseconds since process start) and
+/// "kind"; instrumentation adds the rest through a JsonWriter:
+///
+///   obs::RunReport::instance().emit("stage", [&](obs::JsonWriter& w) {
+///     w.add("stage", "thermal").add("seconds", dt);
+///   });
+
+#include <atomic>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/json_writer.hpp"
+
+namespace aqua::obs {
+
+class RunReport {
+ public:
+  /// The process sink, configured from AQUA_METRICS / AQUA_RUN_REPORT on
+  /// first call.
+  static RunReport& instance();
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  /// Programmatic override (tests, tools).
+  void set_enabled(bool on);
+
+  /// Redirects output; closes any open file and resets the sink so the
+  /// next emit() starts `path` fresh.
+  void set_path(std::string path);
+  [[nodiscard]] std::string path() const;
+
+  /// Appends one record. `fill` adds fields after "ts_us" and "kind".
+  /// No-op when disabled.
+  void emit(std::string_view kind,
+            const std::function<void(JsonWriter&)>& fill);
+
+  /// Appends a "metrics" record containing the full registry dump.
+  void emit_metrics_dump();
+
+  /// Records appended since the sink was (re)opened.
+  [[nodiscard]] std::size_t records_written() const;
+
+ private:
+  RunReport();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::string path_ = "RUN_REPORT.jsonl";
+  std::ofstream out_;        // opened lazily on first emit
+  std::size_t records_ = 0;
+  bool metrics_dumped_ = false;
+};
+
+}  // namespace aqua::obs

@@ -1,0 +1,215 @@
+#include "obs/trace.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string_view>
+
+#include "obs/json_writer.hpp"
+
+namespace aqua::obs {
+
+/// Per-thread event buffer. The owning thread appends under the buffer's
+/// own mutex (uncontended in steady state); collectors lock the same mutex
+/// to read, so a write() racing live threads is safe.
+struct Tracer::ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+/// Thread-exit hook: moves the thread's events into the tracer's retired
+/// list so they survive the thread. Nested in the friended TracerTls so it
+/// can name the private ThreadBuffer.
+struct TracerTls {
+  struct Cleanup {
+    Tracer::ThreadBuffer* buffer = nullptr;
+    ~Cleanup() {
+      if (buffer != nullptr) Tracer::instance().retire(buffer);
+    }
+  };
+  static Tracer::ThreadBuffer*& slot() {
+    thread_local Cleanup cleanup;
+    return cleanup.buffer;
+  }
+};
+
+namespace {
+
+bool env_truthy(const char* value) {
+  return value != nullptr && value[0] != '\0' &&
+         std::string_view(value) != "0";
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  const char* env = std::getenv("AQUA_TRACE");
+  if (!env_truthy(env)) return;
+  const std::string_view v(env);
+  if (v != "1" && v != "true" && v != "TRUE" && v != "on") {
+    path_ = std::string(v);
+    explicit_path_ = true;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+  // Env-enabled runs get their trace even if no code calls write():
+  // flush whatever has been recorded when the process exits.
+  std::atexit([] {
+    Tracer& t = Tracer::instance();
+    if (t.enabled() && !t.written() && t.event_count() > 0) t.write();
+  });
+}
+
+Tracer& Tracer::instance() {
+  // Leaky: thread-local destructors and atexit handlers may run after
+  // static destruction would have torn a normal static down.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::set_enabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::set_path(std::string path) {
+  std::lock_guard lock(mutex_);
+  path_ = std::move(path);
+  explicit_path_ = true;
+}
+
+std::string Tracer::path() const {
+  std::lock_guard lock(mutex_);
+  return path_;
+}
+
+bool Tracer::has_explicit_path() const {
+  std::lock_guard lock(mutex_);
+  return explicit_path_;
+}
+
+bool Tracer::written() const {
+  std::lock_guard lock(mutex_);
+  return written_;
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  ThreadBuffer*& slot = TracerTls::slot();
+  if (slot == nullptr) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    {
+      std::lock_guard lock(mutex_);
+      buffer->tid = next_tid_++;
+      buffers_.push_back(buffer);
+    }
+    slot = buffer.get();
+  }
+  return *slot;
+}
+
+std::uint32_t Tracer::this_thread_id() { return local_buffer().tid; }
+
+void Tracer::retire(ThreadBuffer* buffer) {
+  std::lock_guard lock(mutex_);
+  for (auto it = buffers_.begin(); it != buffers_.end(); ++it) {
+    if (it->get() == buffer) {
+      {
+        std::lock_guard buffer_lock(buffer->mutex);
+        retired_.insert(retired_.end(), buffer->events.begin(),
+                        buffer->events.end());
+        buffer->events.clear();
+      }
+      buffers_.erase(it);
+      return;
+    }
+  }
+}
+
+void Tracer::record(const char* name, const char* category, double ts_us,
+                    double dur_us, std::int64_t arg) {
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard lock(buffer.mutex);
+  buffer.events.push_back(
+      TraceEvent{name, category, ts_us, dur_us, buffer.tid, arg});
+}
+
+std::vector<TraceEvent> Tracer::snapshot_events() const {
+  std::lock_guard lock(mutex_);
+  std::vector<TraceEvent> out = retired_;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard buffer_lock(buffer->mutex);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return out;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = retired_.size();
+  for (const auto& buffer : buffers_) {
+    std::lock_guard buffer_lock(buffer->mutex);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+std::string Tracer::to_json() const {
+  const std::vector<TraceEvent> events = snapshot_events();
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    JsonWriter w;
+    w.add("name", e.name ? e.name : "?")
+        .add("cat", e.category ? e.category : "aqua")
+        .add("ph", "X")
+        .add("ts", e.ts_us, 3)
+        .add("dur", e.dur_us, 3)
+        .add("pid", std::int64_t{1})
+        .add("tid", static_cast<std::int64_t>(e.tid));
+    if (e.arg != kTraceNoArg) {
+      JsonWriter args;
+      args.add("v", e.arg);
+      w.add_raw("args", args.str());
+    }
+    if (!first) out += ",\n";
+    out += w.str();
+    first = false;
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+std::string Tracer::write(const std::string& path) {
+  const std::string target = path.empty() ? this->path() : path;
+  const std::string json = to_json();
+  std::ofstream out(target);
+  if (!out.good()) {
+    std::cerr << "[obs] cannot open trace output " << target << "\n";
+    return "";
+  }
+  out << json;
+  out.flush();
+  {
+    std::lock_guard lock(mutex_);
+    written_ = true;
+  }
+  std::cout << "[obs] wrote trace " << target << "\n";
+  return target;
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mutex_);
+  retired_.clear();
+  for (const auto& buffer : buffers_) {
+    std::lock_guard buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  written_ = false;
+}
+
+}  // namespace aqua::obs

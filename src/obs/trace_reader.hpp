@@ -1,0 +1,78 @@
+#pragma once
+
+/// Reading side of the observability formats: a small recursive-descent
+/// JSON parser (tolerant of whitespace, strict about structure) plus
+/// loaders for Chrome trace files and JSON-lines run reports. Used by
+/// `trace_tools` (summarize / merge / check) and the obs tests; no
+/// external dependency.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aqua::obs {
+
+/// Parsed JSON value (object keys keep file order).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+
+  /// Member lookup; returns nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses one JSON document; throws std::runtime_error with a position on
+/// malformed input.
+JsonValue parse_json(std::string_view text);
+
+/// One event as read back from a Chrome trace file.
+struct ParsedTraceEvent {
+  std::string name;
+  std::string category;
+  std::string phase;    ///< "X" for the spans this repo emits
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::int64_t pid = 0;
+  std::int64_t tid = 0;
+  bool has_arg = false;
+  std::int64_t arg = 0;
+};
+
+/// Extracts the traceEvents array from a parsed trace document (either the
+/// {"traceEvents": [...]} object form or a bare array). Throws on shape
+/// errors.
+std::vector<ParsedTraceEvent> trace_events_of(const JsonValue& root);
+
+/// Reads and parses a Chrome trace file.
+std::vector<ParsedTraceEvent> load_trace_file(const std::string& path);
+
+/// Reads a JSON-lines run report; every non-empty line must parse to an
+/// object. Throws on the first malformed line.
+std::vector<JsonValue> load_jsonl_file(const std::string& path);
+
+/// Per-span-name aggregate used by `trace_tools summarize`.
+struct SpanSummary {
+  std::string name;
+  std::string category;
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Groups events by name, ordered by descending total time.
+std::vector<SpanSummary> summarize_spans(
+    const std::vector<ParsedTraceEvent>& events);
+
+}  // namespace aqua::obs

@@ -7,6 +7,7 @@ namespace aqua {
 void EventQueue::schedule(Cycle when, Callback fn) {
   require(when >= now_, "cannot schedule an event in the past");
   heap_.push(Entry{when, seq_++, std::move(fn)});
+  if (heap_.size() > max_pending_) max_pending_ = heap_.size();
 }
 
 void EventQueue::step() {

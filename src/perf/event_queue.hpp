@@ -34,6 +34,13 @@ class EventQueue {
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 
+  /// Total events scheduled over the queue's lifetime.
+  [[nodiscard]] std::uint64_t scheduled() const { return seq_; }
+
+  /// High-water mark of pending(). Plain members, not atomics: the DES is
+  /// single-threaded per instance and schedule() is the hot path.
+  [[nodiscard]] std::size_t max_pending() const { return max_pending_; }
+
   /// Cycle of the earliest pending event; only valid when !empty().
   [[nodiscard]] Cycle next_time() const { return heap_.top().when; }
 
@@ -60,6 +67,7 @@ class EventQueue {
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   Cycle now_ = 0;
   std::uint64_t seq_ = 0;
+  std::size_t max_pending_ = 0;
 };
 
 }  // namespace aqua

@@ -139,6 +139,7 @@ void Mesh3d::drain_ni(Cycle now, NodeId node) {
 void Mesh3d::tick(Cycle now) {
   require(now >= last_tick_, "NoC ticks must move forward in time");
   last_tick_ = now;
+  ++stats_.ticks;
 
   // Visit only routers known to hold flits. Routers that receive flits
   // during this pass get activated for the next tick (their flits are not

@@ -40,6 +40,7 @@ struct NocStats {
   std::uint64_t flits_delivered = 0;
   std::uint64_t total_packet_latency = 0;  ///< sum of (deliver - inject)
   std::uint64_t total_hops = 0;
+  std::uint64_t ticks = 0;  ///< mesh cycles actually simulated (not skipped)
 
   [[nodiscard]] double average_latency() const {
     return packets_delivered == 0

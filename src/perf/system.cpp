@@ -1,9 +1,13 @@
 #include "perf/system.hpp"
 
 #include <bit>
+#include <chrono>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 namespace aqua {
 
@@ -710,6 +714,9 @@ void CmpSystem::fetch_line(Bank& bank, LineAddr line,
 ExecStats CmpSystem::run() {
   require(!ran_, "CmpSystem::run may only be called once");
   ran_ = true;
+  AQUA_TRACE_SCOPE_ARG("perf.cmp_run", "perf",
+                       static_cast<std::int64_t>(config_.chips));
+  const auto run_start = std::chrono::steady_clock::now();
 
   for (Core& core : cores_) {
     events_.schedule(0, [this, &core] { advance_core(core); });
@@ -763,6 +770,56 @@ ExecStats CmpSystem::run() {
                                 static_cast<double>(completion_cycle_)));
   }
   stats_.noc = noc_->stats();
+
+  {
+    // Process-wide DES counters: cheap bulk adds once per run, always on.
+    static obs::Counter& runs =
+        obs::Registry::instance().counter("perf.runs");
+    static obs::Counter& instructions =
+        obs::Registry::instance().counter("perf.instructions");
+    static obs::Counter& events =
+        obs::Registry::instance().counter("perf.events");
+    static obs::Counter& noc_packets =
+        obs::Registry::instance().counter("perf.noc_packets");
+    runs.add(1);
+    instructions.add(stats_.instructions);
+    events.add(events_.scheduled());
+    noc_packets.add(stats_.noc.packets_delivered);
+  }
+
+  obs::RunReport& report = obs::RunReport::instance();
+  if (report.enabled()) {
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_start)
+            .count();
+    const double cycles = static_cast<double>(stats_.cycles);
+    report.emit("stage", [&](obs::JsonWriter& w) {
+      w.add("stage", "perf")
+          .add("op", "cmp_run")
+          .add("chips", static_cast<std::uint64_t>(config_.chips))
+          .add("seconds", wall_seconds);
+    });
+    report.emit("perf_run", [&](obs::JsonWriter& w) {
+      w.add("chips", static_cast<std::uint64_t>(config_.chips))
+          .add("cores", static_cast<std::uint64_t>(cores_.size()))
+          .add("ghz", frequency_.gigahertz())
+          .add("cycles", stats_.cycles)
+          .add("sim_seconds", stats_.seconds)
+          .add("instructions", stats_.instructions)
+          .add("ipc", cycles > 0.0
+                          ? static_cast<double>(stats_.instructions) /
+                                (cycles * static_cast<double>(cores_.size()))
+                          : 0.0)
+          .add("noc_packets", stats_.noc.packets_delivered)
+          .add("noc_avg_latency", stats_.noc.average_latency())
+          .add("noc_ticks", stats_.noc.ticks)
+          .add("events_scheduled", events_.scheduled())
+          .add("events_max_pending",
+               static_cast<std::uint64_t>(events_.max_pending()))
+          .add("seconds", wall_seconds);
+    });
+  }
   return stats_;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace aqua {
 
@@ -87,6 +88,8 @@ StackThermalModel::StackThermalModel(const Stack3d& stack,
 }
 
 void StackThermalModel::assemble() {
+  AQUA_TRACE_SCOPE_ARG("thermal.assemble", "thermal",
+                       stack_.layer_count());
   const std::size_t nx = options_.nx;
   const std::size_t ny = options_.ny;
   const std::size_t n_die = stack_.layer_count();
@@ -297,12 +300,16 @@ std::vector<double> StackThermalModel::power_vector(
 
 ThermalSolution StackThermalModel::solve_steady(
     const std::vector<std::vector<double>>& layer_block_powers) {
+  AQUA_TRACE_SCOPE_ARG("thermal.solve_steady", "thermal",
+                       stack_.layer_count());
   const std::vector<double> rhs = power_vector(layer_block_powers);
   last_solve_ = solve_cg(matrix_, rhs, options_.solver, warm_start_,
                          preconditioner(), &stats_);
   ensure(last_solve_.converged, "steady-state thermal solve did not converge");
   if (multigrid_) {
-    stats_.vcycles += multigrid_->vcycles() - vcycles_seen_;
+    const std::size_t new_vcycles = multigrid_->vcycles() - vcycles_seen_;
+    stats_.vcycles += new_vcycles;
+    record_global_vcycles(new_vcycles);
     vcycles_seen_ = multigrid_->vcycles();
   }
   warm_start_ = last_solve_.x;
