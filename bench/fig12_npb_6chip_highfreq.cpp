@@ -12,7 +12,7 @@ BENCHMARK(microbench_des_6chip_hf)->Unit(benchmark::kMillisecond)->Iterations(3)
 
 int main(int argc, char** argv) {
   aqua::bench::run_npb_figure(
-      "Figure 12", "NPB times, 6-chip high-frequency CMP, rel. to water pipe",
+      "fig12", "Figure 12", "NPB times, 6-chip high-frequency CMP, rel. to water pipe",
       aqua::make_high_frequency_cmp(), 6, aqua::CoolingKind::kWaterPipe);
   return aqua::bench::run_microbenchmarks(argc, argv);
 }

@@ -13,7 +13,7 @@ BENCHMARK(microbench_des_8chip_hf)->Unit(benchmark::kMillisecond)->Iterations(3)
 
 int main(int argc, char** argv) {
   aqua::bench::run_npb_figure(
-      "Figure 13", "NPB times, 8-chip high-frequency CMP, rel. to water pipe",
+      "fig13", "Figure 13", "NPB times, 8-chip high-frequency CMP, rel. to water pipe",
       aqua::make_high_frequency_cmp(), 8, aqua::CoolingKind::kWaterPipe);
   return aqua::bench::run_microbenchmarks(argc, argv);
 }

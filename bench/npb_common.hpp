@@ -1,21 +1,49 @@
 #pragma once
 
 /// Shared driver for the four NPB figures (10-13): run the experiment,
-/// print the paper-style table, and register a DES micro-benchmark.
+/// print the paper-style table, emit the BENCH_<slug>.json perf record,
+/// and register a DES micro-benchmark.
+
+#include <chrono>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 #include "perf/system.hpp"
 #include "power/chip_model.hpp"
 
 namespace aqua::bench {
 
-inline void run_npb_figure(const std::string& figure,
+/// Runs one NPB figure and writes `BENCH_<slug>.json`: the figure's
+/// headline numbers (per-cooling frequency caps, mean relative times)
+/// plus the DES perf trajectory for the sweep — wall seconds, events and
+/// NoC ticks per instruction — so DES regressions show up per PR.
+inline void run_npb_figure(const std::string& slug, const std::string& figure,
                            const std::string& description,
                            const ChipModel& chip, std::size_t chips,
                            CoolingKind baseline) {
   banner(figure, description);
+
+  // Snapshot the process-wide DES counters around the sweep so the JSON
+  // reports this figure's simulations only.
+  obs::Registry& reg = obs::Registry::instance();
+  const std::uint64_t instr0 = reg.counter("perf.instructions").value();
+  const std::uint64_t events0 = reg.counter("perf.events").value();
+  const std::uint64_t skipped0 = reg.counter("perf.events_skipped").value();
+  const std::uint64_t ticks0 = reg.counter("perf.noc_ticks").value();
+  const auto t0 = std::chrono::steady_clock::now();
+
   const NpbData data = npb_experiment(chip, chips, baseline, 80.0,
                                       npb_scale());
+
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const std::uint64_t instr = reg.counter("perf.instructions").value() - instr0;
+  const std::uint64_t events = reg.counter("perf.events").value() - events0;
+  const std::uint64_t skipped =
+      reg.counter("perf.events_skipped").value() - skipped0;
+  const std::uint64_t ticks = reg.counter("perf.noc_ticks").value() - ticks0;
+
   npb_table(data).print(std::cout);
 
   std::cout << "\nrelative execution time vs. " << to_string(baseline)
@@ -26,6 +54,35 @@ inline void run_npb_figure(const std::string& figure,
               << format_double((1.0 - *water) * 100.0, 1) << "%\n";
   }
   std::cout << "\n";
+
+  JsonReport report(slug);
+  report.add("chips", chips);
+  report.add("threads", data.threads);
+  report.add("npb_scale", npb_scale(), 3);
+  for (std::size_t k = 0; k < data.coolings.size(); ++k) {
+    const std::string name = to_string(data.coolings[k]);
+    report.add("ghz_" + name, data.caps[k].feasible
+                                  ? data.caps[k].frequency.gigahertz()
+                                  : 0.0,
+               3);
+    const auto rel = data.mean_relative(data.coolings[k]);
+    report.add("mean_rel_" + name, rel.value_or(0.0), 4);
+  }
+  report.add("sweep_wall_seconds", sweep_seconds, 3);
+  report.add("des_instructions", static_cast<std::int64_t>(instr));
+  report.add("des_events", static_cast<std::int64_t>(events));
+  report.add("des_events_per_instruction",
+             instr > 0 ? static_cast<double>(events) /
+                             static_cast<double>(instr)
+                       : 0.0,
+             4);
+  report.add("des_noc_ticks", static_cast<std::int64_t>(ticks));
+  report.add("des_cycles_skipped", static_cast<std::int64_t>(skipped));
+  report.add("queue_impl", EventQueue::default_impl() ==
+                                   EventQueue::Impl::kCalendar
+                               ? std::string("calendar")
+                               : std::string("heap"));
+  report.write();
 }
 
 inline void microbench_des(benchmark::State& state, const ChipModel&,

@@ -36,7 +36,7 @@ int main() {
   // --- stack feasibility boundaries (Figs. 7/8) ---
   {
     const FreqVsChipsData lp =
-        frequency_vs_chips(make_low_power_cmp(), 9, 80.0, grid, 1);
+        frequency_vs_chips(make_low_power_cmp(), 9, 80.0, grid);
     const std::size_t air = lp.max_feasible_chips(CoolingKind::kAir);
     const std::size_t pipe = lp.max_feasible_chips(CoolingKind::kWaterPipe);
     card.check("air dies early (low-power)", "<= 4 chips",
@@ -62,7 +62,7 @@ int main() {
   }
   {
     const FreqVsChipsData hf =
-        frequency_vs_chips(make_high_frequency_cmp(), 8, 80.0, grid, 1);
+        frequency_vs_chips(make_high_frequency_cmp(), 8, 80.0, grid);
     const std::size_t pipe = hf.max_feasible_chips(CoolingKind::kWaterPipe);
     card.check("water-pipe carries 8 high-freq chips (Fig. 13 setup)",
                "yes", pipe >= 8 ? "yes" : "no", pipe >= 8);
@@ -72,7 +72,7 @@ int main() {
   {
     const NpbData npb = npb_experiment(make_low_power_cmp(), 4,
                                        CoolingKind::kWaterPipe, 80.0,
-                                       /*scale=*/0.05, grid, 1);
+                                       /*scale=*/0.05, grid);
     const auto mean = npb.mean_relative(CoolingKind::kWaterImmersion);
     const double gain = mean ? (1.0 - *mean) * 100.0 : -1.0;
     card.check("water beats water-pipe on NPB", "up to ~14% (6 chips)",

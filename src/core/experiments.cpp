@@ -51,7 +51,7 @@ std::size_t FreqVsChipsData::max_feasible_chips(CoolingKind kind) const {
 
 FreqVsChipsData frequency_vs_chips(const ChipModel& chip,
                                    std::size_t max_chips, double threshold_c,
-                                   GridOptions grid, std::size_t /*threads*/) {
+                                   GridOptions grid) {
   require(max_chips >= 1, "need at least one chip");
   AQUA_TRACE_SCOPE_ARG("experiment.frequency_vs_chips", "experiment",
                        max_chips);
@@ -113,7 +113,7 @@ std::optional<double> NpbData::mean_relative(CoolingKind kind) const {
 NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
                        CoolingKind baseline, double threshold_c,
                        double instruction_scale, GridOptions grid,
-                       std::size_t /*worker_threads*/, std::uint64_t seed) {
+                       std::uint64_t seed) {
   require(instruction_scale > 0.0, "instruction scale must be positive");
   AQUA_TRACE_SCOPE_ARG("experiment.npb", "experiment", chips);
   const auto start = std::chrono::steady_clock::now();

@@ -48,12 +48,11 @@ struct FreqVsChipsData {
 /// cooling options. Parallelizes over stack heights on the process-wide
 /// shared pool; within a height, the five cooling options share one cached
 /// thermal model (a cooling change is a boundary value-refresh, not a
-/// rebuild). `threads` is retained for source compatibility and ignored.
+/// rebuild).
 FreqVsChipsData frequency_vs_chips(const ChipModel& chip,
                                    std::size_t max_chips,
                                    double threshold_c = 80.0,
-                                   GridOptions grid = {},
-                                   std::size_t threads = 0);
+                                   GridOptions grid = {});
 
 // ---------------------------------------------------------------------------
 // NPB execution times across cooling options (Figs. 10-13)
@@ -88,13 +87,11 @@ struct NpbData {
 /// non-air cooling options (the paper omits air for 6+ chips), normalized
 /// to `baseline`. `instruction_scale` scales per-thread instruction counts
 /// (1.0 = the default profile length). The 9 x 4 simulations run on the
-/// process-wide shared pool; `worker_threads` is retained for source
-/// compatibility and ignored.
+/// process-wide shared pool.
 NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
                        CoolingKind baseline, double threshold_c = 80.0,
                        double instruction_scale = 1.0,
-                       GridOptions grid = {}, std::size_t worker_threads = 0,
-                       std::uint64_t seed = 1);
+                       GridOptions grid = {}, std::uint64_t seed = 1);
 
 // ---------------------------------------------------------------------------
 // Temperature vs. heat-transfer coefficient (Fig. 14)

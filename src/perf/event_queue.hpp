@@ -1,15 +1,39 @@
 #pragma once
 
-/// Discrete-event core of the CMP simulator: a time-ordered heap of typed
-/// callbacks. Events at the same cycle run in schedule order (a stable
-/// sequence number breaks ties) so simulations are fully deterministic.
+/// Discrete-event core of the CMP simulator.
+///
+/// The DES schedule pattern is near-monotonic with short deltas: almost
+/// every event lands within a few tens of cycles of `now` (pipeline
+/// latencies, `schedule_in(1)` pumps, L1/L2 tag latencies), with a thin
+/// far-future tail (DRAM completions behind a busy controller). The default
+/// implementation exploits this with a two-tier *calendar queue*:
+///
+///  - a ring of `kNearHorizon` buckets, one cycle per bucket, for events in
+///    `[now, now + kNearHorizon)` — push is an append, pop is a bitmap scan
+///    from `now`, both O(1) amortized;
+///  - a binary-heap overflow for events at or beyond the horizon.
+///
+/// Events at the same cycle run in schedule order (a stable sequence number
+/// breaks ties) so simulations are fully deterministic. The two tiers
+/// preserve this exactly: an overflow entry for cycle `t` was necessarily
+/// scheduled while `t` was still beyond the ring horizon, i.e. before every
+/// ring entry for `t` existed, so draining the heap first on a tied cycle
+/// is precisely FIFO order. The legacy single-heap implementation is kept
+/// behind `Impl::kBinaryHeap` so tests and benches can verify the two
+/// produce bit-identical simulations (see tests/perf/test_queue_invariance).
+///
+/// Hot events (core advance, message delivery) avoid the SmallFunction
+/// dispatch entirely: `schedule_typed` stores a bare function pointer plus
+/// two context pointers and a Message payload inline in the entry.
 
+#include <array>
 #include <cstdint>
 #include <queue>
 #include <vector>
 
 #include "common/small_function.hpp"
 #include "perf/params.hpp"
+#include "perf/protocol.hpp"
 
 namespace aqua {
 
@@ -17,10 +41,33 @@ namespace aqua {
 class EventQueue {
  public:
   /// Event callback. SmallFunction keeps typical simulator closures (a
-  /// `this` pointer plus a couple of operands) inline in the heap entry
-  /// instead of behind a std::function heap allocation — scheduling is the
-  /// DES hot path (see bench/perf_event_queue).
+  /// `this` pointer plus a couple of operands) inline in the entry instead
+  /// of behind a std::function heap allocation — scheduling is the DES hot
+  /// path (see bench/perf_event_queue).
   using Callback = SmallFunction<void()>;
+
+  /// Typed fast-path event: a plain function pointer invoked as
+  /// `fn(ctx, target, msg)`. The two pointers identify the simulator and
+  /// the core/bank the event acts on; the Message rides inline.
+  using TypedFn = void (*)(void* ctx, void* target, const Message& msg);
+
+  enum class Impl : std::uint8_t {
+    kCalendar,    ///< bucket ring + overflow heap (default)
+    kBinaryHeap,  ///< legacy single std::priority_queue
+  };
+
+  /// Width of the calendar ring in cycles. Must be a power of two.
+  static constexpr Cycle kNearHorizon = 1024;
+
+  explicit EventQueue(Impl impl = default_impl());
+
+  /// Implementation used by default-constructed queues. Initialized from
+  /// the AQUA_DES_QUEUE environment variable ("heap" selects the legacy
+  /// binary heap), overridable at runtime for A/B tests and benches.
+  static Impl default_impl();
+  static void set_default_impl(Impl impl);
+
+  [[nodiscard]] Impl impl() const { return impl_; }
 
   /// Schedules `fn` to run at absolute cycle `when` (>= now()).
   void schedule(Cycle when, Callback fn);
@@ -30,19 +77,30 @@ class EventQueue {
     schedule(now_ + delay, std::move(fn));
   }
 
+  /// Typed fast-path variants of schedule / schedule_in.
+  void schedule_typed(Cycle when, TypedFn fn, void* ctx, void* target,
+                      const Message& msg);
+  void schedule_typed_in(Cycle delay, TypedFn fn, void* ctx, void* target,
+                         const Message& msg) {
+    schedule_typed(now_ + delay, fn, ctx, target, msg);
+  }
+
   [[nodiscard]] Cycle now() const { return now_; }
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return pending_ == 0; }
+  [[nodiscard]] std::size_t pending() const { return pending_; }
 
   /// Total events scheduled over the queue's lifetime.
   [[nodiscard]] std::uint64_t scheduled() const { return seq_; }
+
+  /// Of those, events that took the typed fast path.
+  [[nodiscard]] std::uint64_t typed_scheduled() const { return typed_; }
 
   /// High-water mark of pending(). Plain members, not atomics: the DES is
   /// single-threaded per instance and schedule() is the hot path.
   [[nodiscard]] std::size_t max_pending() const { return max_pending_; }
 
   /// Cycle of the earliest pending event; only valid when !empty().
-  [[nodiscard]] Cycle next_time() const { return heap_.top().when; }
+  [[nodiscard]] Cycle next_time() const;
 
   /// Runs the single earliest event (advancing now()).
   void step();
@@ -56,17 +114,48 @@ class EventQueue {
 
  private:
   struct Entry {
-    Cycle when;
-    std::uint64_t seq;
+    Cycle when = 0;
+    std::uint64_t seq = 0;
+    TypedFn typed = nullptr;
+    void* ctx = nullptr;
+    void* target = nullptr;
+    Message msg{};
     Callback fn;
+
+    void fire() {
+      if (typed != nullptr) {
+        typed(ctx, target, msg);
+      } else {
+        fn();
+      }
+    }
     bool operator>(const Entry& o) const {
       return when != o.when ? when > o.when : seq > o.seq;
     }
   };
 
+  /// One cycle's events, consumed front-to-back through `next` so pops
+  /// never shift the vector; storage is recycled once the bucket drains.
+  struct Bucket {
+    std::vector<Entry> entries;
+    std::size_t next = 0;
+  };
+
+  static constexpr std::size_t kBitmapWords = kNearHorizon / 64;
+
+  void push(Entry&& e);
+  /// Earliest ring cycle; only valid when ring_count_ > 0.
+  [[nodiscard]] Cycle next_ring_time() const;
+
+  Impl impl_;
+  std::vector<Bucket> ring_;  ///< kNearHorizon buckets (calendar mode only)
+  std::array<std::uint64_t, kBitmapWords> bitmap_{};  ///< non-empty buckets
+  std::size_t ring_count_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   Cycle now_ = 0;
   std::uint64_t seq_ = 0;
+  std::uint64_t typed_ = 0;
+  std::size_t pending_ = 0;
   std::size_t max_pending_ = 0;
 };
 

@@ -1,5 +1,8 @@
 #include "perf/noc.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/error.hpp"
 
 namespace aqua {
@@ -8,6 +11,8 @@ Mesh3d::Mesh3d(const CmpConfig& config, DeliverFn deliver)
     : config_(config), deliver_(std::move(deliver)) {
   require(config_.num_vcs == 3, "Mesh3d is wired for 3 message classes");
   require(static_cast<bool>(deliver_), "Mesh3d needs a delivery callback");
+  require(config_.vc_buffer_flits <= kMaxBufferFlits,
+          "vc_buffer_flits exceeds the inline run-buffer capacity");
   routers_.resize(config_.total_tiles());
   ni_.resize(config_.total_tiles());
   router_active_flag_.assign(config_.total_tiles(), 0);
@@ -15,6 +20,30 @@ Mesh3d::Mesh3d(const CmpConfig& config, DeliverFn deliver)
   for (Router& r : routers_) {
     for (auto& per_port : r.credits) {
       per_port.fill(static_cast<std::uint8_t>(config_.vc_buffer_flits));
+    }
+  }
+
+  // Topology tables: routing and neighbor lookups in the switch pass are
+  // table reads, never coordinate division.
+  const auto tiles = static_cast<NodeId>(config_.total_tiles());
+  coords_.resize(tiles);
+  neighbors_.resize(tiles);
+  for (NodeId id = 0; id < tiles; ++id) {
+    coords_[id] = tile_coord(config_, id);
+    neighbors_[id].fill(kNoNeighbor);
+    for (std::uint8_t p = kXPos; p < kPortCount; ++p) {
+      TileCoord c = coords_[id];
+      bool ok = true;
+      switch (static_cast<Port>(p)) {
+        case kXPos: ok = ++c.x < config_.mesh_x; break;
+        case kXNeg: ok = c.x-- > 0; break;
+        case kYPos: ok = ++c.y < config_.mesh_y; break;
+        case kYNeg: ok = c.y-- > 0; break;
+        case kUp: ok = ++c.z < config_.chips; break;
+        case kDown: ok = c.z-- > 0; break;
+        default: ok = false; break;
+      }
+      if (ok) neighbors_[id][p] = tile_id(config_, c);
     }
   }
 }
@@ -46,8 +75,8 @@ Mesh3d::Port Mesh3d::opposite(Port p) {
 }
 
 Mesh3d::Port Mesh3d::route(NodeId at, NodeId dst) const {
-  const TileCoord a = tile_coord(config_, at);
-  const TileCoord b = tile_coord(config_, dst);
+  const TileCoord a = coords_[at];
+  const TileCoord b = coords_[dst];
   if (a.x != b.x) return a.x < b.x ? kXPos : kXNeg;
   if (a.y != b.y) return a.y < b.y ? kYPos : kYNeg;
   if (a.z != b.z) return a.z < b.z ? kUp : kDown;
@@ -55,44 +84,62 @@ Mesh3d::Port Mesh3d::route(NodeId at, NodeId dst) const {
 }
 
 bool Mesh3d::neighbor(NodeId at, Port port, NodeId& out) const {
-  TileCoord c = tile_coord(config_, at);
-  switch (port) {
-    case kXPos:
-      if (c.x + 1 >= config_.mesh_x) return false;
-      ++c.x;
-      break;
-    case kXNeg:
-      if (c.x == 0) return false;
-      --c.x;
-      break;
-    case kYPos:
-      if (c.y + 1 >= config_.mesh_y) return false;
-      ++c.y;
-      break;
-    case kYNeg:
-      if (c.y == 0) return false;
-      --c.y;
-      break;
-    case kUp:
-      if (c.z + 1 >= config_.chips) return false;
-      ++c.z;
-      break;
-    case kDown:
-      if (c.z == 0) return false;
-      --c.z;
-      break;
-    default:
-      return false;
-  }
-  out = tile_id(config_, c);
+  if (port <= kLocal || port >= kPortCount) return false;
+  const NodeId next = neighbors_[at][port];
+  if (next == kNoNeighbor) return false;
+  out = next;
   return true;
 }
 
-void Mesh3d::inject(Cycle now, Packet packet) {
-  require(packet.src < routers_.size() && packet.dst < routers_.size(),
-          "packet endpoints out of range");
-  require(packet.vc < 3, "packet vc class out of range");
+void Mesh3d::append_flit(InputVc& in, const Packet& pkt, std::uint8_t index,
+                         Cycle arrival, Cycle ready) {
+  if (in.nruns > 0) {
+    FlitRun& last =
+        in.runs[(in.head + in.nruns - 1) & (kMaxBufferFlits - 1)];
+    // Merge only back-to-back arrivals of consecutive flits of one packet;
+    // the run front's ready then steps by exactly one per pop, matching
+    // each flit's own ready (see the FlitRun note in the header).
+    if (last.pkt.id == pkt.id &&
+        static_cast<std::uint8_t>(last.start + last.count) == index &&
+        arrival <= last.last_arrival + 1) {
+      ++last.count;
+      last.last_arrival = arrival;
+      ++in.flits;
+      return;
+    }
+  }
+  if (in.nruns >= kMaxBufferFlits) {
+    ensure(false, "VC run buffer overflow");
+  }
+  FlitRun& r = in.runs[(in.head + in.nruns) & (kMaxBufferFlits - 1)];
+  r.pkt = pkt;
+  r.start = index;
+  r.count = 1;
+  r.ready = ready;
+  r.last_arrival = arrival;
+  ++in.nruns;
+  ++in.flits;
+}
+
+void Mesh3d::pop_front_flit(InputVc& in) {
+  FlitRun& f = in.runs[in.head];
+  ++f.start;
+  --f.count;
+  ++f.ready;
+  --in.flits;
+  if (f.count == 0) {
+    in.head = (in.head + 1) & (kMaxBufferFlits - 1);
+    --in.nruns;
+  }
+}
+
+Cycle Mesh3d::inject(Cycle now, Packet packet) {
+  if (packet.src >= routers_.size() || packet.dst >= routers_.size()) {
+    require(false, "packet endpoints out of range");
+  }
+  if (packet.vc >= 3) require(false, "packet vc class out of range");
   packet.injected = now;
+  packet.id = ++next_packet_id_;
 
   if (packet.src == packet.dst) {
     // Tile-local delivery bypasses the network after the local-port hop.
@@ -100,46 +147,59 @@ void Mesh3d::inject(Cycle now, Packet packet) {
     stats_.flits_delivered += packet.flits;
     stats_.total_packet_latency += 1;
     deliver_(packet);
-    return;
+    return kIdle;
   }
 
-  auto& queue = ni_[packet.src][packet.vc];
-  for (std::uint8_t i = 0; i < packet.flits; ++i) {
-    Flit f;
-    f.pkt = packet;
-    f.head = (i == 0);
-    f.tail = (i + 1 == packet.flits);
-    f.ready = now;  // refined when the flit enters the router
-    queue.push_back(f);
-    ++flits_in_network_;
-  }
-  drain_ni(now, packet.src);
+  if (flits_in_network_ == 0) activity_since_ = now;
+  flits_in_network_ += packet.flits;
+  ni_[packet.src][packet.vc].push_back(NiPacket{packet, 0});
+  if (!drain_ni(now, packet.src)) return kIdle;
+  // Freshly buffered flits clear the RC+VSA stages first; the earliest
+  // tick that can move anything is their switch-traversal cycle.
+  return std::max<Cycle>(now + 1, now + config_.router_pipeline - 1);
 }
 
-void Mesh3d::drain_ni(Cycle now, NodeId node) {
+bool Mesh3d::drain_ni(Cycle now, NodeId node) {
   Router& r = routers_[node];
   bool backlog = false;
+  bool buffered = false;
   for (std::uint8_t vc = 0; vc < 3; ++vc) {
     auto& queue = ni_[node][vc];
     InputVc& in = r.in[kLocal][vc];
-    while (!queue.empty() && in.buffer.size() < config_.vc_buffer_flits) {
-      Flit f = queue.front();
-      queue.pop_front();
+    while (!queue.empty() && in.flits < config_.vc_buffer_flits) {
+      NiPacket& head = queue.front();
       // The router pipeline's RC+VSA stages precede switch traversal.
-      f.ready = now + (config_.router_pipeline - 1);
-      in.buffer.push_back(f);
+      append_flit(in, head.pkt, head.next_flit, now,
+                  now + (config_.router_pipeline - 1));
+      r.vc_mask |= 1u << vc;  // slot index of in[kLocal][vc] is just vc
       ++r.occupancy;
+      buffered = true;
+      if (++head.next_flit == head.pkt.flits) queue.pop_front();
     }
     if (!queue.empty()) backlog = true;
   }
+  if (buffered) {
+    const Cycle ready = now + (config_.router_pipeline - 1);
+    if (ready < pass_next_) pass_next_ = ready;
+  }
   if (r.occupancy > 0) activate_router(node);
   if (backlog) mark_ni_backlog(node);
+  return buffered;
 }
 
-void Mesh3d::tick(Cycle now) {
-  require(now >= last_tick_, "NoC ticks must move forward in time");
+Cycle Mesh3d::tick(Cycle now) {
+  if (now < last_tick_) {
+    require(false, "NoC ticks must move forward in time");
+  }
+  // Account the active-network cycles this tick skipped over (none when
+  // the host ticks or skip_cycles every cycle).
+  if (flits_in_network_ > 0) {
+    const Cycle from = std::max(last_tick_, activity_since_);
+    if (now > from + 1) stats_.cycles_skipped += now - from - 1;
+  }
   last_tick_ = now;
   ++stats_.ticks;
+  pass_next_ = kIdle;
 
   // Visit only routers known to hold flits. Routers that receive flits
   // during this pass get activated for the next tick (their flits are not
@@ -166,66 +226,139 @@ void Mesh3d::tick(Cycle now) {
       drain_ni(now, id);  // re-marks itself if still backed up
     }
   }
+
+  if (flits_in_network_ == 0) {
+    activity_since_ = kIdle;
+    return kIdle;
+  }
+  // The switch pass accumulated, for every buffered front it saw (and every
+  // flit it forwarded), the earliest cycle that flit could move; NI backlog
+  // only drains when a move frees buffer space, so it cannot need an
+  // earlier tick than the fronts themselves.
+  if (pass_next_ == kIdle) {
+    ensure(false, "active mesh reported no next work cycle");
+  }
+  return std::max(now + 1, pass_next_);
+}
+
+void Mesh3d::skip_cycle(Cycle now) {
+  if (now < last_tick_) {
+    require(false, "NoC ticks must move forward in time");
+  }
+  last_tick_ = now;
+  ++stats_.cycles_skipped;
+  constexpr std::uint8_t kIvcCount = kPortCount * 3;
+  for (NodeId id : active_routers_) {
+    Router& r = routers_[id];
+    if (r.occupancy == 0) continue;
+    ++r.rr;
+    if (r.rr >= kIvcCount) r.rr = 0;
+  }
 }
 
 void Mesh3d::tick_router(Cycle now, NodeId id) {
   Router& r = routers_[id];
+  const auto& nbr = neighbors_[id];
   bool input_used[kPortCount] = {};
   bool output_used[kPortCount] = {};
+  Cycle next_work = pass_next_;
 
-  // One switch pass: every input VC (in rotating priority order) tries to
-  // move its head-of-buffer flit; constraints are one flit per input port
-  // and one per output port per cycle, wormhole output ownership, and
-  // downstream credit.
+  // One switch pass: every occupied input VC (in rotating priority order)
+  // tries to move its front buffered flit; constraints are one flit per
+  // input port and one per output port per cycle, wormhole output
+  // ownership, and downstream credit. Fronts that stay put feed the
+  // next-work accumulator: a future `ready` directly, a this-cycle
+  // contention loss as now + 1.
+  //
+  // Rotating the occupancy mask right by rr makes ascending bit position
+  // equal ascending priority k (idx == (rr + k) % kIvcCount), so iterating
+  // set bits visits exactly the slots the full 0..20 scan would, in the
+  // same order, without probing empty VCs.
   constexpr std::uint8_t kIvcCount = kPortCount * 3;
-  for (std::uint8_t k = 0; k < kIvcCount; ++k) {
-    const std::uint8_t idx = static_cast<std::uint8_t>((r.rr + k) % kIvcCount);
+  constexpr std::uint32_t kAllVcs = (1u << kIvcCount) - 1;
+  std::uint32_t rot = r.rr == 0
+                          ? r.vc_mask
+                          : ((r.vc_mask >> r.rr) |
+                             (r.vc_mask << (kIvcCount - r.rr))) &
+                                kAllVcs;
+  while (rot != 0) {
+    const auto k = static_cast<std::uint8_t>(std::countr_zero(rot));
+    rot &= rot - 1;
+    std::uint8_t idx = static_cast<std::uint8_t>(r.rr + k);
+    if (idx >= kIvcCount) idx = static_cast<std::uint8_t>(idx - kIvcCount);
     const auto port = static_cast<Port>(idx / 3);
     const std::uint8_t vc = idx % 3;
     InputVc& in = r.in[port][vc];
-    if (in.buffer.empty() || input_used[port]) continue;
+    if (input_used[port]) {
+      if (now + 1 < next_work) next_work = now + 1;
+      continue;
+    }
 
-    Flit& f = in.buffer.front();
-    if (f.ready > now) continue;
+    FlitRun& front = in.runs[in.head];
+    if (front.ready > now) {
+      if (front.ready < next_work) next_work = front.ready;
+      continue;
+    }
+    const std::uint8_t flit_index = front.start;
+    const bool is_head = flit_index == 0;
+    const bool is_tail =
+        static_cast<std::uint8_t>(flit_index + 1) == front.pkt.flits;
 
     Port out;
     if (in.holds_output) {
       out = static_cast<Port>(in.out_port);
-    } else if (f.head) {
-      out = route(id, f.pkt.dst);
+    } else if (is_head) {
+      out = route(id, front.pkt.dst);
     } else {
-      continue;  // body flit whose head has not been switched yet
+      // Body flit whose head has not been switched yet.
+      if (now + 1 < next_work) next_work = now + 1;
+      continue;
     }
-    if (output_used[out]) continue;
+    if (output_used[out]) {
+      if (now + 1 < next_work) next_work = now + 1;
+      continue;
+    }
 
     const std::uint8_t enc = static_cast<std::uint8_t>(idx + 1);
-    if (f.head && !in.holds_output) {
-      if (r.out_owner[out][vc] != 0) continue;  // output VC busy (wormhole)
+    if (is_head && !in.holds_output) {
+      if (r.out_owner[out][vc] != 0) {  // output VC busy (wormhole)
+        if (now + 1 < next_work) next_work = now + 1;
+        continue;
+      }
     }
 
     NodeId next = 0;
     if (out != kLocal) {
-      ensure(neighbor(id, out, next), "route() pointed off the mesh");
-      if (r.credits[out][vc] == 0) continue;  // no downstream buffer space
-      Router& nr = routers_[next];
-      if (nr.in[opposite(out)][vc].buffer.size() >= config_.vc_buffer_flits) {
-        continue;  // safety net; credits should already prevent this
+      next = nbr[out];
+      if (next == kNoNeighbor) {
+        ensure(false, "route() pointed off the mesh");
+      }
+      if (r.credits[out][vc] == 0 ||
+          routers_[next].in[opposite(out)][vc].flits >=
+              config_.vc_buffer_flits) {
+        // No downstream buffer space (the flit-count check is a safety net;
+        // credits should already prevent it).
+        if (now + 1 < next_work) next_work = now + 1;
+        continue;
       }
     }
 
-    // Traverse.
-    Flit moved = f;
-    in.buffer.pop_front();
+    // Traverse. Copy the packet out first: popping may retire the run.
+    const Packet pkt = front.pkt;
+    pop_front_flit(in);
+    if (in.nruns == 0) r.vc_mask &= ~(1u << idx);
     --r.occupancy;
     input_used[port] = true;
     output_used[out] = true;
+    // Whatever is now at the front of this VC could move next cycle.
+    if (in.flits > 0 && now + 1 < next_work) next_work = now + 1;
 
-    if (moved.head) {
+    if (is_head) {
       in.holds_output = true;
       in.out_port = static_cast<std::uint8_t>(out);
       r.out_owner[out][vc] = enc;
     }
-    if (moved.tail) {
+    if (is_tail) {
       in.holds_output = false;
       r.out_owner[out][vc] = 0;
     }
@@ -233,8 +366,10 @@ void Mesh3d::tick_router(Cycle now, NodeId id) {
     // Freeing an input slot returns a credit upstream (1-cycle turnaround
     // idealized to immediate).
     if (port != kLocal) {
-      NodeId up = 0;
-      ensure(neighbor(id, port, up), "input port faces the mesh edge");
+      const NodeId up = nbr[port];
+      if (up == kNoNeighbor) {
+        ensure(false, "input port faces the mesh edge");
+      }
       Router& ur = routers_[up];
       ++ur.credits[opposite(port)][vc];
     }
@@ -242,23 +377,28 @@ void Mesh3d::tick_router(Cycle now, NodeId id) {
     if (out == kLocal) {
       --flits_in_network_;
       ++stats_.flits_delivered;
-      if (moved.tail) {
+      if (is_tail) {
         ++stats_.packets_delivered;
-        stats_.total_packet_latency += (now + 1) - moved.pkt.injected;
-        deliver_(moved.pkt);
+        stats_.total_packet_latency += (now + 1) - pkt.injected;
+        deliver_(pkt);
       }
     } else {
       Router& nr = routers_[next];
       --r.credits[out][vc];
-      moved.ready = now + config_.link_latency + (config_.router_pipeline - 1);
-      if (moved.head) ++stats_.total_hops;
-      nr.in[opposite(out)][vc].buffer.push_back(moved);
+      if (is_head) ++stats_.total_hops;
+      const Cycle ready =
+          now + config_.link_latency + (config_.router_pipeline - 1);
+      const Port back = opposite(out);
+      append_flit(nr.in[back][vc], pkt, flit_index, now, ready);
+      nr.vc_mask |= 1u << (back * 3 + vc);
+      if (ready < next_work) next_work = ready;
       ++nr.occupancy;
       activate_router(next);
     }
   }
   ++r.rr;
   if (r.rr >= kIvcCount) r.rr = 0;
+  pass_next_ = next_work;
 }
 
 }  // namespace aqua

@@ -10,8 +10,19 @@
 /// seven ports (local, +-x, +-y, up, down).
 ///
 /// The mesh is ticked one cycle at a time, but only routers holding flits
-/// do work, so the host simulator can skip quiet cycles entirely (see
-/// `active()`).
+/// do work, and `tick`/`inject` report the next cycle at which anything can
+/// move, so the host simulator can skip quiet cycles entirely (idle-skip;
+/// `stats().cycles_skipped` counts the cycles saved). Hosts that need the
+/// legacy one-tick-per-active-cycle arbitration clock (bit-identical event
+/// interleaving) call `skip_cycle` on quiet cycles instead of `tick`: it
+/// advances the round-robin state exactly as a motionless tick would,
+/// without scanning any buffers.
+///
+/// VC buffers store flits as *runs*: consecutive flits of one packet that
+/// arrived back-to-back collapse into a single {packet, start, count}
+/// record, so the common 5-flit data packet moves through each hop with one
+/// buffer record instead of five and only the head flit ever copies the
+/// packet. Per-flit timing is preserved exactly — see the FlitRun note.
 
 #include <array>
 #include <cstdint>
@@ -31,6 +42,7 @@ struct Packet {
   std::uint8_t vc = 0;      ///< message class == virtual channel
   std::uint8_t flits = 1;   ///< 1 control / 5 data (Table 1)
   Cycle injected = 0;       ///< stats: injection cycle
+  std::uint64_t id = 0;     ///< unique per injection (run merging)
   Message msg{};            ///< opaque to the network
 };
 
@@ -41,6 +53,7 @@ struct NocStats {
   std::uint64_t total_packet_latency = 0;  ///< sum of (deliver - inject)
   std::uint64_t total_hops = 0;
   std::uint64_t ticks = 0;  ///< mesh cycles actually simulated (not skipped)
+  std::uint64_t cycles_skipped = 0;  ///< active-network cycles idle-skipped
 
   [[nodiscard]] double average_latency() const {
     return packets_delivered == 0
@@ -61,17 +74,35 @@ class Mesh3d {
  public:
   using DeliverFn = std::function<void(const Packet&)>;
 
+  /// Sentinel "no work scheduled" cycle returned by inject/tick.
+  static constexpr Cycle kIdle = ~Cycle{0};
+
   Mesh3d(const CmpConfig& config, DeliverFn deliver);
 
   /// Queues a packet at the source network interface at cycle `now`.
-  void inject(Cycle now, Packet packet);
+  /// Returns the earliest cycle at which a newly buffered flit could
+  /// traverse its first switch, or kIdle if nothing new was buffered
+  /// (tile-local delivery, or the packet queued entirely behind an NI
+  /// backlog — in that case an earlier tick is already due).
+  Cycle inject(Cycle now, Packet packet);
 
   /// True while any flit is buffered or queued anywhere in the network.
   [[nodiscard]] bool active() const { return flits_in_network_ > 0; }
 
   /// Advances the network one cycle. `now` must increase monotonically
-  /// across calls (gaps are fine — quiet cycles need no tick).
-  void tick(Cycle now);
+  /// across calls (gaps are fine — quiet cycles need no tick). Returns the
+  /// next cycle at which the mesh may have movable work (>= now + 1), or
+  /// kIdle once the network has drained. Callers ticking every cycle may
+  /// ignore the return value.
+  Cycle tick(Cycle now);
+
+  /// Stands in for a tick on a cycle where `tick` previously reported that
+  /// nothing can move: replicates the only state change such a tick would
+  /// make — advancing the round-robin arbitration offset of every active
+  /// router — at O(active routers) instead of a full buffer scan. Keeps
+  /// arbitration (and thus results) bit-identical to a host that ticks
+  /// every active-network cycle.
+  void skip_cycle(Cycle now);
 
   [[nodiscard]] const NocStats& stats() const { return stats_; }
   [[nodiscard]] const CmpConfig& config() const { return config_; }
@@ -97,15 +128,31 @@ class Mesh3d {
   [[nodiscard]] bool neighbor(NodeId at, Port port, NodeId& out) const;
 
  private:
-  struct Flit {
-    Packet pkt;       // full copy in the head flit; body flits carry routing
-    bool head = false;
-    bool tail = false;
-    Cycle ready = 0;  // earliest cycle this flit may traverse the switch
+  /// A run of consecutive flits of one packet inside a VC buffer.
+  ///
+  /// `ready` is the cycle the run's *front* flit may traverse the switch;
+  /// it advances by one as each flit pops. This is exact, not an
+  /// approximation: flits join a run only when they arrive on consecutive
+  /// cycles (or together from the NI), so the j-th flit's true ready time
+  /// is <= ready + j, and it cannot reach the run front before cycle
+  /// ready + j anyway because at most one flit leaves per cycle.
+  struct FlitRun {
+    Packet pkt;
+    std::uint8_t start = 0;    ///< index of the front flit within pkt
+    std::uint8_t count = 0;    ///< live flits in the run
+    Cycle ready = 0;           ///< earliest switch-traversal cycle (front)
+    Cycle last_arrival = 0;    ///< arrival cycle of the newest flit
   };
 
+  /// Upper bound on buffered flits per VC (=> runs per VC); the real limit
+  /// is config_.vc_buffer_flits, validated <= this at construction.
+  static constexpr std::size_t kMaxBufferFlits = 16;
+
   struct InputVc {
-    std::deque<Flit> buffer;
+    std::array<FlitRun, kMaxBufferFlits> runs;  ///< circular, head first
+    std::uint8_t head = 0;
+    std::uint8_t nruns = 0;
+    std::uint8_t flits = 0;  ///< total buffered flits (credit accounting)
     bool holds_output = false;
     std::uint8_t out_port = 0;
   };
@@ -119,22 +166,46 @@ class Mesh3d {
     std::array<std::array<std::uint8_t, 3>, kPortCount> credits{};
     std::uint8_t rr = 0;      // round-robin arbitration offset
     std::uint32_t occupancy = 0;  // buffered flits (activity filter)
+    // Bit (port * 3 + vc) set iff that input VC holds at least one run;
+    // the switch pass iterates set bits instead of probing all 21 slots
+    // (each InputVc spans many cachelines, so empty probes are expensive).
+    std::uint32_t vc_mask = 0;
   };
+
+  /// An injected packet waiting in the (unbounded) NI queue; flits
+  /// `next_flit..flits-1` have not yet entered the router.
+  struct NiPacket {
+    Packet pkt;
+    std::uint8_t next_flit = 0;
+  };
+
+  /// "No router" sentinel in the precomputed neighbor table.
+  static constexpr NodeId kNoNeighbor = ~NodeId{0};
 
   static Port opposite(Port p);
 
-  void drain_ni(Cycle now, NodeId node);
+  bool drain_ni(Cycle now, NodeId node);
   void tick_router(Cycle now, NodeId id);
   void activate_router(NodeId id);
   void mark_ni_backlog(NodeId id);
+  void append_flit(InputVc& in, const Packet& pkt, std::uint8_t index,
+                   Cycle arrival, Cycle ready);
+  void pop_front_flit(InputVc& in);
 
   CmpConfig config_;
   DeliverFn deliver_;
   std::vector<Router> routers_;
+  // Topology tables built once at construction; the per-flit hot path does
+  // no coordinate arithmetic.
+  std::vector<TileCoord> coords_;                       ///< by NodeId
+  std::vector<std::array<NodeId, kPortCount>> neighbors_;  ///< kNoNeighbor = edge
   // Per-node, per-class injection queues (unbounded NI).
-  std::vector<std::array<std::deque<Flit>, 3>> ni_;
+  std::vector<std::array<std::deque<NiPacket>, 3>> ni_;
   std::uint64_t flits_in_network_ = 0;
+  std::uint64_t next_packet_id_ = 0;
   Cycle last_tick_ = 0;
+  Cycle activity_since_ = kIdle;  ///< first cycle of the current busy spell
+  Cycle pass_next_ = kIdle;  ///< next-work accumulator of the current tick
   NocStats stats_;
 
   // Activity tracking: only routers holding flits and NIs with queued

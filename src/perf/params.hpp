@@ -49,6 +49,16 @@ struct CmpConfig {
   std::size_t control_packet_flits = 1;
   std::size_t data_packet_flits = 5;
 
+  // DES scheduling. Off (default): one NoC pump event per active-network
+  // cycle — the legacy event stream, so results are bit-identical to the
+  // original per-cycle design (the mesh tick itself is still lazy). On:
+  // the NoC deregisters between work cycles and the event queue
+  // fast-forwards over quiet spans; fewer events, but pump events then
+  // occupy different sequence positions, which legally reorders same-cycle
+  // handlers and can shift cycle counts by a fraction of a percent.
+  // The AQUA_NOC_IDLE_SKIP=1 environment variable also enables it.
+  bool noc_idle_skip = false;
+
   [[nodiscard]] std::size_t tiles_per_chip() const { return mesh_x * mesh_y; }
   [[nodiscard]] std::size_t total_tiles() const {
     return tiles_per_chip() * chips;

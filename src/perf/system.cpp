@@ -3,6 +3,7 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
@@ -10,6 +11,18 @@
 #include "obs/trace.hpp"
 
 namespace aqua {
+
+namespace {
+
+bool env_noc_idle_skip() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("AQUA_NOC_IDLE_SKIP");
+    return env != nullptr && env[0] == '1';
+  }();
+  return enabled;
+}
+
+}  // namespace
 
 void CmpSystem::init_topology() {
   require(config_.total_cores() <= 64,
@@ -55,6 +68,20 @@ void CmpSystem::init_topology() {
   }
 
   memory_.resize(config_.chips);
+
+  // Hot-path topology tables: packet delivery and directory handlers look
+  // up tiles without coordinate arithmetic.
+  core_of_tile_.assign(config_.total_tiles(), -1);
+  for (const Core& core : cores_) {
+    core_of_tile_[core.tile] = static_cast<std::int32_t>(core.index);
+  }
+  home_tiles_.resize(config_.total_l2_banks());
+  for (std::size_t g = 0; g < home_tiles_.size(); ++g) {
+    home_tiles_[g] = l2_tile(config_, g / config_.l2_banks_per_chip,
+                             g % config_.l2_banks_per_chip);
+  }
+
+  noc_idle_skip_ = config_.noc_idle_skip || env_noc_idle_skip();
 }
 
 CmpSystem::CmpSystem(const CmpConfig& config, const WorkloadProfile& profile,
@@ -92,9 +119,10 @@ CmpSystem::CmpSystem(const CmpConfig& config, const TraceBundle& bundle,
 }
 
 std::size_t CmpSystem::core_index_of(NodeId tile) const {
-  const TileCoord c = tile_coord(config_, tile);
-  ensure(c.y == 0 && c.x < config_.cores_per_chip, "tile is not a core tile");
-  return c.z * config_.cores_per_chip + c.x;
+  const std::int32_t idx =
+      tile < core_of_tile_.size() ? core_of_tile_[tile] : -1;
+  if (idx < 0) ensure(false, "tile is not a core tile");
+  return static_cast<std::size_t>(idx);
 }
 
 NodeId CmpSystem::core_tile_of(std::size_t core_index) const {
@@ -104,6 +132,103 @@ NodeId CmpSystem::core_tile_of(std::size_t core_index) const {
 CmpSystem::Core& CmpSystem::core_at(NodeId tile) {
   return cores_[core_index_of(tile)];
 }
+
+// ---------------------------------------------------------------------------
+// Typed event thunks. The event queue calls these through a bare function
+// pointer with the scheduling-time context — no closure, no allocation.
+// ---------------------------------------------------------------------------
+
+void CmpSystem::advance_event(void* ctx, void* target, const Message&) {
+  static_cast<CmpSystem*>(ctx)->advance_core(*static_cast<Core*>(target));
+}
+
+void CmpSystem::access_event(void* ctx, void* target, const Message& msg) {
+  // msg.dirty carries is_store for the pending access (see advance_core).
+  static_cast<CmpSystem*>(ctx)->execute_access(*static_cast<Core*>(target),
+                                               msg.dirty, msg.line);
+}
+
+void CmpSystem::core_event(void* ctx, void* target, const Message& msg) {
+  static_cast<CmpSystem*>(ctx)->handle_core_message(
+      *static_cast<Core*>(target), msg);
+}
+
+void CmpSystem::home_event(void* ctx, void* target, const Message& msg) {
+  static_cast<CmpSystem*>(ctx)->handle_home_message(
+      *static_cast<Bank*>(target), msg);
+}
+
+void CmpSystem::dram_fill_event(void* ctx, void* target, const Message& msg) {
+  auto* self = static_cast<CmpSystem*>(ctx);
+  auto& bank = *static_cast<Bank*>(target);
+  bool inserted = false;
+  auto evicted = bank.l2->insert(
+      msg.line, L2Line{false}, inserted,
+      [&bank](LineAddr l, const L2Line&) {
+        const auto it = bank.directory.find(l);
+        return it == bank.directory.end() ||
+               (!it->second.busy &&
+                it->second.state == DirState::kUncached);
+      });
+  if (!inserted) ++self->stats_.l2_overflow_inserts;
+  if (evicted) {
+    const auto it = bank.directory.find(evicted->line);
+    if (it != bank.directory.end()) it->second.l2_valid = false;
+  }
+  bank.directory[msg.line].l2_valid = true;
+  self->finish_fill(bank, msg, DataSource::kDram);
+}
+
+void CmpSystem::pending_event(void* ctx, void* target, const Message& msg) {
+  auto* self = static_cast<CmpSystem*>(ctx);
+  auto& bank = *static_cast<Bank*>(target);
+  DirEntry& entry = bank.directory[msg.line];
+  if (entry.busy) {
+    self->queue_pending_front(entry, msg);
+    return;
+  }
+  self->process_request(bank, msg);
+  self->pump_pending(bank, msg.line);
+}
+
+void CmpSystem::pump_event(void* ctx, void*, const Message&) {
+  auto* self = static_cast<CmpSystem*>(ctx);
+  const Cycle now = self->events_.now();
+
+  if (self->noc_idle_skip_) {
+    // Stale pump: the live pump moved to an earlier cycle after this event
+    // was enqueued (or the network drained under it). Ignore.
+    if (!self->noc_pumping_ || now != self->pump_at_) return;
+    self->noc_pumping_ = false;
+    const Cycle next = self->noc_->tick(now);
+    if (next != Mesh3d::kIdle) self->schedule_pump(next);
+    return;
+  }
+
+  // Exact mode: one pump event per active-network cycle, exactly like the
+  // original per-cycle pump chain — scheduling the successor here keeps
+  // every event's sequence number (and so all same-cycle handler
+  // interleaving) identical to that design. Only the mesh tick is lazy:
+  // below the gate nothing can move, so the tick reduces to advancing the
+  // arbitration clock.
+  if (now >= self->noc_gate_) {
+    const Cycle next = self->noc_->tick(now);
+    self->noc_gate_ = next == Mesh3d::kIdle ? 0 : next;
+  } else {
+    self->noc_->skip_cycle(now);
+  }
+  if (self->noc_->active()) {
+    self->events_.schedule_typed_in(1, &CmpSystem::pump_event, self, self,
+                                    Message{});
+  } else {
+    self->noc_pumping_ = false;
+    self->noc_gate_ = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wiring
+// ---------------------------------------------------------------------------
 
 void CmpSystem::send(MsgType type, LineAddr line, NodeId from, NodeId to,
                      NodeId requestor, bool dirty, std::int32_t acks,
@@ -116,34 +241,43 @@ void CmpSystem::send(MsgType type, LineAddr line, NodeId from, NodeId to,
                                           ? config_.data_packet_flits
                                           : config_.control_packet_flits);
   p.msg = Message{type, line, from, requestor, source, dirty, acks};
-  noc_->inject(events_.now(), p);
+  const Cycle hint = noc_->inject(events_.now(), p);
+
+  if (noc_idle_skip_) {
+    if (hint != Mesh3d::kIdle) schedule_pump(hint);
+    return;
+  }
+
+  // Exact mode: fresh flits may need an earlier tick than the standing
+  // gate; arming matches the original per-cycle pump (same condition, same
+  // scheduling point, hence the same event sequence).
+  if (hint != Mesh3d::kIdle && hint < noc_gate_) noc_gate_ = hint;
   if (!noc_pumping_ && noc_->active()) {
     noc_pumping_ = true;
-    events_.schedule_in(1, [this] { pump_noc(); });
+    noc_gate_ = 0;  // the first tick of a busy spell always runs
+    events_.schedule_typed_in(1, &CmpSystem::pump_event, this, this,
+                              Message{});
   }
 }
 
-void CmpSystem::pump_noc() {
-  noc_->tick(events_.now());
-  if (noc_->active()) {
-    events_.schedule_in(1, [this] { pump_noc(); });
-  } else {
-    noc_pumping_ = false;
-  }
+void CmpSystem::schedule_pump(Cycle when) {
+  // One live pump at a time; only ever move it earlier. A superseded event
+  // stays in the queue and is discarded by the staleness check.
+  if (noc_pumping_ && pump_at_ <= when) return;
+  noc_pumping_ = true;
+  pump_at_ = when;
+  events_.schedule_typed(when, &CmpSystem::pump_event, this, this, Message{});
 }
 
 void CmpSystem::deliver(const Packet& packet) {
-  const Message msg = packet.msg;
   const auto bank_it = bank_of_tile_.find(packet.dst);
   if (bank_it != bank_of_tile_.end()) {
-    Bank& bank = banks_[bank_it->second];
     // Home handling begins after the bank's tag/directory access.
-    events_.schedule_in(config_.l2_latency,
-                        [this, &bank, msg] { handle_home_message(bank, msg); });
+    events_.schedule_typed_in(config_.l2_latency, &CmpSystem::home_event,
+                              this, &banks_[bank_it->second], packet.msg);
   } else {
-    Core& core = core_at(packet.dst);
-    events_.schedule_in(config_.l1_latency,
-                        [this, &core, msg] { handle_core_message(core, msg); });
+    events_.schedule_typed_in(config_.l1_latency, &CmpSystem::core_event,
+                              this, &core_at(packet.dst), packet.msg);
   }
 }
 
@@ -165,11 +299,14 @@ void CmpSystem::advance_core(Core& core) {
     case TraceOp::Kind::kBarrier:
       arrive_barrier(core);
       return;
-    case TraceOp::Kind::kMemory:
-      events_.schedule_in(
-          op.compute_cycles + config_.l1_latency,
-          [this, &core, op] { execute_access(core, op.is_store, op.line); });
+    case TraceOp::Kind::kMemory: {
+      Message m;
+      m.line = op.line;
+      m.dirty = op.is_store;  // decoded by access_event
+      events_.schedule_typed_in(op.compute_cycles + config_.l1_latency,
+                                &CmpSystem::access_event, this, &core, m);
       return;
+    }
   }
 }
 
@@ -212,7 +349,7 @@ void CmpSystem::start_miss(Core& core, LineAddr line, bool is_store,
   core.acks_expected = is_store ? -1 : 0;
   core.acks_received = 0;
   send(is_store ? MsgType::kGetM : MsgType::kGetS, line, core.tile,
-       home_tile(config_, line), core.tile);
+       home_tile_of(line), core.tile);
 }
 
 void CmpSystem::maybe_complete_miss(Core& core) {
@@ -245,9 +382,10 @@ void CmpSystem::maybe_complete_miss(Core& core) {
   }
   install_line(core, line, new_state);
   core.miss_active = false;
-  send(MsgType::kUnblock, line, core.tile, home_tile(config_, line),
+  send(MsgType::kUnblock, line, core.tile, home_tile_of(line),
        core.tile);
-  events_.schedule_in(1, [this, &core] { advance_core(core); });
+  events_.schedule_typed_in(1, &CmpSystem::advance_event, this, &core,
+                            Message{});
 }
 
 void CmpSystem::install_line(Core& core, LineAddr line, L1State state) {
@@ -265,7 +403,7 @@ void CmpSystem::install_line(Core& core, LineAddr line, L1State state) {
   const LineAddr victim = evicted->line;
   switch (evicted->state.state) {
     case L1State::kS:
-      send(MsgType::kPutS, victim, core.tile, home_tile(config_, victim),
+      send(MsgType::kPutS, victim, core.tile, home_tile_of(victim),
            core.tile);
       break;
     case L1State::kE:
@@ -278,7 +416,7 @@ void CmpSystem::install_line(Core& core, LineAddr line, L1State state) {
       wb.dirty = dirty;
       ++wb.pending_acks;
       ++stats_.writebacks;
-      send(MsgType::kPutM, victim, core.tile, home_tile(config_, victim),
+      send(MsgType::kPutM, victim, core.tile, home_tile_of(victim),
            core.tile, dirty);
       break;
     }
@@ -309,7 +447,7 @@ void CmpSystem::handle_core_message(Core& core, const Message& msg) {
         send(MsgType::kData, msg.line, core.tile, msg.requestor,
              msg.requestor, false, -1, DataSource::kForward);
         send(MsgType::kDowngradeAck, msg.line, core.tile,
-             home_tile(config_, msg.line), msg.requestor, dirty);
+             home_tile_of(msg.line), msg.requestor, dirty);
       } else {
         const auto wb = core.writeback_buffer.find(msg.line);
         ensure(wb != core.writeback_buffer.end(),
@@ -317,7 +455,7 @@ void CmpSystem::handle_core_message(Core& core, const Message& msg) {
         send(MsgType::kData, msg.line, core.tile, msg.requestor,
              msg.requestor, false, -1, DataSource::kForward);
         send(MsgType::kDowngradeAck, msg.line, core.tile,
-             home_tile(config_, msg.line), msg.requestor, wb->second.dirty);
+             home_tile_of(msg.line), msg.requestor, wb->second.dirty);
       }
       return;
     }
@@ -407,13 +545,32 @@ void CmpSystem::arrive_barrier(Core& core) {
     if (!c.at_barrier) continue;
     c.at_barrier = false;
     stats_.barrier_wait_cycles += events_.now() - c.barrier_arrive;
-    events_.schedule_in(1, [this, &c] { advance_core(c); });
+    events_.schedule_typed_in(1, &CmpSystem::advance_event, this, &c,
+                              Message{});
   }
 }
 
 // ---------------------------------------------------------------------------
 // Home / directory side
 // ---------------------------------------------------------------------------
+
+void CmpSystem::queue_pending_back(DirEntry& e, const Message& msg) {
+  PendingNode* node = pending_pool_.create(PendingNode{msg, nullptr});
+  if (e.pending_tail == nullptr) {
+    e.pending_head = node;
+  } else {
+    e.pending_tail->next = node;
+  }
+  e.pending_tail = node;
+  ++e.pending_count;
+}
+
+void CmpSystem::queue_pending_front(DirEntry& e, const Message& msg) {
+  PendingNode* node = pending_pool_.create(PendingNode{msg, e.pending_head});
+  e.pending_head = node;
+  if (e.pending_tail == nullptr) e.pending_tail = node;
+  ++e.pending_count;
+}
 
 void CmpSystem::handle_home_message(Bank& bank, const Message& msg) {
   DirEntry& e = bank.directory[msg.line];
@@ -424,8 +581,8 @@ void CmpSystem::handle_home_message(Bank& bank, const Message& msg) {
     case MsgType::kPutM:
       // Queue behind any earlier waiters even when the line is idle (a
       // pop from the pending queue may be in flight): FIFO per line.
-      if (e.busy || !e.pending.empty()) {
-        e.pending.push_back(msg);
+      if (e.busy || e.pending_head != nullptr) {
+        queue_pending_back(e, msg);
         pump_pending(bank, msg.line);
         return;
       }
@@ -516,14 +673,7 @@ void CmpSystem::process_request(Bank& bank, const Message& msg) {
       const std::size_t r = core_index_of(msg.requestor);
       switch (e.state) {
         case DirState::kUncached:
-          fetch_line(bank, line, [this, &bank, line, msg, r](DataSource src) {
-            DirEntry& entry = bank.directory[line];
-            entry.state = DirState::kExclusive;
-            entry.owner = static_cast<std::uint32_t>(r);
-            entry.sharers = 0;
-            respond_with_data(bank, line, msg.requestor, MsgType::kDataE, 0,
-                              src);
-          });
+          fetch_line(bank, msg);
           return;
         case DirState::kShared:
           ensure(e.l2_valid, "Shared line missing from L2 data array");
@@ -551,15 +701,7 @@ void CmpSystem::process_request(Bank& bank, const Message& msg) {
       const std::uint64_t r_bit = std::uint64_t{1} << r;
       switch (e.state) {
         case DirState::kUncached:
-          fetch_line(bank, line, [this, &bank, line, msg, r](DataSource src) {
-            DirEntry& entry = bank.directory[line];
-            entry.state = DirState::kModified;
-            entry.owner = static_cast<std::uint32_t>(r);
-            entry.sharers = 0;
-            entry.l2_valid = false;  // the new owner's copy supersedes L2
-            respond_with_data(bank, line, msg.requestor, MsgType::kDataM, 0,
-                              src);
-          });
+          fetch_line(bank, msg);
           return;
 
         case DirState::kShared: {
@@ -648,22 +790,19 @@ void CmpSystem::finish_transaction(Bank& bank, LineAddr line) {
 
 void CmpSystem::pump_pending(Bank& bank, LineAddr line) {
   DirEntry& e = bank.directory[line];
-  if (e.busy || e.pending.empty()) return;
-  const Message next = e.pending.front();
-  e.pending.pop_front();
+  if (e.busy || e.pending_head == nullptr) return;
+  PendingNode* node = e.pending_head;
+  e.pending_head = node->next;
+  if (e.pending_head == nullptr) e.pending_tail = nullptr;
+  --e.pending_count;
+  const Message next = node->msg;
+  pending_pool_.destroy(node);
   // Re-dispatch after one cycle to bound recursion and model queue pop.
   // Draining must continue past non-transactional requests (Put*): they
   // leave the line un-busy, and anything still queued behind them would
-  // otherwise be orphaned — a deadlock.
-  events_.schedule_in(1, [this, &bank, next] {
-    DirEntry& entry = bank.directory[next.line];
-    if (entry.busy) {
-      entry.pending.push_front(next);
-      return;
-    }
-    process_request(bank, next);
-    pump_pending(bank, next.line);
-  });
+  // otherwise be orphaned — a deadlock. pending_event re-queues at the
+  // front if the line went busy again in the meantime.
+  events_.schedule_typed_in(1, &CmpSystem::pending_event, this, &bank, next);
 }
 
 void CmpSystem::respond_with_data(Bank& bank, LineAddr line, NodeId requestor,
@@ -672,13 +811,30 @@ void CmpSystem::respond_with_data(Bank& bank, LineAddr line, NodeId requestor,
   send(kind, line, bank.tile, requestor, requestor, false, acks, source);
 }
 
-void CmpSystem::fetch_line(Bank& bank, LineAddr line,
-                           std::function<void(DataSource)> on_ready) {
+void CmpSystem::finish_fill(Bank& bank, const Message& request,
+                            DataSource source) {
+  DirEntry& entry = bank.directory[request.line];
+  const std::size_t r = core_index_of(request.requestor);
+  entry.owner = static_cast<std::uint32_t>(r);
+  entry.sharers = 0;
+  if (request.type == MsgType::kGetS) {
+    entry.state = DirState::kExclusive;
+    respond_with_data(bank, request.line, request.requestor, MsgType::kDataE,
+                      0, source);
+  } else {
+    entry.state = DirState::kModified;
+    entry.l2_valid = false;  // the new owner's copy supersedes L2
+    respond_with_data(bank, request.line, request.requestor, MsgType::kDataM,
+                      0, source);
+  }
+}
+
+void CmpSystem::fetch_line(Bank& bank, const Message& request) {
+  const LineAddr line = request.line;
   if (bank.l2->find(line) != nullptr) {
     ++stats_.l2_data_hits;
-    DirEntry& e = bank.directory[line];
-    e.l2_valid = true;
-    on_ready(DataSource::kL2);
+    bank.directory[line].l2_valid = true;
+    finish_fill(bank, request, DataSource::kL2);
     return;
   }
   ++stats_.l2_data_misses;
@@ -687,26 +843,8 @@ void CmpSystem::fetch_line(Bank& bank, LineAddr line,
   MemoryController& mc = memory_[bank.chip];
   const Cycle start = std::max(events_.now(), mc.next_free);
   mc.next_free = start + dram_service_cycles_;
-  events_.schedule(
-      start + dram_latency_cycles_,
-      [this, &bank, line, on_ready = std::move(on_ready)] {
-        bool inserted = false;
-        auto evicted = bank.l2->insert(
-            line, L2Line{false}, inserted,
-            [&bank](LineAddr l, const L2Line&) {
-              const auto it = bank.directory.find(l);
-              return it == bank.directory.end() ||
-                     (!it->second.busy &&
-                      it->second.state == DirState::kUncached);
-            });
-        if (!inserted) ++stats_.l2_overflow_inserts;
-        if (evicted) {
-          const auto it = bank.directory.find(evicted->line);
-          if (it != bank.directory.end()) it->second.l2_valid = false;
-        }
-        bank.directory[line].l2_valid = true;
-        on_ready(DataSource::kDram);
-      });
+  events_.schedule_typed(start + dram_latency_cycles_,
+                         &CmpSystem::dram_fill_event, this, &bank, request);
 }
 
 // ---------------------------------------------------------------------------
@@ -719,7 +857,8 @@ ExecStats CmpSystem::run() {
   const auto run_start = std::chrono::steady_clock::now();
 
   for (Core& core : cores_) {
-    events_.schedule(0, [this, &core] { advance_core(core); });
+    events_.schedule_typed(0, &CmpSystem::advance_event, this, &core,
+                           Message{});
   }
 
   while (finished_cores_ < cores_.size()) {
@@ -742,12 +881,12 @@ ExecStats CmpSystem::run() {
       }
       for (const Bank& b : banks_) {
         for (const auto& [line, e] : b.directory) {
-          if (e.busy || !e.pending.empty()) {
+          if (e.busy || e.pending_count != 0) {
             dump += "\n bank tile " + std::to_string(b.tile) + " line " +
                     std::to_string(line) + " state " +
                     std::string(to_string(e.state)) +
                     (e.busy ? " BUSY" : "") + " pending " +
-                    std::to_string(e.pending.size());
+                    std::to_string(e.pending_count);
           }
         }
       }
@@ -771,6 +910,11 @@ ExecStats CmpSystem::run() {
   }
   stats_.noc = noc_->stats();
 
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    run_start)
+          .count();
+
   {
     // Process-wide DES counters: cheap bulk adds once per run, always on.
     static obs::Counter& runs =
@@ -779,20 +923,33 @@ ExecStats CmpSystem::run() {
         obs::Registry::instance().counter("perf.instructions");
     static obs::Counter& events =
         obs::Registry::instance().counter("perf.events");
+    static obs::Counter& events_typed =
+        obs::Registry::instance().counter("perf.events_typed");
+    static obs::Counter& events_skipped =
+        obs::Registry::instance().counter("perf.events_skipped");
     static obs::Counter& noc_packets =
         obs::Registry::instance().counter("perf.noc_packets");
+    static obs::Counter& noc_ticks =
+        obs::Registry::instance().counter("perf.noc_ticks");
+    static obs::Gauge& cycles_per_second =
+        obs::Registry::instance().gauge("perf.cycles_per_second");
     runs.add(1);
     instructions.add(stats_.instructions);
     events.add(events_.scheduled());
+    events_typed.add(events_.typed_scheduled());
+    // NoC cycles the idle-skip fast-forwarded over (old design: one tick
+    // event per active-network cycle).
+    events_skipped.add(stats_.noc.cycles_skipped);
     noc_packets.add(stats_.noc.packets_delivered);
+    noc_ticks.add(stats_.noc.ticks);
+    if (wall_seconds > 0.0) {
+      cycles_per_second.set(static_cast<double>(stats_.cycles) /
+                            wall_seconds);
+    }
   }
 
   obs::RunReport& report = obs::RunReport::instance();
   if (report.enabled()) {
-    const double wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      run_start)
-            .count();
     const double cycles = static_cast<double>(stats_.cycles);
     report.emit("stage", [&](obs::JsonWriter& w) {
       w.add("stage", "perf")
@@ -814,9 +971,16 @@ ExecStats CmpSystem::run() {
           .add("noc_packets", stats_.noc.packets_delivered)
           .add("noc_avg_latency", stats_.noc.average_latency())
           .add("noc_ticks", stats_.noc.ticks)
+          .add("noc_cycles_skipped", stats_.noc.cycles_skipped)
           .add("events_scheduled", events_.scheduled())
+          .add("events_typed", events_.typed_scheduled())
           .add("events_max_pending",
                static_cast<std::uint64_t>(events_.max_pending()))
+          .add("queue_impl", events_.impl() == EventQueue::Impl::kCalendar
+                                 ? "calendar"
+                                 : "heap")
+          .add("cycles_per_second",
+               wall_seconds > 0.0 ? cycles / wall_seconds : 0.0)
           .add("seconds", wall_seconds);
     });
   }

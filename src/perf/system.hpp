@@ -6,11 +6,11 @@
 /// substitute that turns (workload, frequency) into execution time.
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "common/pool.hpp"
 #include "common/units.hpp"
 #include "perf/cache.hpp"
 #include "perf/event_queue.hpp"
@@ -77,6 +77,18 @@ struct ExecStats {
 /// and DRAM latency (fixed in nanoseconds) is converted at the supplied
 /// frequency, which is exactly how a higher clock rate shifts the
 /// compute/memory balance in the paper's gem5 runs.
+///
+/// Hot-path structure (see DESIGN.md "DES fast path"): the recurring event
+/// shapes — core advance, message delivery, directory pending re-dispatch,
+/// DRAM fills, NoC pumps — are typed EventQueue events (plain function
+/// pointer + Message payload, no closure), directory pending queues are
+/// pooled intrusive lists, and the NoC is self-scheduling: it reports its
+/// next work cycle and full ticks only run on cycles that can move flits.
+/// By default the pump event still fires every active-network cycle so the
+/// event stream (and therefore every result) stays bit-identical to the
+/// original per-cycle design; CmpConfig::noc_idle_skip drops those filler
+/// events entirely in exchange for slightly different same-cycle handler
+/// interleaving.
 class CmpSystem {
  public:
   CmpSystem(const CmpConfig& config, const WorkloadProfile& profile,
@@ -96,6 +108,8 @@ class CmpSystem {
   [[nodiscard]] const CmpConfig& config() const { return config_; }
 
  private:
+  friend struct CmpSystemTestPeer;  ///< white-box hooks (tests/perf)
+
   // ---- L1 / core side ----
   struct L1Line {
     L1State state = L1State::kI;
@@ -140,6 +154,13 @@ class CmpSystem {
     bool dirty = false;
   };
 
+  /// Node of a directory entry's pending-request list (pooled; see
+  /// pending_pool_). Plain data so ObjectPool can recycle it freely.
+  struct PendingNode {
+    Message msg;
+    PendingNode* next = nullptr;
+  };
+
   struct DirEntry {
     DirState state = DirState::kUncached;
     std::uint32_t owner = 0;       ///< core index
@@ -152,7 +173,10 @@ class CmpSystem {
     bool awaiting_downgrade = false;
     bool downgrade_received = false;
     bool unblock_received = false;
-    std::deque<Message> pending;   ///< blocked requests
+    // Blocked requests, FIFO (intrusive list of pooled nodes).
+    PendingNode* pending_head = nullptr;
+    PendingNode* pending_tail = nullptr;
+    std::uint32_t pending_count = 0;
   };
 
   struct Bank {
@@ -171,12 +195,22 @@ class CmpSystem {
     std::uint64_t generation = 0;
   };
 
+  // ---- typed event thunks (EventQueue fast path) ----
+  static void advance_event(void* ctx, void* target, const Message& msg);
+  static void access_event(void* ctx, void* target, const Message& msg);
+  static void core_event(void* ctx, void* target, const Message& msg);
+  static void home_event(void* ctx, void* target, const Message& msg);
+  static void pending_event(void* ctx, void* target, const Message& msg);
+  static void dram_fill_event(void* ctx, void* target, const Message& msg);
+  static void pump_event(void* ctx, void* target, const Message& msg);
+
   // ---- wiring ----
   void send(MsgType type, LineAddr line, NodeId from, NodeId to,
             NodeId requestor, bool dirty = false, std::int32_t acks = 0,
             DataSource source = DataSource::kNone);
   void deliver(const Packet& packet);
-  void pump_noc();
+  /// Arms (or advances) the single pending NoC pump event to `when`.
+  void schedule_pump(Cycle when);
 
   // Core behavior.
   void advance_core(Core& core);
@@ -192,15 +226,23 @@ class CmpSystem {
   void process_request(Bank& bank, const Message& msg);
   void finish_transaction(Bank& bank, LineAddr line);
   void pump_pending(Bank& bank, LineAddr line);
+  void queue_pending_back(DirEntry& e, const Message& msg);
+  void queue_pending_front(DirEntry& e, const Message& msg);
   void respond_with_data(Bank& bank, LineAddr line, NodeId requestor,
                          MsgType kind, std::int32_t acks,
                          DataSource source);
-  void fetch_line(Bank& bank, LineAddr line,
-                  std::function<void(DataSource)> on_ready);
+  /// Serves `request` (kGetS/kGetM, directory already busy) from the L2
+  /// data array or DRAM; the grant kind is derived from request.type when
+  /// the data arrives (finish_fill).
+  void fetch_line(Bank& bank, const Message& request);
+  void finish_fill(Bank& bank, const Message& request, DataSource source);
 
   [[nodiscard]] Core& core_at(NodeId tile);
   [[nodiscard]] std::size_t core_index_of(NodeId tile) const;
   [[nodiscard]] NodeId core_tile_of(std::size_t core_index) const;
+  [[nodiscard]] NodeId home_tile_of(LineAddr line) const {
+    return home_tiles_[line % home_tiles_.size()];
+  }
 
   void init_topology();
 
@@ -213,13 +255,27 @@ class CmpSystem {
 
   EventQueue events_;
   std::unique_ptr<Mesh3d> noc_;
-  bool noc_pumping_ = false;
+  // NoC pump scheduling. Default (exact) mode: one pump event per
+  // active-network cycle, legacy event stream, lazy mesh tick gated by
+  // noc_gate_ (cycles below the gate only advance the arbitration clock).
+  // Idle-skip mode (config_.noc_idle_skip): a single pump event parked at
+  // pump_at_, moved earlier as needed; quiet spans have no events at all.
+  bool noc_idle_skip_ = false;
+  bool noc_pumping_ = false;  ///< a live pump event exists
+  Cycle pump_at_ = 0;         ///< idle-skip: cycle of the live pump event
+  Cycle noc_gate_ = 0;        ///< exact: earliest cycle a tick can move flits
+
+  // Topology tables (built once): tile -> core index (-1 = not a core
+  // tile) and line-interleaving -> home bank tile.
+  std::vector<std::int32_t> core_of_tile_;
+  std::vector<NodeId> home_tiles_;
 
   std::vector<Core> cores_;
   std::unordered_map<NodeId, std::size_t> bank_of_tile_;
   std::vector<Bank> banks_;
   std::vector<MemoryController> memory_;
   Barrier barrier_;
+  ObjectPool<PendingNode> pending_pool_;
 
   std::size_t finished_cores_ = 0;
   Cycle completion_cycle_ = 0;

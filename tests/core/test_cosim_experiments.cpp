@@ -57,7 +57,7 @@ TEST(CoSim, BetterCoolantNeverSlower) {
 
 TEST(Experiments, FrequencyVsChipsShapes) {
   const FreqVsChipsData data =
-      frequency_vs_chips(make_low_power_cmp(), 6, 80.0, coarse_grid(), 1);
+      frequency_vs_chips(make_low_power_cmp(), 6, 80.0, coarse_grid());
   ASSERT_EQ(data.series.size(), 5u);
   // Every feasible frequency is a ladder step within bounds, and each
   // series is non-increasing in chips.
@@ -83,7 +83,7 @@ TEST(Experiments, InfeasibleSeriesHasNoHoles) {
   // Once a cooling option dies at N chips it stays dead for N+1 (frequency
   // floors are fixed): the feasible prefix is contiguous.
   const FreqVsChipsData data =
-      frequency_vs_chips(make_low_power_cmp(), 8, 80.0, coarse_grid(), 1);
+      frequency_vs_chips(make_low_power_cmp(), 8, 80.0, coarse_grid());
   for (const FreqVsChipsSeries& s : data.series) {
     bool dead = false;
     for (const auto& g : s.ghz) {
@@ -97,7 +97,7 @@ TEST(Experiments, InfeasibleSeriesHasNoHoles) {
 
 TEST(Experiments, MaxFeasibleChipsHelper) {
   const FreqVsChipsData data =
-      frequency_vs_chips(make_low_power_cmp(), 8, 80.0, coarse_grid(), 1);
+      frequency_vs_chips(make_low_power_cmp(), 8, 80.0, coarse_grid());
   EXPECT_GE(data.max_feasible_chips(CoolingKind::kWaterImmersion),
             data.max_feasible_chips(CoolingKind::kWaterPipe));
   EXPECT_GE(data.max_feasible_chips(CoolingKind::kWaterPipe),
@@ -143,7 +143,7 @@ TEST(Experiments, NpbExperimentSmall) {
   // only.
   const NpbData data =
       npb_experiment(make_low_power_cmp(), 4, CoolingKind::kWaterPipe, 80.0,
-                     /*instruction_scale=*/0.02, coarse_grid(), 1);
+                     /*instruction_scale=*/0.02, coarse_grid());
   ASSERT_EQ(data.rows.size(), 10u);  // 9 programs + avg
   ASSERT_EQ(data.coolings.size(), 4u);
   EXPECT_EQ(data.threads, 16u);

@@ -12,13 +12,12 @@ class PaperShapes : public ::testing::Test {
  protected:
   static const FreqVsChipsData& low_power() {
     static const FreqVsChipsData data =
-        frequency_vs_chips(make_low_power_cmp(), 9, 80.0, GridOptions{}, 1);
+        frequency_vs_chips(make_low_power_cmp(), 9, 80.0, GridOptions{});
     return data;
   }
   static const FreqVsChipsData& high_freq() {
     static const FreqVsChipsData data =
-        frequency_vs_chips(make_high_frequency_cmp(), 9, 80.0, GridOptions{},
-                           1);
+        frequency_vs_chips(make_high_frequency_cmp(), 9, 80.0, GridOptions{});
     return data;
   }
 };
@@ -108,7 +107,7 @@ TEST_F(PaperShapes, HighFrequencyChipSupportsMoreChipsThanLowPower) {
 // oil and water can, with water at the higher clock.
 TEST(PaperShapesXeon, E5StackFollowsFig1) {
   const FreqVsChipsData data =
-      frequency_vs_chips(make_xeon_e5_2667v4(), 4, 78.0, GridOptions{}, 1);
+      frequency_vs_chips(make_xeon_e5_2667v4(), 4, 78.0, GridOptions{});
   // Paper: air limits 3 chips to 2.0 GHz and "does not enable a 4-chip
   // layout". Our calibration leaves air a deep-throttled 4-chip point;
   // accept it only below half the ladder (the paper's qualitative claim is
@@ -134,7 +133,7 @@ TEST(PaperShapesXeon, E5StackFollowsFig1) {
 // water still carries the taller stacks.
 TEST(PaperShapesXeon, PhiStackFollowsFig17) {
   const FreqVsChipsData data =
-      frequency_vs_chips(make_xeon_phi_7290(), 4, 80.0, GridOptions{}, 1);
+      frequency_vs_chips(make_xeon_phi_7290(), 4, 80.0, GridOptions{});
   EXPECT_GE(data.max_feasible_chips(CoolingKind::kWaterImmersion),
             data.max_feasible_chips(CoolingKind::kMineralOil));
   EXPECT_GE(data.max_feasible_chips(CoolingKind::kMineralOil),

@@ -73,6 +73,91 @@ TEST(EventQueue, StepCycleRunsAllAtSameTime) {
   EXPECT_EQ(q.next_time(), 9u);
 }
 
+// Far-future events overflow the calendar ring into the heap tier; they
+// must still fire in time order, including when the queue fast-forwards
+// across several empty horizons.
+TEST(EventQueue, FarFutureOverflowOrder) {
+  EventQueue q(EventQueue::Impl::kCalendar);
+  std::vector<int> order;
+  q.schedule(5 * EventQueue::kNearHorizon, [&] { order.push_back(3); });
+  q.schedule(EventQueue::kNearHorizon + 7, [&] { order.push_back(2); });
+  q.schedule(3, [&] { order.push_back(1); });
+  q.schedule(9 * EventQueue::kNearHorizon + 1, [&] { order.push_back(4); });
+  EXPECT_TRUE(q.run());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(q.now(), 9 * EventQueue::kNearHorizon + 1);
+}
+
+// When a cycle holds both overflow-heap entries (scheduled while the cycle
+// was beyond the horizon) and ring entries (scheduled once it was near),
+// the heap entries were necessarily scheduled first, so they must fire
+// first to preserve global FIFO order.
+TEST(EventQueue, HeapRingTieIsFifo) {
+  EventQueue q(EventQueue::Impl::kCalendar);
+  const Cycle target = EventQueue::kNearHorizon + 6;
+  std::vector<int> order;
+  q.schedule(target, [&] { order.push_back(1); });  // -> overflow heap
+  q.schedule(10, [&q, &order, target] {
+    // now == 10: target is inside the horizon, lands in the ring.
+    q.schedule(target, [&order] { order.push_back(2); });
+  });
+  EXPECT_TRUE(q.run());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// Typed fast-path events share the same sequence counter as closures: a
+// mixed same-cycle schedule fires in exact schedule order.
+TEST(EventQueue, TypedAndClosureEventsShareFifoOrder) {
+  for (EventQueue::Impl impl :
+       {EventQueue::Impl::kCalendar, EventQueue::Impl::kBinaryHeap}) {
+    EventQueue q(impl);
+    std::vector<int> order;
+    auto typed = [](void* ctx, void* target, const Message& msg) {
+      static_cast<std::vector<int>*>(ctx)->push_back(
+          static_cast<int>(msg.line));
+      (void)target;
+    };
+    q.schedule(7, [&] { order.push_back(0); });
+    Message m1;
+    m1.line = 1;
+    q.schedule_typed(7, typed, &order, nullptr, m1);
+    q.schedule(7, [&] { order.push_back(2); });
+    Message m3;
+    m3.line = 3;
+    q.schedule_typed(7, typed, &order, nullptr, m3);
+    EXPECT_TRUE(q.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3})) << "impl mismatch";
+    EXPECT_EQ(q.typed_scheduled(), 2u);
+    EXPECT_EQ(q.scheduled(), 4u);
+  }
+}
+
+// A randomized schedule (mixed deltas, same-cycle ties, reschedules) fires
+// in the same global order under both implementations.
+TEST(EventQueue, CalendarMatchesHeapOnRandomSchedule) {
+  auto run_one = [](EventQueue::Impl impl) {
+    EventQueue q(impl);
+    std::vector<std::pair<Cycle, int>> fired;
+    std::uint64_t state = 12345;
+    auto next_rand = [&state] {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      return state >> 33;
+    };
+    int id = 0;
+    for (int i = 0; i < 200; ++i) {
+      const Cycle when = next_rand() % (3 * EventQueue::kNearHorizon);
+      const int tag = id++;
+      q.schedule(when, [&fired, &q, tag] {
+        fired.emplace_back(q.now(), tag);
+      });
+    }
+    EXPECT_TRUE(q.run());
+    return fired;
+  };
+  EXPECT_EQ(run_one(EventQueue::Impl::kCalendar),
+            run_one(EventQueue::Impl::kBinaryHeap));
+}
+
 // --------------------------------------------------------------- params ----
 
 TEST(Params, TileCoordRoundTrip) {

@@ -1,0 +1,107 @@
+/// Queue-implementation invariance: the DES contract is that swapping the
+/// calendar event queue for the legacy binary heap changes nothing about a
+/// simulation — same seed, bit-identical ExecStats. The two tiers of the
+/// calendar queue (ring + overflow heap) must therefore reproduce the
+/// heap's global FIFO-within-cycle order exactly, across workloads with
+/// different traffic patterns and across chip counts.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "perf/event_queue.hpp"
+#include "perf/system.hpp"
+#include "perf/workload.hpp"
+
+namespace aqua {
+namespace {
+
+ExecStats run_once(const std::string& workload, std::size_t chips,
+                   EventQueue::Impl impl, bool idle_skip,
+                   std::uint64_t seed) {
+  const EventQueue::Impl before = EventQueue::default_impl();
+  EventQueue::set_default_impl(impl);
+  CmpConfig cfg;
+  cfg.chips = chips;
+  cfg.noc_idle_skip = idle_skip;
+  WorkloadProfile p = npb_profile(workload);
+  p.instructions_per_thread = 2000;
+  CmpSystem system(cfg, p, gigahertz(1.6), seed);
+  ExecStats stats = system.run();
+  EventQueue::set_default_impl(before);
+  return stats;
+}
+
+/// Every timing-visible field must match; wall-clock-derived fields
+/// (seconds is cycles/frequency, so deterministic too) included.
+void expect_identical(const ExecStats& a, const ExecStats& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.cycles, b.cycles) << label;
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds) << label;
+  EXPECT_EQ(a.instructions, b.instructions) << label;
+  EXPECT_EQ(a.mem_ops, b.mem_ops) << label;
+  EXPECT_EQ(a.l1_hits, b.l1_hits) << label;
+  EXPECT_EQ(a.l1_misses, b.l1_misses) << label;
+  EXPECT_EQ(a.l2_data_hits, b.l2_data_hits) << label;
+  EXPECT_EQ(a.l2_data_misses, b.l2_data_misses) << label;
+  EXPECT_EQ(a.dram_accesses, b.dram_accesses) << label;
+  EXPECT_EQ(a.coherence_forwards, b.coherence_forwards) << label;
+  EXPECT_EQ(a.invalidations, b.invalidations) << label;
+  EXPECT_EQ(a.writebacks, b.writebacks) << label;
+  EXPECT_EQ(a.barriers, b.barriers) << label;
+  EXPECT_EQ(a.l2_overflow_inserts, b.l2_overflow_inserts) << label;
+  EXPECT_EQ(a.stall_l2_cycles, b.stall_l2_cycles) << label;
+  EXPECT_EQ(a.stall_dram_cycles, b.stall_dram_cycles) << label;
+  EXPECT_EQ(a.stall_forward_cycles, b.stall_forward_cycles) << label;
+  EXPECT_EQ(a.stall_upgrade_cycles, b.stall_upgrade_cycles) << label;
+  EXPECT_EQ(a.barrier_wait_cycles, b.barrier_wait_cycles) << label;
+  EXPECT_EQ(a.noc.packets_delivered, b.noc.packets_delivered) << label;
+  EXPECT_EQ(a.noc.flits_delivered, b.noc.flits_delivered) << label;
+  EXPECT_EQ(a.noc.total_packet_latency, b.noc.total_packet_latency) << label;
+  EXPECT_EQ(a.noc.total_hops, b.noc.total_hops) << label;
+  EXPECT_EQ(a.noc.ticks, b.noc.ticks) << label;
+  EXPECT_EQ(a.noc.cycles_skipped, b.noc.cycles_skipped) << label;
+  EXPECT_EQ(a.core_utilization, b.core_utilization) << label;
+}
+
+// FT is streaming/all-to-all, CG irregular and memory-bound — together
+// they exercise data packets, forwards, invalidations and barriers.
+const std::vector<std::string> kWorkloads = {"ft", "cg"};
+const std::vector<std::size_t> kChipCounts = {2, 4};
+
+TEST(QueueInvariance, CalendarMatchesHeapBitForBit) {
+  for (const std::string& w : kWorkloads) {
+    for (std::size_t chips : kChipCounts) {
+      const std::string label = w + " chips=" + std::to_string(chips);
+      const ExecStats cal =
+          run_once(w, chips, EventQueue::Impl::kCalendar, false, 1);
+      const ExecStats heap =
+          run_once(w, chips, EventQueue::Impl::kBinaryHeap, false, 1);
+      expect_identical(cal, heap, label);
+    }
+  }
+}
+
+// The idle-skip pump schedules different (fewer) NoC events, so its
+// results may legally differ from the exact pump — but they must still be
+// queue-implementation invariant and seed-deterministic.
+TEST(QueueInvariance, IdleSkipModeIsQueueInvariant) {
+  for (const std::string& w : kWorkloads) {
+    const std::string label = w + " idle-skip";
+    const ExecStats cal =
+        run_once(w, 2, EventQueue::Impl::kCalendar, true, 3);
+    const ExecStats heap =
+        run_once(w, 2, EventQueue::Impl::kBinaryHeap, true, 3);
+    expect_identical(cal, heap, label);
+  }
+}
+
+TEST(QueueInvariance, RepeatedRunsAreDeterministic) {
+  const ExecStats a = run_once("ft", 2, EventQueue::Impl::kCalendar, false, 7);
+  const ExecStats b = run_once("ft", 2, EventQueue::Impl::kCalendar, false, 7);
+  expect_identical(a, b, "repeat seed=7");
+}
+
+}  // namespace
+}  // namespace aqua
