@@ -5,6 +5,7 @@
 ///   $ ./build/examples/trace_tools capture cg 4 /tmp/cg.trace
 ///   $ ./build/examples/trace_tools replay /tmp/cg.trace 2.0
 ///   $ ./build/examples/trace_tools summarize TRACE_aqua.json
+///   $ ./build/examples/trace_tools summarize --faults REPORT_aqua.jsonl
 ///   $ ./build/examples/trace_tools merge out.json a.json b.json
 ///   $ ./build/examples/trace_tools check TRACE_aqua.json
 ///
@@ -14,8 +15,10 @@
 /// files into one Chrome-loadable file, and `check` validates a file parses
 /// as trace-event JSON (exit status 1 when it does not — the CI gate).
 
+#include <array>
 #include <fstream>
 #include <iostream>
+#include <map>
 
 #include "common/table.hpp"
 #include "obs/json_writer.hpp"
@@ -29,6 +32,7 @@ int usage() {
             << "  trace_tools capture <npb> <threads> <file>\n"
             << "  trace_tools replay <file> <ghz>\n"
             << "  trace_tools summarize <trace.json>...\n"
+            << "  trace_tools summarize --faults <report.jsonl>...\n"
             << "  trace_tools merge <out.json> <trace.json>...\n"
             << "  trace_tools check <trace.json>...\n";
   return 1;
@@ -65,6 +69,60 @@ int run_summarize(int argc, char** argv) {
   table.print(std::cout);
   std::cout << events.size() << " events, " << spans.size()
             << " distinct spans\n";
+  return 0;
+}
+
+/// `summarize --faults`: aggregates the resilience layer's run-report
+/// records (fault_injected / fault_absorbed / degraded_result) by stage
+/// and detail. Records carrying a "count" field contribute that many
+/// faults; others count as one.
+int run_summarize_faults(int argc, char** argv) {
+  if (argc < 4) return usage();
+  struct Bucket {
+    std::uint64_t records = 0;
+    std::uint64_t faults = 0;
+  };
+  // key: kind | stage | detail (fault / action / what, whichever is set).
+  std::map<std::array<std::string, 3>, Bucket> buckets;
+  std::size_t total = 0;
+  for (int i = 3; i < argc; ++i) {
+    for (const aqua::obs::JsonValue& rec :
+         aqua::obs::load_jsonl_file(argv[i])) {
+      const aqua::obs::JsonValue* kind = rec.find("kind");
+      if (kind == nullptr ||
+          (kind->string != "fault_injected" &&
+           kind->string != "fault_absorbed" &&
+           kind->string != "degraded_result")) {
+        continue;
+      }
+      std::array<std::string, 3> key{kind->string, "?", ""};
+      if (const auto* stage = rec.find("stage")) key[1] = stage->string;
+      for (const char* detail : {"fault", "action", "what"}) {
+        if (const auto* v = rec.find(detail)) {
+          if (!v->string.empty()) key[2] = v->string;
+        }
+      }
+      Bucket& b = buckets[key];
+      ++b.records;
+      const aqua::obs::JsonValue* count = rec.find("count");
+      b.faults += count != nullptr &&
+                          count->kind == aqua::obs::JsonValue::Kind::kNumber
+                      ? static_cast<std::uint64_t>(count->number)
+                      : 1;
+      ++total;
+    }
+  }
+  aqua::Table table({"kind", "stage", "detail", "records", "faults"});
+  for (const auto& [key, b] : buckets) {
+    table.row()
+        .add(key[0])
+        .add(key[1])
+        .add(key[2].empty() ? "-" : key[2])
+        .add_int(static_cast<long long>(b.records))
+        .add_int(static_cast<long long>(b.faults));
+  }
+  table.print(std::cout);
+  std::cout << total << " fault record(s) in " << (argc - 3) << " file(s)\n";
   return 0;
 }
 
@@ -134,7 +192,12 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string mode = argv[1];
 
-  if (mode == "summarize") return run_summarize(argc, argv);
+  if (mode == "summarize") {
+    if (argc >= 3 && std::string(argv[2]) == "--faults") {
+      return run_summarize_faults(argc, argv);
+    }
+    return run_summarize(argc, argv);
+  }
   if (mode == "merge") return run_merge(argc, argv);
   if (mode == "check") return run_check(argc, argv);
 

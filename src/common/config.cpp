@@ -1,6 +1,7 @@
 #include "common/config.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <istream>
 #include <sstream>
 
@@ -51,6 +52,10 @@ Config Config::parse(std::istream& is) {
     const std::string value = trim(body.substr(eq + 1));
     require(!key.empty(), "config line " + std::to_string(line_no) +
                               ": empty key");
+    // An empty value is how a truncated write (kill mid-flush) usually
+    // manifests; fail loud instead of handing back half a config.
+    require(!value.empty(), "config line " + std::to_string(line_no) +
+                                ": empty value for '" + key + "'");
     const bool fresh = !cfg.values_[section].contains(key);
     cfg.values_[section][key] = value;  // last assignment wins
     if (fresh) cfg.order_[section].push_back(key);
@@ -101,10 +106,11 @@ double Config::get_double(const std::string& section,
     std::size_t used = 0;
     const double out = std::stod(v, &used);
     require(used == v.size(), "trailing junk");
+    require(std::isfinite(out), "non-finite");
     return out;
   } catch (...) {
     throw Error("config: [" + section + "] " + key + " = '" + v +
-                "' is not a number");
+                "' is not a finite number");
   }
 }
 

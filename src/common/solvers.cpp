@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 
 namespace aqua {
@@ -21,6 +22,10 @@ struct GlobalSolverCounters {
       obs::Registry::instance().counter("solver.cg_iterations");
   obs::Counter& vcycles = obs::Registry::instance().counter("solver.vcycles");
   obs::Counter& wall_ns = obs::Registry::instance().counter("solver.wall_ns");
+  obs::Counter& fallbacks =
+      obs::Registry::instance().counter("solver.fallbacks");
+  obs::Counter& breakdowns =
+      obs::Registry::instance().counter("solver.breakdowns");
 };
 
 GlobalSolverCounters& global_solver_counters() {
@@ -37,6 +42,8 @@ SolverStats solver_totals() {
   totals.iterations = c.iterations.value();
   totals.vcycles = c.vcycles.value();
   totals.wall_seconds = static_cast<double>(c.wall_ns.value()) * 1e-9;
+  totals.fallbacks = c.fallbacks.value();
+  totals.breakdowns = c.breakdowns.value();
   return totals;
 }
 
@@ -46,6 +53,8 @@ SolverStats solver_totals_since(const SolverStats& before) {
   now.iterations -= before.iterations;
   now.vcycles -= before.vcycles;
   now.wall_seconds -= before.wall_seconds;
+  now.fallbacks -= before.fallbacks;
+  now.breakdowns -= before.breakdowns;
   return now;
 }
 
@@ -111,10 +120,12 @@ SolveResult solve_cg(const SparseMatrix& a, const std::vector<double>& b,
       stats->solves += 1;
       stats->iterations += result.iterations;
       stats->wall_seconds += std::chrono::duration<double>(wall).count();
+      if (result.breakdown) stats->breakdowns += 1;
     }
     GlobalSolverCounters& global = global_solver_counters();
     global.solves.add(1);
     global.iterations.add(result.iterations);
+    if (result.breakdown) global.breakdowns.add(1);
     global.wall_ns.add(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count()));
     obs::Registry& registry = obs::Registry::instance();
@@ -153,6 +164,20 @@ SolveResult solve_cg(const SparseMatrix& a, const std::vector<double>& b,
 
   const double target = options.tolerance * bnorm;
   const double target_sq = target * target;
+  // Breakdown/divergence exit shared by the checks below. Comparisons only:
+  // a healthy solve runs arithmetic bit-identical to the pre-guard loop.
+  double best_rr = rr;
+  const auto break_down = [&](std::size_t it, const char* what) {
+    ensure(!options.throw_on_breakdown, what);
+    out.iterations = it;
+    out.residual_norm = std::isfinite(rr) ? std::sqrt(rr) : rr;
+    out.converged = false;
+    out.breakdown = true;
+    return finish(std::move(out));
+  };
+  if (!std::isfinite(rr)) {
+    return break_down(0, "solve_cg: non-finite initial residual");
+  }
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     if (rr <= target_sq) {
       out.residual_norm = std::sqrt(rr);
@@ -162,7 +187,10 @@ SolveResult solve_cg(const SparseMatrix& a, const std::vector<double>& b,
     }
     a.multiply_parallel(p, ap, options.threads);
     const double pap = dot(p, ap);
-    ensure(pap > 0.0, "solve_cg: curvature non-positive (matrix not SPD?)");
+    if (!(pap > 0.0)) {  // negated compare also catches NaN curvature
+      return break_down(it,
+                        "solve_cg: curvature non-positive (matrix not SPD?)");
+    }
     const double alpha = rz / pap;
     double rr_next = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -171,6 +199,14 @@ SolveResult solve_cg(const SparseMatrix& a, const std::vector<double>& b,
       rr_next += r[i] * r[i];
     }
     rr = rr_next;
+    if (!std::isfinite(rr)) {
+      return break_down(it + 1, "solve_cg: residual became non-finite");
+    }
+    if (rr < best_rr) {
+      best_rr = rr;
+    } else if (rr > options.divergence_factor * best_rr) {
+      return break_down(it + 1, "solve_cg: divergence detected");
+    }
     preconditioner->apply(r, z);
     const double rz_next = dot(r, z);
     const double beta = rz_next / rz;
@@ -182,6 +218,82 @@ SolveResult solve_cg(const SparseMatrix& a, const std::vector<double>& b,
   out.residual_norm = std::sqrt(rr);
   out.converged = out.residual_norm <= target;
   return finish(std::move(out));
+}
+
+namespace {
+
+/// One "fault_absorbed" record per fallback hop so trace_tools can audit
+/// which solves needed rescuing and why.
+void report_solver_fallback(const SolveResult& failed, const char* action) {
+  obs::RunReport& report = obs::RunReport::instance();
+  if (!report.enabled()) return;
+  report.emit("fault_absorbed", [&](obs::JsonWriter& w) {
+    w.add("stage", "solver")
+        .add("fault", failed.breakdown ? "cg_breakdown" : "cg_nonconvergence")
+        .add("action", action)
+        .add("iterations", failed.iterations)
+        .add("residual_norm", failed.residual_norm);
+  });
+}
+
+}  // namespace
+
+SolveResult solve_cg_resilient(const SparseMatrix& a,
+                               const std::vector<double>& b,
+                               const SolverOptions& options,
+                               std::vector<double> x0,
+                               const Preconditioner* preconditioner,
+                               SolverStats* stats, const char* label) {
+  const bool custom_setup = preconditioner != nullptr || !x0.empty();
+  SolverOptions opts = options;
+  opts.throw_on_breakdown = false;
+
+  SolveResult first =
+      solve_cg(a, b, opts, std::move(x0), preconditioner, stats);
+  first.attempt_chain = label ? label : (preconditioner ? "custom" : "jacobi");
+  if (first.converged) return first;
+
+  GlobalSolverCounters& global = global_solver_counters();
+
+  // Attempt 2: plain Jacobi-CG from zeros — drops the caller's
+  // preconditioner and warm start, either of which may be the poison.
+  // Pointless when attempt 1 already ran that exact configuration.
+  if (custom_setup) {
+    global.fallbacks.add(1);
+    if (stats) stats->fallbacks += 1;
+    report_solver_fallback(first, "jacobi_restart");
+    SolveResult second = solve_cg(a, b, opts, {}, nullptr, stats);
+    second.attempts = first.attempts + 1;
+    second.attempt_chain = first.attempt_chain + ">jacobi";
+    if (second.converged) return second;
+    first = std::move(second);
+  }
+
+  // Attempt 3: relaxed-tolerance Jacobi-CG with a 4x iteration budget.
+  // A success here is usable but flagged degraded (the ISSUE's
+  // "tightened-tolerance retry" read literally cannot rescue a solve that
+  // failed at the looser tolerance; DESIGN.md §8 records this reading).
+  global.fallbacks.add(1);
+  if (stats) stats->fallbacks += 1;
+  report_solver_fallback(first, "relaxed_retry");
+  SolverOptions relaxed = opts;
+  relaxed.tolerance = opts.tolerance * 100.0;
+  relaxed.max_iterations = opts.max_iterations * 4;
+  SolveResult last = solve_cg(a, b, relaxed, {}, nullptr, stats);
+  last.attempts = first.attempts + 1;
+  last.attempt_chain = first.attempt_chain + ">jacobi-relaxed";
+  last.degraded = last.converged;
+  obs::RunReport& report = obs::RunReport::instance();
+  if (report.enabled()) {
+    report.emit("degraded_result", [&](obs::JsonWriter& w) {
+      w.add("stage", "solver")
+          .add("what", last.converged ? "relaxed_tolerance_solution"
+                                      : "solve_failed_all_attempts")
+          .add("attempt_chain", last.attempt_chain)
+          .add("residual_norm", last.residual_norm);
+    });
+  }
+  return last;
 }
 
 SolveResult solve_gauss_seidel(const SparseMatrix& a,

@@ -11,7 +11,9 @@
 /// Gauss-Seidel is kept as a reference and for the solver-ablation bench.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/sparse.hpp"
@@ -51,12 +53,19 @@ struct SolverStats {
   std::size_t iterations = 0;   ///< CG iterations across all solves
   std::size_t vcycles = 0;      ///< multigrid V-cycles across all solves
   double wall_seconds = 0.0;    ///< wall time spent inside solve_cg
+  /// Extra attempts consumed by solve_cg_resilient fallback chains (0 when
+  /// every solve succeeded on its first attempt).
+  std::size_t fallbacks = 0;
+  /// Attempts that ended in CG breakdown or detected divergence.
+  std::size_t breakdowns = 0;
 
   void merge(const SolverStats& other) {
     solves += other.solves;
     iterations += other.iterations;
     vcycles += other.vcycles;
     wall_seconds += other.wall_seconds;
+    fallbacks += other.fallbacks;
+    breakdowns += other.breakdowns;
   }
 };
 
@@ -78,6 +87,18 @@ struct SolveResult {
   std::size_t iterations = 0;   ///< iterations actually used
   double residual_norm = 0.0;   ///< final ||b - Ax||_2
   bool converged = false;       ///< true if tolerance was reached
+  /// CG breakdown: non-positive curvature (matrix or preconditioner not
+  /// SPD), a non-finite residual, or detected divergence. Only reported
+  /// when SolverOptions::throw_on_breakdown is false.
+  bool breakdown = false;
+  /// True when the solution only met a relaxed tolerance on the final
+  /// fallback attempt (solve_cg_resilient): usable but degraded.
+  bool degraded = false;
+  /// Solve attempts consumed (1 unless a fallback chain ran).
+  std::uint32_t attempts = 1;
+  /// Human-readable attempt chain, e.g. "multigrid>jacobi" (the resilient
+  /// path fills this; a plain solve_cg leaves it empty).
+  std::string attempt_chain;
 };
 
 /// Options shared by the iterative solvers.
@@ -85,6 +106,14 @@ struct SolverOptions {
   double tolerance = 1e-9;      ///< relative residual target ||r||/||b||
   std::size_t max_iterations = 20000;
   std::size_t threads = 1;      ///< worker threads for the SpMV
+  /// When true (default), CG breakdown raises aqua::Error as before; when
+  /// false, the solve returns with SolveResult::breakdown set so callers
+  /// (solve_cg_resilient) can fall back instead of dying.
+  bool throw_on_breakdown = true;
+  /// Divergence detector: bail out (breakdown) when ||r||^2 exceeds this
+  /// factor times the best ||r||^2 seen so far. Converging solves never
+  /// trip it, so enabling costs nothing on the healthy path.
+  double divergence_factor = 1e8;
 };
 
 /// Preconditioned conjugate gradients for SPD systems.
@@ -96,6 +125,24 @@ SolveResult solve_cg(const SparseMatrix& a, const std::vector<double>& b,
                      std::vector<double> x0 = {},
                      const Preconditioner* preconditioner = nullptr,
                      SolverStats* stats = nullptr);
+
+/// Degradation wrapper around solve_cg (DESIGN.md §8): attempt 1 runs
+/// exactly as asked (bit-identical to a plain solve_cg when it succeeds);
+/// on breakdown, divergence or non-convergence it falls back to plain
+/// Jacobi-CG from a zero start (the caller's preconditioner or warm start
+/// may be the poison), and finally to a relaxed-tolerance Jacobi-CG retry
+/// with a 4x iteration budget whose success is flagged as degraded. The
+/// attempt chain is recorded in SolveResult::attempt_chain, fallback and
+/// breakdown counts in the global solver.* counters (SolverStats), and a
+/// "fault_absorbed"/"degraded_result" run-report record is emitted per
+/// fallback. `label` names attempt 1 in the chain (e.g. "multigrid").
+SolveResult solve_cg_resilient(const SparseMatrix& a,
+                               const std::vector<double>& b,
+                               const SolverOptions& options = {},
+                               std::vector<double> x0 = {},
+                               const Preconditioner* preconditioner = nullptr,
+                               SolverStats* stats = nullptr,
+                               const char* label = nullptr);
 
 /// Gauss-Seidel fixed-point iteration; converges for the diagonally dominant
 /// thermal systems but much slower than CG. Reference / ablation use.

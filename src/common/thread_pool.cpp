@@ -25,6 +25,8 @@ struct PoolMetrics {
   obs::Gauge& queue_depth =
       obs::Registry::instance().gauge("pool.queue_depth");
   obs::Gauge& workers = obs::Registry::instance().gauge("pool.workers");
+  obs::Counter& task_exceptions =
+      obs::Registry::instance().counter("pool.task_exceptions");
 };
 
 PoolMetrics& pool_metrics() {
@@ -112,6 +114,7 @@ void parallel_for(ThreadPool& pool, std::size_t count,
         try {
           body(i);
         } catch (...) {
+          pool_metrics().task_exceptions.add(1);
           std::lock_guard lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }

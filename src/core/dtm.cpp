@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -31,7 +32,8 @@ void report_decision(double t, double peak_c, std::size_t from,
 DtmResult simulate_dtm(StackThermalModel& model, const ChipModel& chip,
                        std::size_t nominal_step, double duration_s,
                        const DtmPolicy& policy,
-                       const TransientOptions& transient_options) {
+                       const TransientOptions& transient_options,
+                       const SensorFaultModel& sensors) {
   const VfsLadder& ladder = chip.ladder();
   require(nominal_step < ladder.size(), "nominal step out of range");
   require(policy.release_c < policy.trigger_c,
@@ -57,6 +59,15 @@ DtmResult simulate_dtm(StackThermalModel& model, const ChipModel& chip,
   TransientSolver solver(model, transient_options);
   solver.reset();
 
+  // Plausibility envelope for sensor readings: anything outside is a
+  // physically impossible die temperature and must never steer DVFS.
+  constexpr double kMinPlausibleC = -20.0;
+  constexpr double kMaxPlausibleC = 150.0;
+  const bool sensors_faulty = !sensors.empty();
+  Xoshiro256 sensor_rng(sensors.seed);
+  double last_raw_reading = 0.0;
+  bool have_raw_reading = false;
+
   std::size_t step = nominal_step;
   double ghz_time = 0.0;
   double nominal_time = 0.0;
@@ -67,6 +78,8 @@ DtmResult simulate_dtm(StackThermalModel& model, const ChipModel& chip,
     solver.continue_run(span, [&powers](double) { return powers; });
     t = solver.now_s();
 
+    // The physics peak is always tracked; the controller only ever sees
+    // the (possibly faulted) sensor reading below.
     const double peak = solver.max_die_temperature_c();
     result.peak_c = std::max(result.peak_c, peak);
     ghz_time += ladder.step(step).gigahertz() * span;
@@ -74,17 +87,61 @@ DtmResult simulate_dtm(StackThermalModel& model, const ChipModel& chip,
     result.samples.push_back(
         {t, peak, step, ladder.step(step).gigahertz()});
 
+    double reading = peak;
+    bool missing = false;
+    if (sensors_faulty) {
+      // Fixed draw order (dropout, stuck, noise) keeps the fault sequence
+      // a pure function of the seed, independent of which faults fire.
+      const double u_drop = sensor_rng.uniform();
+      const double u_stuck = sensor_rng.uniform();
+      const double u_noise = sensor_rng.uniform(-1.0, 1.0);
+      if (u_drop < sensors.dropout_prob) {
+        missing = true;
+        ++result.sensor_dropouts;
+      } else if (u_stuck < sensors.stuck_prob && have_raw_reading) {
+        reading = last_raw_reading;
+        ++result.sensor_stuck;
+      } else if (sensors.noise_c > 0.0) {
+        reading += sensors.noise_c * u_noise;
+      }
+    }
+    if (!missing) {
+      last_raw_reading = reading;
+      have_raw_reading = true;
+    }
+
+    // Only an injected fault model can make readings untrustworthy; the
+    // fault-free controller keeps its original (always-trusting) behavior
+    // bit-identically, even for physics excursions past the envelope.
+    const bool plausible =
+        !sensors_faulty ||
+        (!missing && std::isfinite(reading) && reading >= kMinPlausibleC &&
+         reading <= kMaxPlausibleC);
+    if (!plausible) {
+      // Fail-safe: never trust a missing/implausible reading — step down
+      // one notch and wait for a believable sample.
+      ++result.failsafe_steps;
+      if (step > 0) {
+        report_decision(t, reading, step, step - 1, "failsafe");
+        --step;
+        ++result.throttle_events;
+      } else {
+        report_decision(t, reading, step, step, "failsafe");
+      }
+      continue;
+    }
+
     // Hysteresis DVFS decision for the next interval.
-    if (peak > policy.trigger_c + policy.emergency_margin_c && step > 0) {
-      report_decision(t, peak, step, 0, "emergency");
+    if (reading > policy.trigger_c + policy.emergency_margin_c && step > 0) {
+      report_decision(t, reading, step, 0, "emergency");
       step = 0;  // thermal emergency: straight to the floor
       ++result.throttle_events;
-    } else if (peak > policy.trigger_c && step > 0) {
-      report_decision(t, peak, step, step - 1, "throttle");
+    } else if (reading > policy.trigger_c && step > 0) {
+      report_decision(t, reading, step, step - 1, "throttle");
       --step;
       ++result.throttle_events;
-    } else if (peak < policy.release_c && step < nominal_step) {
-      report_decision(t, peak, step, step + 1, "release");
+    } else if (reading < policy.release_c && step < nominal_step) {
+      report_decision(t, reading, step, step + 1, "release");
       ++step;
     }
   }
@@ -92,6 +149,28 @@ DtmResult simulate_dtm(StackThermalModel& model, const ChipModel& chip,
   static obs::Counter& throttles =
       obs::Registry::instance().counter("dtm.throttle_events");
   throttles.add(result.throttle_events);
+
+  if (sensors_faulty) {
+    obs::RunReport& report = obs::RunReport::instance();
+    if (report.enabled()) {
+      report.emit("fault_injected", [&](obs::JsonWriter& w) {
+        w.add("stage", "dtm")
+            .add("fault", "sensor")
+            .add("count", static_cast<std::uint64_t>(
+                              result.sensor_dropouts + result.sensor_stuck))
+            .add("dropouts",
+                 static_cast<std::uint64_t>(result.sensor_dropouts))
+            .add("stuck", static_cast<std::uint64_t>(result.sensor_stuck));
+      });
+      report.emit("fault_absorbed", [&](obs::JsonWriter& w) {
+        w.add("stage", "dtm")
+            .add("fault", "sensor")
+            .add("action", "failsafe_stepdown")
+            .add("count",
+                 static_cast<std::uint64_t>(result.failsafe_steps));
+      });
+    }
+  }
 
   result.effective_ghz = ghz_time / duration_s;
   result.time_at_nominal = nominal_time / duration_s;

@@ -9,6 +9,7 @@
 /// The interesting output is the *effective* frequency each cooling option
 /// sustains when nominally clocked beyond its steady-state cap.
 
+#include <cstdint>
 #include <vector>
 
 #include "power/chip_model.hpp"
@@ -26,6 +27,23 @@ struct DtmPolicy {
   double emergency_margin_c = 8.0;
 };
 
+/// Temperature-sensor fault model for simulate_dtm. Each control-period
+/// sample may drop out entirely, stick at the last raw reading, or carry
+/// uniform noise — drawn deterministically from `seed`, so identical
+/// configurations replay identical fault sequences. The default (all
+/// probabilities zero) injects nothing and leaves the controller on the
+/// exact fault-free code path.
+struct SensorFaultModel {
+  double dropout_prob = 0.0;  ///< P(sample missing) per control period
+  double stuck_prob = 0.0;    ///< P(sample repeats the previous raw value)
+  double noise_c = 0.0;       ///< half-width of uniform additive noise (C)
+  std::uint64_t seed = 0x5eedu;
+
+  [[nodiscard]] bool empty() const {
+    return dropout_prob <= 0.0 && stuck_prob <= 0.0 && noise_c <= 0.0;
+  }
+};
+
 /// One controller sample.
 struct DtmSample {
   double time_s = 0.0;
@@ -41,6 +59,10 @@ struct DtmResult {
   double time_at_nominal = 0.0;  ///< fraction of time at the nominal step
   std::size_t throttle_events = 0;
   double peak_c = 0.0;
+  // Sensor-fault accounting (all zero without an injected fault model).
+  std::size_t sensor_dropouts = 0;  ///< samples that went missing
+  std::size_t sensor_stuck = 0;     ///< samples stuck at the prior reading
+  std::size_t failsafe_steps = 0;   ///< fail-safe step-downs taken
 };
 
 /// Simulates `duration_s` of execution starting cold at the chip's
@@ -49,9 +71,17 @@ struct DtmResult {
 ///
 /// `model` must describe a stack of copies of `chip` (layer floorplans are
 /// used to build per-step power maps).
+///
+/// `sensors` injects temperature-sensor faults. The controller fail-safes:
+/// a missing or implausible reading (non-finite or outside the physical
+/// envelope) is never trusted — it triggers a one-step frequency
+/// step-down instead (DESIGN.md §8), counted in DtmResult::failsafe_steps.
+/// The true die peak is always tracked in DtmResult::peak_c regardless of
+/// what the faulty sensor reported.
 DtmResult simulate_dtm(StackThermalModel& model, const ChipModel& chip,
                        std::size_t nominal_step, double duration_s,
                        const DtmPolicy& policy = {},
-                       const TransientOptions& transient = {});
+                       const TransientOptions& transient = {},
+                       const SensorFaultModel& sensors = {});
 
 }  // namespace aqua

@@ -1,12 +1,16 @@
 #include "core/experiments.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <functional>
+#include <mutex>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "resilience/journal.hpp"
 
 namespace aqua {
 
@@ -29,6 +33,24 @@ void report_experiment(const char* name,
         .add("cg_iterations", static_cast<std::uint64_t>(solver.iterations))
         .add("vcycles", static_cast<std::uint64_t>(solver.vcycles));
   });
+}
+
+/// Runs one sweep cell with isolate-and-continue semantics: cells named in
+/// AQUA_FAULT_CELL throw deterministically, and any exception is journaled
+/// instead of aborting the sweep. Returns false when the cell failed (the
+/// caller marks the table hole / failed list).
+bool run_cell(SweepJournal& journal, const std::string& cell,
+              const std::function<void()>& body) {
+  try {
+    require(!journal.poisoned(cell),
+            std::string("cell poisoned by ") + SweepJournal::kPoisonEnv +
+                ": " + cell);
+    body();
+    return true;
+  } catch (const std::exception& e) {
+    journal.record_failed(cell, e.what());
+    return false;
+  }
 }
 
 }  // namespace
@@ -69,22 +91,53 @@ FreqVsChipsData frequency_vs_chips(const ChipModel& chip,
     data.series[k].ghz.resize(max_chips);
   }
 
+  SweepJournal journal("freq_vs_chips");
+  std::mutex failed_mu;
+  std::atomic<std::size_t> resumed{0};
+
   // One task per stack height, run on the process-wide shared pool. Each
   // task owns one finder and walks every cooling option on it: the matrix
   // structure and multigrid hierarchy are assembled once per height, and
   // each cooling change is only a boundary value-refresh on that cached
-  // model. (Grid models are not shared across threads.)
+  // model. (Grid models are not shared across threads.) The finder is
+  // built lazily so a fully journal-resumed height costs nothing.
   parallel_for(max_chips, [&](std::size_t c) {
     const std::size_t chips = c + 1;
     AQUA_TRACE_SCOPE_ARG("experiment.height", "experiment", chips);
-    MaxFrequencyFinder finder(chip, PackageConfig{}, threshold_c, grid);
+    std::optional<MaxFrequencyFinder> finder;
     for (std::size_t k = 0; k < options.size(); ++k) {
-      const FrequencyCap cap = finder.find(chips, options[k]);
-      if (cap.feasible) {
-        data.series[k].ghz[chips - 1] = cap.frequency.gigahertz();
+      const std::string cell = "chip=" + data.chip_name +
+                               ";chips=" + std::to_string(chips) +
+                               ";cooling=" + options[k].name();
+      if (const auto* values = journal.lookup(cell)) {
+        const auto feasible = values->find("feasible");
+        const auto ghz = values->find("ghz");
+        if (feasible != values->end() && feasible->second > 0.5 &&
+            ghz != values->end()) {
+          data.series[k].ghz[chips - 1] = ghz->second;
+        }
+        resumed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const bool ok = run_cell(journal, cell, [&] {
+        if (!finder) finder.emplace(chip, PackageConfig{}, threshold_c, grid);
+        const FrequencyCap cap = finder->find(chips, options[k]);
+        std::map<std::string, double> values{
+            {"feasible", cap.feasible ? 1.0 : 0.0}};
+        if (cap.feasible) {
+          data.series[k].ghz[chips - 1] = cap.frequency.gigahertz();
+          values["ghz"] = cap.frequency.gigahertz();
+        }
+        journal.record_ok(cell, values);
+      });
+      if (!ok) {
+        std::lock_guard lock(failed_mu);
+        data.failed_cells.push_back(cell);
       }
     }
   });
+  data.resumed_cells = resumed.load();
+  std::sort(data.failed_cells.begin(), data.failed_cells.end());
   // Sweep-wide solver totals come from the process-wide registry counters
   // that solve_cg publishes, so no per-finder mutex/merge plumbing is
   // needed (and work from every thread is captured exactly once).
@@ -113,7 +166,7 @@ std::optional<double> NpbData::mean_relative(CoolingKind kind) const {
 NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
                        CoolingKind baseline, double threshold_c,
                        double instruction_scale, GridOptions grid,
-                       std::uint64_t seed) {
+                       std::uint64_t seed, const PerfFaultPlan& faults) {
   require(instruction_scale > 0.0, "instruction scale must be positive");
   AQUA_TRACE_SCOPE_ARG("experiment.npb", "experiment", chips);
   const auto start = std::chrono::steady_clock::now();
@@ -154,17 +207,48 @@ NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
     data.rows[b].relative.resize(data.coolings.size());
   }
 
+  SweepJournal journal("npb");
+  std::mutex failed_mu;
+  std::atomic<std::size_t> resumed{0};
+  std::atomic<std::uint64_t> cores_failed{0};
+  data.degraded = !faults.empty();
+
   // One DES run per feasible (benchmark, cooling) pair, in parallel on the
-  // shared pool.
+  // shared pool. Each cell is isolated: a throwing cell leaves a table
+  // hole and a journal record instead of taking the sweep down.
   const std::size_t cells = suite.size() * data.coolings.size();
   parallel_for(cells, [&](std::size_t cell) {
     const std::size_t b = cell / data.coolings.size();
     const std::size_t k = cell % data.coolings.size();
     if (!data.caps[k].feasible) return;
     AQUA_TRACE_SCOPE_ARG("experiment.npb_cell", "experiment", cell);
-    CmpSystem system(base_config, suite[b], data.caps[k].frequency, seed);
-    data.rows[b].seconds[k] = system.run().seconds;
+    const std::string cellkey =
+        "chip=" + data.chip_name + ";chips=" + std::to_string(chips) +
+        ";bench=" + suite[b].name + ";cooling=" + to_string(data.coolings[k]);
+    if (const auto* values = journal.lookup(cellkey)) {
+      const auto seconds = values->find("seconds");
+      if (seconds != values->end()) {
+        data.rows[b].seconds[k] = seconds->second;
+        resumed.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    const bool ok = run_cell(journal, cellkey, [&] {
+      CmpSystem system(base_config, suite[b], data.caps[k].frequency, seed);
+      if (!faults.empty()) system.inject_faults(faults);
+      const ExecStats stats = system.run();
+      data.rows[b].seconds[k] = stats.seconds;
+      cores_failed.store(stats.cores_failed, std::memory_order_relaxed);
+      journal.record_ok(cellkey, {{"seconds", stats.seconds}});
+    });
+    if (!ok) {
+      std::lock_guard lock(failed_mu);
+      data.failed_cells.push_back(cellkey);
+    }
   });
+  data.resumed_cells = resumed.load();
+  data.cores_failed = cores_failed.load();
+  std::sort(data.failed_cells.begin(), data.failed_cells.end());
 
   // Normalize to the baseline option.
   std::size_t base_idx = data.coolings.size();
@@ -212,24 +296,41 @@ std::vector<HtcSweepPoint> htc_sweep(const ChipModel& chip, std::size_t chips,
   AQUA_TRACE_SCOPE_ARG("experiment.htc_sweep", "experiment", chips);
   const auto start = std::chrono::steady_clock::now();
   const SolverStats before = solver_totals();
+  SweepJournal journal("htc_sweep");
   std::vector<HtcSweepPoint> points(htcs.size());
   parallel_for(htcs.size(), [&](std::size_t i) {
-    PackageConfig package;
-    // Boundary with the swept coefficient on both wetted paths (the sweep
-    // generalizes the immersion options).
-    ThermalBoundary boundary;
-    boundary.ambient_c = package.ambient_c;
-    boundary.top_htc = HeatTransferCoefficient(htcs[i]);
-    boundary.bottom_htc = HeatTransferCoefficient(htcs[i]);
-    boundary.film_on_bottom = true;
-
-    const Stack3d stack(chip.floorplan(), chips, FlipPolicy::kNone);
-    StackThermalModel model(stack, package, boundary, grid);
-    std::vector<std::vector<double>> powers;
-    for (std::size_t l = 0; l < stack.layer_count(); ++l) {
-      powers.push_back(chip.block_powers(stack.layer(l), chip.max_frequency()));
+    const std::string cell = "chip=" + chip.name() +
+                             ";chips=" + std::to_string(chips) +
+                             ";htc=" + std::to_string(htcs[i]);
+    if (const auto* values = journal.lookup(cell)) {
+      const auto temp = values->find("temperature_c");
+      if (temp != values->end()) {
+        points[i] = {htcs[i], temp->second};
+        return;
+      }
     }
-    points[i] = {htcs[i], model.solve_steady(powers).max_die_temperature_c()};
+    const bool ok = run_cell(journal, cell, [&] {
+      PackageConfig package;
+      // Boundary with the swept coefficient on both wetted paths (the sweep
+      // generalizes the immersion options).
+      ThermalBoundary boundary;
+      boundary.ambient_c = package.ambient_c;
+      boundary.top_htc = HeatTransferCoefficient(htcs[i]);
+      boundary.bottom_htc = HeatTransferCoefficient(htcs[i]);
+      boundary.film_on_bottom = true;
+
+      const Stack3d stack(chip.floorplan(), chips, FlipPolicy::kNone);
+      StackThermalModel model(stack, package, boundary, grid);
+      std::vector<std::vector<double>> powers;
+      for (std::size_t l = 0; l < stack.layer_count(); ++l) {
+        powers.push_back(
+            chip.block_powers(stack.layer(l), chip.max_frequency()));
+      }
+      points[i] = {htcs[i],
+                   model.solve_steady(powers).max_die_temperature_c()};
+      journal.record_ok(cell, {{"temperature_c", points[i].temperature_c}});
+    });
+    if (!ok) points[i] = {htcs[i], 0.0, /*failed=*/true};
   });
   report_experiment("htc_sweep", start, solver_totals_since(before));
   return points;
@@ -243,15 +344,35 @@ std::vector<RotationPoint> rotation_sweep(const ChipModel& chip,
   const auto start = std::chrono::steady_clock::now();
   const SolverStats before = solver_totals();
   const VfsLadder& ladder = chip.ladder();
+  SweepJournal journal("rotation_sweep");
   std::vector<RotationPoint> points(ladder.size());
   parallel_for(ladder.size(), [&](std::size_t i) {
-    MaxFrequencyFinder finder(chip, PackageConfig{}, 80.0, grid);
     const Hertz f = ladder.step(i);
     points[i].ghz = f.gigahertz();
-    points[i].temperature_no_flip_c =
-        finder.temperature_at(chips, cooling, f, FlipPolicy::kNone);
-    points[i].temperature_flip_c =
-        finder.temperature_at(chips, cooling, f, FlipPolicy::kFlipEven);
+    const std::string cell = "chip=" + chip.name() +
+                             ";chips=" + std::to_string(chips) +
+                             ";cooling=" + cooling.name() +
+                             ";step=" + std::to_string(i);
+    if (const auto* values = journal.lookup(cell)) {
+      const auto no_flip = values->find("no_flip_c");
+      const auto flip = values->find("flip_c");
+      if (no_flip != values->end() && flip != values->end()) {
+        points[i].temperature_no_flip_c = no_flip->second;
+        points[i].temperature_flip_c = flip->second;
+        return;
+      }
+    }
+    const bool ok = run_cell(journal, cell, [&] {
+      MaxFrequencyFinder finder(chip, PackageConfig{}, 80.0, grid);
+      points[i].temperature_no_flip_c =
+          finder.temperature_at(chips, cooling, f, FlipPolicy::kNone);
+      points[i].temperature_flip_c =
+          finder.temperature_at(chips, cooling, f, FlipPolicy::kFlipEven);
+      journal.record_ok(cell,
+                        {{"no_flip_c", points[i].temperature_no_flip_c},
+                         {"flip_c", points[i].temperature_flip_c}});
+    });
+    if (!ok) points[i].failed = true;
   });
   report_experiment("rotation_sweep", start, solver_totals_since(before));
   return points;

@@ -12,6 +12,7 @@
 #include "core/cooling.hpp"
 #include "core/cosim.hpp"
 #include "core/freq_cap.hpp"
+#include "perf/faults.hpp"
 #include "perf/workload.hpp"
 
 namespace aqua {
@@ -37,6 +38,12 @@ struct FreqVsChipsData {
   /// Aggregated linear-solver counters over the whole sweep (every finder,
   /// every bisection step) — what the benches print and emit as JSON.
   SolverStats solver;
+  /// Cells that threw and were isolated (journal cell keys, e.g.
+  /// "chip=low_power_cmp;chips=3;cooling=water"); their table entries stay
+  /// empty. An aborted cell never aborts the sweep.
+  std::vector<std::string> failed_cells;
+  /// Cells served from an AQUA_SWEEP_RESUME journal instead of recomputed.
+  std::size_t resumed_cells = 0;
 
   /// Curve for one cooling kind (throws if absent).
   [[nodiscard]] const FreqVsChipsSeries& of(CoolingKind kind) const;
@@ -78,6 +85,12 @@ struct NpbData {
   std::vector<CoolingKind> coolings;
   std::vector<FrequencyCap> caps;   ///< per cooling option
   std::vector<NpbRow> rows;         ///< one per NPB program + "avg"
+  /// Isolated cell failures / journal resumes (see FreqVsChipsData).
+  std::vector<std::string> failed_cells;
+  std::size_t resumed_cells = 0;
+  /// True when a non-empty fault plan was injected into the DES runs.
+  bool degraded = false;
+  std::uint64_t cores_failed = 0;   ///< per-run plan losses (one run's worth)
 
   /// Mean relative time of one cooling option over the benchmarks.
   [[nodiscard]] std::optional<double> mean_relative(CoolingKind kind) const;
@@ -87,11 +100,15 @@ struct NpbData {
 /// non-air cooling options (the paper omits air for 6+ chips), normalized
 /// to `baseline`. `instruction_scale` scales per-thread instruction counts
 /// (1.0 = the default profile length). The 9 x 4 simulations run on the
-/// process-wide shared pool.
+/// process-wide shared pool. A non-empty `faults` plan is injected into
+/// every DES run (same plan per cell, so relative times stay comparable)
+/// and marks the result degraded; an empty plan leaves the runs
+/// bit-identical to the pre-fault-layer pipeline.
 NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
                        CoolingKind baseline, double threshold_c = 80.0,
                        double instruction_scale = 1.0,
-                       GridOptions grid = {}, std::uint64_t seed = 1);
+                       GridOptions grid = {}, std::uint64_t seed = 1,
+                       const PerfFaultPlan& faults = {});
 
 // ---------------------------------------------------------------------------
 // Temperature vs. heat-transfer coefficient (Fig. 14)
@@ -100,6 +117,7 @@ NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
 struct HtcSweepPoint {
   double htc;           ///< W/(m^2 K) applied to both wetted paths
   double temperature_c; ///< peak die temperature at max frequency
+  bool failed = false;  ///< the cell threw and was isolated
 };
 
 /// Sweeps the coolant coefficient for a `chips`-high stack at the chip's
@@ -117,6 +135,7 @@ struct RotationPoint {
   double ghz;
   double temperature_no_flip_c;
   double temperature_flip_c;
+  bool failed = false;  ///< the cell threw and was isolated
 };
 
 /// Temperature vs. frequency with and without 180-degree rotation of even

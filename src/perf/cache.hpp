@@ -109,6 +109,14 @@ class SetAssocCache {
     return n;
   }
 
+  /// Visits every valid line in storage order (set-major, then way). Used
+  /// by the fault layer to flush a dying core's L1 back to the directory.
+  void for_each(const std::function<void(LineAddr, LineState&)>& visit) {
+    for (Way& w : ways_) {
+      if (w.valid) visit(w.line, w.state);
+    }
+  }
+
  private:
   struct Way {
     bool valid = false;

@@ -1,0 +1,58 @@
+#pragma once
+
+/// Fault plan consumed by the perf layer (CmpSystem / Mesh3d).
+///
+/// A plan is data, not policy: the resilience layer (src/resilience)
+/// derives plans from the prototype hazard models and hands them to
+/// `CmpSystem::inject_faults` before `run()`. An empty plan is the
+/// contract-level no-op — every fault hook in the perf layer is inert
+/// unless a plan was injected, so fault-free runs stay bit-identical to
+/// the pre-fault simulator (DESIGN.md §8).
+///
+/// Timing semantics:
+///  - Core faults with `at_cycle == 0` are dead-at-start: the workload is
+///    launched with one thread per *live* core (per-thread work unchanged,
+///    so cluster throughput scales with survivors).
+///  - Core faults with `at_cycle > 0` kill the core mid-run: it stops
+///    fetching at its next quiesce point (no outstanding miss), flushes
+///    its L1 back to the directory, and leaves the barrier population.
+///  - NoC faults are cycle-0 only (links/routers never fail under
+///    traffic — a wormhole mesh cannot lose in-flight flits and stay
+///    coherent); router kills are restricted to the tile of a
+///    dead-at-start core.
+#include <cstddef>
+#include <vector>
+
+#include "perf/params.hpp"
+
+namespace aqua {
+
+/// One core loss. `core` is the global core index.
+struct CoreFault {
+  std::size_t core = 0;
+  Cycle at_cycle = 0;  ///< 0 = dead at start, otherwise mid-run kill cycle
+};
+
+/// One bidirectional mesh-link loss (both tiles keep running).
+struct LinkFault {
+  NodeId a = 0;
+  NodeId b = 0;
+};
+
+/// One router loss. Must be the tile of a core that is dead at start.
+struct RouterFault {
+  NodeId tile = 0;
+};
+
+struct PerfFaultPlan {
+  std::vector<CoreFault> core_faults;
+  std::vector<LinkFault> link_faults;
+  std::vector<RouterFault> router_faults;
+
+  [[nodiscard]] bool empty() const {
+    return core_faults.empty() && link_faults.empty() &&
+           router_faults.empty();
+  }
+};
+
+}  // namespace aqua

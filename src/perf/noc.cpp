@@ -74,13 +74,106 @@ Mesh3d::Port Mesh3d::opposite(Port p) {
   }
 }
 
-Mesh3d::Port Mesh3d::route(NodeId at, NodeId dst) const {
+Mesh3d::Port Mesh3d::dor_port(NodeId at, NodeId dst) const {
   const TileCoord a = coords_[at];
   const TileCoord b = coords_[dst];
   if (a.x != b.x) return a.x < b.x ? kXPos : kXNeg;
   if (a.y != b.y) return a.y < b.y ? kYPos : kYNeg;
   if (a.z != b.z) return a.z < b.z ? kUp : kDown;
   return kLocal;
+}
+
+Mesh3d::Port Mesh3d::route(NodeId at, NodeId dst) const {
+  if (faulted_) {
+    return static_cast<Port>(reroute_[dst * routers_.size() + at]);
+  }
+  return dor_port(at, dst);
+}
+
+void Mesh3d::fail_link(NodeId a, NodeId b) {
+  require(flits_in_network_ == 0 && stats_.packets_delivered == 0,
+          "NoC faults are cycle-0 only (no traffic yet)");
+  require(a < routers_.size() && b < routers_.size(), "fail_link: bad tile");
+  Port port = kPortCount;
+  for (std::uint8_t p = kXPos; p < kPortCount; ++p) {
+    if (neighbors_[a][p] == b) {
+      port = static_cast<Port>(p);
+      break;
+    }
+  }
+  require(port != kPortCount, "fail_link: tiles are not adjacent");
+  neighbors_[a][port] = kNoNeighbor;
+  neighbors_[b][opposite(port)] = kNoNeighbor;
+  rebuild_reroute();
+}
+
+void Mesh3d::fail_router(NodeId tile) {
+  require(flits_in_network_ == 0 && stats_.packets_delivered == 0,
+          "NoC faults are cycle-0 only (no traffic yet)");
+  require(tile < routers_.size(), "fail_router: bad tile");
+  if (router_dead_.empty()) router_dead_.assign(routers_.size(), 0);
+  router_dead_[tile] = 1;
+  for (std::uint8_t p = kXPos; p < kPortCount; ++p) {
+    const NodeId nbr = neighbors_[tile][p];
+    if (nbr == kNoNeighbor) continue;
+    neighbors_[tile][p] = kNoNeighbor;
+    neighbors_[nbr][opposite(static_cast<Port>(p))] = kNoNeighbor;
+  }
+  rebuild_reroute();
+}
+
+void Mesh3d::rebuild_reroute() {
+  const std::size_t tiles = routers_.size();
+  if (router_dead_.empty()) router_dead_.assign(tiles, 0);
+  reroute_.assign(tiles * tiles, static_cast<std::uint8_t>(kLocal));
+  std::vector<std::uint32_t> dist(tiles);
+  std::vector<NodeId> queue;
+  queue.reserve(tiles);
+  constexpr std::uint32_t kUnreached = ~std::uint32_t{0};
+
+  for (NodeId dst = 0; dst < tiles; ++dst) {
+    if (router_dead_[dst]) continue;
+    // BFS from the destination over surviving links (the mesh is
+    // undirected, so dist[] is the forward hop count too).
+    dist.assign(tiles, kUnreached);
+    dist[dst] = 0;
+    queue.clear();
+    queue.push_back(dst);
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const NodeId at = queue[qi];
+      for (std::uint8_t p = kXPos; p < kPortCount; ++p) {
+        const NodeId nbr = neighbors_[at][p];
+        if (nbr == kNoNeighbor || dist[nbr] != kUnreached) continue;
+        dist[nbr] = dist[at] + 1;
+        queue.push_back(nbr);
+      }
+    }
+    for (NodeId at = 0; at < tiles; ++at) {
+      if (at == dst || router_dead_[at]) continue;
+      ensure(dist[at] != kUnreached,
+             "NoC fault partitioned the mesh (live routers unreachable)");
+      // Prefer the dimension-order port whenever it still lies on a
+      // shortest surviving path — unaffected flows route exactly as the
+      // fault-free mesh would.
+      Port pick = kPortCount;
+      const Port dor = dor_port(at, dst);
+      const NodeId dor_nbr = neighbors_[at][dor];
+      if (dor_nbr != kNoNeighbor && dist[dor_nbr] + 1 == dist[at]) {
+        pick = dor;
+      } else {
+        for (std::uint8_t p = kXPos; p < kPortCount; ++p) {
+          const NodeId nbr = neighbors_[at][p];
+          if (nbr != kNoNeighbor && dist[nbr] + 1 == dist[at]) {
+            pick = static_cast<Port>(p);
+            break;
+          }
+        }
+      }
+      ensure(pick != kPortCount, "reroute: no shortest-path port");
+      reroute_[dst * tiles + at] = static_cast<std::uint8_t>(pick);
+    }
+  }
+  faulted_ = true;
 }
 
 bool Mesh3d::neighbor(NodeId at, Port port, NodeId& out) const {
@@ -138,6 +231,9 @@ Cycle Mesh3d::inject(Cycle now, Packet packet) {
     require(false, "packet endpoints out of range");
   }
   if (packet.vc >= 3) require(false, "packet vc class out of range");
+  if (faulted_ && (router_dead_[packet.src] || router_dead_[packet.dst])) {
+    require(false, "packet endpoint is a dead router");
+  }
   packet.injected = now;
   packet.id = ++next_packet_id_;
 

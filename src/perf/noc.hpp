@@ -120,12 +120,28 @@ class Mesh3d {
   };
 
   /// Dimension-order (X, then Y, then Z) output port toward `dst` from
-  /// router `at`; kLocal when at == dst. Exposed for tests.
+  /// router `at`; kLocal when at == dst. Exposed for tests. After a
+  /// fail_link/fail_router, routing switches to a precomputed minimal
+  /// reroute table that follows dimension-order whenever the DOR port
+  /// still lies on a shortest surviving path.
   [[nodiscard]] Port route(NodeId at, NodeId dst) const;
 
   /// Neighbor of router `at` through `port`; returns false if the port
   /// faces the mesh edge. Exposed for tests.
   [[nodiscard]] bool neighbor(NodeId at, Port port, NodeId& out) const;
+
+  // -- Fault injection (cycle-0 only: must precede any traffic) ----------
+  /// Removes the bidirectional link a<->b and rebuilds the reroute table.
+  /// ensure()s the link exists and that live routers stay mutually
+  /// reachable (a partitioned mesh cannot degrade gracefully).
+  void fail_link(NodeId a, NodeId b);
+  /// Removes router `tile` (all its links). Traffic must never source or
+  /// sink at a dead router — the host kills the co-located core.
+  void fail_router(NodeId tile);
+  [[nodiscard]] bool router_dead(NodeId tile) const {
+    return faulted_ && router_dead_[tile] != 0;
+  }
+  [[nodiscard]] bool faulted() const { return faulted_; }
 
  private:
   /// A run of consecutive flits of one packet inside a VC buffer.
@@ -184,6 +200,11 @@ class Mesh3d {
 
   static Port opposite(Port p);
 
+  [[nodiscard]] Port dor_port(NodeId at, NodeId dst) const;
+  /// Recomputes reroute_ (BFS per destination over surviving links) and
+  /// validates live-router connectivity. Called by fail_link/fail_router.
+  void rebuild_reroute();
+
   bool drain_ni(Cycle now, NodeId node);
   void tick_router(Cycle now, NodeId id);
   void activate_router(NodeId id);
@@ -201,6 +222,11 @@ class Mesh3d {
   std::vector<std::array<NodeId, kPortCount>> neighbors_;  ///< kNoNeighbor = edge
   // Per-node, per-class injection queues (unbounded NI).
   std::vector<std::array<std::deque<NiPacket>, 3>> ni_;
+  // Fault state: empty/false until the first fail_* call, so the fault-free
+  // hot path pays one predictable branch in route().
+  bool faulted_ = false;
+  std::vector<std::uint8_t> router_dead_;              ///< by NodeId
+  std::vector<std::uint8_t> reroute_;  ///< [dst * tiles + at] -> Port
   std::uint64_t flits_in_network_ = 0;
   std::uint64_t next_packet_id_ = 0;
   Cycle last_tick_ = 0;

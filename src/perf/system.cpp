@@ -82,11 +82,12 @@ void CmpSystem::init_topology() {
   }
 
   noc_idle_skip_ = config_.noc_idle_skip || env_noc_idle_skip();
+  barrier_participants_ = cores_.size();
 }
 
 CmpSystem::CmpSystem(const CmpConfig& config, const WorkloadProfile& profile,
                      Hertz frequency, std::uint64_t seed)
-    : config_(config), profile_(profile), frequency_(frequency) {
+    : config_(config), profile_(profile), frequency_(frequency), seed_(seed) {
   init_topology();
   for (Core& core : cores_) {
     core.trace = std::make_unique<TraceGenerator>(
@@ -97,6 +98,7 @@ CmpSystem::CmpSystem(const CmpConfig& config, const WorkloadProfile& profile,
 CmpSystem::CmpSystem(const CmpConfig& config, const TraceBundle& bundle,
                      Hertz frequency)
     : config_(config), frequency_(frequency), replay_bundle_(bundle) {
+  replay_mode_ = true;
   init_topology();
   require(replay_bundle_.threads.size() == cores_.size(),
           "trace bundle must carry exactly one thread per core");
@@ -189,6 +191,10 @@ void CmpSystem::pending_event(void* ctx, void* target, const Message& msg) {
   }
   self->process_request(bank, msg);
   self->pump_pending(bank, msg.line);
+}
+
+void CmpSystem::kill_event(void* ctx, void* target, const Message&) {
+  static_cast<CmpSystem*>(ctx)->kill_core(*static_cast<Core*>(target));
 }
 
 void CmpSystem::pump_event(void* ctx, void*, const Message&) {
@@ -287,6 +293,12 @@ void CmpSystem::deliver(const Packet& packet) {
 
 void CmpSystem::advance_core(Core& core) {
   if (core.finished) return;
+  if (core.dying) {
+    // Quiesce point reached (no outstanding miss, not mid-access): the
+    // pending mid-run kill retires the core here.
+    retire_core(core);
+    return;
+  }
   ensure(!core.miss_active, "core advanced with a miss outstanding");
 
   const TraceOp op = core.trace->next();
@@ -535,7 +547,16 @@ void CmpSystem::arrive_barrier(Core& core) {
   core.at_barrier = true;
   core.barrier_arrive = events_.now();
   ++barrier_.waiting;
-  if (barrier_.waiting < cores_.size()) return;
+  maybe_release_barrier();
+}
+
+void CmpSystem::maybe_release_barrier() {
+  // Participants shrink when cores die; the re-check on retirement keeps
+  // survivors from waiting for the dead.
+  if (barrier_participants_ == 0 ||
+      barrier_.waiting < barrier_participants_) {
+    return;
+  }
 
   // Last arrival releases everyone.
   ++stats_.barriers;
@@ -547,6 +568,176 @@ void CmpSystem::arrive_barrier(Core& core) {
     stats_.barrier_wait_cycles += events_.now() - c.barrier_arrive;
     events_.schedule_typed_in(1, &CmpSystem::advance_event, this, &c,
                               Message{});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault handling. Everything here is unreachable unless inject_faults() was
+// called with a non-empty plan: fault-free runs execute the exact event
+// sequence of the pre-fault simulator.
+// ---------------------------------------------------------------------------
+
+void CmpSystem::inject_faults(const PerfFaultPlan& plan) {
+  require(!ran_, "inject_faults must be called before run()");
+  require(!faults_injected_, "inject_faults may be called at most once");
+  if (plan.empty()) return;
+  faults_injected_ = true;
+  stats_.degraded = true;
+
+  // Dead-at-start set (validates router kills and drives the re-rank).
+  std::vector<std::uint8_t> dead(cores_.size(), 0);
+  for (const CoreFault& f : plan.core_faults) {
+    require(f.core < cores_.size(), "core fault index out of range");
+    if (f.at_cycle == 0) {
+      require(!dead[f.core], "duplicate dead-at-start core fault");
+      dead[f.core] = 1;
+    }
+  }
+
+  for (const LinkFault& f : plan.link_faults) {
+    noc_->fail_link(f.a, f.b);
+    ++stats_.noc_links_failed;
+  }
+  for (const RouterFault& f : plan.router_faults) {
+    require(f.tile < core_of_tile_.size() && core_of_tile_[f.tile] >= 0,
+            "router kills are restricted to core tiles");
+    require(dead[static_cast<std::size_t>(core_of_tile_[f.tile])] != 0,
+            "a router kill requires its co-located core dead at start");
+    noc_->fail_router(f.tile);
+    ++stats_.noc_routers_failed;
+  }
+
+  std::size_t live = 0;
+  for (std::uint8_t d : dead) live += d == 0;
+  require(live > 0, "fault plan kills every core at start");
+  if (live < cores_.size()) {
+    require(!replay_mode_,
+            "dead-at-start cores need the workload-profile constructor");
+    // Live cores re-rank over the same per-thread workload: the job runs
+    // with fewer threads, per-thread work unchanged, so throughput scales
+    // with survivors (the availability model's coupling).
+    std::size_t rank = 0;
+    for (Core& core : cores_) {
+      if (dead[core.index]) {
+        core.finished = true;
+        ++finished_cores_;
+        --barrier_participants_;
+        ++stats_.cores_failed;
+      } else {
+        core.trace = std::make_unique<TraceGenerator>(profile_, rank++, live,
+                                                      seed_);
+      }
+    }
+  }
+
+  for (const CoreFault& f : plan.core_faults) {
+    if (f.at_cycle == 0) continue;
+    require(dead[f.core] == 0, "core is already dead at start");
+    events_.schedule_typed(f.at_cycle, &CmpSystem::kill_event, this,
+                           &cores_[f.core], Message{});
+  }
+
+  obs::RunReport& report = obs::RunReport::instance();
+  if (report.enabled()) {
+    for (const CoreFault& f : plan.core_faults) {
+      report.emit("fault_injected", [&](obs::JsonWriter& w) {
+        w.add("stage", "perf")
+            .add("fault", "core_kill")
+            .add("core", static_cast<std::uint64_t>(f.core))
+            .add("at_cycle", f.at_cycle);
+      });
+    }
+    for (const LinkFault& f : plan.link_faults) {
+      report.emit("fault_injected", [&](obs::JsonWriter& w) {
+        w.add("stage", "perf")
+            .add("fault", "noc_link")
+            .add("tile_a", static_cast<std::uint64_t>(f.a))
+            .add("tile_b", static_cast<std::uint64_t>(f.b));
+      });
+    }
+    for (const RouterFault& f : plan.router_faults) {
+      report.emit("fault_injected", [&](obs::JsonWriter& w) {
+        w.add("stage", "perf")
+            .add("fault", "noc_router")
+            .add("tile", static_cast<std::uint64_t>(f.tile));
+      });
+    }
+  }
+}
+
+void CmpSystem::kill_core(Core& core) {
+  if (core.finished) return;  // died after its work completed: no-op
+  if (core.at_barrier) {
+    // Waiting at the barrier: no event will ever advance it again, so
+    // retire it now and take it out of the waiting count.
+    core.at_barrier = false;
+    stats_.barrier_wait_cycles += events_.now() - core.barrier_arrive;
+    ensure(barrier_.waiting > 0, "kill_core: barrier accounting underflow");
+    --barrier_.waiting;
+    retire_core(core);
+    return;
+  }
+  // Executing or mid-miss: defer to the next quiesce point (advance_core
+  // checks the flag once the outstanding access/miss has drained).
+  core.dying = true;
+}
+
+void CmpSystem::retire_core(Core& core) {
+  core.dying = false;
+  core.finished = true;
+  ++finished_cores_;
+  ++stats_.cores_failed;
+  flush_l1(core);
+  ensure(barrier_participants_ > 0, "retire_core: participant underflow");
+  --barrier_participants_;
+  // Survivors may all be at the barrier already, waiting for this core.
+  maybe_release_barrier();
+  obs::RunReport& report = obs::RunReport::instance();
+  if (report.enabled()) {
+    report.emit("fault_absorbed", [&](obs::JsonWriter& w) {
+      w.add("stage", "perf")
+          .add("fault", "core_kill")
+          .add("action", "core_retired")
+          .add("core", static_cast<std::uint64_t>(core.index))
+          .add("cycle", events_.now());
+    });
+  }
+}
+
+void CmpSystem::flush_l1(Core& core) {
+  // Push every held line back to the directory, mirroring the eviction
+  // paths: PutS for shared lines, PutM (via the writeback buffer) for
+  // owned ones. The Core object stays alive afterwards so in-flight
+  // FwdGet*/Inv for these lines are still served from the buffer.
+  struct FlushLine {
+    LineAddr line;
+    L1State state;
+  };
+  std::vector<FlushLine> lines;
+  core.l1->for_each(
+      [&](LineAddr line, L1Line& l) { lines.push_back({line, l.state}); });
+  for (const FlushLine& f : lines) {
+    core.l1->erase(f.line);
+    switch (f.state) {
+      case L1State::kS:
+        send(MsgType::kPutS, f.line, core.tile, home_tile_of(f.line),
+             core.tile);
+        break;
+      case L1State::kE:
+      case L1State::kM:
+      case L1State::kO: {
+        const bool dirty = f.state != L1State::kE;
+        WbEntry& wb = core.writeback_buffer[f.line];
+        wb.dirty = dirty;
+        ++wb.pending_acks;
+        ++stats_.writebacks;
+        send(MsgType::kPutM, f.line, core.tile, home_tile_of(f.line),
+             core.tile, dirty);
+        break;
+      }
+      case L1State::kI:
+        break;
+    }
   }
 }
 
@@ -857,6 +1048,7 @@ ExecStats CmpSystem::run() {
   const auto run_start = std::chrono::steady_clock::now();
 
   for (Core& core : cores_) {
+    if (core.finished) continue;  // dead at start (inject_faults)
     events_.schedule_typed(0, &CmpSystem::advance_event, this, &core,
                            Message{});
   }

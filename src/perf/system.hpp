@@ -14,6 +14,7 @@
 #include "common/units.hpp"
 #include "perf/cache.hpp"
 #include "perf/event_queue.hpp"
+#include "perf/faults.hpp"
 #include "perf/noc.hpp"
 #include "perf/params.hpp"
 #include "perf/protocol.hpp"
@@ -52,6 +53,12 @@ struct ExecStats {
   /// instruction count over total cycles). Feeds the activity-aware power
   /// map (core/activity.hpp): stalled cores burn less dynamic power.
   std::vector<double> core_utilization;
+
+  // Fault accounting (all zero / false on a fault-free run).
+  std::uint64_t cores_failed = 0;       ///< dead-at-start + mid-run kills
+  std::uint64_t noc_links_failed = 0;
+  std::uint64_t noc_routers_failed = 0;
+  bool degraded = false;                ///< any fault was injected
 
   [[nodiscard]] std::uint64_t total_stall_cycles() const {
     return stall_l2_cycles + stall_dram_cycles + stall_forward_cycles +
@@ -105,6 +112,15 @@ class CmpSystem {
   /// May be called once per instance.
   ExecStats run();
 
+  /// Applies a fault plan (perf/faults.hpp) before run(). Dead-at-start
+  /// cores shrink the thread count (live cores are re-ranked over the same
+  /// per-thread workload); mid-run kills retire the core at its next
+  /// quiesce point and flush its L1; NoC faults reroute around the loss.
+  /// Must be called at most once, before run(); an empty plan is a no-op.
+  /// Dead-at-start core faults require the workload-profile constructor
+  /// (a trace bundle is pinned one-thread-per-core).
+  void inject_faults(const PerfFaultPlan& plan);
+
   [[nodiscard]] const CmpConfig& config() const { return config_; }
 
  private:
@@ -130,6 +146,7 @@ class CmpSystem {
 
     bool finished = false;
     bool at_barrier = false;
+    bool dying = false;  ///< mid-run kill pending; retires at next quiesce
 
     // In-flight miss (at most one: in-order core).
     bool miss_active = false;
@@ -203,6 +220,7 @@ class CmpSystem {
   static void pending_event(void* ctx, void* target, const Message& msg);
   static void dram_fill_event(void* ctx, void* target, const Message& msg);
   static void pump_event(void* ctx, void* target, const Message& msg);
+  static void kill_event(void* ctx, void* target, const Message& msg);
 
   // ---- wiring ----
   void send(MsgType type, LineAddr line, NodeId from, NodeId to,
@@ -220,6 +238,12 @@ class CmpSystem {
   void install_line(Core& core, LineAddr line, L1State state);
   void handle_core_message(Core& core, const Message& msg);
   void arrive_barrier(Core& core);
+  void maybe_release_barrier();
+
+  // Fault handling (inert unless inject_faults was called).
+  void kill_core(Core& core);
+  void retire_core(Core& core);
+  void flush_l1(Core& core);
 
   // Home/directory behavior (runs after the bank's tag latency).
   void handle_home_message(Bank& bank, const Message& msg);
@@ -275,7 +299,13 @@ class CmpSystem {
   std::vector<Bank> banks_;
   std::vector<MemoryController> memory_;
   Barrier barrier_;
+  /// Cores the barrier waits for: cores_.size() minus dead cores. Mid-run
+  /// deaths decrement it and re-check release so survivors never hang.
+  std::size_t barrier_participants_ = 0;
   ObjectPool<PendingNode> pending_pool_;
+  std::uint64_t seed_ = 1;     ///< trace seed (re-rank on dead-at-start)
+  bool replay_mode_ = false;   ///< trace-bundle constructor was used
+  bool faults_injected_ = false;
 
   std::size_t finished_cores_ = 0;
   Cycle completion_cycle_ = 0;

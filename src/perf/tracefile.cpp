@@ -112,6 +112,10 @@ TraceBundle TraceBundle::load(std::istream& is) {
     }
   }
   require(!bundle.threads.empty(), "trace has no threads");
+  // A dangling compute burst means the file was cut mid-thread (partial
+  // copy, killed writer) — reject it rather than silently dropping work.
+  require(pending_compute == 0,
+          "trace truncated: compute burst with no following op");
   return bundle;
 }
 

@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/units.hpp"
 #include "power/technology.hpp"
 
@@ -24,7 +25,10 @@ class VfsLadder {
   static VfsLadder uniform(double lo_ghz, double hi_ghz, double step_ghz);
 
   [[nodiscard]] std::size_t size() const { return steps_.size(); }
-  [[nodiscard]] Hertz step(std::size_t i) const { return steps_.at(i); }
+  [[nodiscard]] Hertz step(std::size_t i) const {
+    require(i < steps_.size(), "VFS step index out of range");
+    return steps_[i];
+  }
   [[nodiscard]] Hertz min() const { return steps_.front(); }
   [[nodiscard]] Hertz max() const { return steps_.back(); }
   [[nodiscard]] const std::vector<Hertz>& steps() const { return steps_; }

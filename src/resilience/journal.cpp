@@ -1,0 +1,113 @@
+#include "resilience/journal.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/report.hpp"
+#include "obs/trace_reader.hpp"
+
+namespace aqua {
+
+SweepJournal::SweepJournal(std::string sweep) : sweep_(std::move(sweep)) {
+  if (const char* env = std::getenv(kPoisonEnv); env != nullptr) {
+    // "sweep:cell,sweep:cell" — keep only this sweep's cells.
+    std::string spec(env);
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+      const std::size_t comma = spec.find(',', pos);
+      const std::string item = spec.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      const std::size_t colon = item.find(':');
+      if (colon != std::string::npos &&
+          item.compare(0, colon, sweep_) == 0) {
+        poisons_.push_back(item.substr(colon + 1));
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  const char* env = std::getenv(kResumeEnv);
+  if (env == nullptr || env[0] == '\0') return;
+  path_ = env;
+  if (!std::filesystem::exists(path_)) return;  // fresh journal
+  for (const obs::JsonValue& rec : obs::load_jsonl_file(path_)) {
+    const obs::JsonValue* kind = rec.find("kind");
+    const obs::JsonValue* sweep_field = rec.find("sweep");
+    const obs::JsonValue* cell = rec.find("cell");
+    const obs::JsonValue* status = rec.find("status");
+    if (kind == nullptr || kind->string != "sweep_cell" ||
+        sweep_field == nullptr || sweep_field->string != sweep_ ||
+        cell == nullptr || status == nullptr) {
+      continue;
+    }
+    if (status->string != "ok") continue;  // failed cells retry
+    std::map<std::string, double> values;
+    for (const auto& [key, value] : rec.object) {
+      if (key.rfind("v_", 0) == 0 &&
+          value.kind == obs::JsonValue::Kind::kNumber) {
+        values[key.substr(2)] = value.number;
+      }
+    }
+    resumed_[cell->string] = std::move(values);
+  }
+}
+
+const std::map<std::string, double>* SweepJournal::lookup(
+    const std::string& cell) const {
+  const auto it = resumed_.find(cell);
+  return it == resumed_.end() ? nullptr : &it->second;
+}
+
+bool SweepJournal::poisoned(const std::string& cell) const {
+  for (const std::string& p : poisons_) {
+    if (p == cell) return true;
+  }
+  return false;
+}
+
+void SweepJournal::append_record(const std::string& cell, const char* status,
+                                 const std::map<std::string, double>* values,
+                                 const std::string* error) {
+  if (path_.empty()) return;
+  obs::JsonWriter w;
+  w.add("kind", "sweep_cell")
+      .add("sweep", sweep_)
+      .add("cell", cell)
+      .add("status", status);
+  if (values != nullptr) {
+    for (const auto& [key, value] : *values) w.add("v_" + key, value);
+  }
+  if (error != nullptr) w.add("error", *error);
+  std::lock_guard lock(mutex_);
+  if (!out_.is_open()) {
+    out_.open(path_, std::ios::app);
+    ensure(out_.is_open(), "cannot open sweep journal: " + path_);
+  }
+  out_ << w.str() << '\n';
+  out_.flush();  // whole lines survive a mid-sweep kill
+}
+
+void SweepJournal::record_ok(const std::string& cell,
+                             const std::map<std::string, double>& values) {
+  append_record(cell, "ok", &values, nullptr);
+}
+
+void SweepJournal::record_failed(const std::string& cell,
+                                 const std::string& error) {
+  append_record(cell, "failed", nullptr, &error);
+  obs::RunReport& report = obs::RunReport::instance();
+  if (report.enabled()) {
+    report.emit("degraded_result", [&](obs::JsonWriter& w) {
+      w.add("stage", "experiment")
+          .add("what", "sweep_cell_failed")
+          .add("sweep", sweep_)
+          .add("cell", cell)
+          .add("error", error);
+    });
+  }
+}
+
+}  // namespace aqua

@@ -1,0 +1,73 @@
+#pragma once
+
+/// JSON-lines sweep-cell journal: per-cell checkpoint/resume for the
+/// Fig. 7-13 sweep drivers (DESIGN.md §8).
+///
+/// Env contract (read at construction, so tests can repoint it):
+///   AQUA_SWEEP_RESUME=<path>  -> completed cells already in <path> are
+///     served from the journal instead of recomputed, and every newly
+///     finished cell is appended (one JSON object per line, flushed per
+///     cell). A sweep killed mid-run and re-launched with the same path
+///     therefore recomputes only the missing cells and produces the same
+///     table as an uninterrupted run.
+///   AQUA_FAULT_CELL=<sweep>:<cell>[,<sweep>:<cell>...]  -> deterministic
+///     cell poison used by tests/CI: the named cells throw inside the
+///     sweep body, exercising the isolate-and-continue path.
+///
+/// Record shape (one line each):
+///   {"kind":"sweep_cell","sweep":"fig07","cell":"chips=3;cooling=water",
+///    "status":"ok","v_ghz":2.3,...}
+/// Cell values are flattened with a "v_" key prefix; "failed" records
+/// carry "error" instead. Unknown sweeps/cells in the file are ignored, so
+/// several sweeps may share one journal.
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace aqua {
+
+class SweepJournal {
+ public:
+  static constexpr const char* kResumeEnv = "AQUA_SWEEP_RESUME";
+  static constexpr const char* kPoisonEnv = "AQUA_FAULT_CELL";
+
+  explicit SweepJournal(std::string sweep);
+
+  /// Values of a previously completed (ok) cell, or nullptr when the cell
+  /// must be computed. Failed cells are never resumed — they retry.
+  [[nodiscard]] const std::map<std::string, double>* lookup(
+      const std::string& cell) const;
+
+  /// Appends a completed cell (thread-safe; the line is flushed so a kill
+  /// between cells never loses finished work).
+  void record_ok(const std::string& cell,
+                 const std::map<std::string, double>& values);
+
+  /// Appends a failed cell with its error text.
+  void record_failed(const std::string& cell, const std::string& error);
+
+  /// True when AQUA_FAULT_CELL poisons this sweep's `cell`.
+  [[nodiscard]] bool poisoned(const std::string& cell) const;
+
+  [[nodiscard]] bool active() const { return !path_.empty(); }
+  [[nodiscard]] std::size_t resumed_cells() const { return resumed_.size(); }
+
+ private:
+  void append_record(const std::string& cell, const char* status,
+                     const std::map<std::string, double>* values,
+                     const std::string* error);
+
+  std::string sweep_;
+  std::string path_;                    ///< empty = journaling off
+  std::vector<std::string> poisons_;    ///< cells of this sweep to poison
+  std::unordered_map<std::string, std::map<std::string, double>> resumed_;
+  std::mutex mutex_;
+  std::ofstream out_;  ///< opened lazily on first append
+};
+
+}  // namespace aqua

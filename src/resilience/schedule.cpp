@@ -1,0 +1,94 @@
+#include "resilience/schedule.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace aqua {
+
+PerfFaultPlan sample_fault_plan(const CmpConfig& config,
+                                const FaultScheduleOptions& options,
+                                std::uint64_t seed) {
+  PerfFaultPlan plan;
+  Xoshiro256 rng(seed);
+
+  // Cores first, ascending index: the draw order is part of the contract.
+  const std::size_t cores = config.total_cores();
+  std::vector<std::uint8_t> dead(cores, 0);
+  for (std::size_t c = 0; c < cores; ++c) {
+    if (rng.bernoulli(options.core_dead_prob)) dead[c] = 1;
+  }
+  // Keep at least one survivor (deterministically: revive the lowest).
+  bool any_alive = false;
+  for (std::uint8_t d : dead) any_alive |= d == 0;
+  if (!any_alive && cores > 0) dead[0] = 0;
+  for (std::size_t c = 0; c < cores; ++c) {
+    if (dead[c]) {
+      plan.core_faults.push_back({c, 0});
+      if (options.routers_follow_cores) {
+        plan.router_faults.push_back(
+            {core_tile(config, c / config.cores_per_chip,
+                       c % config.cores_per_chip)});
+      }
+    }
+  }
+  for (std::size_t c = 0; c < cores; ++c) {
+    if (dead[c]) continue;
+    if (rng.bernoulli(options.core_midrun_prob)) {
+      const Cycle at =
+          1 + static_cast<Cycle>(rng.uniform_index(options.midrun_window));
+      plan.core_faults.push_back({c, at});
+    }
+  }
+
+  // In-plane mesh links, deterministic enumeration: per chip, x-links then
+  // y-links, row-major. Vertical (chip-to-chip) links are spared — losing
+  // one partitions the board stack for most traffic patterns.
+  if (options.link_fail_prob > 0.0 && options.max_link_failures > 0) {
+    std::size_t failed = 0;
+    for (std::size_t chip = 0;
+         chip < config.chips && failed < options.max_link_failures; ++chip) {
+      for (std::size_t y = 0;
+           y < config.mesh_y && failed < options.max_link_failures; ++y) {
+        for (std::size_t x = 0; x < config.mesh_x; ++x) {
+          if (failed >= options.max_link_failures) break;
+          const NodeId at = tile_id(
+              config, TileCoord{static_cast<std::uint16_t>(x),
+                                static_cast<std::uint16_t>(y),
+                                static_cast<std::uint16_t>(chip)});
+          if (x + 1 < config.mesh_x && rng.bernoulli(options.link_fail_prob)) {
+            plan.link_faults.push_back(
+                {at, tile_id(config,
+                             TileCoord{static_cast<std::uint16_t>(x + 1),
+                                       static_cast<std::uint16_t>(y),
+                                       static_cast<std::uint16_t>(chip)})});
+            if (++failed >= options.max_link_failures) break;
+          }
+          if (y + 1 < config.mesh_y && rng.bernoulli(options.link_fail_prob)) {
+            plan.link_faults.push_back(
+                {at, tile_id(config,
+                             TileCoord{static_cast<std::uint16_t>(x),
+                                       static_cast<std::uint16_t>(y + 1),
+                                       static_cast<std::uint16_t>(chip)})});
+            if (++failed >= options.max_link_failures) break;
+          }
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+double immersion_core_death_prob(const FilmSpec& film,
+                                 const EnvironmentInfo& env, double hours,
+                                 double weibull_shape, double complexity) {
+  require(hours >= 0.0, "deployment age cannot be negative");
+  require(complexity > 0.0, "complexity must be positive");
+  const double eta =
+      base_lifetime_hours(film) / complexity / env.hazard_multiplier;
+  // Weibull CDF: 1 - exp(-(t/eta)^k).
+  return 1.0 - std::exp(-std::pow(hours / eta, weibull_shape));
+}
+
+}  // namespace aqua

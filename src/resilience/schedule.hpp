@@ -1,0 +1,48 @@
+#pragma once
+
+/// Deterministic, seeded fault-schedule generation for the perf layer.
+///
+/// Bridges the prototype hazard model (coating pinholes -> component
+/// loss, paper Fig. 2) and synthetic stress knobs into a PerfFaultPlan
+/// that CmpSystem::inject_faults consumes. Identical (options, seed)
+/// always yield the identical plan — the determinism contract the
+/// queue-invariance tests rely on.
+
+#include <cstdint>
+
+#include "perf/faults.hpp"
+#include "perf/params.hpp"
+#include "prototype/coating.hpp"
+#include "prototype/deployment.hpp"
+
+namespace aqua {
+
+/// Synthetic schedule knobs (all zero => empty plan).
+struct FaultScheduleOptions {
+  double core_dead_prob = 0.0;    ///< per core: dead at start
+  double core_midrun_prob = 0.0;  ///< per surviving core: killed mid-run
+  Cycle midrun_window = 200000;   ///< kill cycle drawn from [1, window]
+  double link_fail_prob = 0.0;    ///< per mesh link (x/y, same chip)
+  std::size_t max_link_failures = 2;  ///< hard cap (keeps meshes connected)
+  /// Also kill the router of every dead-at-start core (models a tile-level
+  /// loss instead of a core-only loss).
+  bool routers_follow_cores = false;
+};
+
+/// Samples a plan for `config`'s topology. At least one core always
+/// survives (a fully dead cluster is a cell failure, not a degraded run).
+PerfFaultPlan sample_fault_plan(const CmpConfig& config,
+                                const FaultScheduleOptions& options,
+                                std::uint64_t seed);
+
+/// Hazard-driven per-core death probability after `hours` immersed:
+/// P(fail) of a unit-complexity Weibull(shape, eta) lifetime where eta
+/// comes from the film thickness and environment (prototype models). The
+/// availability experiment uses this to turn deployment age into
+/// dead-at-start core fractions.
+double immersion_core_death_prob(const FilmSpec& film,
+                                 const EnvironmentInfo& env, double hours,
+                                 double weibull_shape = 1.5,
+                                 double complexity = 1.0);
+
+}  // namespace aqua

@@ -303,8 +303,13 @@ ThermalSolution StackThermalModel::solve_steady(
   AQUA_TRACE_SCOPE_ARG("thermal.solve_steady", "thermal",
                        stack_.layer_count());
   const std::vector<double> rhs = power_vector(layer_block_powers);
-  last_solve_ = solve_cg(matrix_, rhs, options_.solver, warm_start_,
-                         preconditioner(), &stats_);
+  // Resilient solve: the first attempt runs the configured solver exactly
+  // (bit-identical to plain solve_cg when healthy); breakdown/divergence
+  // falls back multigrid -> jacobi -> relaxed jacobi (DESIGN.md §8).
+  const Preconditioner* precond = preconditioner();
+  last_solve_ =
+      solve_cg_resilient(matrix_, rhs, options_.solver, warm_start_, precond,
+                         &stats_, precond != nullptr ? "multigrid" : "jacobi");
   ensure(last_solve_.converged, "steady-state thermal solve did not converge");
   if (multigrid_) {
     const std::size_t new_vcycles = multigrid_->vcycles() - vcycles_seen_;

@@ -88,6 +88,39 @@ TEST(Config, KeysPreserveOrder) {
   EXPECT_EQ(keys[1], "alpha");
 }
 
+TEST(Config, NonFiniteNumbersThrow) {
+  // "nan"/"inf" parse as doubles but are never valid physical parameters;
+  // the fault-model contract (DESIGN.md §8) is to fail loud at the
+  // boundary instead of propagating NaN into a solve.
+  const Config c = Config::parse_string(
+      "[s]\na = nan\nb = inf\nc = -inf\nd = NAN\n");
+  EXPECT_THROW((void)c.get_double("s", "a"), Error);
+  EXPECT_THROW((void)c.get_double("s", "b"), Error);
+  EXPECT_THROW((void)c.get_double("s", "c"), Error);
+  EXPECT_THROW((void)c.get_double("s", "d"), Error);
+}
+
+TEST(Config, NonFiniteErrorNamesTheKey) {
+  const Config c = Config::parse_string("[thermal]\nhtc = nan\n");
+  try {
+    (void)c.get_double("thermal", "htc");
+    FAIL();
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("thermal"), std::string::npos);
+    EXPECT_NE(what.find("htc"), std::string::npos);
+    EXPECT_NE(what.find("finite"), std::string::npos);
+  }
+}
+
+TEST(Config, TruncatedFileThrows) {
+  // A file cut mid-line (kill -9 during a write) must parse-error, not
+  // silently yield a half-config.
+  EXPECT_THROW(Config::parse_string("[experiment]\nchips = 6\n[ther"),
+               Error);
+  EXPECT_THROW(Config::parse_string("[s]\nx ="), Error);
+}
+
 TEST(Config, BooleanSpellings) {
   const Config c = Config::parse_string(
       "[s]\na = true\nb = ON\nc = 0\nd = No\n");

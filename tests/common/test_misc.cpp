@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace aqua {
 namespace {
@@ -119,6 +120,40 @@ TEST(ThreadPool, PropagatesException) {
                               if (i == 5) throw Error("boom");
                             }),
                Error);
+}
+
+TEST(ThreadPool, PropagatesFirstExceptionAndKeepsRunning) {
+  // The contract: every iteration still runs (no early abandon), exactly
+  // one of the thrown errors is rethrown, and the pool survives for the
+  // next parallel_for.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  try {
+    parallel_for(pool, 64, [&](std::size_t i) {
+      ++ran;
+      if (i % 8 == 0) throw Error("boom " + std::to_string(i));
+    });
+    FAIL() << "expected an Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+  EXPECT_EQ(ran.load(), 64);
+  std::atomic<int> after{0};
+  parallel_for(pool, 16, [&](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 16);
+}
+
+TEST(ThreadPool, CountsTaskExceptionsInMetrics) {
+  auto& counter = obs::Registry::instance().counter("pool.task_exceptions");
+  const std::uint64_t before = counter.value();
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 8,
+                            [](std::size_t i) {
+                              if (i % 2 == 0) throw Error("fault");
+                            }),
+               Error);
+  // All four throwing iterations are counted, not just the rethrown one.
+  EXPECT_EQ(counter.value() - before, 4u);
 }
 
 TEST(ThreadPool, SubmitReturnsValue) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/error.hpp"
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
@@ -119,6 +122,105 @@ TEST(Solvers, ParallelSpmvCgMatchesSerialCg) {
   ASSERT_TRUE(r1.converged);
   ASSERT_TRUE(r2.converged);
   for (std::size_t i = 0; i < 400; ++i) EXPECT_NEAR(r1.x[i], r2.x[i], 1e-8);
+}
+
+// ------------------------------------------------------ resilient solve ----
+
+TEST(Solvers, BreakdownReturnsInsteadOfThrowing) {
+  // A NaN warm start poisons the first residual; with throw_on_breakdown
+  // off the solver must report the breakdown instead of iterating on NaN.
+  const SparseMatrix a = grid_laplacian(4);
+  std::vector<double> b(16, 1.0);
+  std::vector<double> x0(16, std::numeric_limits<double>::quiet_NaN());
+  SolverOptions options;
+  options.throw_on_breakdown = false;
+  const SolveResult r = solve_cg(a, b, options, x0);
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.breakdown);
+}
+
+TEST(Solvers, BreakdownThrowsByDefault) {
+  const SparseMatrix a = grid_laplacian(4);
+  std::vector<double> b(16, 1.0);
+  std::vector<double> x0(16, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW((void)solve_cg(a, b, SolverOptions{}, x0), Error);
+}
+
+TEST(Solvers, ResilientSuccessIsBitIdenticalToPlainCg) {
+  // The fallback chain must not perturb the healthy path: attempt 1 is the
+  // exact computation solve_cg performs.
+  const SparseMatrix a = grid_laplacian(5);
+  Xoshiro256 rng(9);
+  std::vector<double> b(25);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  const SolveResult plain = solve_cg(a, b);
+  const SolveResult res = solve_cg_resilient(a, b, SolverOptions{});
+  ASSERT_TRUE(res.converged);
+  EXPECT_FALSE(res.degraded);
+  EXPECT_EQ(res.attempts, 1);
+  EXPECT_EQ(res.iterations, plain.iterations);
+  EXPECT_EQ(res.x, plain.x);  // bit-identical, not just close
+}
+
+TEST(Solvers, ResilientRecoversFromPoisonedWarmStart) {
+  const SparseMatrix a = grid_laplacian(4);
+  std::vector<double> b(16, 1.0);
+  std::vector<double> x0(16, std::numeric_limits<double>::quiet_NaN());
+  SolverStats stats;
+  const SolveResult r =
+      solve_cg_resilient(a, b, SolverOptions{}, x0, nullptr, &stats);
+  ASSERT_TRUE(r.converged);
+  EXPECT_FALSE(r.degraded);  // the restart met the *original* tolerance
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_EQ(r.attempt_chain, "jacobi>jacobi");
+  EXPECT_EQ(stats.fallbacks, 1u);
+  EXPECT_EQ(stats.breakdowns, 1u);
+  const SolveResult ref = solve_cg(a, b);
+  for (std::size_t i = 0; i < r.x.size(); ++i) {
+    EXPECT_NEAR(r.x[i], ref.x[i], 1e-6);
+  }
+}
+
+TEST(Solvers, ResilientRelaxedRetryIsFlaggedDegraded) {
+  // Starve the iteration budget so both strict attempts stagnate; the
+  // relaxed attempt (100x tolerance, 4x budget) converges and must carry
+  // the degraded flag.
+  const SparseMatrix a = grid_laplacian(8, 1e-3);
+  Xoshiro256 rng(3);
+  std::vector<double> b(64);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  SolverOptions options;
+  options.tolerance = 1e-12;
+  options.max_iterations = 4;
+  std::vector<double> x0(64, 0.1);  // custom setup enables attempt 2
+  SolverStats stats;
+  const SolveResult r =
+      solve_cg_resilient(a, b, options, x0, nullptr, &stats);
+  if (r.converged) {
+    EXPECT_TRUE(r.degraded);
+    EXPECT_EQ(r.attempts, 3);
+  }
+  EXPECT_EQ(r.attempt_chain, "jacobi>jacobi>jacobi-relaxed");
+  EXPECT_EQ(stats.fallbacks, 2u);
+}
+
+TEST(Solvers, ResilientDivergenceIsCaught) {
+  // An indefinite matrix breaks CG's positive-curvature assumption; the
+  // resilient wrapper must come back with a verdict (no NaN iterates, no
+  // exception) even though no attempt can converge.
+  // Positive diagonal (so Jacobi setup passes) but indefinite: eigenvalues
+  // 3 and -1 — CG's curvature assumption fails mid-iteration.
+  SparseBuilder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  builder.add(0, 1, 2.0);
+  builder.add(1, 0, 2.0);
+  builder.add(1, 1, 1.0);
+  std::vector<double> b{1.0, -1.0};
+  SolverOptions options;
+  options.max_iterations = 50;
+  const SolveResult r = solve_cg_resilient(builder.build(), b, options);
+  EXPECT_FALSE(r.converged);
+  for (double v : r.x) EXPECT_TRUE(std::isfinite(v));
 }
 
 TEST(Solvers, Norm2) {

@@ -117,14 +117,15 @@ struct DtmFixture {
   PackageConfig pkg{};
   Stack3d stack{chip.floorplan(), 4, FlipPolicy::kNone};
 
-  DtmResult run(CoolingKind kind, double seconds = 40.0) {
+  DtmResult run(CoolingKind kind, double seconds = 40.0,
+                const SensorFaultModel& sensors = {}) {
     StackThermalModel model(stack, pkg, CoolingOption(kind).boundary(pkg),
                             GridOptions{12, 12, {}});
     TransientOptions topts;
     topts.dt_seconds = 0.1;
     DtmPolicy policy;
     return simulate_dtm(model, chip, chip.ladder().size() - 1, seconds,
-                        policy, topts);
+                        policy, topts, sensors);
   }
 };
 
@@ -170,6 +171,62 @@ TEST(Dtm, ValidatesPolicy) {
   bad.trigger_c = 70.0;
   bad.release_c = 75.0;  // inverted hysteresis
   EXPECT_THROW(simulate_dtm(model, f.chip, 0, 1.0, bad), Error);
+}
+
+TEST(Dtm, EmptySensorModelIsBitIdentical) {
+  // The fault hook must be inert by default: an explicitly-passed empty
+  // model replays the exact fault-free controller trajectory.
+  DtmFixture f;
+  const DtmResult plain = f.run(CoolingKind::kAir, 20.0);
+  const DtmResult faultless = f.run(CoolingKind::kAir, 20.0, SensorFaultModel{});
+  ASSERT_EQ(plain.samples.size(), faultless.samples.size());
+  for (std::size_t i = 0; i < plain.samples.size(); ++i) {
+    EXPECT_EQ(plain.samples[i].vfs_step, faultless.samples[i].vfs_step);
+    EXPECT_EQ(plain.samples[i].max_die_temperature_c,
+              faultless.samples[i].max_die_temperature_c);
+  }
+  EXPECT_EQ(plain.effective_ghz, faultless.effective_ghz);
+  EXPECT_EQ(faultless.sensor_dropouts, 0u);
+  EXPECT_EQ(faultless.sensor_stuck, 0u);
+  EXPECT_EQ(faultless.failsafe_steps, 0u);
+}
+
+TEST(Dtm, SensorDropoutFailsSafeDownward) {
+  DtmFixture f;
+  SensorFaultModel sensors;
+  sensors.dropout_prob = 1.0;  // the controller never sees a valid reading
+  const DtmResult r = f.run(CoolingKind::kWaterImmersion, 20.0, sensors);
+  EXPECT_GT(r.sensor_dropouts, 0u);
+  EXPECT_GT(r.failsafe_steps, 0u);
+  // Blind controller must end at (or march toward) the ladder floor —
+  // never trust a missing reading and keep clocking high.
+  ASSERT_FALSE(r.samples.empty());
+  EXPECT_EQ(r.samples.back().vfs_step, 0u);
+  const DtmResult healthy = f.run(CoolingKind::kWaterImmersion, 20.0);
+  EXPECT_LT(r.effective_ghz, healthy.effective_ghz);
+}
+
+TEST(Dtm, SensorFaultsAreSeedDeterministic) {
+  DtmFixture f;
+  SensorFaultModel sensors;
+  sensors.dropout_prob = 0.2;
+  sensors.stuck_prob = 0.2;
+  sensors.noise_c = 3.0;
+  sensors.seed = 99;
+  const DtmResult a = f.run(CoolingKind::kAir, 20.0, sensors);
+  const DtmResult b = f.run(CoolingKind::kAir, 20.0, sensors);
+  EXPECT_EQ(a.sensor_dropouts, b.sensor_dropouts);
+  EXPECT_EQ(a.sensor_stuck, b.sensor_stuck);
+  EXPECT_EQ(a.failsafe_steps, b.failsafe_steps);
+  EXPECT_EQ(a.effective_ghz, b.effective_ghz);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].vfs_step, b.samples[i].vfs_step);
+  }
+  // True die peak is tracked from the physics, not the faulty sensor, so
+  // it stays within the plausible envelope.
+  EXPECT_GT(a.peak_c, 20.0);
+  EXPECT_LT(a.peak_c, 150.0);
 }
 
 // -------------------------------------------------------------- density ----

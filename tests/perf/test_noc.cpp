@@ -179,5 +179,100 @@ TEST(Noc, RejectsBadPackets) {
   EXPECT_THROW(h.mesh->inject(0, q), Error);
 }
 
+// ---------------------------------------------------------------------------
+// Fault rerouting (perf/faults.hpp): a failed link or router is removed
+// from the adjacency and every surviving pair still reaches its
+// destination over a recomputed shortest path.
+// ---------------------------------------------------------------------------
+
+TEST(Noc, FailedLinkIsRoutedAround) {
+  Harness h;
+  const NodeId a = tile_id(h.config, {0, 0, 0});
+  const NodeId b = tile_id(h.config, {1, 0, 0});
+  h.mesh->fail_link(a, b);
+  EXPECT_TRUE(h.mesh->faulted());
+  // DOR would go kXPos over the dead link; the reroute table must not.
+  EXPECT_NE(h.mesh->route(a, b), Mesh3d::kXPos);
+  h.mesh->inject(0, make_packet(a, b));
+  h.drain();
+  ASSERT_EQ(h.delivered.size(), 1u);
+  // Shortest surviving path is a 3-hop detour through row 1.
+  EXPECT_EQ(h.mesh->stats().total_hops, 3u);
+}
+
+TEST(Noc, UnaffectedPairsKeepDorPaths) {
+  Harness h;
+  h.mesh->fail_link(tile_id(h.config, {0, 0, 0}), tile_id(h.config, {1, 0, 0}));
+  // A pair whose DOR path never touches the dead link keeps its DOR port.
+  const NodeId src = tile_id(h.config, {0, 2, 0});
+  const NodeId dst = tile_id(h.config, {3, 3, 0});
+  EXPECT_EQ(h.mesh->route(src, dst), Mesh3d::kXPos);
+}
+
+TEST(Noc, FailedRouterRoutesAroundAndRejectsEndpoints) {
+  Harness h;
+  const NodeId dead = tile_id(h.config, {1, 1, 0});
+  h.mesh->fail_router(dead);
+  EXPECT_TRUE(h.mesh->router_dead(dead));
+  // Traffic that DOR would push through (1,1) must detour and deliver.
+  const NodeId src = tile_id(h.config, {0, 1, 0});
+  const NodeId dst = tile_id(h.config, {2, 1, 0});
+  h.mesh->inject(0, make_packet(src, dst));
+  h.drain();
+  ASSERT_EQ(h.delivered.size(), 1u);
+  // Endpoints on the dead router are a hard error, not silent loss.
+  EXPECT_THROW(h.mesh->inject(h.now, make_packet(dead, dst)), Error);
+  EXPECT_THROW(h.mesh->inject(h.now, make_packet(src, dead)), Error);
+}
+
+TEST(Noc, FaultedAllToAllStillDrains) {
+  Harness h(2);
+  h.mesh->fail_link(tile_id(h.config, {1, 1, 0}), tile_id(h.config, {2, 1, 0}));
+  h.mesh->fail_link(tile_id(h.config, {3, 2, 1}), tile_id(h.config, {3, 3, 1}));
+  Xoshiro256 rng(13);
+  const std::size_t tiles = h.config.total_tiles();
+  std::size_t sent = 0;
+  Cycle t = 0;
+  for (int round = 0; round < 30; ++round) {
+    for (int k = 0; k < 6; ++k) {
+      const NodeId src = static_cast<NodeId>(rng.uniform_index(tiles));
+      const NodeId dst = static_cast<NodeId>(rng.uniform_index(tiles));
+      if (src == dst) continue;
+      const auto vc = static_cast<std::uint8_t>(rng.uniform_index(3));
+      const auto flits = static_cast<std::uint8_t>(rng.bernoulli(0.5) ? 5 : 1);
+      h.mesh->inject(t, make_packet(src, dst, vc, flits));
+      ++sent;
+    }
+    h.mesh->tick(++t);
+  }
+  while (h.mesh->active() && t < 100000) h.mesh->tick(++t);
+  EXPECT_FALSE(h.mesh->active()) << "packets stuck in the faulted mesh";
+  EXPECT_EQ(h.delivered.size(), sent);
+}
+
+TEST(Noc, RejectsFaultsAfterTraffic) {
+  Harness h;
+  h.mesh->inject(0, make_packet(0, 2));
+  h.drain();
+  EXPECT_THROW(
+      h.mesh->fail_link(tile_id(h.config, {0, 0, 0}),
+                        tile_id(h.config, {1, 0, 0})),
+      Error);
+}
+
+TEST(Noc, RejectsPartitioningFault) {
+  Harness h;
+  // Cutting every link of a corner tile without killing the router leaves
+  // an unreachable live node — the mesh must refuse, not deadlock later.
+  EXPECT_THROW(
+      {
+        h.mesh->fail_link(tile_id(h.config, {0, 0, 0}),
+                          tile_id(h.config, {1, 0, 0}));
+        h.mesh->fail_link(tile_id(h.config, {0, 0, 0}),
+                          tile_id(h.config, {0, 1, 0}));
+      },
+      Error);
+}
+
 }  // namespace
 }  // namespace aqua

@@ -11,15 +11,17 @@
 #include <vector>
 
 #include "perf/event_queue.hpp"
+#include "perf/faults.hpp"
 #include "perf/system.hpp"
 #include "perf/workload.hpp"
+#include "resilience/schedule.hpp"
 
 namespace aqua {
 namespace {
 
 ExecStats run_once(const std::string& workload, std::size_t chips,
-                   EventQueue::Impl impl, bool idle_skip,
-                   std::uint64_t seed) {
+                   EventQueue::Impl impl, bool idle_skip, std::uint64_t seed,
+                   const PerfFaultPlan& faults = {}) {
   const EventQueue::Impl before = EventQueue::default_impl();
   EventQueue::set_default_impl(impl);
   CmpConfig cfg;
@@ -28,6 +30,7 @@ ExecStats run_once(const std::string& workload, std::size_t chips,
   WorkloadProfile p = npb_profile(workload);
   p.instructions_per_thread = 2000;
   CmpSystem system(cfg, p, gigahertz(1.6), seed);
+  if (!faults.empty()) system.inject_faults(faults);
   ExecStats stats = system.run();
   EventQueue::set_default_impl(before);
   return stats;
@@ -101,6 +104,72 @@ TEST(QueueInvariance, RepeatedRunsAreDeterministic) {
   const ExecStats a = run_once("ft", 2, EventQueue::Impl::kCalendar, false, 7);
   const ExecStats b = run_once("ft", 2, EventQueue::Impl::kCalendar, false, 7);
   expect_identical(a, b, "repeat seed=7");
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection invariance: the resilience contract is that a seeded
+// fault schedule keeps the DES deterministic — same (seed, plan) must be
+// bit-identical across queue implementations and across repeats, and an
+// *empty* plan must be bit-identical to never calling inject_faults at
+// all (the graceful-degradation hooks are inert when unused).
+// ---------------------------------------------------------------------------
+
+PerfFaultPlan seeded_plan(std::size_t chips) {
+  CmpConfig cfg;
+  cfg.chips = chips;
+  FaultScheduleOptions opts;
+  opts.core_dead_prob = 0.2;
+  opts.core_midrun_prob = 0.3;
+  opts.midrun_window = 50000;
+  opts.link_fail_prob = 0.05;
+  return sample_fault_plan(cfg, opts, 11);
+}
+
+TEST(QueueInvariance, FaultedRunIsQueueInvariant) {
+  for (const std::string& w : kWorkloads) {
+    const PerfFaultPlan plan = seeded_plan(2);
+    ASSERT_FALSE(plan.empty());
+    const std::string label = w + " faulted";
+    const ExecStats cal =
+        run_once(w, 2, EventQueue::Impl::kCalendar, false, 5, plan);
+    const ExecStats heap =
+        run_once(w, 2, EventQueue::Impl::kBinaryHeap, false, 5, plan);
+    expect_identical(cal, heap, label);
+    EXPECT_TRUE(cal.degraded) << label;
+    EXPECT_EQ(cal.cores_failed, heap.cores_failed) << label;
+    EXPECT_EQ(cal.noc_links_failed, heap.noc_links_failed) << label;
+    EXPECT_EQ(cal.noc_routers_failed, heap.noc_routers_failed) << label;
+  }
+}
+
+TEST(QueueInvariance, FaultedRunsAreRepeatable) {
+  const PerfFaultPlan plan = seeded_plan(2);
+  const ExecStats a =
+      run_once("cg", 2, EventQueue::Impl::kCalendar, false, 9, plan);
+  const ExecStats b =
+      run_once("cg", 2, EventQueue::Impl::kCalendar, false, 9, plan);
+  expect_identical(a, b, "faulted repeat seed=9");
+  EXPECT_EQ(a.cores_failed, b.cores_failed);
+}
+
+TEST(QueueInvariance, EmptyPlanMatchesUninjectedRun) {
+  const ExecStats plain =
+      run_once("ft", 2, EventQueue::Impl::kCalendar, false, 1);
+  const ExecStats empty = run_once("ft", 2, EventQueue::Impl::kCalendar,
+                                   false, 1, PerfFaultPlan{});
+  // PerfFaultPlan{} is empty, so run_once skips inject_faults — assert the
+  // zero-fault path through the fault-aware code is bit-identical anyway.
+  CmpConfig cfg;
+  cfg.chips = 2;
+  WorkloadProfile p = npb_profile("ft");
+  p.instructions_per_thread = 2000;
+  CmpSystem system(cfg, p, gigahertz(1.6), 1);
+  system.inject_faults(PerfFaultPlan{});
+  const ExecStats injected_empty = system.run();
+  expect_identical(plain, empty, "no-plan vs default");
+  expect_identical(plain, injected_empty, "no-plan vs explicit empty plan");
+  EXPECT_FALSE(injected_empty.degraded);
+  EXPECT_EQ(injected_empty.cores_failed, 0u);
 }
 
 }  // namespace

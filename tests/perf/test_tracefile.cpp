@@ -106,6 +106,26 @@ TEST(TraceFile, LoadRejectsMalformedInput) {
   }
 }
 
+TEST(TraceFile, LoadRejectsTruncatedInput) {
+  {
+    // Cut mid-thread: a compute burst with no following memory op/barrier.
+    std::stringstream s("T 0\nC 5\nL 10\nB\nC 3\n");
+    EXPECT_THROW(TraceBundle::load(s), Error);
+  }
+  {
+    std::stringstream s("T 0\nC\n");  // tag with its operand cut off
+    EXPECT_THROW(TraceBundle::load(s), Error);
+  }
+  {
+    std::stringstream s("T 0\nL\n");
+    EXPECT_THROW(TraceBundle::load(s), Error);
+  }
+  {
+    std::stringstream s("");  // empty file
+    EXPECT_THROW(TraceBundle::load(s), Error);
+  }
+}
+
 TEST(TraceFile, HandComposedTraceRuns) {
   // Two tiny hand-written threads with one barrier each, sharing line 0x10.
   std::stringstream file(

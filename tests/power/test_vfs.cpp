@@ -42,6 +42,13 @@ TEST(VfsLadder, RejectsBadInput) {
   EXPECT_THROW(VfsLadder::uniform(2.0, 1.0, 0.1), Error);
 }
 
+TEST(VfsLadder, OutOfRangeStepThrowsError) {
+  const VfsLadder ladder = VfsLadder::uniform(1.0, 2.0, 0.1);
+  EXPECT_NO_THROW((void)ladder.step(ladder.size() - 1));
+  EXPECT_THROW((void)ladder.step(ladder.size()), Error);
+  EXPECT_THROW((void)ladder.step(10'000), Error);
+}
+
 TEST(Voltage, MaxFrequencyUsesMaxVoltage) {
   const Technology tech = technology_22nm_hp();
   const Volts v = voltage_for_frequency(tech, gigahertz(3.6), gigahertz(3.6));
