@@ -41,8 +41,9 @@ int run_microbenchmarks(int argc, char** argv);
 /// every file. Bump when keys change meaning or disappear; consumers
 /// should skip files with a newer version than they understand.
 /// History: 1 = flat key map (implicit, unversioned); 2 = adds
-/// schema_version + git provenance.
-inline constexpr int kSchemaVersion = 2;
+/// schema_version + git provenance; 3 = adds the sweep_* provenance keys
+/// (cells, journal resumes, cache hits, dedupes, shard holes, failures).
+inline constexpr int kSchemaVersion = 3;
 
 /// Machine-readable counterpart of the printed tables: a flat ordered
 /// key -> value map written as `BENCH_<name>.json` in the working
@@ -68,6 +69,15 @@ class JsonReport {
   /// Expands one SolverStats into `<prefix>_solves`, `_iterations`,
   /// `_vcycles` and `_wall_seconds` entries.
   JsonReport& add_stats(const std::string& prefix, const SolverStats& stats);
+
+  /// Expands a sweep's cell-provenance counters into `sweep_cells`,
+  /// `sweep_resumed`, `sweep_cache_hits`, `sweep_deduped`,
+  /// `sweep_shard_skipped` and `sweep_failed` (schema_version 3) — the
+  /// numbers the CI warm-cache gate reads back from BENCH_*.json.
+  JsonReport& add_sweep_provenance(std::size_t cells, std::size_t resumed,
+                                   std::size_t cached, std::size_t deduped,
+                                   std::size_t shard_skipped,
+                                   std::size_t failed);
 
   /// Writes `BENCH_<name>.json` and prints the path; returns it.
   std::string write() const;

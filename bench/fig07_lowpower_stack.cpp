@@ -47,6 +47,9 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n\n";
   report.add_stats("sweep", data.solver);
+  report.add_sweep_provenance(data.max_chips * data.series.size(),
+                              data.resumed_cells, data.cached_cells, 0,
+                              data.shard_skipped, data.failed_cells.size());
   report.write();
   return aqua::bench::run_microbenchmarks(argc, argv);
 }

@@ -69,6 +69,14 @@ inline void run_npb_figure(const std::string& slug, const std::string& figure,
     report.add("mean_rel_" + name, rel.value_or(0.0), 4);
   }
   report.add("sweep_wall_seconds", sweep_seconds, 3);
+  std::size_t feasible = 0;
+  for (const FrequencyCap& cap : data.caps) feasible += cap.feasible ? 1 : 0;
+  // Cells = the cap cells plus one DES slot per feasible (benchmark,
+  // cooling) pair (rows carries the synthetic "avg" row, hence -1).
+  report.add_sweep_provenance(
+      data.coolings.size() + feasible * (data.rows.size() - 1),
+      data.resumed_cells, data.cached_cells, data.deduped_cells,
+      data.shard_skipped, data.failed_cells.size());
   report.add("des_instructions", static_cast<std::int64_t>(instr));
   report.add("des_events", static_cast<std::int64_t>(events));
   report.add("des_events_per_instruction",

@@ -8,14 +8,19 @@
 ///   $ ./build/examples/trace_tools summarize --faults REPORT_aqua.jsonl
 ///   $ ./build/examples/trace_tools merge out.json a.json b.json
 ///   $ ./build/examples/trace_tools check TRACE_aqua.json
+///   $ ./build/examples/trace_tools cache /path/to/cache-dir
 ///
 /// Replaying a captured trace reproduces the synthetic run cycle-for-cycle
 /// — the regression-pinning workflow for simulator changes. `summarize`
 /// prints a per-span wall-time table, `merge` concatenates several trace
 /// files into one Chrome-loadable file, and `check` validates a file parses
 /// as trace-event JSON (exit status 1 when it does not — the CI gate).
+/// `cache` summarizes AQUA_SWEEP_CACHE files (a directory argument means
+/// its sweep_cache.jsonl): valid entries, duplicates, corrupt lines and
+/// stale-salt records, broken down per sweep family.
 
 #include <array>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -24,6 +29,7 @@
 #include "obs/json_writer.hpp"
 #include "obs/trace_reader.hpp"
 #include "perf/system.hpp"
+#include "sweep/cache.hpp"
 
 namespace {
 
@@ -34,8 +40,49 @@ int usage() {
             << "  trace_tools summarize <trace.json>...\n"
             << "  trace_tools summarize --faults <report.jsonl>...\n"
             << "  trace_tools merge <out.json> <trace.json>...\n"
-            << "  trace_tools check <trace.json>...\n";
+            << "  trace_tools check <trace.json>...\n"
+            << "  trace_tools cache <dir-or-file>...\n";
   return 1;
+}
+
+/// `cache`: lenient inspection of sweep-cache files. A directory argument
+/// resolves to its sweep_cache.jsonl. Missing paths fail (typo guard);
+/// corrupt or stale lines only report — the loader skips them at runtime.
+int run_cache(int argc, char** argv) {
+  if (argc < 3) return usage();
+  bool ok = true;
+  aqua::Table table({"file", "entries", "records", "bad lines", "stale salt"});
+  std::map<std::string, std::size_t> per_sweep;
+  for (int i = 2; i < argc; ++i) {
+    std::filesystem::path path = argv[i];
+    if (std::filesystem::is_directory(path)) {
+      path /= aqua::sweep::SweepCache::kFileName;
+    }
+    if (!std::filesystem::exists(path)) {
+      std::cerr << path.string() << ": FAIL (no such file)\n";
+      ok = false;
+      continue;
+    }
+    const aqua::sweep::CacheFileSummary s =
+        aqua::sweep::inspect_cache_file(path.string());
+    table.row()
+        .add(path.string())
+        .add_int(static_cast<long long>(s.entries))
+        .add_int(static_cast<long long>(s.records))
+        .add_int(static_cast<long long>(s.bad_lines))
+        .add_int(static_cast<long long>(s.stale_salt));
+    for (const auto& [sweep, count] : s.per_sweep) per_sweep[sweep] += count;
+  }
+  table.print(std::cout);
+  if (!per_sweep.empty()) {
+    std::cout << "\n";
+    aqua::Table breakdown({"sweep family", "entries"});
+    for (const auto& [sweep, count] : per_sweep) {
+      breakdown.row().add(sweep).add_int(static_cast<long long>(count));
+    }
+    breakdown.print(std::cout);
+  }
+  return ok ? 0 : 1;
 }
 
 /// Loads every file's events into one list; dies with the parse error.
@@ -200,6 +247,7 @@ int main(int argc, char** argv) {
   }
   if (mode == "merge") return run_merge(argc, argv);
   if (mode == "check") return run_check(argc, argv);
+  if (mode == "cache") return run_cache(argc, argv);
 
   if (mode == "capture") {
     if (argc != 5) return usage();

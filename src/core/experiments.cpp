@@ -5,12 +5,14 @@
 #include <chrono>
 #include <functional>
 #include <mutex>
+#include <unordered_map>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
-#include "resilience/journal.hpp"
+#include "sweep/cells.hpp"
+#include "sweep/runner.hpp"
 
 namespace aqua {
 
@@ -35,22 +37,41 @@ void report_experiment(const char* name,
   });
 }
 
-/// Runs one sweep cell with isolate-and-continue semantics: cells named in
-/// AQUA_FAULT_CELL throw deterministically, and any exception is journaled
-/// instead of aborting the sweep. Returns false when the cell failed (the
-/// caller marks the table hole / failed list).
-bool run_cell(SweepJournal& journal, const std::string& cell,
-              const std::function<void()>& body) {
-  try {
-    require(!journal.poisoned(cell),
-            std::string("cell poisoned by ") + SweepJournal::kPoisonEnv +
-                ": " + cell);
-    body();
-    return true;
-  } catch (const std::exception& e) {
-    journal.record_failed(cell, e.what());
-    return false;
+/// Full value set of a frequency-cap cell. The Fig. 7/8 sweeps only read
+/// feasible/ghz back, but the NPB experiments reconstruct the whole
+/// FrequencyCap from the same cached cell, so every field is stored. "hz"
+/// carries the raw frequency (the double the DES runs key on); "ghz" is
+/// kept alongside it so tables never re-derive (and possibly drift) it.
+std::map<std::string, double> cap_values(const FrequencyCap& cap) {
+  std::map<std::string, double> values{{"feasible", cap.feasible ? 1.0 : 0.0}};
+  if (cap.feasible) {
+    values["step"] = static_cast<double>(cap.step_index);
+    values["hz"] = cap.frequency.value();
+    values["ghz"] = cap.frequency.gigahertz();
+    values["max_temperature_c"] = cap.max_temperature_c;
+    values["chip_power_w"] = cap.chip_power.value();
+    values["total_power_w"] = cap.total_power.value();
   }
+  return values;
+}
+
+/// Inverse of cap_values. Tolerates value sets with only "feasible" (an
+/// infeasible cap stores nothing else).
+FrequencyCap cap_from_values(const std::map<std::string, double>& values) {
+  const auto get = [&](const char* name, double fallback) {
+    const auto it = values.find(name);
+    return it == values.end() ? fallback : it->second;
+  };
+  FrequencyCap cap;
+  cap.feasible = get("feasible", 0.0) > 0.5;
+  if (cap.feasible) {
+    cap.step_index = static_cast<std::size_t>(get("step", 0.0));
+    cap.frequency = Hertz(get("hz", 0.0));
+    cap.max_temperature_c = get("max_temperature_c", 0.0);
+    cap.chip_power = Watts(get("chip_power_w", 0.0));
+    cap.total_power = Watts(get("total_power_w", 0.0));
+  }
+  return cap;
 }
 
 }  // namespace
@@ -91,16 +112,16 @@ FreqVsChipsData frequency_vs_chips(const ChipModel& chip,
     data.series[k].ghz.resize(max_chips);
   }
 
-  SweepJournal journal("freq_vs_chips");
+  sweep::SweepRunner runner("freq_vs_chips");
   std::mutex failed_mu;
-  std::atomic<std::size_t> resumed{0};
 
   // One task per stack height, run on the process-wide shared pool. Each
   // task owns one finder and walks every cooling option on it: the matrix
   // structure and multigrid hierarchy are assembled once per height, and
   // each cooling change is only a boundary value-refresh on that cached
   // model. (Grid models are not shared across threads.) The finder is
-  // built lazily so a fully journal-resumed height costs nothing.
+  // built lazily so a height whose cells are all served from the journal,
+  // cache, or another shard costs nothing.
   parallel_for(max_chips, [&](std::size_t c) {
     const std::size_t chips = c + 1;
     AQUA_TRACE_SCOPE_ARG("experiment.height", "experiment", chips);
@@ -109,40 +130,41 @@ FreqVsChipsData frequency_vs_chips(const ChipModel& chip,
       const std::string cell = "chip=" + data.chip_name +
                                ";chips=" + std::to_string(chips) +
                                ";cooling=" + options[k].name();
-      if (const auto* values = journal.lookup(cell)) {
-        const auto feasible = values->find("feasible");
-        const auto ghz = values->find("ghz");
-        if (feasible != values->end() && feasible->second > 0.5 &&
-            ghz != values->end()) {
-          data.series[k].ghz[chips - 1] = ghz->second;
-        }
-        resumed.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-      const bool ok = run_cell(journal, cell, [&] {
-        if (!finder) finder.emplace(chip, PackageConfig{}, threshold_c, grid);
-        const FrequencyCap cap = finder->find(chips, options[k]);
-        std::map<std::string, double> values{
-            {"feasible", cap.feasible ? 1.0 : 0.0}};
-        if (cap.feasible) {
-          data.series[k].ghz[chips - 1] = cap.frequency.gigahertz();
-          values["ghz"] = cap.frequency.gigahertz();
-        }
-        journal.record_ok(cell, values);
-      });
-      if (!ok) {
+      const sweep::CellConfig config = sweep::freq_cap_cell(
+          data.chip_name, chips, options[k].name(), threshold_c, grid);
+      const sweep::CellSource src = runner.run(
+          config, cell, {},
+          [&] {
+            if (!finder) {
+              finder.emplace(chip, PackageConfig{}, threshold_c, grid);
+            }
+            return cap_values(finder->find(chips, options[k]));
+          },
+          [&](const std::map<std::string, double>& values) {
+            const auto feasible = values.find("feasible");
+            const auto ghz = values.find("ghz");
+            if (feasible != values.end() && feasible->second > 0.5 &&
+                ghz != values.end()) {
+              data.series[k].ghz[chips - 1] = ghz->second;
+            }
+          });
+      if (src == sweep::CellSource::kFailed) {
         std::lock_guard lock(failed_mu);
         data.failed_cells.push_back(cell);
       }
     }
   });
-  data.resumed_cells = resumed.load();
+  const sweep::SweepRunner::Stats st = runner.stats();
+  data.resumed_cells = st.journal_hits;
+  data.cached_cells = st.cache_hits;
+  data.shard_skipped = st.shard_skipped;
   std::sort(data.failed_cells.begin(), data.failed_cells.end());
   // Sweep-wide solver totals come from the process-wide registry counters
   // that solve_cg publishes, so no per-finder mutex/merge plumbing is
   // needed (and work from every thread is captured exactly once).
   data.solver = solver_totals_since(before);
   report_experiment("frequency_vs_chips", start, data.solver);
+  runner.emit_report();
   return data;
 }
 
@@ -181,12 +203,45 @@ NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
   data.coolings = {CoolingKind::kWaterPipe, CoolingKind::kMineralOil,
                    CoolingKind::kFluorinert, CoolingKind::kWaterImmersion};
 
-  // Thermal caps: one finder for all options, so the four coolings share a
-  // single cached model and differ only by a boundary value-refresh.
+  sweep::SweepRunner runner("npb");
+  std::mutex failed_mu;
+  std::atomic<std::uint64_t> cores_failed{0};
+  data.degraded = !faults.empty();
+
+  // Thermal caps: every shard needs all four caps as inputs to its own DES
+  // cells, so cap cells are never sharded. They go through the same runner
+  // as everything else, which is exactly what makes them journal-resumable
+  // and — because freq_cap_cell is the same key family the Fig. 7/8 sweeps
+  // use — warm-servable from a cache those sweeps filled. The finder is
+  // built lazily: a fully warm run never assembles a thermal model. A cap
+  // failure aborts the experiment (there is no table without the caps).
   {
-    MaxFrequencyFinder finder(chip, PackageConfig{}, threshold_c, grid);
+    std::optional<MaxFrequencyFinder> finder;
+    sweep::CellPolicy cap_policy;
+    cap_policy.shardable = false;
     for (CoolingKind kind : data.coolings) {
-      data.caps.push_back(finder.find(chips, CoolingOption(kind)));
+      const CoolingOption option{kind};
+      const std::string cell = "cap;chip=" + data.chip_name +
+                               ";chips=" + std::to_string(chips) +
+                               ";cooling=" + option.name();
+      const sweep::CellConfig config = sweep::freq_cap_cell(
+          data.chip_name, chips, option.name(), threshold_c, grid);
+      FrequencyCap cap;
+      const sweep::CellSource src = runner.run(
+          config, cell, cap_policy,
+          [&] {
+            if (!finder) {
+              finder.emplace(chip, PackageConfig{}, threshold_c, grid);
+            }
+            return cap_values(finder->find(chips, option));
+          },
+          [&](const std::map<std::string, double>& values) {
+            cap = cap_from_values(values);
+          });
+      if (src == sweep::CellSource::kFailed) {
+        throw Error("frequency cap failed for " + cell);
+      }
+      data.caps.push_back(cap);
     }
   }
 
@@ -207,46 +262,77 @@ NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
     data.rows[b].relative.resize(data.coolings.size());
   }
 
-  SweepJournal journal("npb");
-  std::mutex failed_mu;
-  std::atomic<std::size_t> resumed{0};
-  std::atomic<std::uint64_t> cores_failed{0};
-  data.degraded = !faults.empty();
+  // One table slot per feasible (benchmark, cooling) pair. Slots whose DES
+  // inputs are identical — the key omits cooling, so two options capping
+  // at the same frequency collide on purpose — are grouped and dispatched
+  // as one task: the first slot computes (or is served warm), the rest hit
+  // the in-process memo. Each slot keeps its own journal record, so kill/
+  // resume and shard merges stay per-table-slot.
+  struct DesSlot {
+    std::size_t b = 0;
+    std::size_t k = 0;
+  };
+  std::vector<sweep::CellConfig> group_configs;
+  std::vector<std::vector<DesSlot>> groups;
+  std::unordered_map<std::string, std::size_t> group_of;
+  for (std::size_t b = 0; b < suite.size(); ++b) {
+    for (std::size_t k = 0; k < data.coolings.size(); ++k) {
+      if (!data.caps[k].feasible) continue;
+      sweep::CellConfig config = sweep::npb_des_cell(
+          chips, base_config.cores_per_chip, suite[b].name,
+          data.caps[k].frequency.value(), suite[b].instructions_per_thread,
+          seed, !faults.empty());
+      const auto [it, fresh] =
+          group_of.emplace(config.canonical(), groups.size());
+      if (fresh) {
+        group_configs.push_back(std::move(config));
+        groups.emplace_back();
+      }
+      groups[it->second].push_back({b, k});
+    }
+  }
 
-  // One DES run per feasible (benchmark, cooling) pair, in parallel on the
-  // shared pool. Each cell is isolated: a throwing cell leaves a table
-  // hole and a journal record instead of taking the sweep down.
-  const std::size_t cells = suite.size() * data.coolings.size();
-  parallel_for(cells, [&](std::size_t cell) {
-    const std::size_t b = cell / data.coolings.size();
-    const std::size_t k = cell % data.coolings.size();
-    if (!data.caps[k].feasible) return;
-    AQUA_TRACE_SCOPE_ARG("experiment.npb_cell", "experiment", cell);
-    const std::string cellkey =
-        "chip=" + data.chip_name + ";chips=" + std::to_string(chips) +
-        ";bench=" + suite[b].name + ";cooling=" + to_string(data.coolings[k]);
-    if (const auto* values = journal.lookup(cellkey)) {
-      const auto seconds = values->find("seconds");
-      if (seconds != values->end()) {
-        data.rows[b].seconds[k] = seconds->second;
-        resumed.fetch_add(1, std::memory_order_relaxed);
-        return;
+  // A fault-degraded run's plan is not part of the key, so it must never
+  // be persisted; the in-process memo still dedupes it (the same plan is
+  // injected into every cell of this run).
+  sweep::CellPolicy des_policy;
+  des_policy.cacheable = faults.empty();
+
+  sweep::dispatch_cells(groups.size(), [&](std::size_t g) {
+    for (const DesSlot& slot : groups[g]) {
+      AQUA_TRACE_SCOPE_ARG("experiment.npb_cell", "experiment",
+                           slot.b * data.coolings.size() + slot.k);
+      const std::string cellkey = "chip=" + data.chip_name +
+                                  ";chips=" + std::to_string(chips) +
+                                  ";bench=" + suite[slot.b].name +
+                                  ";cooling=" + to_string(data.coolings[slot.k]);
+      const sweep::CellSource src = runner.run(
+          group_configs[g], cellkey, des_policy,
+          [&] {
+            CmpSystem system(base_config, suite[slot.b],
+                             data.caps[slot.k].frequency, seed);
+            if (!faults.empty()) system.inject_faults(faults);
+            const ExecStats stats = system.run();
+            cores_failed.store(stats.cores_failed, std::memory_order_relaxed);
+            return std::map<std::string, double>{{"seconds", stats.seconds}};
+          },
+          [&](const std::map<std::string, double>& values) {
+            const auto seconds = values.find("seconds");
+            if (seconds != values.end()) {
+              data.rows[slot.b].seconds[slot.k] = seconds->second;
+            }
+          });
+      if (src == sweep::CellSource::kFailed) {
+        std::lock_guard lock(failed_mu);
+        data.failed_cells.push_back(cellkey);
       }
     }
-    const bool ok = run_cell(journal, cellkey, [&] {
-      CmpSystem system(base_config, suite[b], data.caps[k].frequency, seed);
-      if (!faults.empty()) system.inject_faults(faults);
-      const ExecStats stats = system.run();
-      data.rows[b].seconds[k] = stats.seconds;
-      cores_failed.store(stats.cores_failed, std::memory_order_relaxed);
-      journal.record_ok(cellkey, {{"seconds", stats.seconds}});
-    });
-    if (!ok) {
-      std::lock_guard lock(failed_mu);
-      data.failed_cells.push_back(cellkey);
-    }
   });
-  data.resumed_cells = resumed.load();
+  const sweep::SweepRunner::Stats st = runner.stats();
+  data.resumed_cells = st.journal_hits;
+  data.cached_cells = st.cache_hits;
+  data.deduped_cells = st.memo_hits;
+  data.shard_skipped = st.shard_skipped;
   data.cores_failed = cores_failed.load();
   std::sort(data.failed_cells.begin(), data.failed_cells.end());
 
@@ -287,6 +373,7 @@ NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
   }
   data.rows.push_back(std::move(avg));
   report_experiment("npb", start, solver_totals_since(before));
+  runner.emit_report();
   return data;
 }
 
@@ -296,43 +383,47 @@ std::vector<HtcSweepPoint> htc_sweep(const ChipModel& chip, std::size_t chips,
   AQUA_TRACE_SCOPE_ARG("experiment.htc_sweep", "experiment", chips);
   const auto start = std::chrono::steady_clock::now();
   const SolverStats before = solver_totals();
-  SweepJournal journal("htc_sweep");
+  sweep::SweepRunner runner("htc_sweep");
   std::vector<HtcSweepPoint> points(htcs.size());
-  parallel_for(htcs.size(), [&](std::size_t i) {
+  sweep::dispatch_cells(htcs.size(), [&](std::size_t i) {
+    points[i].htc = htcs[i];
     const std::string cell = "chip=" + chip.name() +
                              ";chips=" + std::to_string(chips) +
                              ";htc=" + std::to_string(htcs[i]);
-    if (const auto* values = journal.lookup(cell)) {
-      const auto temp = values->find("temperature_c");
-      if (temp != values->end()) {
-        points[i] = {htcs[i], temp->second};
-        return;
-      }
-    }
-    const bool ok = run_cell(journal, cell, [&] {
-      PackageConfig package;
-      // Boundary with the swept coefficient on both wetted paths (the sweep
-      // generalizes the immersion options).
-      ThermalBoundary boundary;
-      boundary.ambient_c = package.ambient_c;
-      boundary.top_htc = HeatTransferCoefficient(htcs[i]);
-      boundary.bottom_htc = HeatTransferCoefficient(htcs[i]);
-      boundary.film_on_bottom = true;
+    const sweep::CellConfig config =
+        sweep::htc_cell(chip.name(), chips, htcs[i], grid);
+    const sweep::CellSource src = runner.run(
+        config, cell, {},
+        [&] {
+          PackageConfig package;
+          // Boundary with the swept coefficient on both wetted paths (the
+          // sweep generalizes the immersion options).
+          ThermalBoundary boundary;
+          boundary.ambient_c = package.ambient_c;
+          boundary.top_htc = HeatTransferCoefficient(htcs[i]);
+          boundary.bottom_htc = HeatTransferCoefficient(htcs[i]);
+          boundary.film_on_bottom = true;
 
-      const Stack3d stack(chip.floorplan(), chips, FlipPolicy::kNone);
-      StackThermalModel model(stack, package, boundary, grid);
-      std::vector<std::vector<double>> powers;
-      for (std::size_t l = 0; l < stack.layer_count(); ++l) {
-        powers.push_back(
-            chip.block_powers(stack.layer(l), chip.max_frequency()));
-      }
-      points[i] = {htcs[i],
-                   model.solve_steady(powers).max_die_temperature_c()};
-      journal.record_ok(cell, {{"temperature_c", points[i].temperature_c}});
-    });
-    if (!ok) points[i] = {htcs[i], 0.0, /*failed=*/true};
+          const Stack3d stack(chip.floorplan(), chips, FlipPolicy::kNone);
+          StackThermalModel model(stack, package, boundary, grid);
+          std::vector<std::vector<double>> powers;
+          for (std::size_t l = 0; l < stack.layer_count(); ++l) {
+            powers.push_back(
+                chip.block_powers(stack.layer(l), chip.max_frequency()));
+          }
+          return std::map<std::string, double>{
+              {"temperature_c",
+               model.solve_steady(powers).max_die_temperature_c()}};
+        },
+        [&](const std::map<std::string, double>& values) {
+          const auto temp = values.find("temperature_c");
+          if (temp != values.end()) points[i].temperature_c = temp->second;
+        });
+    if (src == sweep::CellSource::kFailed) points[i].failed = true;
+    if (src == sweep::CellSource::kShardSkipped) points[i].skipped = true;
   });
   report_experiment("htc_sweep", start, solver_totals_since(before));
+  runner.emit_report();
   return points;
 }
 
@@ -344,37 +435,42 @@ std::vector<RotationPoint> rotation_sweep(const ChipModel& chip,
   const auto start = std::chrono::steady_clock::now();
   const SolverStats before = solver_totals();
   const VfsLadder& ladder = chip.ladder();
-  SweepJournal journal("rotation_sweep");
+  sweep::SweepRunner runner("rotation_sweep");
   std::vector<RotationPoint> points(ladder.size());
-  parallel_for(ladder.size(), [&](std::size_t i) {
+  sweep::dispatch_cells(ladder.size(), [&](std::size_t i) {
     const Hertz f = ladder.step(i);
     points[i].ghz = f.gigahertz();
     const std::string cell = "chip=" + chip.name() +
                              ";chips=" + std::to_string(chips) +
                              ";cooling=" + cooling.name() +
                              ";step=" + std::to_string(i);
-    if (const auto* values = journal.lookup(cell)) {
-      const auto no_flip = values->find("no_flip_c");
-      const auto flip = values->find("flip_c");
-      if (no_flip != values->end() && flip != values->end()) {
-        points[i].temperature_no_flip_c = no_flip->second;
-        points[i].temperature_flip_c = flip->second;
-        return;
-      }
-    }
-    const bool ok = run_cell(journal, cell, [&] {
-      MaxFrequencyFinder finder(chip, PackageConfig{}, 80.0, grid);
-      points[i].temperature_no_flip_c =
-          finder.temperature_at(chips, cooling, f, FlipPolicy::kNone);
-      points[i].temperature_flip_c =
-          finder.temperature_at(chips, cooling, f, FlipPolicy::kFlipEven);
-      journal.record_ok(cell,
-                        {{"no_flip_c", points[i].temperature_no_flip_c},
-                         {"flip_c", points[i].temperature_flip_c}});
-    });
-    if (!ok) points[i].failed = true;
+    const sweep::CellConfig config = sweep::rotation_cell(
+        chip.name(), chips, cooling.name(), i, f.value(), grid);
+    const sweep::CellSource src = runner.run(
+        config, cell, {},
+        [&] {
+          MaxFrequencyFinder finder(chip, PackageConfig{}, 80.0, grid);
+          return std::map<std::string, double>{
+              {"no_flip_c",
+               finder.temperature_at(chips, cooling, f, FlipPolicy::kNone)},
+              {"flip_c", finder.temperature_at(chips, cooling, f,
+                                               FlipPolicy::kFlipEven)}};
+        },
+        [&](const std::map<std::string, double>& values) {
+          const auto no_flip = values.find("no_flip_c");
+          const auto flip = values.find("flip_c");
+          if (no_flip != values.end()) {
+            points[i].temperature_no_flip_c = no_flip->second;
+          }
+          if (flip != values.end()) {
+            points[i].temperature_flip_c = flip->second;
+          }
+        });
+    if (src == sweep::CellSource::kFailed) points[i].failed = true;
+    if (src == sweep::CellSource::kShardSkipped) points[i].skipped = true;
   });
   report_experiment("rotation_sweep", start, solver_totals_since(before));
+  runner.emit_report();
   return points;
 }
 

@@ -44,6 +44,10 @@ struct FreqVsChipsData {
   std::vector<std::string> failed_cells;
   /// Cells served from an AQUA_SWEEP_RESUME journal instead of recomputed.
   std::size_t resumed_cells = 0;
+  /// Cells served warm from the AQUA_SWEEP_CACHE content cache.
+  std::size_t cached_cells = 0;
+  /// Cells owned by another shard (AQUA_SWEEP_SHARDS) and left as holes.
+  std::size_t shard_skipped = 0;
 
   /// Curve for one cooling kind (throws if absent).
   [[nodiscard]] const FreqVsChipsSeries& of(CoolingKind kind) const;
@@ -86,8 +90,16 @@ struct NpbData {
   std::vector<FrequencyCap> caps;   ///< per cooling option
   std::vector<NpbRow> rows;         ///< one per NPB program + "avg"
   /// Isolated cell failures / journal resumes (see FreqVsChipsData).
+  /// resumed_cells counts cap cells as well as DES cells.
   std::vector<std::string> failed_cells;
   std::size_t resumed_cells = 0;
+  /// Cells served warm from the AQUA_SWEEP_CACHE content cache.
+  std::size_t cached_cells = 0;
+  /// DES cells deduped in-process onto another cooling option's identical
+  /// run (cooling options capping at the same frequency share one DES run).
+  std::size_t deduped_cells = 0;
+  /// DES cells owned by another shard and left as holes.
+  std::size_t shard_skipped = 0;
   /// True when a non-empty fault plan was injected into the DES runs.
   bool degraded = false;
   std::uint64_t cores_failed = 0;   ///< per-run plan losses (one run's worth)
@@ -118,6 +130,7 @@ struct HtcSweepPoint {
   double htc;           ///< W/(m^2 K) applied to both wetted paths
   double temperature_c; ///< peak die temperature at max frequency
   bool failed = false;  ///< the cell threw and was isolated
+  bool skipped = false; ///< owned by another shard (AQUA_SWEEP_SHARDS)
 };
 
 /// Sweeps the coolant coefficient for a `chips`-high stack at the chip's
@@ -136,6 +149,7 @@ struct RotationPoint {
   double temperature_no_flip_c;
   double temperature_flip_c;
   bool failed = false;  ///< the cell threw and was isolated
+  bool skipped = false; ///< owned by another shard (AQUA_SWEEP_SHARDS)
 };
 
 /// Temperature vs. frequency with and without 180-degree rotation of even

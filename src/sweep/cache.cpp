@@ -1,0 +1,222 @@
+#include "sweep/cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_reader.hpp"
+
+namespace aqua::sweep {
+
+namespace {
+
+struct CacheMetrics {
+  obs::Counter& hits = obs::Registry::instance().counter("sweep.cache_hits");
+  obs::Counter& misses =
+      obs::Registry::instance().counter("sweep.cache_misses");
+  obs::Counter& stores =
+      obs::Registry::instance().counter("sweep.cache_stores");
+  obs::Counter& skips =
+      obs::Registry::instance().counter("sweep.cache_skips");
+  obs::Counter& bad_lines =
+      obs::Registry::instance().counter("sweep.cache_bad_lines");
+  obs::Counter& stale =
+      obs::Registry::instance().counter("sweep.cache_stale_salt");
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics metrics;
+  return metrics;
+}
+
+/// Extracts the "sweep" field from a canonical cell string ("" if absent).
+std::string sweep_field_of(const std::string& canonical) {
+  std::size_t pos = 0;
+  while (pos <= canonical.size()) {
+    const std::size_t semi = canonical.find(';', pos);
+    const std::string field = canonical.substr(
+        pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    if (field.rfind("sweep=", 0) == 0) return field.substr(6);
+    if (semi == std::string::npos) break;
+    pos = semi + 1;
+  }
+  return "";
+}
+
+/// Lenient line-by-line scan. For every valid record calls
+/// `accept(cell, values)`; malformed / stale lines only bump the summary.
+template <class Accept>
+CacheFileSummary scan_cache_file(const std::string& path,
+                                 const Accept& accept) {
+  CacheFileSummary summary;
+  std::ifstream in(path);
+  if (!in.is_open()) return summary;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    obs::JsonValue rec;
+    try {
+      rec = obs::parse_json(line);
+    } catch (const std::exception&) {
+      ++summary.bad_lines;
+      continue;
+    }
+    const obs::JsonValue* kind = rec.find("kind");
+    const obs::JsonValue* salt = rec.find("salt");
+    const obs::JsonValue* hash = rec.find("hash");
+    const obs::JsonValue* cell = rec.find("cell");
+    if (!rec.is_object() || kind == nullptr ||
+        kind->string != "sweep_cache" || salt == nullptr ||
+        hash == nullptr || cell == nullptr) {
+      ++summary.bad_lines;
+      continue;
+    }
+    if (salt->string != kCellKeySalt) {
+      ++summary.stale_salt;
+      continue;
+    }
+    // Content addressing doubles as an integrity check: a record whose
+    // stored hash does not reproduce from its cell text was truncated or
+    // edited, and is recomputed rather than trusted.
+    std::uint64_t h = fnv1a64(kCellKeySalt);
+    h = fnv1a64(std::string_view("\x1f", 1), h);
+    h = fnv1a64(cell->string, h);
+    if (hash->string != to_hex16(h)) {
+      ++summary.bad_lines;
+      continue;
+    }
+    std::map<std::string, double> values;
+    for (const auto& [key, value] : rec.object) {
+      if (key.rfind("v_", 0) == 0 &&
+          value.kind == obs::JsonValue::Kind::kNumber) {
+        values[key.substr(2)] = value.number;
+      }
+    }
+    ++summary.records;
+    ++summary.per_sweep[sweep_field_of(cell->string)];
+    accept(cell->string, std::move(values));
+  }
+  return summary;
+}
+
+}  // namespace
+
+SweepCache& SweepCache::instance() {
+  static SweepCache* cache = [] {
+    auto* c = new SweepCache();
+    if (const char* env = std::getenv(kEnv); env != nullptr && env[0] != '\0') {
+      c->configure(env);
+    }
+    return c;
+  }();
+  return *cache;
+}
+
+void SweepCache::configure(const std::string& dir) {
+  std::lock_guard lock(mutex_);
+  if (out_.is_open()) out_.close();
+  entries_.clear();
+  stats_ = Stats{};
+  dir_ = dir;
+  path_.clear();
+  if (dir_.empty()) return;
+  std::filesystem::create_directories(dir_);
+  path_ = (std::filesystem::path(dir_) / kFileName).string();
+  const CacheFileSummary summary =
+      scan_cache_file(path_, [&](const std::string& cell,
+                                 std::map<std::string, double>&& values) {
+        entries_[cell] = std::move(values);  // duplicate records: last wins
+      });
+  stats_.loaded = entries_.size();
+  stats_.bad_lines = summary.bad_lines;
+  stats_.stale_salt = summary.stale_salt;
+  cache_metrics().bad_lines.add(summary.bad_lines);
+  cache_metrics().stale.add(summary.stale_salt);
+}
+
+bool SweepCache::enabled() const {
+  std::lock_guard lock(mutex_);
+  return !path_.empty();
+}
+
+std::string SweepCache::file_path() const {
+  std::lock_guard lock(mutex_);
+  return path_;
+}
+
+bool SweepCache::lookup(const CellConfig& config,
+                        std::map<std::string, double>* out) {
+  std::lock_guard lock(mutex_);
+  if (path_.empty()) return false;
+  const auto it = entries_.find(config.canonical());
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    cache_metrics().misses.add();
+    return false;
+  }
+  ++stats_.hits;
+  cache_metrics().hits.add();
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+void SweepCache::store(const CellConfig& config,
+                       const std::map<std::string, double>& values) {
+  std::lock_guard lock(mutex_);
+  if (path_.empty()) return;
+  const std::string canonical = config.canonical();
+  if (!entries_.emplace(canonical, values).second) return;  // already stored
+  obs::JsonWriter w;
+  w.add("kind", "sweep_cache")
+      .add("salt", kCellKeySalt)
+      .add("hash", config.hash_hex())
+      .add("cell", canonical);
+  for (const auto& [key, value] : values) w.add("v_" + key, value);
+  if (!out_.is_open()) {
+    // A mid-write kill can leave the file ending in a torn half-line; start
+    // appends on a fresh line so new records are not glued onto it.
+    bool needs_newline = false;
+    if (std::ifstream tail(path_, std::ios::binary); tail.is_open()) {
+      tail.seekg(0, std::ios::end);
+      if (tail.tellg() > 0) {
+        tail.seekg(-1, std::ios::end);
+        needs_newline = tail.get() != '\n';
+      }
+    }
+    out_.open(path_, std::ios::app);
+    ensure(out_.is_open(), "cannot open sweep cache: " + path_);
+    if (needs_newline) out_ << '\n';
+  }
+  out_ << w.str() << '\n';
+  out_.flush();  // whole lines survive a mid-sweep kill
+  ++stats_.stores;
+  cache_metrics().stores.add();
+}
+
+void SweepCache::count_skip() {
+  {
+    std::lock_guard lock(mutex_);
+    if (path_.empty()) return;
+    ++stats_.skips;
+  }
+  cache_metrics().skips.add();
+}
+
+SweepCache::Stats SweepCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+CacheFileSummary inspect_cache_file(const std::string& path) {
+  std::map<std::string, std::map<std::string, double>> unique;
+  CacheFileSummary summary = scan_cache_file(
+      path, [&](const std::string& cell, std::map<std::string, double>&& v) {
+        unique[cell] = std::move(v);
+      });
+  summary.entries = unique.size();
+  return summary;
+}
+
+}  // namespace aqua::sweep

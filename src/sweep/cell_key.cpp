@@ -1,0 +1,113 @@
+#include "sweep/cell_key.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aqua::sweep {
+
+std::uint64_t fnv1a64(std::string_view data, std::uint64_t seed) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = seed;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kPrime;
+  }
+  return h;
+}
+
+std::string format_double_exact(double value) {
+  require(std::isfinite(value), "cell field values must be finite");
+  char buf[64];
+  const std::to_chars_result r =
+      std::to_chars(buf, buf + sizeof(buf), value);
+  ensure(r.ec == std::errc(), "double formatting failed");
+  return std::string(buf, r.ptr);
+}
+
+namespace {
+
+std::string trimmed(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return std::string(s.substr(b, e - b));
+}
+
+}  // namespace
+
+CellConfig& CellConfig::set(std::string_view name, std::string_view value) {
+  std::string key = trimmed(name);
+  std::string val = trimmed(value);
+  require(!key.empty(), "cell field name must be non-empty");
+  require(key.find('=') == std::string::npos &&
+              key.find(';') == std::string::npos,
+          "cell field name must not contain '=' or ';': " + key);
+  require(val.find(';') == std::string::npos,
+          "cell field value must not contain ';': " + val);
+  fields_[std::move(key)] = std::move(val);
+  return *this;
+}
+
+CellConfig& CellConfig::set(std::string_view name, const char* value) {
+  return set(name, std::string_view(value));
+}
+
+CellConfig& CellConfig::set(std::string_view name, double value) {
+  return set(name, std::string_view(format_double_exact(value)));
+}
+
+CellConfig& CellConfig::set(std::string_view name, std::uint64_t value) {
+  return set(name, std::string_view(std::to_string(value)));
+}
+
+CellConfig& CellConfig::set(std::string_view name, bool value) {
+  return set(name, std::string_view(value ? "1" : "0"));
+}
+
+bool CellConfig::contains(std::string_view name) const {
+  return fields_.find(std::string(name)) != fields_.end();
+}
+
+const std::string* CellConfig::find(std::string_view name) const {
+  const auto it = fields_.find(std::string(name));
+  return it == fields_.end() ? nullptr : &it->second;
+}
+
+std::string CellConfig::canonical() const {
+  std::string out;
+  for (const auto& [name, value] : fields_) {
+    if (!out.empty()) out += ';';
+    out += name;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+std::uint64_t CellConfig::hash(std::string_view salt) const {
+  std::uint64_t h = fnv1a64(salt);
+  h = fnv1a64(std::string_view("\x1f", 1), h);
+  return fnv1a64(canonical(), h);
+}
+
+std::string CellConfig::hash_hex(std::string_view salt) const {
+  return to_hex16(hash(salt));
+}
+
+std::string to_hex16(std::uint64_t hash) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+}  // namespace aqua::sweep

@@ -1,0 +1,174 @@
+#include "sweep/runner.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
+#include "sweep/cache.hpp"
+
+namespace aqua::sweep {
+
+SweepRunner::SweepRunner(std::string sweep)
+    : sweep_(std::move(sweep)),
+      journal_(sweep_),
+      shard_(ShardPlan::from_env()) {}
+
+CellSource SweepRunner::run(
+    const CellConfig& config, const std::string& cell,
+    const CellPolicy& policy,
+    const std::function<std::map<std::string, double>()>& compute,
+    const std::function<void(const std::map<std::string, double>&)>& apply) {
+  // 1. Journal resume: a previously completed cell is served verbatim.
+  if (const auto* values = journal_.lookup(cell)) {
+    apply(*values);
+    journal_hits_.fetch_add(1, std::memory_order_relaxed);
+    return CellSource::kJournal;
+  }
+
+  SweepCache& cache = SweepCache::instance();
+
+  // 2. Poison: deterministic fault injection always fails the cell, and a
+  // poisoned cell must never reach the cache (in either direction).
+  if (journal_.poisoned(cell)) {
+    journal_.record_failed(cell, std::string("cell poisoned by ") +
+                                     SweepJournal::kPoisonEnv + ": " + cell);
+    cache.count_skip();
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return CellSource::kFailed;
+  }
+
+  const std::string canonical = config.canonical();
+
+  // 3. In-process memo: identical cells inside one sweep share one
+  // computation (the values are a pure function of the canonical key).
+  {
+    std::unique_lock lock(memo_mutex_);
+    const auto it = memo_.find(canonical);
+    if (it != memo_.end()) {
+      const std::map<std::string, double> values = it->second;
+      lock.unlock();
+      apply(values);
+      journal_.record_ok(cell, values);
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      return CellSource::kMemo;
+    }
+  }
+
+  // 4. Content-addressed cache: warm cells skip the compute entirely. The
+  // values are re-journaled under this sweep's cell name so a shard
+  // journal merge sees cache-served cells too.
+  if (policy.cacheable) {
+    std::map<std::string, double> values;
+    if (cache.lookup(config, &values)) {
+      apply(values);
+      journal_.record_ok(cell, values);
+      {
+        std::lock_guard lock(memo_mutex_);
+        memo_.emplace(canonical, values);
+      }
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return CellSource::kCache;
+    }
+  }
+
+  // 5. Shard partition: cells owned by other shards are left as holes.
+  if (policy.shardable && shard_.active() && !shard_.owns(config.hash())) {
+    shard_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return CellSource::kShardSkipped;
+  }
+
+  // 6. Compute, isolate-and-continue.
+  std::map<std::string, double> values;
+  try {
+    values = compute();
+  } catch (const std::exception& e) {
+    journal_.record_failed(cell, e.what());
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return CellSource::kFailed;
+  }
+  apply(values);
+  journal_.record_ok(cell, values);
+  {
+    std::lock_guard lock(memo_mutex_);
+    memo_.emplace(canonical, values);
+  }
+  if (policy.cacheable) {
+    cache.store(config, values);
+  } else {
+    cache.count_skip();
+  }
+  computed_.fetch_add(1, std::memory_order_relaxed);
+  return CellSource::kComputed;
+}
+
+SweepRunner::Stats SweepRunner::stats() const {
+  Stats s;
+  s.computed = computed_.load(std::memory_order_relaxed);
+  s.journal_hits = journal_hits_.load(std::memory_order_relaxed);
+  s.memo_hits = memo_hits_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.shard_skipped = shard_skipped_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SweepRunner::emit_report() const {
+  obs::RunReport& report = obs::RunReport::instance();
+  if (!report.enabled()) return;
+  const Stats s = stats();
+  const SweepCache::Stats c = SweepCache::instance().stats();
+  report.emit("sweep", [&](obs::JsonWriter& w) {
+    w.add("sweep", sweep_)
+        .add("cells", static_cast<std::uint64_t>(s.cells()))
+        .add("computed", static_cast<std::uint64_t>(s.computed))
+        .add("journal_hits", static_cast<std::uint64_t>(s.journal_hits))
+        .add("memo_hits", static_cast<std::uint64_t>(s.memo_hits))
+        .add("cache_hits", static_cast<std::uint64_t>(s.cache_hits))
+        .add("shard_skipped", static_cast<std::uint64_t>(s.shard_skipped))
+        .add("failed", static_cast<std::uint64_t>(s.failed))
+        .add("shards", static_cast<std::uint64_t>(shard_.shards))
+        .add("shard_id", static_cast<std::uint64_t>(shard_.id))
+        .add("cache_enabled", SweepCache::instance().enabled())
+        .add("cache_stores", c.stores)
+        .add("cache_skips", c.skips);
+  });
+}
+
+std::size_t merge_journal_files(const std::string& out_path,
+                                const std::vector<std::string>& inputs) {
+  std::ofstream out(out_path, std::ios::app);
+  ensure(out.is_open(), "cannot open merged journal: " + out_path);
+  std::size_t written = 0;
+  for (const std::string& input : inputs) {
+    std::ifstream in(input);
+    if (!in.is_open()) continue;  // a shard that never wrote is fine
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      try {
+        const obs::JsonValue rec = obs::parse_json(line);
+        const obs::JsonValue* kind = rec.find("kind");
+        if (kind == nullptr || kind->string != "sweep_cell") continue;
+      } catch (const std::exception&) {
+        continue;  // torn shard line: skip, the cell just recomputes
+      }
+      out << line << '\n';
+      ++written;
+    }
+  }
+  out.flush();
+  ensure(out.good(), "failed writing merged journal: " + out_path);
+  return written;
+}
+
+void dispatch_cells(std::size_t count,
+                    const std::function<void(std::size_t)>& body) {
+  AQUA_TRACE_SCOPE_ARG("sweep.dispatch_cells", "sweep", count);
+  parallel_for(count, body);
+}
+
+}  // namespace aqua::sweep

@@ -1,0 +1,123 @@
+#pragma once
+
+/// SweepRunner: the one code path every Fig. 7-13 sweep cell goes through
+/// (DESIGN.md §9). It composes, in fixed precedence order:
+///
+///   1. journal resume  (AQUA_SWEEP_RESUME, PR-4 semantics unchanged)
+///   2. poison          (AQUA_FAULT_CELL cells always fail, are journaled
+///                       as failed, and are NEVER written to the cache)
+///   3. in-process memo (dedupe of identical cells inside one sweep —
+///                       e.g. two cooling options capping at the same
+///                       frequency share one DES run)
+///   4. content cache   (AQUA_SWEEP_CACHE warm hits skip the compute and
+///                       are re-journaled so shard merges see them)
+///   5. shard skip      (AQUA_SWEEP_SHARDS/_SHARD_ID: cells owned by other
+///                       shards are left as holes)
+///   6. compute         (isolate-and-continue: a throwing cell is
+///                       journaled as failed, never cached, and does not
+///                       abort the sweep)
+///
+/// Poison outranks memo/cache on purpose: deterministic fault injection
+/// must not be maskable by a warm cache. Cache outranks shard so every
+/// shard applies already-known cells and only computes its own misses.
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "resilience/journal.hpp"
+#include "sweep/cell_key.hpp"
+#include "sweep/shard.hpp"
+
+namespace aqua::sweep {
+
+/// Where a cell's values came from.
+enum class CellSource {
+  kComputed,
+  kJournal,
+  kMemo,
+  kCache,
+  kShardSkipped,
+  kFailed,
+};
+
+/// Per-cell opt-outs.
+struct CellPolicy {
+  /// false: the cell runs on every shard (e.g. NPB frequency caps, which
+  /// every shard needs as inputs to its own DES cells).
+  bool shardable = true;
+  /// false: never persisted (fault-degraded runs whose plan is not part of
+  /// the key). Memo dedupe still applies within the sweep.
+  bool cacheable = true;
+};
+
+class SweepRunner {
+ public:
+  /// `sweep` names the journal namespace (same contract as SweepJournal).
+  /// Shard plan and cache state are read at construction.
+  explicit SweepRunner(std::string sweep);
+
+  /// Runs one cell. `compute` produces the cell's values; `apply` writes
+  /// values (from whichever source) into the caller's table. `apply` runs
+  /// for every source except kShardSkipped and kFailed.
+  CellSource run(const CellConfig& config, const std::string& cell,
+                 const CellPolicy& policy,
+                 const std::function<std::map<std::string, double>()>& compute,
+                 const std::function<void(const std::map<std::string, double>&)>&
+                     apply);
+
+  [[nodiscard]] const ShardPlan& shard() const { return shard_; }
+
+  struct Stats {
+    std::size_t computed = 0;
+    std::size_t journal_hits = 0;
+    std::size_t memo_hits = 0;
+    std::size_t cache_hits = 0;
+    std::size_t shard_skipped = 0;
+    std::size_t failed = 0;
+    [[nodiscard]] std::size_t cells() const {
+      return computed + journal_hits + memo_hits + cache_hits +
+             shard_skipped + failed;
+    }
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Emits a "sweep" run-report record with this runner's counters (no-op
+  /// when reporting is off).
+  void emit_report() const;
+
+ private:
+  std::string sweep_;
+  SweepJournal journal_;
+  ShardPlan shard_;
+
+  std::mutex memo_mutex_;
+  std::unordered_map<std::string, std::map<std::string, double>> memo_;
+
+  std::atomic<std::size_t> computed_{0};
+  std::atomic<std::size_t> journal_hits_{0};
+  std::atomic<std::size_t> memo_hits_{0};
+  std::atomic<std::size_t> cache_hits_{0};
+  std::atomic<std::size_t> shard_skipped_{0};
+  std::atomic<std::size_t> failed_{0};
+};
+
+/// Merges JSON-lines sweep journals: appends every valid "sweep_cell" line
+/// of `inputs` (in order) to `out_path`, skipping unparsable lines.
+/// Returns the number of records written. The merge of per-shard journals
+/// replayed with AQUA_SWEEP_RESUME reassembles the full table.
+std::size_t merge_journal_files(const std::string& out_path,
+                                const std::vector<std::string>& inputs);
+
+/// Work-stealing dispatch of `count` independent cells over the shared
+/// process-wide thread pool: workers claim the next unclaimed cell index
+/// (atomic increment), so slow cells never leave fast workers idle.
+void dispatch_cells(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+}  // namespace aqua::sweep
