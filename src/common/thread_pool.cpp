@@ -58,6 +58,14 @@ ThreadPool::~ThreadPool() {
   pool_metrics().workers.add(-static_cast<double>(workers_.size()));
 }
 
+void ThreadPool::post(std::function<void()> task) {
+  std::lock_guard lock(mutex_);
+  require(!stopping_, "ThreadPool::post after shutdown began");
+  tasks_.push(std::move(task));
+  note_submit(tasks_.size());
+  cv_.notify_one();
+}
+
 void ThreadPool::note_submit(std::size_t queue_depth) {
   PoolMetrics& metrics = pool_metrics();
   metrics.submitted.add(1);
@@ -101,27 +109,34 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   AQUA_TRACE_SCOPE_ARG("pool.parallel_for", "pool", count);
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
-
+  std::mutex m;
+  std::condition_variable done;
   const std::size_t workers = std::min(pool.size(), count);
-  std::vector<std::future<void>> futures;
-  futures.reserve(workers);
+  std::size_t remaining = workers;  // completion latch, guarded by m
+
   for (std::size_t w = 0; w < workers; ++w) {
-    futures.push_back(pool.submit([&] {
+    pool.post([&] {
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
+        if (i >= count) break;
         try {
           body(i);
         } catch (...) {
           pool_metrics().task_exceptions.add(1);
-          std::lock_guard lock(error_mutex);
+          std::lock_guard lock(m);
           if (!first_error) first_error = std::current_exception();
         }
       }
-    }));
+      // Notify under the lock: once the caller observes remaining == 0 the
+      // stack frame dies, so the worker must be done with `done` by then.
+      std::lock_guard lock(m);
+      if (--remaining == 0) done.notify_one();
+    });
   }
-  for (auto& f : futures) f.get();
+  {
+    std::unique_lock lock(m);
+    done.wait(lock, [&] { return remaining == 0; });
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

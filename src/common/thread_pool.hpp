@@ -39,10 +39,17 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task; the returned future resolves with its result.
-  /// The wake-up is signalled while the lock is held so a worker observing
-  /// the notification always sees the queued task (no lost wake-ups on
-  /// shutdown races).
+  /// Enqueues a fire-and-forget task: no packaged_task, no future, no
+  /// per-task shared_ptr — the fast path for fine-grained work where the
+  /// caller tracks completion itself (parallel_for's latch, the sweep
+  /// engine's batch accounting). The wake-up is signalled while the lock
+  /// is held so a worker observing the notification always sees the queued
+  /// task (no lost wake-ups on shutdown races).
+  void post(std::function<void()> task);
+
+  /// Enqueues a task; the returned future resolves with its result. Costs
+  /// a shared_ptr<packaged_task> allocation per task — use post() when the
+  /// result/future is not needed.
   template <class F>
   auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -78,8 +85,8 @@ class ThreadPool {
 ThreadPool& shared_pool();
 
 /// Runs body(i) for i in [0, count) across the pool, blocking until all
-/// iterations complete. Exceptions from iterations propagate (first one
-/// wins).
+/// iterations complete (post() + completion latch; no per-worker future
+/// allocations). Exceptions from iterations propagate (first one wins).
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
 

@@ -5,14 +5,13 @@
 #include <chrono>
 #include <functional>
 #include <mutex>
-#include <unordered_map>
 
 #include "common/error.hpp"
-#include "common/thread_pool.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "sweep/cells.hpp"
 #include "sweep/runner.hpp"
+#include "sweep/task_engine.hpp"
 
 namespace aqua {
 
@@ -115,45 +114,58 @@ FreqVsChipsData frequency_vs_chips(const ChipModel& chip,
   sweep::SweepRunner runner("freq_vs_chips");
   std::mutex failed_mu;
 
-  // One task per stack height, run on the process-wide shared pool. Each
-  // task owns one finder and walks every cooling option on it: the matrix
-  // structure and multigrid hierarchy are assembled once per height, and
-  // each cooling change is only a boundary value-refresh on that cached
-  // model. (Grid models are not shared across threads.) The finder is
-  // built lazily so a height whose cells are all served from the journal,
-  // cache, or another shard costs nothing.
-  parallel_for(max_chips, [&](std::size_t c) {
-    const std::size_t chips = c + 1;
-    AQUA_TRACE_SCOPE_ARG("experiment.height", "experiment", chips);
-    std::optional<MaxFrequencyFinder> finder;
+  // One task per (height, cooling) cell, placed with loose affinity by
+  // stack height: all of a height's cells land on one worker and share its
+  // worker-local finder, so the matrix structure and multigrid hierarchy
+  // are assembled once per height and each cooling change is only a
+  // boundary value-refresh on that cached model — no locks, the state is
+  // worker-owned. An idle worker may still steal tail cells (it rebuilds
+  // the hierarchy locally, costing work, never correctness: rendered
+  // frequencies are VFS-ladder-quantized, so a stolen cell's fresh solve
+  // chain cannot move the table). The finder is built lazily inside the
+  // compute, so cells served from the journal, cache, or another shard
+  // never assemble a thermal model.
+  std::vector<sweep::TaskEngine::Task> tasks;
+  tasks.reserve(max_chips * options.size());
+  for (std::size_t c = 0; c < max_chips; ++c) {
     for (std::size_t k = 0; k < options.size(); ++k) {
-      const std::string cell = "chip=" + data.chip_name +
-                               ";chips=" + std::to_string(chips) +
-                               ";cooling=" + options[k].name();
-      const sweep::CellConfig config = sweep::freq_cap_cell(
-          data.chip_name, chips, options[k].name(), threshold_c, grid);
-      const sweep::CellSource src = runner.run(
-          config, cell, {},
-          [&] {
-            if (!finder) {
-              finder.emplace(chip, PackageConfig{}, threshold_c, grid);
-            }
-            return cap_values(finder->find(chips, options[k]));
-          },
-          [&](const std::map<std::string, double>& values) {
-            const auto feasible = values.find("feasible");
-            const auto ghz = values.find("ghz");
-            if (feasible != values.end() && feasible->second > 0.5 &&
-                ghz != values.end()) {
-              data.series[k].ghz[chips - 1] = ghz->second;
-            }
-          });
-      if (src == sweep::CellSource::kFailed) {
-        std::lock_guard lock(failed_mu);
-        data.failed_cells.push_back(cell);
-      }
+      sweep::TaskEngine::Task task;
+      task.affinity = c;
+      task.body = [&, c, k](sweep::WorkerContext& ctx) {
+        const std::size_t chips = c + 1;
+        AQUA_TRACE_SCOPE_ARG("experiment.cell", "experiment", chips);
+        const std::string cell = "chip=" + data.chip_name +
+                                 ";chips=" + std::to_string(chips) +
+                                 ";cooling=" + options[k].name();
+        const sweep::CellConfig config = sweep::freq_cap_cell(
+            data.chip_name, chips, options[k].name(), threshold_c, grid);
+        const sweep::CellSource src = runner.run(
+            config, cell, {},
+            [&] {
+              MaxFrequencyFinder& finder =
+                  ctx.local<MaxFrequencyFinder>(chips, [&] {
+                    return new MaxFrequencyFinder(chip, PackageConfig{},
+                                                  threshold_c, grid);
+                  });
+              return cap_values(finder.find(chips, options[k]));
+            },
+            [&](const std::map<std::string, double>& values) {
+              const auto feasible = values.find("feasible");
+              const auto ghz = values.find("ghz");
+              if (feasible != values.end() && feasible->second > 0.5 &&
+                  ghz != values.end()) {
+                data.series[k].ghz[chips - 1] = ghz->second;
+              }
+            });
+        if (src == sweep::CellSource::kFailed) {
+          std::lock_guard lock(failed_mu);
+          data.failed_cells.push_back(cell);
+        }
+      };
+      tasks.push_back(std::move(task));
     }
-  });
+  }
+  sweep::TaskEngine::shared().run(std::move(tasks));
   const sweep::SweepRunner::Stats st = runner.stats();
   data.resumed_cells = st.journal_hits;
   data.cached_cells = st.cache_hits;
@@ -212,36 +224,52 @@ NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
   // cells, so cap cells are never sharded. They go through the same runner
   // as everything else, which is exactly what makes them journal-resumable
   // and — because freq_cap_cell is the same key family the Fig. 7/8 sweeps
-  // use — warm-servable from a cache those sweeps filled. The finder is
-  // built lazily: a fully warm run never assembles a thermal model. A cap
-  // failure aborts the experiment (there is no table without the caps).
+  // use — warm-servable from a cache those sweeps filled. The cap cells
+  // run as a strict same-affinity chain: one home worker, submission
+  // order, never stolen, all four sharing one worker-local finder — the
+  // rendered max_temperature_c comes from warm-started solves, so the
+  // exact solve sequence of the serial run is part of the golden corpus
+  // and must be preserved verbatim. The finder is built lazily: a fully
+  // warm run never assembles a thermal model. A cap failure aborts the
+  // experiment (there is no table without the caps).
   {
-    std::optional<MaxFrequencyFinder> finder;
     sweep::CellPolicy cap_policy;
     cap_policy.shardable = false;
-    for (CoolingKind kind : data.coolings) {
-      const CoolingOption option{kind};
-      const std::string cell = "cap;chip=" + data.chip_name +
-                               ";chips=" + std::to_string(chips) +
-                               ";cooling=" + option.name();
-      const sweep::CellConfig config = sweep::freq_cap_cell(
-          data.chip_name, chips, option.name(), threshold_c, grid);
-      FrequencyCap cap;
-      const sweep::CellSource src = runner.run(
-          config, cell, cap_policy,
-          [&] {
-            if (!finder) {
-              finder.emplace(chip, PackageConfig{}, threshold_c, grid);
-            }
-            return cap_values(finder->find(chips, option));
-          },
-          [&](const std::map<std::string, double>& values) {
-            cap = cap_from_values(values);
-          });
-      if (src == sweep::CellSource::kFailed) {
-        throw Error("frequency cap failed for " + cell);
-      }
-      data.caps.push_back(cap);
+    data.caps.resize(data.coolings.size());
+    std::vector<std::string> cap_failures(data.coolings.size());
+    std::vector<sweep::TaskEngine::Task> cap_tasks;
+    cap_tasks.reserve(data.coolings.size());
+    for (std::size_t k = 0; k < data.coolings.size(); ++k) {
+      sweep::TaskEngine::Task task;
+      task.affinity = 0;
+      task.strict = true;
+      task.body = [&, k](sweep::WorkerContext& ctx) {
+        const CoolingOption option{data.coolings[k]};
+        const std::string cell = "cap;chip=" + data.chip_name +
+                                 ";chips=" + std::to_string(chips) +
+                                 ";cooling=" + option.name();
+        const sweep::CellConfig config = sweep::freq_cap_cell(
+            data.chip_name, chips, option.name(), threshold_c, grid);
+        const sweep::CellSource src = runner.run(
+            config, cell, cap_policy,
+            [&] {
+              MaxFrequencyFinder& finder =
+                  ctx.local<MaxFrequencyFinder>(0, [&] {
+                    return new MaxFrequencyFinder(chip, PackageConfig{},
+                                                  threshold_c, grid);
+                  });
+              return cap_values(finder.find(chips, option));
+            },
+            [&](const std::map<std::string, double>& values) {
+              data.caps[k] = cap_from_values(values);
+            });
+        if (src == sweep::CellSource::kFailed) cap_failures[k] = cell;
+      };
+      cap_tasks.push_back(std::move(task));
+    }
+    sweep::TaskEngine::shared().run(std::move(cap_tasks));
+    for (const std::string& cell : cap_failures) {
+      if (!cell.empty()) throw Error("frequency cap failed for " + cell);
     }
   }
 
@@ -262,72 +290,63 @@ NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
     data.rows[b].relative.resize(data.coolings.size());
   }
 
-  // One table slot per feasible (benchmark, cooling) pair. Slots whose DES
-  // inputs are identical — the key omits cooling, so two options capping
-  // at the same frequency collide on purpose — are grouped and dispatched
-  // as one task: the first slot computes (or is served warm), the rest hit
-  // the in-process memo. Each slot keeps its own journal record, so kill/
-  // resume and shard merges stay per-table-slot.
-  struct DesSlot {
-    std::size_t b = 0;
-    std::size_t k = 0;
-  };
-  std::vector<sweep::CellConfig> group_configs;
-  std::vector<std::vector<DesSlot>> groups;
-  std::unordered_map<std::string, std::size_t> group_of;
-  for (std::size_t b = 0; b < suite.size(); ++b) {
-    for (std::size_t k = 0; k < data.coolings.size(); ++k) {
-      if (!data.caps[k].feasible) continue;
-      sweep::CellConfig config = sweep::npb_des_cell(
-          chips, base_config.cores_per_chip, suite[b].name,
-          data.caps[k].frequency.value(), suite[b].instructions_per_thread,
-          seed, !faults.empty());
-      const auto [it, fresh] =
-          group_of.emplace(config.canonical(), groups.size());
-      if (fresh) {
-        group_configs.push_back(std::move(config));
-        groups.emplace_back();
-      }
-      groups[it->second].push_back({b, k});
-    }
-  }
-
   // A fault-degraded run's plan is not part of the key, so it must never
   // be persisted; the in-process memo still dedupes it (the same plan is
   // injected into every cell of this run).
   sweep::CellPolicy des_policy;
   des_policy.cacheable = faults.empty();
 
-  sweep::dispatch_cells(groups.size(), [&](std::size_t g) {
-    for (const DesSlot& slot : groups[g]) {
-      AQUA_TRACE_SCOPE_ARG("experiment.npb_cell", "experiment",
-                           slot.b * data.coolings.size() + slot.k);
-      const std::string cellkey = "chip=" + data.chip_name +
-                                  ";chips=" + std::to_string(chips) +
-                                  ";bench=" + suite[slot.b].name +
-                                  ";cooling=" + to_string(data.coolings[slot.k]);
-      const sweep::CellSource src = runner.run(
-          group_configs[g], cellkey, des_policy,
-          [&] {
-            CmpSystem system(base_config, suite[slot.b],
-                             data.caps[slot.k].frequency, seed);
-            if (!faults.empty()) system.inject_faults(faults);
-            const ExecStats stats = system.run();
-            cores_failed.store(stats.cores_failed, std::memory_order_relaxed);
-            return std::map<std::string, double>{{"seconds", stats.seconds}};
-          },
-          [&](const std::map<std::string, double>& values) {
-            const auto seconds = values.find("seconds");
-            if (seconds != values.end()) {
-              data.rows[slot.b].seconds[slot.k] = seconds->second;
-            }
-          });
-      if (src == sweep::CellSource::kFailed) {
-        std::lock_guard lock(failed_mu);
-        data.failed_cells.push_back(cellkey);
-      }
+  // One unpinned task per feasible (benchmark, cooling) table slot: DES
+  // cells carry no reusable solver state, so they overlap freely with any
+  // other work. The key omits cooling, so two options capping at the same
+  // frequency collide on purpose — the runner's single-flight memo makes
+  // whichever slot arrives first the leader and serves concurrent
+  // duplicates as memo hits, computing each unique key exactly once. Each
+  // slot keeps its own journal record, so kill/resume and shard merges
+  // stay per-table-slot.
+  std::vector<sweep::TaskEngine::Task> des_tasks;
+  des_tasks.reserve(suite.size() * data.coolings.size());
+  for (std::size_t b = 0; b < suite.size(); ++b) {
+    for (std::size_t k = 0; k < data.coolings.size(); ++k) {
+      if (!data.caps[k].feasible) continue;
+      sweep::TaskEngine::Task task;
+      task.body = [&, b, k](sweep::WorkerContext&) {
+        AQUA_TRACE_SCOPE_ARG("experiment.npb_cell", "experiment",
+                             b * data.coolings.size() + k);
+        const sweep::CellConfig config = sweep::npb_des_cell(
+            chips, base_config.cores_per_chip, suite[b].name,
+            data.caps[k].frequency.value(), suite[b].instructions_per_thread,
+            seed, !faults.empty());
+        const std::string cellkey = "chip=" + data.chip_name +
+                                    ";chips=" + std::to_string(chips) +
+                                    ";bench=" + suite[b].name +
+                                    ";cooling=" + to_string(data.coolings[k]);
+        const sweep::CellSource src = runner.run(
+            config, cellkey, des_policy,
+            [&] {
+              CmpSystem system(base_config, suite[b], data.caps[k].frequency,
+                               seed);
+              if (!faults.empty()) system.inject_faults(faults);
+              const ExecStats stats = system.run();
+              cores_failed.store(stats.cores_failed,
+                                 std::memory_order_relaxed);
+              return std::map<std::string, double>{{"seconds", stats.seconds}};
+            },
+            [&](const std::map<std::string, double>& values) {
+              const auto seconds = values.find("seconds");
+              if (seconds != values.end()) {
+                data.rows[b].seconds[k] = seconds->second;
+              }
+            });
+        if (src == sweep::CellSource::kFailed) {
+          std::lock_guard lock(failed_mu);
+          data.failed_cells.push_back(cellkey);
+        }
+      };
+      des_tasks.push_back(std::move(task));
     }
-  });
+  }
+  sweep::TaskEngine::shared().run(std::move(des_tasks));
   const sweep::SweepRunner::Stats st = runner.stats();
   data.resumed_cells = st.journal_hits;
   data.cached_cells = st.cache_hits;

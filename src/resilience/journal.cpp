@@ -86,8 +86,12 @@ void SweepJournal::append_record(const std::string& cell, const char* status,
     out_.open(path_, std::ios::app);
     ensure(out_.is_open(), "cannot open sweep journal: " + path_);
   }
-  out_ << w.str() << '\n';
-  out_.flush();  // whole lines survive a mid-sweep kill
+  // One pre-built line, one write, one flush: concurrent appenders (or a
+  // mid-write kill) can tear at most the file's tail line, never the
+  // middle of a record — which the lenient resume loader already skips.
+  const std::string line = w.str() + '\n';
+  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out_.flush();
 }
 
 void SweepJournal::record_ok(const std::string& cell,

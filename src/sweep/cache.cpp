@@ -189,8 +189,13 @@ void SweepCache::store(const CellConfig& config,
     ensure(out_.is_open(), "cannot open sweep cache: " + path_);
     if (needs_newline) out_ << '\n';
   }
-  out_ << w.str() << '\n';
-  out_.flush();  // whole lines survive a mid-sweep kill
+  // One pre-built line, one write call, one flush: a record is either
+  // appended whole (with its newline) or not at all, so a kill — or
+  // another process appending to the same file — never interleaves inside
+  // a record and the lenient loader's worst case is one torn tail line.
+  const std::string line = w.str() + '\n';
+  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out_.flush();
   ++stats_.stores;
   cache_metrics().stores.add();
 }

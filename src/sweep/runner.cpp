@@ -3,12 +3,12 @@
 #include <fstream>
 
 #include "common/error.hpp"
-#include "common/thread_pool.hpp"
 #include "obs/json_writer.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_reader.hpp"
 #include "sweep/cache.hpp"
+#include "sweep/task_engine.hpp"
 
 namespace aqua::sweep {
 
@@ -43,20 +43,50 @@ CellSource SweepRunner::run(
 
   const std::string canonical = config.canonical();
 
-  // 3. In-process memo: identical cells inside one sweep share one
-  // computation (the values are a pure function of the canonical key).
-  {
+  // 3. In-process memo, single-flight: the first cell to reach a canonical
+  // key becomes its leader and carries on down the precedence chain;
+  // concurrent cells with the same key park on the entry (releasing the
+  // map lock) and are served as memo hits once the leader publishes. The
+  // map lock is only ever held for map/flag operations, never across a
+  // cache probe or a compute.
+  std::shared_ptr<MemoEntry> entry;
+  for (;;) {
     std::unique_lock lock(memo_mutex_);
     const auto it = memo_.find(canonical);
-    if (it != memo_.end()) {
-      const std::map<std::string, double> values = it->second;
-      lock.unlock();
-      apply(values);
-      journal_.record_ok(cell, values);
-      memo_hits_.fetch_add(1, std::memory_order_relaxed);
-      return CellSource::kMemo;
+    if (it == memo_.end()) {
+      entry = std::make_shared<MemoEntry>();
+      memo_.emplace(canonical, entry);
+      break;  // leader: this cell computes (or cache-serves) the key
     }
+    const std::shared_ptr<MemoEntry> waiting = it->second;
+    waiting->cv.wait(lock, [&] {
+      return waiting->ready || waiting->abandoned;
+    });
+    if (waiting->abandoned) {
+      continue;  // leader failed or was shard-skipped: retry as leader
+    }
+    const std::map<std::string, double> values = waiting->values;
+    lock.unlock();
+    apply(values);
+    journal_.record_ok(cell, values);
+    memo_hits_.fetch_add(1, std::memory_order_relaxed);
+    return CellSource::kMemo;
   }
+
+  // The leader abandons the entry on every non-publishing exit so waiters
+  // re-enter the chain with their own cell's policy and journal identity.
+  const auto abandon = [&] {
+    std::lock_guard lock(memo_mutex_);
+    entry->abandoned = true;
+    memo_.erase(canonical);
+    entry->cv.notify_all();
+  };
+  const auto publish = [&](const std::map<std::string, double>& values) {
+    std::lock_guard lock(memo_mutex_);
+    entry->values = values;
+    entry->ready = true;
+    entry->cv.notify_all();
+  };
 
   // 4. Content-addressed cache: warm cells skip the compute entirely. The
   // values are re-journaled under this sweep's cell name so a shard
@@ -64,12 +94,9 @@ CellSource SweepRunner::run(
   if (policy.cacheable) {
     std::map<std::string, double> values;
     if (cache.lookup(config, &values)) {
+      publish(values);
       apply(values);
       journal_.record_ok(cell, values);
-      {
-        std::lock_guard lock(memo_mutex_);
-        memo_.emplace(canonical, values);
-      }
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       return CellSource::kCache;
     }
@@ -77,25 +104,26 @@ CellSource SweepRunner::run(
 
   // 5. Shard partition: cells owned by other shards are left as holes.
   if (policy.shardable && shard_.active() && !shard_.owns(config.hash())) {
+    abandon();
     shard_skipped_.fetch_add(1, std::memory_order_relaxed);
     return CellSource::kShardSkipped;
   }
 
-  // 6. Compute, isolate-and-continue.
+  // 6. Compute, isolate-and-continue. Failed cells are never memoized (a
+  // later identical cell retries, matching the serial semantics) and never
+  // cached.
   std::map<std::string, double> values;
   try {
     values = compute();
   } catch (const std::exception& e) {
+    abandon();
     journal_.record_failed(cell, e.what());
     failed_.fetch_add(1, std::memory_order_relaxed);
     return CellSource::kFailed;
   }
+  publish(values);
   apply(values);
   journal_.record_ok(cell, values);
-  {
-    std::lock_guard lock(memo_mutex_);
-    memo_.emplace(canonical, values);
-  }
   if (policy.cacheable) {
     cache.store(config, values);
   } else {
@@ -168,7 +196,14 @@ std::size_t merge_journal_files(const std::string& out_path,
 void dispatch_cells(std::size_t count,
                     const std::function<void(std::size_t)>& body) {
   AQUA_TRACE_SCOPE_ARG("sweep.dispatch_cells", "sweep", count);
-  parallel_for(count, body);
+  std::vector<TaskEngine::Task> tasks;
+  tasks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    TaskEngine::Task task;
+    task.body = [i, &body](WorkerContext&) { body(i); };
+    tasks.push_back(std::move(task));
+  }
+  TaskEngine::shared().run(std::move(tasks));
 }
 
 }  // namespace aqua::sweep

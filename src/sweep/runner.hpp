@@ -8,7 +8,15 @@
 ///                       as failed, and are NEVER written to the cache)
 ///   3. in-process memo (dedupe of identical cells inside one sweep —
 ///                       e.g. two cooling options capping at the same
-///                       frequency share one DES run)
+///                       frequency share one DES run). Under the task
+///                       engine the memo is single-flight: the first
+///                       worker to reach a canonical key becomes its
+///                       leader and computes; concurrent workers block on
+///                       that key's entry (not on a global lock) and are
+///                       served as memo hits, so each key computes exactly
+///                       once per sweep. A leader that fails or is
+///                       shard-skipped abandons the entry and waiters
+///                       retry from the top of the precedence chain.
 ///   4. content cache   (AQUA_SWEEP_CACHE warm hits skip the compute and
 ///                       are re-journaled so shard merges see them)
 ///   5. shard skip      (AQUA_SWEEP_SHARDS/_SHARD_ID: cells owned by other
@@ -22,9 +30,11 @@
 /// shard applies already-known cells and only computes its own misses.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -96,8 +106,19 @@ class SweepRunner {
   SweepJournal journal_;
   ShardPlan shard_;
 
+  /// Single-flight memo entry: one per canonical key. `memo_mutex_` only
+  /// guards the map and entry state flips — never a compute. Waiters block
+  /// on the entry's cv; `ready` publishes values, erasure from the map
+  /// (leader failed / shard-skipped) wakes waiters to retry as leaders.
+  struct MemoEntry {
+    std::condition_variable cv;
+    bool ready = false;
+    bool abandoned = false;
+    std::map<std::string, double> values;
+  };
+
   std::mutex memo_mutex_;
-  std::unordered_map<std::string, std::map<std::string, double>> memo_;
+  std::unordered_map<std::string, std::shared_ptr<MemoEntry>> memo_;
 
   std::atomic<std::size_t> computed_{0};
   std::atomic<std::size_t> journal_hits_{0};
@@ -114,9 +135,10 @@ class SweepRunner {
 std::size_t merge_journal_files(const std::string& out_path,
                                 const std::vector<std::string>& inputs);
 
-/// Work-stealing dispatch of `count` independent cells over the shared
-/// process-wide thread pool: workers claim the next unclaimed cell index
-/// (atomic increment), so slow cells never leave fast workers idle.
+/// Dispatches `count` independent, placement-free cells as unpinned tasks
+/// on the shared TaskEngine: workers claim the next unclaimed cell index,
+/// so slow cells never leave fast workers idle. Drivers whose cells want
+/// solver-state affinity build TaskEngine batches directly instead.
 void dispatch_cells(std::size_t count,
                     const std::function<void(std::size_t)>& body);
 

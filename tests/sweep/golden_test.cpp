@@ -3,10 +3,13 @@
 /// executions render bit-identically against tests/golden/<name>.txt:
 ///
 ///   1. a plain serial run,
-///   2. a warm AQUA_SWEEP_CACHE run (which must also do ZERO thermal
+///   2. a 1-worker and an 8-worker task-engine run (the serial reference
+///      order and the task-parallel schedule must render byte-identically
+///      — the engine's determinism contract),
+///   3. a warm AQUA_SWEEP_CACHE run (which must also do ZERO thermal
 ///      solves and ZERO simulated DES instructions — cache hits skip the
 ///      compute entirely, they don't just speed it up),
-///   3. for a representative subset, a 4-shard run whose per-shard
+///   4. for a representative subset, a 4-shard run whose per-shard
 ///      journals are merged and replayed (again with zero recompute).
 ///
 /// Regenerate the corpus after an intended numerical change with
@@ -25,6 +28,7 @@
 #include "sweep/cache.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/shard.hpp"
+#include "sweep/task_engine.hpp"
 #include "golden_util.hpp"
 
 namespace aqua {
@@ -57,6 +61,19 @@ void exercise(const std::string& name, bool shard_phase,
   // --- 1. serial: the reference output, compared against the corpus.
   const std::string serial = run();
   expect_matches_golden(name + ".txt", serial);
+
+  // --- 1b. the task engine at 1 worker (serial submission order) and at 8
+  // workers (steals, overlapped lanes, single-flight memo) must both
+  // render bit-identically to the reference.
+  sweep::TaskEngine& engine = sweep::TaskEngine::shared();
+  engine.configure(1);
+  const std::string one_worker = run();
+  EXPECT_EQ(one_worker, serial) << "1-worker engine run diverged from serial";
+  engine.configure(8);
+  const std::string eight_workers = run();
+  EXPECT_EQ(eight_workers, serial)
+      << "8-worker engine run diverged from serial";
+  engine.configure(0);  // back to the env-default worker count
 
   // --- 2. cold run populates a fresh cache; warm run must be bit-identical
   // and do no thermal/DES work at all.

@@ -19,6 +19,7 @@
 #include "resilience/journal.hpp"
 #include "sweep/cell_key.hpp"
 #include "sweep/shard.hpp"
+#include "sweep/task_engine.hpp"
 
 #ifndef AQUA_GOLDEN_DIR
 #error "AQUA_GOLDEN_DIR must point at the golden corpus directory"
@@ -44,6 +45,7 @@ inline void clear_sweep_env() {
   ::unsetenv(SweepJournal::kPoisonEnv);
   ::unsetenv(sweep::ShardPlan::kShardsEnv);
   ::unsetenv(sweep::ShardPlan::kShardIdEnv);
+  ::unsetenv(sweep::TaskEngine::kWorkersEnv);
 }
 
 /// d -> shortest round-trip decimal, "-" for a missing optional.

@@ -1,0 +1,249 @@
+/// SweepRunner concurrency stress tests: the precedence invariants that
+/// must hold when cells run on the task engine — the single-flight memo
+/// computes each canonical key exactly once under 8 workers with injected
+/// per-cell delays, a failed leader is retried (and never memoized or
+/// cached), poison outranks a warm cache in both directions, and failing
+/// cells stay isolated from their siblings.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "resilience/journal.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/cell_key.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/task_engine.hpp"
+
+namespace aqua::sweep {
+namespace {
+
+constexpr std::size_t kWorkers = 8;
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+CellConfig stress_cell(std::size_t key) {
+  CellConfig config;
+  config.set("sweep", "stress").set("key", static_cast<std::uint64_t>(key));
+  return config;
+}
+
+/// Fresh cache dir per test; restores the disabled state on destruction.
+class ScopedCacheDir {
+ public:
+  explicit ScopedCacheDir(const std::string& name)
+      : dir_(std::string(::testing::TempDir()) + name) {
+    std::filesystem::remove_all(dir_);
+    SweepCache::instance().configure(dir_);
+  }
+  ~ScopedCacheDir() { SweepCache::instance().configure(""); }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+/// Runs `cells` cell bodies concurrently on a private 8-worker engine.
+void dispatch(std::size_t cells, const std::function<void(std::size_t)>& body) {
+  TaskEngine engine(kWorkers);
+  std::vector<TaskEngine::Task> tasks;
+  tasks.reserve(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    TaskEngine::Task t;
+    t.body = [&body, i](WorkerContext&) { body(i); };
+    tasks.push_back(std::move(t));
+  }
+  engine.run(std::move(tasks));
+}
+
+TEST(RunnerConcurrency, SingleFlightMemoComputesEachKeyExactlyOnce) {
+  ::unsetenv(SweepJournal::kResumeEnv);
+  ::unsetenv(SweepJournal::kPoisonEnv);
+  constexpr std::size_t kKeys = 3;
+  constexpr std::size_t kDuplicates = 8;
+  SweepRunner runner("stress");
+  std::vector<std::atomic<int>> computes(kKeys);
+  std::vector<std::atomic<int>> applied(kKeys * kDuplicates);
+
+  dispatch(kKeys * kDuplicates, [&](std::size_t i) {
+    const std::size_t key = i % kKeys;
+    runner.run(
+        stress_cell(key), "cell" + std::to_string(i), {},
+        [&] {
+          computes[key].fetch_add(1);
+          sleep_ms(10);  // hold the key in flight so duplicates pile up
+          return std::map<std::string, double>{
+              {"value", static_cast<double>(key)}};
+        },
+        [&](const std::map<std::string, double>& values) {
+          if (values.at("value") == static_cast<double>(key)) {
+            applied[i].fetch_add(1);
+          }
+        });
+  });
+
+  for (std::size_t key = 0; key < kKeys; ++key) {
+    EXPECT_EQ(computes[key].load(), 1)
+        << "key " << key << " computed more than once";
+  }
+  for (std::size_t i = 0; i < kKeys * kDuplicates; ++i) {
+    EXPECT_EQ(applied[i].load(), 1) << "cell " << i << " not applied";
+  }
+  const SweepRunner::Stats stats = runner.stats();
+  EXPECT_EQ(stats.computed, kKeys);
+  EXPECT_EQ(stats.memo_hits, kKeys * (kDuplicates - 1));
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(RunnerConcurrency, FailedLeaderIsRetriedAndNeverMemoized) {
+  ::unsetenv(SweepJournal::kResumeEnv);
+  ::unsetenv(SweepJournal::kPoisonEnv);
+  ScopedCacheDir cache("aqua_runner_failed_leader");
+  constexpr std::size_t kDuplicates = 8;
+  SweepRunner runner("stress");
+  std::atomic<int> attempts{0};
+
+  dispatch(kDuplicates, [&](std::size_t i) {
+    runner.run(
+        stress_cell(0), "cell" + std::to_string(i), {},
+        [&]() -> std::map<std::string, double> {
+          attempts.fetch_add(1);
+          sleep_ms(5);
+          throw Error("injected cell failure");
+        },
+        [](const std::map<std::string, double>&) {
+          FAIL() << "a failed cell must never apply values";
+        });
+  });
+
+  // Every duplicate retried as leader and failed on its own — a failure is
+  // never memoized, matching the serial retry semantics.
+  EXPECT_EQ(attempts.load(), static_cast<int>(kDuplicates));
+  const SweepRunner::Stats stats = runner.stats();
+  EXPECT_EQ(stats.failed, kDuplicates);
+  EXPECT_EQ(stats.memo_hits, 0u);
+  EXPECT_FALSE(SweepCache::instance().lookup(stress_cell(0), nullptr))
+      << "a failed cell must never be cached";
+}
+
+TEST(RunnerConcurrency, PoisonedCellsFailAndNeverTouchTheCache) {
+  ::unsetenv(SweepJournal::kResumeEnv);
+  ScopedCacheDir cache("aqua_runner_poison");
+  constexpr std::size_t kCells = 8;
+  ::setenv(SweepJournal::kPoisonEnv, "stress:cell3", 1);
+  std::atomic<int> poisoned_computes{0};
+  {
+    SweepRunner runner("stress");
+    dispatch(kCells, [&](std::size_t i) {
+      runner.run(
+          stress_cell(i), "cell" + std::to_string(i), {},
+          [&] {
+            if (i == 3) poisoned_computes.fetch_add(1);
+            return std::map<std::string, double>{
+                {"value", static_cast<double>(i)}};
+          },
+          [](const std::map<std::string, double>&) {});
+    });
+    EXPECT_EQ(runner.stats().failed, 1u);
+    EXPECT_EQ(poisoned_computes.load(), 0);
+    EXPECT_FALSE(SweepCache::instance().lookup(stress_cell(3), nullptr))
+        << "poison must never be written to the cache";
+    EXPECT_TRUE(SweepCache::instance().lookup(stress_cell(1), nullptr));
+  }
+  {
+    // The reverse direction: a warm cache (cell 3 was computed by an
+    // unpoisoned earlier run) must not mask the poison.
+    ::unsetenv(SweepJournal::kPoisonEnv);
+    SweepRunner warm_runner("stress");
+    warm_runner.run(
+        stress_cell(3), "cell3", {},
+        [] { return std::map<std::string, double>{{"value", 3.0}}; },
+        [](const std::map<std::string, double>&) {});
+    ::setenv(SweepJournal::kPoisonEnv, "stress:cell3", 1);
+    SweepRunner poisoned_runner("stress");
+    const CellSource src = poisoned_runner.run(
+        stress_cell(3), "cell3", {},
+        [] { return std::map<std::string, double>{{"value", 3.0}}; },
+        [](const std::map<std::string, double>&) {
+          FAIL() << "poison must not be maskable by a warm cache";
+        });
+    EXPECT_EQ(src, CellSource::kFailed);
+  }
+  ::unsetenv(SweepJournal::kPoisonEnv);
+}
+
+TEST(RunnerConcurrency, FailingCellsStayIsolatedFromSiblings) {
+  ::unsetenv(SweepJournal::kResumeEnv);
+  ::unsetenv(SweepJournal::kPoisonEnv);
+  ScopedCacheDir cache("aqua_runner_isolation");
+  constexpr std::size_t kCells = 32;
+  SweepRunner runner("stress");
+  std::atomic<int> applied{0};
+
+  dispatch(kCells, [&](std::size_t i) {
+    runner.run(
+        stress_cell(i), "cell" + std::to_string(i), {},
+        [&]() -> std::map<std::string, double> {
+          sleep_ms(1);
+          if (i % 4 == 0) throw Error("injected failure");
+          return std::map<std::string, double>{
+              {"value", static_cast<double>(i)}};
+        },
+        [&](const std::map<std::string, double>&) { applied.fetch_add(1); });
+  });
+
+  const SweepRunner::Stats stats = runner.stats();
+  EXPECT_EQ(stats.failed, kCells / 4);
+  EXPECT_EQ(stats.computed, kCells - kCells / 4);
+  EXPECT_EQ(applied.load(), static_cast<int>(kCells - kCells / 4));
+  for (std::size_t i = 0; i < kCells; ++i) {
+    EXPECT_EQ(SweepCache::instance().lookup(stress_cell(i), nullptr),
+              i % 4 != 0)
+        << "cell " << i;
+  }
+}
+
+TEST(RunnerConcurrency, ConcurrentColdRunWarmsTheCacheForAFreshRunner) {
+  ::unsetenv(SweepJournal::kResumeEnv);
+  ::unsetenv(SweepJournal::kPoisonEnv);
+  ScopedCacheDir cache("aqua_runner_warm");
+  constexpr std::size_t kCells = 24;
+  std::atomic<int> computes{0};
+  const auto sweep_once = [&](SweepRunner& runner) {
+    dispatch(kCells, [&](std::size_t i) {
+      runner.run(
+          stress_cell(i), "cell" + std::to_string(i), {},
+          [&] {
+            computes.fetch_add(1);
+            return std::map<std::string, double>{
+                {"value", static_cast<double>(i)}};
+          },
+          [](const std::map<std::string, double>&) {});
+    });
+  };
+  SweepRunner cold("stress");
+  sweep_once(cold);
+  EXPECT_EQ(computes.load(), static_cast<int>(kCells));
+  // Torn-tail safety in the small: the concurrently appended cache file
+  // must load back complete.
+  SweepCache::instance().configure(cache.dir());
+  SweepRunner warm("stress");
+  sweep_once(warm);
+  EXPECT_EQ(computes.load(), static_cast<int>(kCells))
+      << "a warm run must not recompute";
+  EXPECT_EQ(warm.stats().cache_hits, kCells);
+}
+
+}  // namespace
+}  // namespace aqua::sweep
