@@ -141,6 +141,30 @@ JsonReport& JsonReport::add_sweep_provenance(std::size_t cells,
   return *this;
 }
 
+JsonReport& JsonReport::add_cost_breakdown(const sweep::CostBreakdown& cost) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "{\n    \"cells\": " << cost.cells;
+  const auto field = [&os](const char* key, double value) {
+    os << ",\n    \"" << key << "\": " << value;
+  };
+  field("total_us", cost.total_us);
+  field("key_us", cost.key_us);
+  field("journal_us", cost.journal_us);
+  field("memo_us", cost.memo_us);
+  field("cache_us", cost.cache_us);
+  field("compute_us", cost.compute_us);
+  field("solve_us", cost.solve_us);
+  field("serialize_us", cost.serialize_us);
+  field("apply_us", cost.apply_us);
+  os << ",\n    \"cg_iterations\": " << cost.cg_iterations;
+  os << ",\n    \"vcycles\": " << cost.vcycles;
+  os << ",\n    \"des_events\": " << cost.des_events;
+  os << "\n  }";
+  return add_raw("cost_breakdown", os.str());
+}
+
 std::string JsonReport::write() const {
   const std::string path = "BENCH_" + name_ + ".json";
   std::ofstream out(path);

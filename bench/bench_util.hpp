@@ -42,8 +42,10 @@ int run_microbenchmarks(int argc, char** argv);
 /// should skip files with a newer version than they understand.
 /// History: 1 = flat key map (implicit, unversioned); 2 = adds
 /// schema_version + git provenance; 3 = adds the sweep_* provenance keys
-/// (cells, journal resumes, cache hits, dedupes, shard holes, failures).
-inline constexpr int kSchemaVersion = 3;
+/// (cells, journal resumes, cache hits, dedupes, shard holes, failures);
+/// 4 = adds the nested "cost_breakdown" object (per-phase wall times and
+/// solver/DES work from the sweep cost ledger, DESIGN.md §11).
+inline constexpr int kSchemaVersion = 4;
 
 /// Machine-readable counterpart of the printed tables: a flat ordered
 /// key -> value map written as `BENCH_<name>.json` in the working
@@ -78,6 +80,12 @@ class JsonReport {
                                    std::size_t cached, std::size_t deduped,
                                    std::size_t shard_skipped,
                                    std::size_t failed);
+
+  /// Writes the sweep cost ledger as the nested "cost_breakdown" object
+  /// (schema_version 4): cells, the per-phase *_us wall times, and the
+  /// cg_iterations / vcycles / des_events work counters. `trace_tools
+  /// perf-gate` flattens it to dotted `cost_breakdown.*` metrics.
+  JsonReport& add_cost_breakdown(const sweep::CostBreakdown& cost);
 
   /// Writes `BENCH_<name>.json` and prints the path; returns it.
   std::string write() const;

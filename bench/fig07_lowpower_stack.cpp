@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
   report.add_sweep_provenance(data.max_chips * data.series.size(),
                               data.resumed_cells, data.cached_cells, 0,
                               data.shard_skipped, data.failed_cells.size());
+  report.add_cost_breakdown(data.cost);
   report.write();
   return aqua::bench::run_microbenchmarks(argc, argv);
 }

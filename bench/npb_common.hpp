@@ -90,6 +90,7 @@ inline void run_npb_figure(const std::string& slug, const std::string& figure,
                                    EventQueue::Impl::kCalendar
                                ? std::string("calendar")
                                : std::string("heap"));
+  report.add_cost_breakdown(data.cost);
   report.write();
 }
 

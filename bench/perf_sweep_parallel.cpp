@@ -6,7 +6,7 @@
 /// submit() path (per-task shared_ptr<packaged_task> + future) vs. the
 /// post() fast path vs. the engine's batch dispatch.
 ///
-/// Emits BENCH_sweep_parallel.json (schema v3). AQUA_NPB_SCALE scales the
+/// Emits BENCH_sweep_parallel.json (schema v4). AQUA_NPB_SCALE scales the
 /// DES portion as usual; the sweep cache/journal/shard env is cleared so
 /// every run is a cold compute (warm runs would void the scaling numbers).
 

@@ -170,6 +170,7 @@ FreqVsChipsData frequency_vs_chips(const ChipModel& chip,
   data.resumed_cells = st.journal_hits;
   data.cached_cells = st.cache_hits;
   data.shard_skipped = st.shard_skipped;
+  data.cost = runner.cost();
   std::sort(data.failed_cells.begin(), data.failed_cells.end());
   // Sweep-wide solver totals come from the process-wide registry counters
   // that solve_cg publishes, so no per-finder mutex/merge plumbing is
@@ -352,6 +353,7 @@ NpbData npb_experiment(const ChipModel& chip, std::size_t chips,
   data.cached_cells = st.cache_hits;
   data.deduped_cells = st.memo_hits;
   data.shard_skipped = st.shard_skipped;
+  data.cost = runner.cost();
   data.cores_failed = cores_failed.load();
   std::sort(data.failed_cells.begin(), data.failed_cells.end());
 

@@ -14,6 +14,7 @@
 #include "core/freq_cap.hpp"
 #include "perf/faults.hpp"
 #include "perf/workload.hpp"
+#include "sweep/cost.hpp"
 
 namespace aqua {
 
@@ -48,6 +49,9 @@ struct FreqVsChipsData {
   std::size_t cached_cells = 0;
   /// Cells owned by another shard (AQUA_SWEEP_SHARDS) and left as holes.
   std::size_t shard_skipped = 0;
+  /// Per-phase cost ledger aggregated over every sweep cell (DESIGN.md
+  /// §11); the benches publish it as BENCH_*.json `cost_breakdown`.
+  sweep::CostBreakdown cost;
 
   /// Curve for one cooling kind (throws if absent).
   [[nodiscard]] const FreqVsChipsSeries& of(CoolingKind kind) const;
@@ -103,6 +107,8 @@ struct NpbData {
   /// True when a non-empty fault plan was injected into the DES runs.
   bool degraded = false;
   std::uint64_t cores_failed = 0;   ///< per-run plan losses (one run's worth)
+  /// Per-phase cost ledger over the cap + DES cells (DESIGN.md §11).
+  sweep::CostBreakdown cost;
 
   /// Mean relative time of one cooling option over the benchmarks.
   [[nodiscard]] std::optional<double> mean_relative(CoolingKind kind) const;

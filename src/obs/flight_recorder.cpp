@@ -1,0 +1,12 @@
+#include "obs/flight_recorder.hpp"
+
+namespace aqua::obs {
+
+FlightRecorder& FlightRecorder::instance() {
+  // Leaky for the same reason as the tracer it wraps: engine workers may
+  // record through static teardown.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+}  // namespace aqua::obs

@@ -1,9 +1,11 @@
 #include "sweep/runner.hpp"
 
+#include <chrono>
 #include <fstream>
 
 #include "common/error.hpp"
 #include "obs/json_writer.hpp"
+#include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_reader.hpp"
@@ -11,6 +13,45 @@
 #include "sweep/task_engine.hpp"
 
 namespace aqua::sweep {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double us_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::micro>(SteadyClock::now() - start)
+      .count();
+}
+
+/// Cached references to the registry counters the ledger snapshot-diffs
+/// around a compute (registry lookup once, relaxed loads after).
+struct WorkCounters {
+  obs::Counter& solver_wall_ns =
+      obs::Registry::instance().counter("solver.wall_ns");
+  obs::Counter& cg_iterations =
+      obs::Registry::instance().counter("solver.cg_iterations");
+  obs::Counter& vcycles = obs::Registry::instance().counter("solver.vcycles");
+  obs::Counter& des_events = obs::Registry::instance().counter("perf.events");
+};
+
+WorkCounters& work_counters() {
+  static WorkCounters counters;
+  return counters;
+}
+
+}  // namespace
+
+const char* to_string(CellSource source) {
+  switch (source) {
+    case CellSource::kComputed: return "computed";
+    case CellSource::kJournal: return "journal";
+    case CellSource::kMemo: return "memo";
+    case CellSource::kCache: return "cache";
+    case CellSource::kShardSkipped: return "shard_skipped";
+    case CellSource::kFailed: return "failed";
+  }
+  return "?";
+}
 
 SweepRunner::SweepRunner(std::string sweep)
     : sweep_(std::move(sweep)),
@@ -22,11 +63,28 @@ CellSource SweepRunner::run(
     const CellPolicy& policy,
     const std::function<std::map<std::string, double>()>& compute,
     const std::function<void(const std::map<std::string, double>&)>& apply) {
+  // The cost ledger times every phase the cell passes through; record_cost
+  // folds the result into the per-runner breakdown on every exit path.
+  CellCost cost;
+  const auto run_start = SteadyClock::now();
+  const auto finish = [&](CellSource source) {
+    cost.total_us = us_since(run_start);
+    record_cost(cell, source, cost);
+    return source;
+  };
+
   // 1. Journal resume: a previously completed cell is served verbatim.
-  if (const auto* values = journal_.lookup(cell)) {
-    apply(*values);
-    journal_hits_.fetch_add(1, std::memory_order_relaxed);
-    return CellSource::kJournal;
+  {
+    const auto t0 = SteadyClock::now();
+    const auto* values = journal_.lookup(cell);
+    cost.journal_us += us_since(t0);
+    if (values != nullptr) {
+      const auto t1 = SteadyClock::now();
+      apply(*values);
+      cost.apply_us += us_since(t1);
+      journal_hits_.fetch_add(1, std::memory_order_relaxed);
+      return finish(CellSource::kJournal);
+    }
   }
 
   SweepCache& cache = SweepCache::instance();
@@ -34,14 +92,18 @@ CellSource SweepRunner::run(
   // 2. Poison: deterministic fault injection always fails the cell, and a
   // poisoned cell must never reach the cache (in either direction).
   if (journal_.poisoned(cell)) {
+    const auto t0 = SteadyClock::now();
     journal_.record_failed(cell, std::string("cell poisoned by ") +
                                      SweepJournal::kPoisonEnv + ": " + cell);
+    cost.serialize_us += us_since(t0);
     cache.count_skip();
     failed_.fetch_add(1, std::memory_order_relaxed);
-    return CellSource::kFailed;
+    return finish(CellSource::kFailed);
   }
 
+  const auto key_start = SteadyClock::now();
   const std::string canonical = config.canonical();
+  cost.key_us += us_since(key_start);
 
   // 3. In-process memo, single-flight: the first cell to reach a canonical
   // key becomes its leader and carries on down the precedence chain;
@@ -50,6 +112,7 @@ CellSource SweepRunner::run(
   // map lock is only ever held for map/flag operations, never across a
   // cache probe or a compute.
   std::shared_ptr<MemoEntry> entry;
+  const auto memo_start = SteadyClock::now();
   for (;;) {
     std::unique_lock lock(memo_mutex_);
     const auto it = memo_.find(canonical);
@@ -67,11 +130,17 @@ CellSource SweepRunner::run(
     }
     const std::map<std::string, double> values = waiting->values;
     lock.unlock();
+    cost.memo_us += us_since(memo_start);
+    const auto t0 = SteadyClock::now();
     apply(values);
+    cost.apply_us += us_since(t0);
+    const auto t1 = SteadyClock::now();
     journal_.record_ok(cell, values);
+    cost.serialize_us += us_since(t1);
     memo_hits_.fetch_add(1, std::memory_order_relaxed);
-    return CellSource::kMemo;
+    return finish(CellSource::kMemo);
   }
+  cost.memo_us += us_since(memo_start);
 
   // The leader abandons the entry on every non-publishing exit so waiters
   // re-enter the chain with their own cell's policy and journal identity.
@@ -92,13 +161,20 @@ CellSource SweepRunner::run(
   // values are re-journaled under this sweep's cell name so a shard
   // journal merge sees cache-served cells too.
   if (policy.cacheable) {
+    const auto t0 = SteadyClock::now();
     std::map<std::string, double> values;
-    if (cache.lookup(config, &values)) {
+    const bool hit = cache.lookup(config, &values);
+    cost.cache_us += us_since(t0);
+    if (hit) {
       publish(values);
+      const auto t1 = SteadyClock::now();
       apply(values);
+      cost.apply_us += us_since(t1);
+      const auto t2 = SteadyClock::now();
       journal_.record_ok(cell, values);
+      cost.serialize_us += us_since(t2);
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      return CellSource::kCache;
+      return finish(CellSource::kCache);
     }
   }
 
@@ -106,31 +182,85 @@ CellSource SweepRunner::run(
   if (policy.shardable && shard_.active() && !shard_.owns(config.hash())) {
     abandon();
     shard_skipped_.fetch_add(1, std::memory_order_relaxed);
-    return CellSource::kShardSkipped;
+    return finish(CellSource::kShardSkipped);
   }
 
   // 6. Compute, isolate-and-continue. Failed cells are never memoized (a
   // later identical cell retries, matching the serial semantics) and never
-  // cached.
+  // cached. The work counters around the compute attribute solver wall /
+  // CG iterations / V-cycles / DES events to this cell (exact in serial
+  // runs, approximate when concurrent cells interleave — see cost.hpp).
+  WorkCounters& work = work_counters();
+  const std::uint64_t wall_before = work.solver_wall_ns.value();
+  const std::uint64_t iters_before = work.cg_iterations.value();
+  const std::uint64_t vcycles_before = work.vcycles.value();
+  const std::uint64_t events_before = work.des_events.value();
+  const auto compute_start = SteadyClock::now();
   std::map<std::string, double> values;
   try {
     values = compute();
   } catch (const std::exception& e) {
+    cost.compute_us += us_since(compute_start);
     abandon();
+    const auto t0 = SteadyClock::now();
     journal_.record_failed(cell, e.what());
+    cost.serialize_us += us_since(t0);
     failed_.fetch_add(1, std::memory_order_relaxed);
-    return CellSource::kFailed;
+    return finish(CellSource::kFailed);
   }
+  cost.compute_us += us_since(compute_start);
+  cost.solve_us +=
+      static_cast<double>(work.solver_wall_ns.value() - wall_before) / 1e3;
+  cost.cg_iterations += work.cg_iterations.value() - iters_before;
+  cost.vcycles += work.vcycles.value() - vcycles_before;
+  cost.des_events += work.des_events.value() - events_before;
+
   publish(values);
+  const auto apply_start = SteadyClock::now();
   apply(values);
+  cost.apply_us += us_since(apply_start);
+  const auto serialize_start = SteadyClock::now();
   journal_.record_ok(cell, values);
   if (policy.cacheable) {
     cache.store(config, values);
   } else {
     cache.count_skip();
   }
+  cost.serialize_us += us_since(serialize_start);
   computed_.fetch_add(1, std::memory_order_relaxed);
-  return CellSource::kComputed;
+  return finish(CellSource::kComputed);
+}
+
+void SweepRunner::record_cost(const std::string& cell, CellSource source,
+                              const CellCost& cost) {
+  {
+    std::lock_guard lock(cost_mutex_);
+    cost_.merge(cost);
+  }
+  obs::RunReport& report = obs::RunReport::instance();
+  if (!report.enabled()) return;
+  report.emit("cell_cost", [&](obs::JsonWriter& w) {
+    w.add("sweep", sweep_)
+        .add("cell", cell)
+        .add("source", to_string(source))
+        .add("total_us", cost.total_us)
+        .add("key_us", cost.key_us)
+        .add("journal_us", cost.journal_us)
+        .add("memo_us", cost.memo_us)
+        .add("cache_us", cost.cache_us)
+        .add("compute_us", cost.compute_us)
+        .add("solve_us", cost.solve_us)
+        .add("serialize_us", cost.serialize_us)
+        .add("apply_us", cost.apply_us)
+        .add("cg_iterations", cost.cg_iterations)
+        .add("vcycles", cost.vcycles)
+        .add("des_events", cost.des_events);
+  });
+}
+
+CostBreakdown SweepRunner::cost() const {
+  std::lock_guard lock(cost_mutex_);
+  return cost_;
 }
 
 SweepRunner::Stats SweepRunner::stats() const {

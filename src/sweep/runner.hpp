@@ -42,6 +42,7 @@
 
 #include "resilience/journal.hpp"
 #include "sweep/cell_key.hpp"
+#include "sweep/cost.hpp"
 #include "sweep/shard.hpp"
 
 namespace aqua::sweep {
@@ -55,6 +56,10 @@ enum class CellSource {
   kShardSkipped,
   kFailed,
 };
+
+/// Stable lowercase name ("computed", "journal", ... — the `cell_cost`
+/// run-report records carry it).
+const char* to_string(CellSource source);
 
 /// Per-cell opt-outs.
 struct CellPolicy {
@@ -97,11 +102,22 @@ class SweepRunner {
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Aggregated per-cell cost ledger (DESIGN.md §11): phase wall times and
+  /// solver/DES work summed over every run() call so far. Always on — the
+  /// per-cell overhead is a handful of clock reads and relaxed counter
+  /// loads. Individual `cell_cost` run-report records are only emitted
+  /// when reporting is enabled.
+  [[nodiscard]] CostBreakdown cost() const;
+
   /// Emits a "sweep" run-report record with this runner's counters (no-op
   /// when reporting is off).
   void emit_report() const;
 
  private:
+  /// Folds one cell's cost into the ledger and, when reporting is on,
+  /// emits its `cell_cost` record.
+  void record_cost(const std::string& cell, CellSource source,
+                   const CellCost& cost);
   std::string sweep_;
   SweepJournal journal_;
   ShardPlan shard_;
@@ -119,6 +135,9 @@ class SweepRunner {
 
   std::mutex memo_mutex_;
   std::unordered_map<std::string, std::shared_ptr<MemoEntry>> memo_;
+
+  mutable std::mutex cost_mutex_;
+  CostBreakdown cost_;
 
   std::atomic<std::size_t> computed_{0};
   std::atomic<std::size_t> journal_hits_{0};

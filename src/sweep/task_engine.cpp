@@ -5,6 +5,7 @@
 #include <exception>
 #include <string>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -296,10 +297,11 @@ void TaskEngine::worker_loop(std::size_t id) {
 }
 
 void TaskEngine::execute(Batch& batch, WorkerContext& ctx,
-                         std::function<void(WorkerContext&)>& body,
-                         bool strict) {
+                         std::function<void(WorkerContext&)>& body, bool strict,
+                         const char* span, std::uint32_t chain) {
+  const auto worker = static_cast<std::uint32_t>(ctx.worker());
   {
-    AQUA_TRACE_SCOPE_C("engine.task", "engine");
+    obs::FlightRecorder::TaskScope scope(span, worker, chain);
     try {
       body(ctx);
     } catch (...) {
@@ -314,7 +316,8 @@ void TaskEngine::execute(Batch& batch, WorkerContext& ctx,
   while (ctx.lifo_slot_) {
     std::function<void(WorkerContext&)> spawned = std::move(ctx.lifo_slot_);
     ctx.lifo_slot_ = nullptr;
-    AQUA_TRACE_SCOPE_C("engine.task", "engine");
+    obs::FlightRecorder::TaskScope scope(obs::FlightRecorder::kTaskLifo, worker,
+                                         obs::FlightRecorder::kNoChain);
     try {
       spawned(ctx);
     } catch (...) {
@@ -330,23 +333,30 @@ void TaskEngine::execute(Batch& batch, WorkerContext& ctx,
 
 void TaskEngine::drain(Batch& batch, WorkerContext& ctx) {
   const std::size_t id = ctx.worker();
+  const auto wid = static_cast<std::uint32_t>(id);
   Batch::WorkerQueue& own = batch.queues[id];
+  obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
   obs::Gauge& depth = obs::Registry::instance().gauge(
       "engine.queue_depth.w" + std::to_string(id));
 
   const auto pop_own = [&](std::uint32_t* out, bool* strict) {
-    std::lock_guard lock(own.m);
-    if (own.strict_head < own.strict.size()) {
-      *out = own.strict[own.strict_head++];
-      *strict = true;
-    } else if (own.loose_head < own.loose_tail) {
-      *out = own.loose[own.loose_head++];
-      *strict = false;
-    } else {
-      return false;
+    std::size_t left = 0;
+    {
+      std::lock_guard lock(own.m);
+      if (own.strict_head < own.strict.size()) {
+        *out = own.strict[own.strict_head++];
+        *strict = true;
+      } else if (own.loose_head < own.loose_tail) {
+        *out = own.loose[own.loose_head++];
+        *strict = false;
+      } else {
+        return false;
+      }
+      own.refresh_stealable();
+      left = own.depth();
+      depth.set(static_cast<double>(left));
     }
-    own.refresh_stealable();
-    depth.set(static_cast<double>(own.depth()));
+    recorder.queue_depth(wid, static_cast<std::uint32_t>(left));
     return true;
   };
 
@@ -356,6 +366,7 @@ void TaskEngine::drain(Batch& batch, WorkerContext& ctx) {
     if (i >= batch.shared.size()) return false;
     *out = batch.shared[i];
     batch.shared_claimed.fetch_add(1, std::memory_order_relaxed);
+    recorder.claim(wid, static_cast<std::uint32_t>(i));
     return true;
   };
 
@@ -384,6 +395,7 @@ void TaskEngine::drain(Batch& batch, WorkerContext& ctx) {
           q.refresh_stealable();
           batch.stolen.fetch_add(1, std::memory_order_relaxed);
           engine_metrics().steals.add();
+          recorder.steal(wid, static_cast<std::uint32_t>(victim));
           return true;
         }
       }
@@ -392,20 +404,35 @@ void TaskEngine::drain(Batch& batch, WorkerContext& ctx) {
     }
   };
 
+  // A task's dependent-chain id is its affinity truncated to 32 bits;
+  // stolen / unpinned work belongs to no chain (a thief rebuilds state, so
+  // the serial-order dependency is broken by construction).
+  const auto chain_of = [&](std::uint32_t idx) {
+    return static_cast<std::uint32_t>(batch.tasks[idx].affinity &
+                                      0xFFFFFFFFu);
+  };
+
   for (;;) {
     std::uint32_t idx = 0;
     bool strict = false;
     if (pop_own(&idx, &strict)) {
-      execute(batch, ctx, batch.tasks[idx].body, strict);
+      execute(batch, ctx, batch.tasks[idx].body, strict,
+              strict ? obs::FlightRecorder::kTaskStrict
+                     : obs::FlightRecorder::kTaskLoose,
+              chain_of(idx));
       continue;
     }
     if (claim_shared(&idx)) {
       engine_metrics().shared_claimed.add();
-      execute(batch, ctx, batch.tasks[idx].body, false);
+      execute(batch, ctx, batch.tasks[idx].body, false,
+              obs::FlightRecorder::kTaskUnpinned,
+              obs::FlightRecorder::kNoChain);
       continue;
     }
     if (steal(&idx)) {
-      execute(batch, ctx, batch.tasks[idx].body, false);
+      execute(batch, ctx, batch.tasks[idx].body, false,
+              obs::FlightRecorder::kTaskStolen,
+              obs::FlightRecorder::kNoChain);
       continue;
     }
     depth.set(0.0);

@@ -175,8 +175,12 @@ class TaskEngine {
   void stop_workers();
   void worker_loop(std::size_t id);
   void drain(Batch& batch, WorkerContext& ctx);
+  /// `span` is the flight-recorder task-span name (how the task reached
+  /// this worker); `chain` is the task's dependent-chain id or
+  /// FlightRecorder::kNoChain.
   void execute(Batch& batch, WorkerContext& ctx,
-               std::function<void(WorkerContext&)>& body, bool strict);
+               std::function<void(WorkerContext&)>& body, bool strict,
+               const char* span, std::uint32_t chain);
   void run_inline(std::vector<Task>& tasks);
 
   std::vector<std::thread> workers_;

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "common/solvers.hpp"
 #include "obs/trace_reader.hpp"
 
 namespace aqua::obs {
@@ -79,6 +81,37 @@ TEST(HistogramTest, OverflowBucketQuantileReportsFloor) {
   EXPECT_DOUBLE_EQ(h.quantile(0.99), 1.0);
 }
 
+TEST(HistogramTest, PercentilesOnUnitUniformDistribution) {
+  // One observation per unit bucket 1..100: the interpolated percentile
+  // lands exactly on the matching value.
+  std::vector<double> bounds;
+  for (int i = 1; i <= 100; ++i) bounds.push_back(static_cast<double>(i));
+  Histogram h(bounds);
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+}
+
+TEST(HistogramTest, PercentilesOnSkewedDistribution) {
+  // 90 fast observations, 10 slow ones two decades up — the tail
+  // percentiles must land inside the slow bucket, interpolated linearly.
+  Histogram h({1.0, 10.0, 100.0});
+  for (int i = 0; i < 90; ++i) h.observe(0.5);
+  for (int i = 0; i < 10; ++i) h.observe(50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 50.0 / 90.0);  // inside (0, 1]
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 55.0);  // halfway into (10, 100]
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 91.0);  // 90% into (10, 100]
+}
+
+TEST(HistogramTest, EmptyHistogramQuantileIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
 TEST(HistogramTest, RejectsBadBounds) {
   EXPECT_THROW(Histogram({}), std::invalid_argument);
   EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
@@ -119,6 +152,54 @@ TEST(RegistryTest, SnapshotDeltaTracksOnlyNewWork) {
   const Registry::Snapshot after = reg.snapshot();
   EXPECT_EQ(after.counter_delta(before, "test.registry.delta"), 7u);
   EXPECT_EQ(after.counter_delta(before, "test.registry.absent"), 0u);
+}
+
+// solver_totals_since diffs the process-wide solver counters — the same
+// snapshot-diff mechanism the sweep cost ledger uses around a compute.
+// Under concurrent writers the diff must be exact once the writers join,
+// and any diff taken mid-flight must be per-metric monotonic and bounded
+// (relaxed counters never run backwards or overshoot).
+TEST(SolverTotalsTest, SnapshotDiffIsExactAcrossThreads) {
+  Registry& reg = Registry::instance();
+  Counter& solves = reg.counter("solver.solves");
+  Counter& iters = reg.counter("solver.cg_iterations");
+  Counter& vcycles = reg.counter("solver.vcycles");
+  const SolverStats before = solver_totals();
+
+  constexpr std::uint64_t kThreads = 4;
+  constexpr std::uint64_t kAdds = 5000;
+  std::atomic<bool> go{false};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (std::uint64_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (std::uint64_t i = 0; i < kAdds; ++i) {
+        solves.add();
+        iters.add(3);
+        vcycles.add(2);
+      }
+    });
+  }
+  std::thread reader([&] {
+    std::uint64_t last_iters = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const SolverStats mid = solver_totals_since(before);
+      EXPECT_GE(mid.iterations, last_iters) << "diff ran backwards";
+      EXPECT_LE(mid.iterations, kThreads * kAdds * 3) << "diff overshot";
+      EXPECT_LE(mid.solves, kThreads * kAdds);
+      last_iters = mid.iterations;
+    }
+  });
+  go.store(true, std::memory_order_release);
+  for (std::thread& w : writers) w.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const SolverStats delta = solver_totals_since(before);
+  EXPECT_EQ(delta.solves, kThreads * kAdds);
+  EXPECT_EQ(delta.iterations, kThreads * kAdds * 3);
+  EXPECT_EQ(delta.vcycles, kThreads * kAdds * 2);
 }
 
 TEST(RegistryTest, ToJsonParsesAndContainsInstruments) {
