@@ -18,8 +18,10 @@
 #include "bench_util.hpp"
 #include "obs/metrics.hpp"
 #include "perf/noc.hpp"
+#include "perf/pdes.hpp"
 #include "perf/system.hpp"
 #include "perf/workload.hpp"
+#include "sweep/task_engine.hpp"
 
 namespace {
 
@@ -32,10 +34,12 @@ struct CellRun {
 };
 
 CellRun run_cell(const std::string& workload, std::size_t chips,
-                 aqua::EventQueue::Impl impl, bool idle_skip) {
+                 aqua::EventQueue::Impl impl, bool idle_skip,
+                 aqua::PdesMode pdes = aqua::PdesMode::kOff) {
   aqua::CmpConfig cfg;
   cfg.chips = chips;
   cfg.noc_idle_skip = idle_skip;
+  cfg.pdes = pdes;
   aqua::WorkloadProfile p = aqua::npb_profile(workload);
   p.instructions_per_thread = 12'000;
 
@@ -111,6 +115,57 @@ void microbench_mesh_drain(benchmark::State& state) {
 }
 BENCHMARK(microbench_mesh_drain)->Arg(2)->Arg(6)->Unit(
     benchmark::kMillisecond);
+
+/// Per-cell PDES timing under the merge scheduler, gated on bit-identity
+/// with the serial (off) run.
+struct PdesCell {
+  CellRun run;
+  bool identical_to_serial = false;
+};
+
+PdesCell run_pdes_cell(const std::string& workload, std::size_t chips,
+                       aqua::PdesMode mode, const CellRun& serial) {
+  PdesCell cell;
+  cell.run = run_cell(workload, chips, aqua::EventQueue::Impl::kCalendar,
+                      false, mode);
+  cell.identical_to_serial = identical(cell.run.stats, serial.stats);
+  return cell;
+}
+
+/// Runs the headline cells as engine tasks (one per cell) under PDES chip
+/// mode: the scheduler is per-CmpSystem, so cross-cell parallelism and
+/// intra-cell PDES accounting compose without shared state.
+double run_engine_cells(std::size_t workers,
+                        const std::vector<aqua::ExecStats>& serial,
+                        bool* identical_out) {
+  using aqua::sweep::TaskEngine;
+  TaskEngine::shared().configure(workers);
+  const std::vector<std::pair<std::string, std::size_t>> cells = {
+      {"ft", 2}, {"ft", 6}, {"cg", 2}, {"cg", 6}};
+  std::vector<aqua::ExecStats> out(cells.size());
+  std::vector<TaskEngine::Task> tasks(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    tasks[i].body = [&cells, &out, i](aqua::sweep::WorkerContext&) {
+      aqua::CmpConfig cfg;
+      cfg.chips = cells[i].second;
+      cfg.pdes = aqua::PdesMode::kChip;
+      aqua::WorkloadProfile p = aqua::npb_profile(cells[i].first);
+      p.instructions_per_thread = 12'000;
+      aqua::CmpSystem system(cfg, p, aqua::gigahertz(1.6), /*seed=*/1);
+      out[i] = system.run();
+    };
+  }
+  const auto t0 = Clock::now();
+  TaskEngine::shared().run(std::move(tasks));
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  bool same = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    same = same && identical(out[i], serial[i]);
+  }
+  *identical_out = same;
+  return seconds;
+}
 
 }  // namespace
 
@@ -196,8 +251,83 @@ int main(int argc, char** argv) {
                     ? "\ncalendar and heap queues are bit-identical\n"
                     : "\nERROR: queue implementations diverge\n");
   report.add("all_queue_identical", all_identical);
+
+  // ---- Conservative PDES: partitioned merge scheduler vs serial --------
+  // Same cells under AQUA_DES_PDES-equivalent config modes; every mode
+  // must reproduce the serial ExecStats bit-for-bit (the determinism
+  // contract), and the window/channel stats quantify the parallelism a
+  // threaded executor could exploit.
+  aqua::Table pt({"bench", "chips", "mode", "seconds", "windows",
+                  "ev_per_window", "cross_msgs", "stalls", "identical"});
+  bool all_pdes_identical = true;
+  std::vector<aqua::ExecStats> serial_stats;
+  for (const std::string& w : workloads) {
+    for (std::size_t chips : chip_counts) {
+      const CellRun serial =
+          run_cell(w, chips, aqua::EventQueue::Impl::kCalendar, false);
+      serial_stats.push_back(serial.stats);
+      const std::string key = w + "_" + std::to_string(chips) + "chip_pdes";
+      for (const aqua::PdesMode mode :
+           {aqua::PdesMode::kChip, aqua::PdesMode::kQuadrant}) {
+        const PdesCell cell = run_pdes_cell(w, chips, mode, serial);
+        all_pdes_identical = all_pdes_identical && cell.identical_to_serial;
+        const aqua::PdesRunStats& ps = cell.run.stats.pdes;
+        const double ev_per_window =
+            ps.windows > 0 ? static_cast<double>(ps.window_events_total) /
+                                 static_cast<double>(ps.windows)
+                           : 0.0;
+        pt.row()
+            .add(w)
+            .add_int(static_cast<long long>(chips))
+            .add(std::string(aqua::to_string(mode)))
+            .add(cell.run.seconds, 3)
+            .add_int(static_cast<long long>(ps.windows))
+            .add(ev_per_window, 2)
+            .add_int(static_cast<long long>(ps.cross_messages))
+            .add_int(static_cast<long long>(ps.barrier_stalls))
+            .add(cell.identical_to_serial ? "yes" : "NO");
+        const std::string mk = key + "_" + std::string(aqua::to_string(mode));
+        report.add(mk + "_seconds", cell.run.seconds, 4);
+        report.add(mk + "_windows", static_cast<std::int64_t>(ps.windows));
+        report.add(mk + "_events_per_window", ev_per_window, 3);
+        report.add(mk + "_window_events_max",
+                   static_cast<std::int64_t>(ps.window_events_max));
+        report.add(mk + "_cross_messages",
+                   static_cast<std::int64_t>(ps.cross_messages));
+        report.add(mk + "_barrier_stalls",
+                   static_cast<std::int64_t>(ps.barrier_stalls));
+        report.add(mk + "_lookahead",
+                   static_cast<std::int64_t>(ps.lookahead));
+        report.add(mk + "_identical", cell.identical_to_serial);
+      }
+    }
+  }
+  pt.print(std::cout);
+  std::cout << (all_pdes_identical
+                    ? "\nPDES modes reproduce the serial schedule "
+                      "bit-for-bit\n"
+                    : "\nERROR: PDES diverges from the serial schedule\n");
+  report.add("all_pdes_identical", all_pdes_identical);
+
+  // ---- PDES x engine workers: cross-cell scaling with PDES on ----------
+  double w1_seconds = 0.0;
+  for (const std::size_t workers :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    bool same = false;
+    const double seconds = run_engine_cells(workers, serial_stats, &same);
+    if (workers == 1) w1_seconds = seconds;
+    all_pdes_identical = all_pdes_identical && same;
+    std::cout << "pdes=chip engine workers=" << workers << " wall="
+              << seconds << "s speedup=" << (w1_seconds / seconds)
+              << (same ? "" : "  TABLE MISMATCH") << "\n";
+    const std::string w = std::to_string(workers);
+    report.add("pdes_chip_engine_w" + w + "_seconds", seconds, 4);
+    report.add("pdes_chip_engine_identical_w" + w, same);
+  }
+  aqua::sweep::TaskEngine::shared().configure(0);
+
   report.write();
 
   const int rc = aqua::bench::run_microbenchmarks(argc, argv);
-  return all_identical ? rc : 1;
+  return all_identical && all_pdes_identical ? rc : 1;
 }

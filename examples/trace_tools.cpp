@@ -253,14 +253,21 @@ int run_critical_path(int argc, char** argv) {
               << aqua::obs::json_number(c.longest_chain_us)
               << ", \"floor_us\": " << aqua::obs::json_number(c.floor_us)
               << ", \"max_speedup\": "
-              << aqua::obs::json_number(c.max_speedup()) << ", \"chains\": [";
+              << aqua::obs::json_number(c.max_speedup())
+              << ", \"pdes_floor_us\": "
+              << aqua::obs::json_number(c.pdes_floor_us)
+              << ", \"pdes_max_speedup\": "
+              << aqua::obs::json_number(c.pdes_max_speedup())
+              << ", \"pdes_partitions\": " << c.pdes_partitions
+              << ", \"chains\": [";
     bool comma = false;
     for (const aqua::obs::StrictChainRow& r : c.chains) {
       aqua::obs::JsonWriter row;
       row.add("chain", static_cast<std::uint64_t>(r.chain))
           .add("worker", static_cast<std::uint64_t>(r.worker))
           .add("tasks", static_cast<std::uint64_t>(r.tasks))
-          .add("total_us", r.total_us);
+          .add("total_us", r.total_us)
+          .add("pdes_total_us", r.pdes_total_us);
       std::cout << (comma ? "," : "") << row.str();
       comma = true;
     }
@@ -289,6 +296,15 @@ int run_critical_path(int argc, char** argv) {
   std::cout << "\nserial floor     " << c.floor_us / 1e3
             << " ms -> max speedup over one worker " << c.max_speedup()
             << "x\n";
+  if (c.pdes_partitions > 0) {
+    // PDES partition markers present: strict cells split across partition
+    // lanes, so the intra-cell serial bound (the busiest lane) replaces
+    // whole-cell atomicity in the floor.
+    std::cout << "pdes floor       " << c.pdes_floor_us / 1e3 << " ms over "
+              << c.pdes_partitions
+              << " partition lane(s) -> max speedup " << c.pdes_max_speedup()
+              << "x\n";
+  }
   return 0;
 }
 

@@ -79,6 +79,40 @@ void EventQueue::schedule_typed(Cycle when, TypedFn fn, void* ctx,
   push(std::move(e));
 }
 
+void EventQueue::schedule_typed_stamped(Cycle when, std::uint64_t stamp,
+                                        TypedFn fn, void* ctx, void* target,
+                                        const Message& msg) {
+  Entry e;
+  e.when = when;
+  e.seq = stamp;
+  e.typed = fn;
+  e.ctx = ctx;
+  e.target = target;
+  e.msg = msg;
+  // seq_ keeps counting schedules so scheduled() stays meaningful, but the
+  // entry's tie-break is the caller's stamp.
+  ++seq_;
+  ++typed_;
+  push(std::move(e));
+}
+
+EventQueue::Key EventQueue::next_key() const {
+  if (pending_ == 0) ensure(false, "next_key on empty event queue");
+  // Mirror step()'s source selection exactly: heap-first on a tied cycle.
+  if (ring_count_ == 0) {
+    const Entry& top = heap_.top();
+    return Key{top.when, top.seq};
+  }
+  const Cycle ring_time = next_ring_time();
+  if (!heap_.empty() && heap_.top().when <= ring_time) {
+    const Entry& top = heap_.top();
+    return Key{top.when, top.seq};
+  }
+  const Bucket& b = ring_[ring_time & (kNearHorizon - 1)];
+  const Entry& e = b.entries[b.next];
+  return Key{e.when, e.seq};
+}
+
 Cycle EventQueue::next_ring_time() const {
   // Scan the bucket bitmap circularly starting at now's slot. The ring
   // holds cycles in [now, now + kNearHorizon), so circular slot distance

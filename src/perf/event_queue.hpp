@@ -85,6 +85,23 @@ class EventQueue {
     schedule_typed(now_ + delay, fn, ctx, target, msg);
   }
 
+  /// Typed schedule with an externally supplied tie-break sequence number
+  /// (the PDES scheduler's global stamp, perf/pdes.hpp). Stamps pushed into
+  /// one queue must be monotonically increasing over wall order — the same
+  /// property the internal counter has — so the ring-bucket FIFO and the
+  /// heap-first-on-tied-cycle rule still pop the minimum (when, stamp).
+  void schedule_typed_stamped(Cycle when, std::uint64_t stamp, TypedFn fn,
+                              void* ctx, void* target, const Message& msg);
+
+  /// Ordering key of the earliest pending event — what step() would fire
+  /// next. Only valid when !empty(). Lets a merge executor compare several
+  /// queues without popping.
+  struct Key {
+    Cycle when = 0;
+    std::uint64_t seq = 0;
+  };
+  [[nodiscard]] Key next_key() const;
+
   [[nodiscard]] Cycle now() const { return now_; }
   [[nodiscard]] bool empty() const { return pending_ == 0; }
   [[nodiscard]] std::size_t pending() const { return pending_; }

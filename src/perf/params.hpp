@@ -13,6 +13,13 @@ namespace aqua {
 /// Simulated clock cycle count.
 using Cycle = std::uint64_t;
 
+/// Conservative-PDES partitioning granularity (perf/pdes.hpp).
+enum class PdesMode : std::uint8_t {
+  kOff,       ///< single global event queue (legacy path)
+  kChip,      ///< one logical process per stacked chip
+  kQuadrant,  ///< one logical process per mesh quadrant per chip
+};
+
 /// Table 1 parameters.
 struct CmpConfig {
   // Topology.
@@ -58,6 +65,15 @@ struct CmpConfig {
   // handlers and can shift cycle counts by a fraction of a percent.
   // The AQUA_NOC_IDLE_SKIP=1 environment variable also enables it.
   bool noc_idle_skip = false;
+
+  // Conservative PDES partitioning (DESIGN.md §12). kOff runs the single
+  // global event queue (legacy path, byte-for-byte). kChip gives every
+  // chip its own calendar queue; kQuadrant splits each chip's mesh into
+  // four quadrants for finer partitions. Both modes are table-identical
+  // to kOff by construction: the scheduler replays the serial global
+  // (cycle, stamp) order across the partition queues. The AQUA_DES_PDES
+  // environment variable (off|chip|quadrant) sets the default.
+  PdesMode pdes = PdesMode::kOff;
 
   [[nodiscard]] std::size_t tiles_per_chip() const { return mesh_x * mesh_y; }
   [[nodiscard]] std::size_t total_tiles() const {

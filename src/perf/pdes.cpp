@@ -1,0 +1,233 @@
+#include "perf/pdes.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace aqua {
+
+namespace {
+
+std::uint32_t saturate32(std::uint64_t v) {
+  return v > 0xFFFFFFFFull ? 0xFFFFFFFFu : static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+PdesMode pdes_mode_from_env() {
+  const char* env = std::getenv("AQUA_DES_PDES");
+  if (env == nullptr) return PdesMode::kOff;
+  const std::string_view v(env);
+  if (v.empty() || v == "off") return PdesMode::kOff;
+  if (v == "chip") return PdesMode::kChip;
+  if (v == "quadrant") return PdesMode::kQuadrant;
+  require(false, "AQUA_DES_PDES must be off|chip|quadrant, got: " +
+                     std::string(v));
+  return PdesMode::kOff;
+}
+
+std::string_view to_string(PdesMode mode) {
+  switch (mode) {
+    case PdesMode::kChip:
+      return "chip";
+    case PdesMode::kQuadrant:
+      return "quadrant";
+    case PdesMode::kOff:
+      break;
+  }
+  return "off";
+}
+
+PdesTopology PdesTopology::build(const CmpConfig& cfg, PdesMode mode) {
+  require(mode != PdesMode::kOff, "no PDES topology for mode off");
+  PdesTopology topo;
+  // Quadrant boundaries at the mesh midpoints; a 1-wide dimension
+  // degenerates to a single half.
+  const std::uint32_t half_x = static_cast<std::uint32_t>(cfg.mesh_x / 2);
+  const std::uint32_t half_y = static_cast<std::uint32_t>(cfg.mesh_y / 2);
+  const std::size_t per_chip = mode == PdesMode::kChip ? 1 : 4;
+  topo.partitions = cfg.chips * per_chip;
+  topo.partition_of_tile.resize(cfg.total_tiles());
+  for (NodeId id = 0; id < cfg.total_tiles(); ++id) {
+    const TileCoord c = tile_coord(cfg, id);
+    std::uint32_t p = c.z;
+    if (mode == PdesMode::kQuadrant) {
+      const std::uint32_t qx = (half_x > 0 && c.x >= half_x) ? 1u : 0u;
+      const std::uint32_t qy = (half_y > 0 && c.y >= half_y) ? 1u : 0u;
+      p = c.z * 4 + qy * 2 + qx;
+    }
+    topo.partition_of_tile[id] = p;
+  }
+  // Minimum cross-partition latency: a packet crossing a partition edge
+  // traverses at least the remaining router pipeline after injection
+  // (router_pipeline - 1 cycles: injection itself burns the first stage's
+  // cycle), one link (horizontal and vertical both cost link_latency), and
+  // the receiving side's cheapest tag lookup before any handler in the
+  // other partition can observe it. Understating the true minimum is safe
+  // (narrower windows), overstating would not be.
+  const Cycle min_tag = cfg.l1_latency < cfg.l2_latency ? cfg.l1_latency
+                                                        : cfg.l2_latency;
+  const Cycle pipe =
+      cfg.router_pipeline > 0 ? cfg.router_pipeline - 1 : 0;
+  topo.lookahead = pipe + cfg.link_latency + min_tag;
+  if (topo.lookahead < 1) topo.lookahead = 1;
+  return topo;
+}
+
+DesScheduler::DesScheduler() { queues_.emplace_back(); }
+
+void DesScheduler::activate(const PdesTopology& topo, PdesMode mode) {
+  require(mode != PdesMode::kOff, "DesScheduler::activate with mode off");
+  require(queues_.size() == 1 && queues_[0].empty() && stamp_ == 0,
+          "DesScheduler::activate after events were scheduled");
+  const EventQueue::Impl impl = queues_[0].impl();
+  queues_.clear();
+  queues_.reserve(topo.partitions + 1);
+  for (std::size_t i = 0; i < topo.partitions + 1; ++i) {
+    queues_.emplace_back(impl);
+  }
+  mode_ = mode;
+  fabric_index_ = topo.partitions;
+  lookahead_ = topo.lookahead;
+  fired_in_window_.assign(queues_.size(), 0);
+  stats_.mode = mode;
+  stats_.partitions = topo.partitions;
+  stats_.lookahead = topo.lookahead;
+  stats_.partition_events.assign(queues_.size(), 0);
+  window_hist_ = &obs::Registry::instance().histogram(
+      "des.pdes.window_events", obs::exponential_bounds(1.0, 2.0, 8));
+}
+
+void DesScheduler::schedule_typed(Cycle when, std::uint32_t partition,
+                                  EventQueue::TypedFn fn, void* ctx,
+                                  void* target, const Message& msg) {
+  if (!pdes_active()) {
+    queues_[0].schedule_typed(when, fn, ctx, target, msg);
+    return;
+  }
+  const std::size_t q = partition == kFabric
+                            ? fabric_index_
+                            : static_cast<std::size_t>(partition);
+  // A schedule into another model partition while an event is firing is a
+  // cross-partition channel message (NoC delivery from the fabric process,
+  // or a barrier wakeup from a sibling partition). Pump re-arms into the
+  // fabric are engine plumbing, not model traffic, and are not counted.
+  if (firing_ != std::numeric_limits<std::size_t>::max() &&
+      q != fabric_index_ && q != firing_) {
+    ++stats_.cross_messages;
+  }
+  queues_[q].schedule_typed_stamped(when, stamp_++, fn, ctx, target, msg);
+}
+
+std::size_t DesScheduler::pending() const {
+  std::size_t n = 0;
+  for (const EventQueue& q : queues_) n += q.pending();
+  return n;
+}
+
+std::uint64_t DesScheduler::scheduled() const {
+  std::uint64_t n = 0;
+  for (const EventQueue& q : queues_) n += q.scheduled();
+  return n;
+}
+
+std::uint64_t DesScheduler::typed_scheduled() const {
+  std::uint64_t n = 0;
+  for (const EventQueue& q : queues_) n += q.typed_scheduled();
+  return n;
+}
+
+std::size_t DesScheduler::max_pending() const {
+  // Sum of per-queue high-water marks: an upper bound on the true global
+  // mark, and exact in off mode.
+  std::size_t n = 0;
+  for (const EventQueue& q : queues_) n += q.max_pending();
+  return n;
+}
+
+void DesScheduler::step() {
+  if (!pdes_active()) {
+    queues_[0].step();
+    return;
+  }
+  // Fire the globally minimal (cycle, stamp): stamps are process-unique,
+  // so the winner is unambiguous and the pop order replays the serial
+  // schedule exactly (see header determinism note).
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  EventQueue::Key best_key{};
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    if (queues_[i].empty()) continue;
+    const EventQueue::Key k = queues_[i].next_key();
+    if (best == std::numeric_limits<std::size_t>::max() ||
+        k.when < best_key.when ||
+        (k.when == best_key.when && k.seq < best_key.seq)) {
+      best = i;
+      best_key = k;
+    }
+  }
+  ensure(best != std::numeric_limits<std::size_t>::max(),
+         "step on empty PDES scheduler");
+
+  const std::uint64_t win = best_key.when / lookahead_;
+  if (!window_open_ || win != window_) close_window(win);
+  now_ = best_key.when;
+  ++window_events_;
+  fired_in_window_[best] = 1;
+  ++stats_.partition_events[best];
+  firing_ = best;
+  queues_[best].step();
+  firing_ = std::numeric_limits<std::size_t>::max();
+}
+
+void DesScheduler::close_window(std::uint64_t next_window) {
+  if (window_open_) {
+    ++stats_.windows;
+    stats_.window_events_total += window_events_;
+    if (window_events_ > stats_.window_events_max) {
+      stats_.window_events_max = window_events_;
+    }
+    if (window_hist_ != nullptr) {
+      window_hist_->observe(static_cast<double>(window_events_));
+    }
+    // A model partition that held pending work but fired nothing stalled
+    // at the window barrier: the conservative bound kept it runnable in
+    // parallel, yet its events all lay beyond the window.
+    for (std::size_t p = 0; p < fabric_index_; ++p) {
+      if (fired_in_window_[p] == 0 && !queues_[p].empty()) {
+        ++stats_.barrier_stalls;
+      }
+    }
+    if ((stats_.windows & 255u) == 0) {
+      obs::FlightRecorder::instance().des_window(
+          saturate32(window_), saturate32(window_events_));
+    }
+    for (char& f : fired_in_window_) f = 0;
+  }
+  window_ = next_window;
+  window_events_ = 0;
+  window_open_ = true;
+}
+
+void DesScheduler::finalize() {
+  if (!pdes_active()) return;
+  if (window_open_) {
+    // Close the final window (close_window resets for a nominal next
+    // window; nothing fires afterwards).
+    close_window(window_ + 1);
+    window_open_ = false;
+  }
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter("des.pdes.windows").add(stats_.windows);
+  reg.counter("des.pdes.cross_messages").add(stats_.cross_messages);
+  reg.counter("des.pdes.barrier_stalls").add(stats_.barrier_stalls);
+  obs::FlightRecorder& rec = obs::FlightRecorder::instance();
+  for (std::size_t i = 0; i < stats_.partition_events.size(); ++i) {
+    rec.des_partition(static_cast<std::uint32_t>(i),
+                      saturate32(stats_.partition_events[i]));
+  }
+}
+
+}  // namespace aqua

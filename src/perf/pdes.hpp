@@ -1,0 +1,145 @@
+#pragma once
+
+/// Conservative parallel-DES partitioning of the CMP simulation
+/// (DESIGN.md §12).
+///
+/// The simulated system is split into logical processes — one per chip
+/// (`PdesMode::kChip`) or one per mesh quadrant per chip (`kQuadrant`) —
+/// each owning its own calendar `EventQueue` over its cores, L2/directory
+/// banks and memory controller, plus one extra *fabric* process owning the
+/// mesh NoC pump. Cross-partition interactions (NoC deliveries, barrier
+/// wakeups) are timestamped messages between queues, and the conservative
+/// time-window protocol bounds how far partitions may diverge: the
+/// lookahead is the model's own minimum cross-partition latency
+/// (router pipeline + link traversal + the cheaper of the L1/L2 tag
+/// latencies), so no partition can receive a message earlier than
+/// `now + lookahead`.
+///
+/// Determinism contract: every schedule is tagged with a *global stamp*
+/// (one shared counter), and the scheduler always fires the globally
+/// minimal (cycle, stamp) event across all partition queues. Stamps are
+/// assigned in execution order, so by induction the stamp sequence — and
+/// therefore every handler interleaving, every mesh mutation and every
+/// result table — is byte-identical to the single-queue serial run. That
+/// is the property the queue-invariance suite asserts, and what makes
+/// PDES cells cacheable under the same sweep cell key as serial cells.
+///
+/// Window metrics (`des.pdes.*`): the run is accounted in windows of
+/// `lookahead` cycles. Per window the scheduler records how many events
+/// fired and how many partitions sat on pending work without firing
+/// (a *barrier stall* — work that the conservative bound alone would have
+/// let proceed in parallel). Together with the cross-partition message
+/// count these quantify the parallelism the partition boundary exposes.
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include "perf/event_queue.hpp"
+#include "perf/params.hpp"
+
+namespace aqua {
+
+namespace obs {
+class Histogram;
+}  // namespace obs
+
+/// AQUA_DES_PDES environment default: off | chip | quadrant.
+PdesMode pdes_mode_from_env();
+
+[[nodiscard]] std::string_view to_string(PdesMode mode);
+
+/// Static partition map for one CmpConfig: which logical process owns each
+/// tile, and the conservative lookahead in cycles.
+struct PdesTopology {
+  std::size_t partitions = 0;  ///< model partitions (fabric not included)
+  Cycle lookahead = 1;
+  std::vector<std::uint32_t> partition_of_tile;  ///< indexed by NodeId
+
+  static PdesTopology build(const CmpConfig& cfg, PdesMode mode);
+};
+
+/// Per-run PDES accounting, copied into ExecStats. All zero when off.
+struct PdesRunStats {
+  PdesMode mode = PdesMode::kOff;
+  std::uint64_t partitions = 0;  ///< model partitions (0 when off)
+  Cycle lookahead = 0;
+  std::uint64_t windows = 0;             ///< lookahead windows with events
+  std::uint64_t window_events_total = 0; ///< events across closed windows
+  std::uint64_t window_events_max = 0;   ///< largest single window
+  std::uint64_t cross_messages = 0;      ///< cross-partition schedules
+  std::uint64_t barrier_stalls = 0;      ///< partition-windows held back
+  bool forced_off = false;  ///< a fault plan forced the serial path
+  /// Events executed per partition; last entry is the fabric process.
+  std::vector<std::uint64_t> partition_events;
+};
+
+/// The CMP simulator's event scheduler: a single `EventQueue` when PDES is
+/// off (delegation is 1:1, so the legacy event stream is byte-for-byte
+/// unchanged), or the globally-stamped merge over per-partition calendar
+/// queues described above once `activate()` is called.
+class DesScheduler {
+ public:
+  /// Partition hint for events that act on the shared NoC fabric.
+  static constexpr std::uint32_t kFabric =
+      std::numeric_limits<std::uint32_t>::max();
+
+  DesScheduler();
+
+  /// Switches to PDES mode. Must be called before any event is scheduled;
+  /// `mode` must not be kOff.
+  void activate(const PdesTopology& topo, PdesMode mode);
+
+  [[nodiscard]] bool pdes_active() const { return mode_ != PdesMode::kOff; }
+
+  // --- EventQueue-mirror API (partition ignored when off) ---
+  void schedule_typed(Cycle when, std::uint32_t partition,
+                      EventQueue::TypedFn fn, void* ctx, void* target,
+                      const Message& msg);
+  void schedule_typed_in(Cycle delay, std::uint32_t partition,
+                         EventQueue::TypedFn fn, void* ctx, void* target,
+                         const Message& msg) {
+    schedule_typed(now() + delay, partition, fn, ctx, target, msg);
+  }
+
+  [[nodiscard]] Cycle now() const {
+    return pdes_active() ? now_ : queues_[0].now();
+  }
+  [[nodiscard]] bool empty() const { return pending() == 0; }
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::uint64_t scheduled() const;
+  [[nodiscard]] std::uint64_t typed_scheduled() const;
+  [[nodiscard]] std::size_t max_pending() const;
+  [[nodiscard]] EventQueue::Impl impl() const { return queues_[0].impl(); }
+
+  /// Fires the single globally-earliest event.
+  void step();
+
+  /// Flushes the open window, emits `des.pdes.*` registry metrics and the
+  /// per-partition flight-recorder markers. Call once, after the run.
+  void finalize();
+
+  [[nodiscard]] const PdesRunStats& stats() const { return stats_; }
+  [[nodiscard]] PdesRunStats& stats() { return stats_; }
+
+ private:
+  void close_window(std::uint64_t next_window);
+
+  std::vector<EventQueue> queues_;  ///< [partitions..., fabric] (or 1: off)
+  PdesMode mode_ = PdesMode::kOff;
+  std::size_t fabric_index_ = 0;
+  Cycle lookahead_ = 1;
+  Cycle now_ = 0;
+  std::uint64_t stamp_ = 0;
+  /// Queue index currently firing, or SIZE_MAX outside step().
+  std::size_t firing_ = std::numeric_limits<std::size_t>::max();
+  std::uint64_t window_ = 0;
+  std::uint64_t window_events_ = 0;
+  bool window_open_ = false;
+  std::vector<char> fired_in_window_;
+  obs::Histogram* window_hist_ = nullptr;  ///< des.pdes.window_events
+  PdesRunStats stats_;
+};
+
+}  // namespace aqua

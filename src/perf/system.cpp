@@ -82,6 +82,11 @@ void CmpSystem::init_topology() {
   }
 
   noc_idle_skip_ = config_.noc_idle_skip || env_noc_idle_skip();
+  // Effective PDES mode: the config field wins, else the environment.
+  // Deliberately re-read per system (no static cache): tests and sweeps
+  // toggle AQUA_DES_PDES between cells in one process.
+  pdes_mode_ =
+      config_.pdes != PdesMode::kOff ? config_.pdes : pdes_mode_from_env();
   barrier_participants_ = cores_.size();
 }
 
@@ -224,7 +229,8 @@ void CmpSystem::pump_event(void* ctx, void*, const Message&) {
     self->noc_->skip_cycle(now);
   }
   if (self->noc_->active()) {
-    self->events_.schedule_typed_in(1, &CmpSystem::pump_event, self, self,
+    self->events_.schedule_typed_in(1, DesScheduler::kFabric,
+                                    &CmpSystem::pump_event, self, self,
                                     Message{});
   } else {
     self->noc_pumping_ = false;
@@ -261,7 +267,8 @@ void CmpSystem::send(MsgType type, LineAddr line, NodeId from, NodeId to,
   if (!noc_pumping_ && noc_->active()) {
     noc_pumping_ = true;
     noc_gate_ = 0;  // the first tick of a busy spell always runs
-    events_.schedule_typed_in(1, &CmpSystem::pump_event, this, this,
+    events_.schedule_typed_in(1, DesScheduler::kFabric,
+                              &CmpSystem::pump_event, this, this,
                               Message{});
   }
 }
@@ -272,18 +279,22 @@ void CmpSystem::schedule_pump(Cycle when) {
   if (noc_pumping_ && pump_at_ <= when) return;
   noc_pumping_ = true;
   pump_at_ = when;
-  events_.schedule_typed(when, &CmpSystem::pump_event, this, this, Message{});
+  events_.schedule_typed(when, DesScheduler::kFabric,
+                         &CmpSystem::pump_event, this, this, Message{});
 }
 
 void CmpSystem::deliver(const Packet& packet) {
   const auto bank_it = bank_of_tile_.find(packet.dst);
   if (bank_it != bank_of_tile_.end()) {
     // Home handling begins after the bank's tag/directory access.
-    events_.schedule_typed_in(config_.l2_latency, &CmpSystem::home_event,
-                              this, &banks_[bank_it->second], packet.msg);
+    Bank& bank = banks_[bank_it->second];
+    events_.schedule_typed_in(config_.l2_latency, partition_of(bank.tile),
+                              &CmpSystem::home_event, this, &bank,
+                              packet.msg);
   } else {
-    events_.schedule_typed_in(config_.l1_latency, &CmpSystem::core_event,
-                              this, &core_at(packet.dst), packet.msg);
+    events_.schedule_typed_in(config_.l1_latency, partition_of(packet.dst),
+                              &CmpSystem::core_event, this,
+                              &core_at(packet.dst), packet.msg);
   }
 }
 
@@ -316,6 +327,7 @@ void CmpSystem::advance_core(Core& core) {
       m.line = op.line;
       m.dirty = op.is_store;  // decoded by access_event
       events_.schedule_typed_in(op.compute_cycles + config_.l1_latency,
+                                partition_of(core.tile),
                                 &CmpSystem::access_event, this, &core, m);
       return;
     }
@@ -396,7 +408,8 @@ void CmpSystem::maybe_complete_miss(Core& core) {
   core.miss_active = false;
   send(MsgType::kUnblock, line, core.tile, home_tile_of(line),
        core.tile);
-  events_.schedule_typed_in(1, &CmpSystem::advance_event, this, &core,
+  events_.schedule_typed_in(1, partition_of(core.tile),
+                            &CmpSystem::advance_event, this, &core,
                             Message{});
 }
 
@@ -566,7 +579,8 @@ void CmpSystem::maybe_release_barrier() {
     if (!c.at_barrier) continue;
     c.at_barrier = false;
     stats_.barrier_wait_cycles += events_.now() - c.barrier_arrive;
-    events_.schedule_typed_in(1, &CmpSystem::advance_event, this, &c,
+    events_.schedule_typed_in(1, partition_of(c.tile),
+                              &CmpSystem::advance_event, this, &c,
                               Message{});
   }
 }
@@ -583,6 +597,17 @@ void CmpSystem::inject_faults(const PerfFaultPlan& plan) {
   if (plan.empty()) return;
   faults_injected_ = true;
   stats_.degraded = true;
+
+  if (pdes_mode_ != PdesMode::kOff) {
+    // Policy (DESIGN.md §12): a faulted run always takes the serial path.
+    // Fault handling rewires topology mid-run (dead cores, rerouted NoC),
+    // which invalidates the static partition map the lookahead argument
+    // rests on; forcing `off` keeps faulted results exactly on the
+    // long-verified serial event stream. Tested by the invariance suite.
+    pdes_mode_ = PdesMode::kOff;
+    stats_.pdes.forced_off = true;
+    obs::Registry::instance().counter("des.pdes.forced_off").add(1);
+  }
 
   // Dead-at-start set (validates router kills and drives the re-rank).
   std::vector<std::uint8_t> dead(cores_.size(), 0);
@@ -633,8 +658,9 @@ void CmpSystem::inject_faults(const PerfFaultPlan& plan) {
   for (const CoreFault& f : plan.core_faults) {
     if (f.at_cycle == 0) continue;
     require(dead[f.core] == 0, "core is already dead at start");
-    events_.schedule_typed(f.at_cycle, &CmpSystem::kill_event, this,
-                           &cores_[f.core], Message{});
+    events_.schedule_typed(f.at_cycle, partition_of(cores_[f.core].tile),
+                           &CmpSystem::kill_event, this, &cores_[f.core],
+                           Message{});
   }
 
   obs::RunReport& report = obs::RunReport::instance();
@@ -993,7 +1019,8 @@ void CmpSystem::pump_pending(Bank& bank, LineAddr line) {
   // leave the line un-busy, and anything still queued behind them would
   // otherwise be orphaned — a deadlock. pending_event re-queues at the
   // front if the line went busy again in the meantime.
-  events_.schedule_typed_in(1, &CmpSystem::pending_event, this, &bank, next);
+  events_.schedule_typed_in(1, partition_of(bank.tile),
+                            &CmpSystem::pending_event, this, &bank, next);
 }
 
 void CmpSystem::respond_with_data(Bank& bank, LineAddr line, NodeId requestor,
@@ -1035,6 +1062,7 @@ void CmpSystem::fetch_line(Bank& bank, const Message& request) {
   const Cycle start = std::max(events_.now(), mc.next_free);
   mc.next_free = start + dram_service_cycles_;
   events_.schedule_typed(start + dram_latency_cycles_,
+                         partition_of(bank.tile),
                          &CmpSystem::dram_fill_event, this, &bank, request);
 }
 
@@ -1047,9 +1075,17 @@ ExecStats CmpSystem::run() {
                        static_cast<std::int64_t>(config_.chips));
   const auto run_start = std::chrono::steady_clock::now();
 
+  if (pdes_mode_ != PdesMode::kOff) {
+    PdesTopology topo = PdesTopology::build(config_, pdes_mode_);
+    partition_of_tile_ = std::move(topo.partition_of_tile);
+    topo.partition_of_tile.clear();
+    events_.activate(topo, pdes_mode_);
+  }
+
   for (Core& core : cores_) {
     if (core.finished) continue;  // dead at start (inject_faults)
-    events_.schedule_typed(0, &CmpSystem::advance_event, this, &core,
+    events_.schedule_typed(0, partition_of(core.tile),
+                           &CmpSystem::advance_event, this, &core,
                            Message{});
   }
 
@@ -1085,6 +1121,13 @@ ExecStats CmpSystem::run() {
       ensure(false, dump);
     }
     events_.step();
+  }
+
+  events_.finalize();
+  {
+    const bool forced = stats_.pdes.forced_off;
+    stats_.pdes = events_.stats();
+    stats_.pdes.forced_off = forced;
   }
 
   stats_.cycles = completion_cycle_;
@@ -1171,6 +1214,13 @@ ExecStats CmpSystem::run() {
           .add("queue_impl", events_.impl() == EventQueue::Impl::kCalendar
                                  ? "calendar"
                                  : "heap")
+          .add("pdes_mode", to_string(stats_.pdes.mode))
+          .add("pdes_partitions", stats_.pdes.partitions)
+          .add("pdes_lookahead", stats_.pdes.lookahead)
+          .add("pdes_windows", stats_.pdes.windows)
+          .add("pdes_cross_messages", stats_.pdes.cross_messages)
+          .add("pdes_barrier_stalls", stats_.pdes.barrier_stalls)
+          .add("pdes_forced_off", stats_.pdes.forced_off)
           .add("cycles_per_second",
                wall_seconds > 0.0 ? cycles / wall_seconds : 0.0)
           .add("seconds", wall_seconds);

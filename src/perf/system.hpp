@@ -17,6 +17,7 @@
 #include "perf/faults.hpp"
 #include "perf/noc.hpp"
 #include "perf/params.hpp"
+#include "perf/pdes.hpp"
 #include "perf/protocol.hpp"
 #include "perf/tracefile.hpp"
 #include "perf/workload.hpp"
@@ -40,6 +41,10 @@ struct ExecStats {
   std::uint64_t barriers = 0;
   std::uint64_t l2_overflow_inserts = 0;  ///< see DESIGN.md L2 note
   NocStats noc;
+  /// Conservative-PDES accounting (all zero when AQUA_DES_PDES=off). Not
+  /// part of any golden table: the timing fields above must be identical
+  /// across PDES modes, while these describe the partition schedule.
+  PdesRunStats pdes;
 
   // CPI stack: total core-cycles (summed over cores) spent in each state.
   // busy + stalls + barrier_wait ~= cycles * cores (idle tails aside).
@@ -267,6 +272,11 @@ class CmpSystem {
   [[nodiscard]] NodeId home_tile_of(LineAddr line) const {
     return home_tiles_[line % home_tiles_.size()];
   }
+  /// Owning PDES partition of a tile (0 when PDES is off — the scheduler
+  /// ignores the hint then).
+  [[nodiscard]] std::uint32_t partition_of(NodeId tile) const {
+    return partition_of_tile_.empty() ? 0u : partition_of_tile_[tile];
+  }
 
   void init_topology();
 
@@ -277,7 +287,13 @@ class CmpSystem {
   Cycle dram_latency_cycles_ = 0;
   Cycle dram_service_cycles_ = 0;
 
-  EventQueue events_;
+  /// Event scheduler: a single queue when PDES is off, the per-partition
+  /// stamped-merge scheduler otherwise (perf/pdes.hpp). Activated lazily
+  /// at the top of run() so inject_faults can force the serial path.
+  DesScheduler events_;
+  PdesMode pdes_mode_ = PdesMode::kOff;  ///< effective mode for this run
+  /// Tile -> owning partition (empty until run() activates PDES).
+  std::vector<std::uint32_t> partition_of_tile_;
   std::unique_ptr<Mesh3d> noc_;
   // NoC pump scheduling. Default (exact) mode: one pump event per
   // active-network cycle, legacy event stream, lazy mesh tick gated by

@@ -1,0 +1,217 @@
+/// Conservative-PDES unit coverage (perf/pdes.hpp): partition maps and
+/// lookahead derivation, the stamped event-queue extensions the merge
+/// scheduler builds on, mode parsing, the fault-forces-serial policy, and
+/// the window/channel accounting. The end-to-end byte-identity contract
+/// lives in test_queue_invariance.cpp and the golden corpus.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "perf/event_queue.hpp"
+#include "perf/faults.hpp"
+#include "perf/pdes.hpp"
+#include "perf/system.hpp"
+#include "perf/workload.hpp"
+#include "resilience/schedule.hpp"
+
+namespace aqua {
+namespace {
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+};
+
+TEST(PdesTopologyTest, ChipModeOwnsWholeChips) {
+  CmpConfig cfg;
+  cfg.chips = 3;
+  const PdesTopology topo = PdesTopology::build(cfg, PdesMode::kChip);
+  EXPECT_EQ(topo.partitions, 3u);
+  ASSERT_EQ(topo.partition_of_tile.size(), cfg.total_tiles());
+  for (NodeId id = 0; id < cfg.total_tiles(); ++id) {
+    EXPECT_EQ(topo.partition_of_tile[id], tile_coord(cfg, id).z) << id;
+  }
+}
+
+TEST(PdesTopologyTest, QuadrantModeSplitsTheMesh) {
+  CmpConfig cfg;
+  cfg.chips = 2;
+  const PdesTopology topo = PdesTopology::build(cfg, PdesMode::kQuadrant);
+  EXPECT_EQ(topo.partitions, 8u);
+  // 4x4 mesh: quadrant boundary between x/y 1 and 2.
+  for (NodeId id = 0; id < cfg.total_tiles(); ++id) {
+    const TileCoord c = tile_coord(cfg, id);
+    const std::uint32_t expect =
+        c.z * 4 + (c.y >= 2 ? 2u : 0u) + (c.x >= 2 ? 1u : 0u);
+    EXPECT_EQ(topo.partition_of_tile[id], expect) << id;
+  }
+}
+
+TEST(PdesTopologyTest, LookaheadIsMinimumCrossPartitionLatency) {
+  CmpConfig cfg;  // pipeline 3, link 1, l1 1, l2 6
+  const PdesTopology topo = PdesTopology::build(cfg, PdesMode::kChip);
+  EXPECT_EQ(topo.lookahead, (3u - 1) + 1 + 1);
+  CmpConfig zero = cfg;
+  zero.router_pipeline = 0;
+  zero.link_latency = 0;
+  zero.l1_latency = 0;
+  EXPECT_EQ(PdesTopology::build(zero, PdesMode::kChip).lookahead, 1u);
+}
+
+TEST(PdesModeTest, EnvParsing) {
+  EXPECT_EQ(pdes_mode_from_env(), PdesMode::kOff);
+  {
+    ScopedEnv env("AQUA_DES_PDES", "chip");
+    EXPECT_EQ(pdes_mode_from_env(), PdesMode::kChip);
+  }
+  {
+    ScopedEnv env("AQUA_DES_PDES", "quadrant");
+    EXPECT_EQ(pdes_mode_from_env(), PdesMode::kQuadrant);
+  }
+  {
+    ScopedEnv env("AQUA_DES_PDES", "off");
+    EXPECT_EQ(pdes_mode_from_env(), PdesMode::kOff);
+  }
+  {
+    ScopedEnv env("AQUA_DES_PDES", "speculative");
+    EXPECT_THROW(pdes_mode_from_env(), std::exception);
+  }
+  EXPECT_EQ(std::string(to_string(PdesMode::kChip)), "chip");
+  EXPECT_EQ(std::string(to_string(PdesMode::kQuadrant)), "quadrant");
+  EXPECT_EQ(std::string(to_string(PdesMode::kOff)), "off");
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue stamped scheduling: external stamps are the tie-break, and
+// next_key() reports exactly what step() would fire — including the
+// heap-first rule on a cycle straddling the ring horizon.
+// ---------------------------------------------------------------------------
+
+void record_event(void*, void* target, const Message& msg) {
+  static_cast<std::vector<std::uint64_t>*>(target)->push_back(msg.line);
+}
+
+TEST(StampedQueueTest, ExternalStampsBreakTies) {
+  EventQueue q(EventQueue::Impl::kCalendar);
+  std::vector<std::uint64_t> fired;
+  Message m;
+  // Stamps are pushed monotonically (the scheduler's contract: stamps are
+  // assigned in execution order) but with gaps and across cycles; pops
+  // must follow (when, stamp) order and next_key must report it.
+  m.line = 1;
+  q.schedule_typed_stamped(5, 10, &record_event, nullptr, &fired, m);
+  m.line = 2;
+  q.schedule_typed_stamped(5, 20, &record_event, nullptr, &fired, m);
+  m.line = 3;
+  q.schedule_typed_stamped(7, 25, &record_event, nullptr, &fired, m);
+  EXPECT_EQ(q.next_key().when, 5u);
+  EXPECT_EQ(q.next_key().seq, 10u);
+  while (!q.empty()) {
+    const EventQueue::Key k = q.next_key();
+    const Cycle before = q.now();
+    q.step();
+    EXPECT_GE(q.now(), before);
+    EXPECT_EQ(q.now(), k.when);
+  }
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(StampedQueueTest, NextKeyMatchesStepAcrossTheHorizon) {
+  // An entry pushed beyond the ring horizon lands in the overflow heap;
+  // a later same-cycle ring entry (after now advances) must still fire
+  // after it, and next_key must report the heap entry first.
+  EventQueue q(EventQueue::Impl::kCalendar);
+  std::vector<std::uint64_t> fired;
+  Message m;
+  const Cycle far = EventQueue::kNearHorizon + 100;
+  m.line = 1;
+  q.schedule_typed_stamped(far, 1, &record_event, nullptr, &fired, m);
+  m.line = 0;
+  q.schedule_typed_stamped(200, 2, &record_event, nullptr, &fired, m);
+  q.step();  // fires line 0 at cycle 200; far is now inside the ring
+  m.line = 2;
+  q.schedule_typed_stamped(far, 3, &record_event, nullptr, &fired, m);
+  EXPECT_EQ(q.next_key().when, far);
+  EXPECT_EQ(q.next_key().seq, 1u);  // heap first on the tied cycle
+  q.step();
+  q.step();
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end scheduler behavior on a small run.
+// ---------------------------------------------------------------------------
+
+ExecStats run_npb(const std::string& workload, std::size_t chips,
+                  PdesMode mode, const PerfFaultPlan& faults = {}) {
+  CmpConfig cfg;
+  cfg.chips = chips;
+  cfg.pdes = mode;
+  WorkloadProfile p = npb_profile(workload);
+  p.instructions_per_thread = 1500;
+  CmpSystem system(cfg, p, gigahertz(1.6), 1);
+  if (!faults.empty()) system.inject_faults(faults);
+  return system.run();
+}
+
+TEST(PdesRunTest, OffModeReportsNoPdesActivity) {
+  const ExecStats s = run_npb("ft", 2, PdesMode::kOff);
+  EXPECT_EQ(s.pdes.mode, PdesMode::kOff);
+  EXPECT_EQ(s.pdes.partitions, 0u);
+  EXPECT_EQ(s.pdes.windows, 0u);
+  EXPECT_EQ(s.pdes.cross_messages, 0u);
+  EXPECT_FALSE(s.pdes.forced_off);
+}
+
+TEST(PdesRunTest, ChipModeAccountsWindowsAndChannels) {
+  const ExecStats s = run_npb("ft", 2, PdesMode::kChip);
+  EXPECT_EQ(s.pdes.mode, PdesMode::kChip);
+  EXPECT_EQ(s.pdes.partitions, 2u);
+  EXPECT_EQ(s.pdes.lookahead, 4u);
+  EXPECT_GT(s.pdes.windows, 0u);
+  EXPECT_GT(s.pdes.window_events_total, 0u);
+  EXPECT_GE(s.pdes.window_events_max, 1u);
+  // NoC deliveries cross the fabric/partition boundary, so a multi-chip
+  // NPB run must see cross-partition channel traffic.
+  EXPECT_GT(s.pdes.cross_messages, 0u);
+  // Every partition (and the fabric process, last entry) executed work.
+  ASSERT_EQ(s.pdes.partition_events.size(), 3u);
+  for (std::uint64_t n : s.pdes.partition_events) EXPECT_GT(n, 0u);
+  EXPECT_FALSE(s.pdes.forced_off);
+}
+
+TEST(PdesRunTest, EnvSelectsModeForDefaultConfigs) {
+  ScopedEnv env("AQUA_DES_PDES", "quadrant");
+  const ExecStats s = run_npb("cg", 2, PdesMode::kOff);
+  EXPECT_EQ(s.pdes.mode, PdesMode::kQuadrant);
+  EXPECT_EQ(s.pdes.partitions, 8u);
+}
+
+TEST(PdesRunTest, FaultPlanForcesSerialPath) {
+  CmpConfig cfg;
+  cfg.chips = 2;
+  FaultScheduleOptions opts;
+  opts.core_dead_prob = 0.2;
+  opts.core_midrun_prob = 0.3;
+  opts.midrun_window = 50000;
+  const PerfFaultPlan plan = sample_fault_plan(cfg, opts, 11);
+  ASSERT_FALSE(plan.empty());
+  const ExecStats s = run_npb("ft", 2, PdesMode::kChip, plan);
+  EXPECT_TRUE(s.degraded);
+  EXPECT_TRUE(s.pdes.forced_off);
+  EXPECT_EQ(s.pdes.mode, PdesMode::kOff);
+  EXPECT_EQ(s.pdes.windows, 0u);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -12,6 +12,7 @@
 
 #include "perf/event_queue.hpp"
 #include "perf/faults.hpp"
+#include "perf/pdes.hpp"
 #include "perf/system.hpp"
 #include "perf/workload.hpp"
 #include "resilience/schedule.hpp"
@@ -21,12 +22,14 @@ namespace {
 
 ExecStats run_once(const std::string& workload, std::size_t chips,
                    EventQueue::Impl impl, bool idle_skip, std::uint64_t seed,
-                   const PerfFaultPlan& faults = {}) {
+                   const PerfFaultPlan& faults = {},
+                   PdesMode pdes = PdesMode::kOff) {
   const EventQueue::Impl before = EventQueue::default_impl();
   EventQueue::set_default_impl(impl);
   CmpConfig cfg;
   cfg.chips = chips;
   cfg.noc_idle_skip = idle_skip;
+  cfg.pdes = pdes;
   WorkloadProfile p = npb_profile(workload);
   p.instructions_per_thread = 2000;
   CmpSystem system(cfg, p, gigahertz(1.6), seed);
@@ -170,6 +173,80 @@ TEST(QueueInvariance, EmptyPlanMatchesUninjectedRun) {
   expect_identical(plain, injected_empty, "no-plan vs explicit empty plan");
   EXPECT_FALSE(injected_empty.degraded);
   EXPECT_EQ(injected_empty.cores_failed, 0u);
+}
+
+
+// ---------------------------------------------------------------------------
+// Conservative-PDES invariance (DESIGN.md §12): the partitioned scheduler
+// replays the serial global (cycle, stamp) order, so every PDES mode must
+// reproduce the single-queue run bit for bit — same ExecStats, same NoC
+// counters, same CPI stack — across workloads, chip counts and queue
+// implementations. This is the property that keeps the NPB golden tables
+// byte-identical and PDES cells cacheable under the serial cell key.
+// ---------------------------------------------------------------------------
+
+TEST(QueueInvariance, PdesChipAndQuadrantMatchSerialBitForBit) {
+  for (const std::string& w : kWorkloads) {
+    for (std::size_t chips : {std::size_t{2}, std::size_t{4},
+                              std::size_t{6}}) {
+      const std::string label = w + " chips=" + std::to_string(chips);
+      const ExecStats serial =
+          run_once(w, chips, EventQueue::Impl::kCalendar, false, 1);
+      const ExecStats chip = run_once(w, chips, EventQueue::Impl::kCalendar,
+                                      false, 1, {}, PdesMode::kChip);
+      const ExecStats quadrant =
+          run_once(w, chips, EventQueue::Impl::kCalendar, false, 1, {},
+                   PdesMode::kQuadrant);
+      expect_identical(serial, chip, label + " pdes=chip");
+      expect_identical(serial, quadrant, label + " pdes=quadrant");
+      // The PDES runs really ran partitioned.
+      EXPECT_EQ(chip.pdes.partitions, chips) << label;
+      EXPECT_GT(chip.pdes.windows, 0u) << label;
+      EXPECT_EQ(quadrant.pdes.partitions, chips * 4) << label;
+    }
+  }
+}
+
+TEST(QueueInvariance, PdesIsQueueImplementationInvariant) {
+  for (const std::string& w : kWorkloads) {
+    const std::string label = w + " pdes=chip impl A/B";
+    const ExecStats cal = run_once(w, 2, EventQueue::Impl::kCalendar, false,
+                                   1, {}, PdesMode::kChip);
+    const ExecStats heap = run_once(w, 2, EventQueue::Impl::kBinaryHeap,
+                                    false, 1, {}, PdesMode::kChip);
+    expect_identical(cal, heap, label);
+  }
+}
+
+TEST(QueueInvariance, PdesIdleSkipMatchesSerialIdleSkip) {
+  // Idle-skip changes the event stream (fewer pump events) but PDES must
+  // still replay whatever stream the serial scheduler would produce.
+  for (const std::string& w : kWorkloads) {
+    const ExecStats serial =
+        run_once(w, 2, EventQueue::Impl::kCalendar, true, 3);
+    const ExecStats pdes = run_once(w, 2, EventQueue::Impl::kCalendar, true,
+                                    3, {}, PdesMode::kChip);
+    expect_identical(serial, pdes, w + " idle-skip pdes=chip");
+  }
+}
+
+// Fault policy (DESIGN.md §12): a non-empty fault plan forces the serial
+// path, so a faulted PDES-requested run is bit-identical to the faulted
+// serial run — not merely "close".
+TEST(QueueInvariance, FaultedPdesRunTakesTheSerialPathExactly) {
+  const PerfFaultPlan plan = seeded_plan(2);
+  ASSERT_FALSE(plan.empty());
+  for (const std::string& w : kWorkloads) {
+    const std::string label = w + " faulted pdes=chip";
+    const ExecStats serial =
+        run_once(w, 2, EventQueue::Impl::kCalendar, false, 5, plan);
+    const ExecStats pdes = run_once(w, 2, EventQueue::Impl::kCalendar, false,
+                                    5, plan, PdesMode::kChip);
+    expect_identical(serial, pdes, label);
+    EXPECT_TRUE(pdes.pdes.forced_off) << label;
+    EXPECT_EQ(pdes.pdes.windows, 0u) << label;
+    EXPECT_EQ(serial.cores_failed, pdes.cores_failed) << label;
+  }
 }
 
 }  // namespace
