@@ -9,6 +9,7 @@
 #include "obs/json_writer.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "sweep/interrupt.hpp"
 
 #ifndef AQUA_GIT_DESCRIBE
 #define AQUA_GIT_DESCRIBE "unknown"
@@ -18,6 +19,17 @@ namespace aqua::bench {
 
 void banner(const std::string& id, const std::string& description) {
   std::cout << "\n=== " << id << ": " << description << " ===\n\n";
+}
+
+void install_interrupt_guard() { sweep::install_sweep_interrupt_handlers(); }
+
+bool interrupted_epilogue(const std::string& id) {
+  if (!sweep::sweep_interrupted()) return false;
+  std::cout << "\n[" << id << "] interrupted: remaining cells were skipped; "
+               "journal/cache appends are flushed at a cell boundary. "
+               "Re-run with AQUA_SWEEP_RESUME pointing at the same journal "
+               "to finish the table bit-identically.\n";
+  return true;
 }
 
 Table freq_vs_chips_table(const FreqVsChipsData& data) {

@@ -23,6 +23,22 @@ namespace aqua::bench {
 /// Prints the figure banner ("=== Figure 7: ... ===").
 void banner(const std::string& id, const std::string& description);
 
+/// Exit code for an interrupted sweep driver (128 + SIGINT, the shell
+/// convention).
+inline constexpr int kInterruptedExit = 130;
+
+/// Installs the SIGINT/SIGTERM sweep interrupt guard (DESIGN.md §13): the
+/// long-running fig drivers call this first so an interrupt stops new
+/// cells at the runner's entry gate instead of killing the process
+/// mid-journal-write.
+void install_interrupt_guard();
+
+/// When the interrupt guard fired during the sweep, prints the
+/// flushed-at-a-cell-boundary / AQUA_SWEEP_RESUME hint and returns true —
+/// the driver then returns kInterruptedExit instead of publishing a
+/// partial table and BENCH json.
+bool interrupted_epilogue(const std::string& id);
+
 /// Renders a frequency-vs-chips experiment as the paper's series table
 /// (rows = chip counts, columns = cooling options, "-" = cannot be drawn).
 Table freq_vs_chips_table(const FreqVsChipsData& data);

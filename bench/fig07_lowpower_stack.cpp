@@ -30,10 +30,14 @@ BENCHMARK(microbench_steady_solve)->Arg(4)->Arg(14)->Unit(benchmark::kMillisecon
 }  // namespace
 
 int main(int argc, char** argv) {
+  aqua::bench::install_interrupt_guard();
   aqua::bench::banner("Figure 7",
                       "max frequency vs. #chips, low-power CMP, 80 C");
   const aqua::FreqVsChipsData data =
       aqua::frequency_vs_chips(aqua::make_low_power_cmp(), 14);
+  if (aqua::bench::interrupted_epilogue("fig07")) {
+    return aqua::bench::kInterruptedExit;
+  }
   aqua::bench::freq_vs_chips_table(data).print(std::cout);
 
   std::cout << "\npaper: air <= 4 chips, water-pipe <= 7, immersion to 14, "

@@ -23,10 +23,14 @@ BENCHMARK(microbench_freq_search)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond)
 }  // namespace
 
 int main(int argc, char** argv) {
+  aqua::bench::install_interrupt_guard();
   aqua::bench::banner("Figure 8",
                       "max frequency vs. #chips, high-frequency CMP, 80 C");
   const aqua::FreqVsChipsData data =
       aqua::frequency_vs_chips(aqua::make_high_frequency_cmp(), 15);
+  if (aqua::bench::interrupted_epilogue("fig08")) {
+    return aqua::bench::kInterruptedExit;
+  }
   aqua::bench::freq_vs_chips_table(data).print(std::cout);
 
   std::cout << "\npaper: immersion reaches 14-15 chips; water-pipe carries "

@@ -26,6 +26,7 @@ BENCHMARK(microbench_map_extraction)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  aqua::bench::install_interrupt_guard();
   aqua::bench::banner(
       "Figure 9", "thermal map, 4-chip high-frequency CMP @ 3.6 GHz, water");
   const aqua::ChipModel chip = aqua::make_high_frequency_cmp();

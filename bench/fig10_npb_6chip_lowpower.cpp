@@ -12,8 +12,10 @@ BENCHMARK(microbench_des_6chip)->Unit(benchmark::kMillisecond)->Iterations(3);
 }  // namespace
 
 int main(int argc, char** argv) {
-  aqua::bench::run_npb_figure(
+  if (!aqua::bench::run_npb_figure(
       "fig10", "Figure 10", "NPB times, 6-chip low-power CMP, rel. to water pipe",
-      aqua::make_low_power_cmp(), 6, aqua::CoolingKind::kWaterPipe);
+      aqua::make_low_power_cmp(), 6, aqua::CoolingKind::kWaterPipe)) {
+    return aqua::bench::kInterruptedExit;
+  }
   return aqua::bench::run_microbenchmarks(argc, argv);
 }

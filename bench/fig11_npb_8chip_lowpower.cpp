@@ -12,8 +12,10 @@ BENCHMARK(microbench_des_8chip)->Unit(benchmark::kMillisecond)->Iterations(3);
 }  // namespace
 
 int main(int argc, char** argv) {
-  aqua::bench::run_npb_figure(
+  if (!aqua::bench::run_npb_figure(
       "fig11", "Figure 11", "NPB times, 8-chip low-power CMP, rel. to mineral oil",
-      aqua::make_low_power_cmp(), 8, aqua::CoolingKind::kMineralOil);
+      aqua::make_low_power_cmp(), 8, aqua::CoolingKind::kMineralOil)) {
+    return aqua::bench::kInterruptedExit;
+  }
   return aqua::bench::run_microbenchmarks(argc, argv);
 }

@@ -11,8 +11,10 @@ BENCHMARK(microbench_des_6chip_hf)->Unit(benchmark::kMillisecond)->Iterations(3)
 }  // namespace
 
 int main(int argc, char** argv) {
-  aqua::bench::run_npb_figure(
+  if (!aqua::bench::run_npb_figure(
       "fig12", "Figure 12", "NPB times, 6-chip high-frequency CMP, rel. to water pipe",
-      aqua::make_high_frequency_cmp(), 6, aqua::CoolingKind::kWaterPipe);
+      aqua::make_high_frequency_cmp(), 6, aqua::CoolingKind::kWaterPipe)) {
+    return aqua::bench::kInterruptedExit;
+  }
   return aqua::bench::run_microbenchmarks(argc, argv);
 }

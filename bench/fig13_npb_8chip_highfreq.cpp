@@ -12,8 +12,10 @@ BENCHMARK(microbench_des_8chip_hf)->Unit(benchmark::kMillisecond)->Iterations(3)
 }  // namespace
 
 int main(int argc, char** argv) {
-  aqua::bench::run_npb_figure(
+  if (!aqua::bench::run_npb_figure(
       "fig13", "Figure 13", "NPB times, 8-chip high-frequency CMP, rel. to water pipe",
-      aqua::make_high_frequency_cmp(), 8, aqua::CoolingKind::kWaterPipe);
+      aqua::make_high_frequency_cmp(), 8, aqua::CoolingKind::kWaterPipe)) {
+    return aqua::bench::kInterruptedExit;
+  }
   return aqua::bench::run_microbenchmarks(argc, argv);
 }

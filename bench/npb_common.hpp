@@ -17,10 +17,13 @@ namespace aqua::bench {
 /// headline numbers (per-cooling frequency caps, mean relative times)
 /// plus the DES perf trajectory for the sweep — wall seconds, events and
 /// NoC ticks per instruction — so DES regressions show up per PR.
-inline void run_npb_figure(const std::string& slug, const std::string& figure,
+/// Returns false when SIGINT/SIGTERM interrupted the sweep (table and
+/// BENCH json are withheld; the driver exits kInterruptedExit).
+inline bool run_npb_figure(const std::string& slug, const std::string& figure,
                            const std::string& description,
                            const ChipModel& chip, std::size_t chips,
                            CoolingKind baseline) {
+  install_interrupt_guard();
   banner(figure, description);
 
   // Snapshot the process-wide DES counters around the sweep so the JSON
@@ -34,6 +37,7 @@ inline void run_npb_figure(const std::string& slug, const std::string& figure,
 
   const NpbData data = npb_experiment(chip, chips, baseline, 80.0,
                                       npb_scale());
+  if (interrupted_epilogue(slug)) return false;
 
   const double sweep_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -92,6 +96,7 @@ inline void run_npb_figure(const std::string& slug, const std::string& figure,
                                : std::string("heap"));
   report.add_cost_breakdown(data.cost);
   report.write();
+  return true;
 }
 
 inline void microbench_des(benchmark::State& state, const ChipModel&,

@@ -54,6 +54,7 @@ int usage() {
             << "  trace_tools replay <file> <ghz>\n"
             << "  trace_tools summarize [--json] <trace.json>...\n"
             << "  trace_tools summarize --faults <report.jsonl>...\n"
+            << "  trace_tools summarize --service <report.jsonl>...\n"
             << "  trace_tools timeline [--json] <trace.json>...\n"
             << "  trace_tools critical-path [--json] <trace.json>...\n"
             << "  trace_tools perf-gate [--json] [--time-threshold X]\n"
@@ -489,6 +490,59 @@ int run_summarize_faults(int argc, char** argv) {
   return 0;
 }
 
+/// `summarize --service`: per-connection ledgers plus the daemon's
+/// stop-time totals from sweep-service run-report records. The rates line
+/// is the overload drill's evidence: rejections were explicit
+/// (rejection_rate), deadlines enforced (deadline_rate), and dedupe +
+/// cache saved recomputation (warm_fraction).
+int run_summarize_service(int argc, char** argv) {
+  if (argc < 4) return usage();
+  std::vector<aqua::obs::JsonValue> records;
+  for (int i = 3; i < argc; ++i) {
+    for (aqua::obs::JsonValue& rec : aqua::obs::load_jsonl_file(argv[i])) {
+      records.push_back(std::move(rec));
+    }
+  }
+  const aqua::obs::ServiceSummary summary =
+      aqua::obs::summarize_service_records(records);
+  if (summary.service_records == 0 && summary.connections.empty()) {
+    std::cerr << "no service records in " << (argc - 3) << " file(s)\n";
+    return 1;
+  }
+
+  aqua::Table table({"conn", "requests", "results", "rejected", "deadline",
+                     "bad", "single_flight", "failed"});
+  for (const aqua::obs::ServiceConnRow& row : summary.connections) {
+    table.row()
+        .add_int(static_cast<long long>(row.conn))
+        .add_int(static_cast<long long>(row.requests))
+        .add_int(static_cast<long long>(row.results))
+        .add_int(static_cast<long long>(row.rejected_overload))
+        .add_int(static_cast<long long>(row.deadline_exceeded))
+        .add_int(static_cast<long long>(row.bad_requests))
+        .add_int(static_cast<long long>(row.single_flight))
+        .add_int(static_cast<long long>(row.failed));
+  }
+  table.print(std::cout);
+
+  std::cout << "\ntotals: accepted=" << summary.accepted
+            << " rejected_overload=" << summary.rejected_overload
+            << " deadline_exceeded=" << summary.deadline_exceeded
+            << " single_flight=" << summary.single_flight_hits
+            << " cache=" << summary.cache_hits
+            << " journal=" << summary.journal_hits
+            << " computed=" << summary.computed
+            << " failed=" << summary.failed
+            << " connections=" << summary.total_connections << "\n";
+  std::cout << "rates: rejection_rate="
+            << aqua::format_double(summary.rejection_rate(), 3)
+            << " deadline_rate="
+            << aqua::format_double(summary.deadline_rate(), 3)
+            << " warm_fraction="
+            << aqua::format_double(summary.warm_fraction(), 3) << "\n";
+  return 0;
+}
+
 int run_merge(int argc, char** argv) {
   if (argc < 4) return usage();
   const auto events = load_all(argc, argv, 3);
@@ -568,6 +622,9 @@ int main(int argc, char** argv) {
   if (mode == "summarize") {
     if (argc >= 3 && std::string(argv[2]) == "--faults") {
       return run_summarize_faults(argc, argv);
+    }
+    if (argc >= 3 && std::string(argv[2]) == "--service") {
+      return run_summarize_service(argc, argv);
     }
     return run_summarize(argc, argv);
   }

@@ -526,4 +526,59 @@ CriticalPathSummary critical_path_of(
   return summary;
 }
 
+// ---------------------------------------------------------------------------
+// Sweep-service analysis
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double number_or(const JsonValue& rec, std::string_view key) {
+  const JsonValue* v = rec.find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber ? v->number : 0.0;
+}
+
+std::uint64_t count_or(const JsonValue& rec, std::string_view key) {
+  return static_cast<std::uint64_t>(number_or(rec, key));
+}
+
+}  // namespace
+
+ServiceSummary summarize_service_records(
+    const std::vector<JsonValue>& records) {
+  ServiceSummary summary;
+  for (const JsonValue& rec : records) {
+    const JsonValue* kind = rec.find("kind");
+    if (kind == nullptr || kind->kind != JsonValue::Kind::kString) continue;
+    if (kind->string == "service") {
+      ++summary.service_records;
+      summary.accepted += number_or(rec, "accepted");
+      summary.rejected_overload += number_or(rec, "rejected_overload");
+      summary.deadline_exceeded += number_or(rec, "deadline_exceeded");
+      summary.single_flight_hits += number_or(rec, "single_flight_hits");
+      summary.bad_requests += number_or(rec, "bad_requests");
+      summary.failed += number_or(rec, "failed");
+      summary.computed += number_or(rec, "computed");
+      summary.cache_hits += number_or(rec, "cache_hits");
+      summary.journal_hits += number_or(rec, "journal_hits");
+      summary.total_connections += number_or(rec, "total_connections");
+    } else if (kind->string == "service_conn") {
+      ServiceConnRow row;
+      row.conn = count_or(rec, "conn");
+      row.requests = count_or(rec, "requests");
+      row.results = count_or(rec, "results");
+      row.rejected_overload = count_or(rec, "rejected_overload");
+      row.deadline_exceeded = count_or(rec, "deadline_exceeded");
+      row.bad_requests = count_or(rec, "bad_requests");
+      row.single_flight = count_or(rec, "single_flight");
+      row.failed = count_or(rec, "failed");
+      summary.connections.push_back(row);
+    }
+  }
+  std::sort(summary.connections.begin(), summary.connections.end(),
+            [](const ServiceConnRow& a, const ServiceConnRow& b) {
+              return a.conn < b.conn;
+            });
+  return summary;
+}
+
 }  // namespace aqua::obs

@@ -158,4 +158,60 @@ struct CriticalPathSummary {
 CriticalPathSummary critical_path_of(
     const std::vector<ParsedTraceEvent>& events);
 
+// ---------------------------------------------------------------------------
+// Sweep-service analysis (`trace_tools summarize --service`)
+// ---------------------------------------------------------------------------
+
+/// One client connection's ledger, read back from a `service_conn`
+/// run-report record (the server emits one per connection close).
+struct ServiceConnRow {
+  std::uint64_t conn = 0;
+  std::uint64_t requests = 0;  ///< frames parsed (ping/stats included)
+  std::uint64_t results = 0;   ///< cells answered with values
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t bad_requests = 0;
+  std::uint64_t single_flight = 0;  ///< results served from in-flight dedupe
+  std::uint64_t failed = 0;
+};
+
+/// Aggregate of a run report's sweep-service records: the `service`
+/// stop-time totals plus every `service_conn` row. Rates are derived, not
+/// stored, so partially-drained reports stay self-consistent.
+struct ServiceSummary {
+  std::uint64_t service_records = 0;  ///< `service` records seen (summed)
+  double accepted = 0.0;              ///< cells admitted to the queue
+  double rejected_overload = 0.0;     ///< admission rejections (cells)
+  double deadline_exceeded = 0.0;
+  double single_flight_hits = 0.0;
+  double bad_requests = 0.0;
+  double failed = 0.0;
+  double computed = 0.0;      ///< runner cells actually solved
+  double cache_hits = 0.0;
+  double journal_hits = 0.0;
+  double total_connections = 0.0;
+  std::vector<ServiceConnRow> connections;  ///< ordered by connection id
+
+  /// Fraction of submitted cells the admission gate turned away.
+  [[nodiscard]] double rejection_rate() const {
+    const double offered = accepted + rejected_overload;
+    return offered > 0.0 ? rejected_overload / offered : 0.0;
+  }
+  /// Fraction of admitted cells that hit their deadline.
+  [[nodiscard]] double deadline_rate() const {
+    return accepted > 0.0 ? deadline_exceeded / accepted : 0.0;
+  }
+  /// Fraction of admitted cells answered without a fresh solve — the
+  /// single-flight + cache + journal savings.
+  [[nodiscard]] double warm_fraction() const {
+    return accepted > 0.0
+               ? (single_flight_hits + cache_hits + journal_hits) / accepted
+               : 0.0;
+  }
+};
+
+/// Aggregates `service` / `service_conn` run-report records; every other
+/// record kind is ignored, so a full mixed report can be passed in.
+ServiceSummary summarize_service_records(const std::vector<JsonValue>& records);
+
 }  // namespace aqua::obs

@@ -1,0 +1,77 @@
+/// aqua_sweepd: the sweep service daemon (DESIGN.md §13). Serves the
+/// length-prefixed JSON protocol on AQUA_SERVICE_HOST:AQUA_SERVICE_PORT
+/// (default 127.0.0.1:7447), running every cell through one shared
+/// SweepRunner so concurrent clients dedupe in flight and share the
+/// content-addressed cache (AQUA_SWEEP_CACHE) and journal
+/// (AQUA_SWEEP_RESUME). SIGTERM/SIGINT drain in-flight work, flush
+/// reports, and exit 0 — EXPERIMENTS.md documents the runbook.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include "service/server.hpp"
+#include "sweep/interrupt.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [--port N]\n\n"
+      << "Sweep service daemon. Configuration (env, flags win for port):\n"
+      << "  AQUA_SERVICE_HOST             listen address (127.0.0.1)\n"
+      << "  AQUA_SERVICE_PORT             listen port (7447; 0 = ephemeral)\n"
+      << "  AQUA_SERVICE_WORKERS          worker threads (hw concurrency)\n"
+      << "  AQUA_SERVICE_QUEUE_HIGH/_LOW  admission watermarks (256/128)\n"
+      << "  AQUA_SERVICE_INFLIGHT_CAP     per-client in-flight cells (128)\n"
+      << "  AQUA_SERVICE_MAX_CONNECTIONS  concurrent clients (64)\n"
+      << "  AQUA_SERVICE_DEADLINE_MS      default per-cell deadline (none)\n"
+      << "  AQUA_SERVICE_DRAIN_TIMEOUT_S  shutdown drain budget (30)\n"
+      << "  AQUA_SWEEP_CACHE / AQUA_SWEEP_RESUME / AQUA_RUN_REPORT as usual\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aqua::service::ServerConfig config = aqua::service::ServerConfig::from_env();
+  if (config.port == 0) config.port = 7447;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      config.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  // The handlers only raise the interrupt flag; the loop below turns it
+  // into a graceful stop() so the journal/cache/report files end at clean
+  // line boundaries no matter when the signal lands.
+  aqua::sweep::install_sweep_interrupt_handlers();
+
+  if (config.workers == 0) {
+    config.workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  aqua::service::SweepServer server(config);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "aqua_sweepd: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "aqua_sweepd listening on " << config.host << ":"
+            << server.port() << " (" << config.workers << " workers, queue "
+            << config.queue_low_watermark << "/" << config.queue_high_watermark
+            << ")" << std::endl;  // endl: scripts wait for this line
+
+  while (!aqua::sweep::sweep_interrupted()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cout << "aqua_sweepd: signal received, draining" << std::endl;
+  server.stop();
+  std::cout << "aqua_sweepd: drained, exiting 0" << std::endl;
+  return 0;
+}

@@ -1,0 +1,234 @@
+#include "service/protocol.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/trace_reader.hpp"
+#include "sweep/cell_key.hpp"
+
+namespace aqua::service {
+
+namespace {
+
+/// Renders a {"k":"v",...} object with string values.
+std::string string_map_json(const std::map<std::string, std::string>& map) {
+  obs::JsonWriter w;
+  for (const auto& [key, value] : map) w.add(key, value);
+  return w.str();
+}
+
+/// Renders a {"k":1.5,...} object with round-trip-exact doubles — the same
+/// rendering the cache files use, so values survive the wire bit-exactly.
+std::string double_map_json(const std::map<std::string, double>& map) {
+  obs::JsonWriter w;
+  for (const auto& [key, value] : map) {
+    w.add_raw(key, sweep::format_double_exact(value));
+  }
+  return w.str();
+}
+
+const obs::JsonValue& member(const obs::JsonValue& root, const char* key,
+                             obs::JsonValue::Kind kind, const char* what) {
+  const obs::JsonValue* value = root.find(key);
+  require(value != nullptr && value->kind == kind,
+          std::string(what) + ": missing or mistyped \"" + key + "\"");
+  return *value;
+}
+
+std::uint64_t uint_member(const obs::JsonValue& root, const char* key,
+                          std::uint64_t fallback) {
+  const obs::JsonValue* value = root.find(key);
+  if (value == nullptr) return fallback;
+  require(value->kind == obs::JsonValue::Kind::kNumber && value->number >= 0,
+          std::string("non-negative number required for \"") + key + "\"");
+  return static_cast<std::uint64_t>(value->number);
+}
+
+std::string string_member(const obs::JsonValue& root, const char* key) {
+  const obs::JsonValue* value = root.find(key);
+  if (value == nullptr) return {};
+  require(value->kind == obs::JsonValue::Kind::kString,
+          std::string("string required for \"") + key + "\"");
+  return value->string;
+}
+
+std::map<std::string, double> double_map_member(const obs::JsonValue& root,
+                                                const char* key) {
+  std::map<std::string, double> out;
+  const obs::JsonValue* value = root.find(key);
+  if (value == nullptr) return out;
+  require(value->is_object(),
+          std::string("object required for \"") + key + "\"");
+  for (const auto& [name, member_value] : value->object) {
+    require(member_value.kind == obs::JsonValue::Kind::kNumber,
+            std::string("numeric values required in \"") + key + "\"");
+    out[name] = member_value.number;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload, std::uint32_t max) {
+  require(!payload.empty(), "refusing to encode an empty frame");
+  require(payload.size() <= max, "frame payload exceeds the frame limit");
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.push_back(static_cast<char>((len >> 24) & 0xff));
+  frame.push_back(static_cast<char>((len >> 16) & 0xff));
+  frame.push_back(static_cast<char>((len >> 8) & 0xff));
+  frame.push_back(static_cast<char>(len & 0xff));
+  frame.append(payload);
+  return frame;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t len) {
+  buffer_.append(data, len);
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (buffer_.size() < 4) return std::nullopt;
+  const auto byte = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t len =
+      (byte(0) << 24) | (byte(1) << 16) | (byte(2) << 8) | byte(3);
+  require(len != 0, "protocol violation: zero-length frame");
+  require(len <= max_frame_,
+          "protocol violation: frame of " + std::to_string(len) +
+              " bytes exceeds the " + std::to_string(max_frame_) +
+              "-byte limit");
+  if (buffer_.size() < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  std::string payload = buffer_.substr(4, len);
+  buffer_.erase(0, 4 + static_cast<std::size_t>(len));
+  return payload;
+}
+
+std::string encode_request(const Request& request) {
+  obs::JsonWriter w;
+  switch (request.op) {
+    case Request::Op::kSubmit:
+      w.add("op", "submit").add("id", request.id);
+      w.add("family", request.family);
+      w.add_raw("params", string_map_json(request.params));
+      if (request.deadline_ms > 0) w.add("deadline_ms", request.deadline_ms);
+      if (!request.tag.empty()) w.add("tag", request.tag);
+      break;
+    case Request::Op::kFigure:
+      w.add("op", "figure").add("id", request.id);
+      w.add("figure", request.figure);
+      if (request.deadline_ms > 0) w.add("deadline_ms", request.deadline_ms);
+      break;
+    case Request::Op::kPing:
+      w.add("op", "ping").add("id", request.id);
+      break;
+    case Request::Op::kStats:
+      w.add("op", "stats").add("id", request.id);
+      break;
+  }
+  return w.str();
+}
+
+Request parse_request(std::string_view payload) {
+  const obs::JsonValue root = obs::parse_json(payload);
+  require(root.is_object(), "request must be a JSON object");
+  const std::string op =
+      member(root, "op", obs::JsonValue::Kind::kString, "request").string;
+  Request request;
+  request.id = uint_member(root, "id", 0);
+  request.deadline_ms = uint_member(root, "deadline_ms", 0);
+  request.tag = string_member(root, "tag");
+  if (op == "submit") {
+    request.op = Request::Op::kSubmit;
+    request.family =
+        member(root, "family", obs::JsonValue::Kind::kString, "submit").string;
+    const obs::JsonValue& params =
+        member(root, "params", obs::JsonValue::Kind::kObject, "submit");
+    for (const auto& [name, value] : params.object) {
+      require(value.kind == obs::JsonValue::Kind::kString,
+              "submit params must be string-valued");
+      request.params[name] = value.string;
+    }
+  } else if (op == "figure") {
+    request.op = Request::Op::kFigure;
+    request.figure =
+        member(root, "figure", obs::JsonValue::Kind::kString, "figure").string;
+  } else if (op == "ping") {
+    request.op = Request::Op::kPing;
+  } else if (op == "stats") {
+    request.op = Request::Op::kStats;
+  } else {
+    throw Error("unknown request op: " + op);
+  }
+  return request;
+}
+
+std::string encode_response(const Response& response) {
+  obs::JsonWriter w;
+  switch (response.op) {
+    case Response::Op::kResult:
+      w.add("op", "result").add("id", response.id);
+      w.add("cell", response.cell);
+      if (!response.tag.empty()) w.add("tag", response.tag);
+      w.add("source", response.source);
+      w.add_raw("values", double_map_json(response.values));
+      break;
+    case Response::Op::kError:
+      w.add("op", "error").add("id", response.id);
+      w.add("code", response.code);
+      if (response.retry_after_ms > 0) {
+        w.add("retry_after_ms", response.retry_after_ms);
+      }
+      if (!response.message.empty()) w.add("message", response.message);
+      break;
+    case Response::Op::kPong:
+      w.add("op", "pong").add("id", response.id);
+      break;
+    case Response::Op::kStats:
+      w.add("op", "stats").add("id", response.id);
+      w.add_raw("stats", double_map_json(response.stats));
+      break;
+    case Response::Op::kFigureDone:
+      w.add("op", "figure_done").add("id", response.id);
+      w.add_raw("stats", double_map_json(response.stats));
+      break;
+  }
+  return w.str();
+}
+
+Response parse_response(std::string_view payload) {
+  const obs::JsonValue root = obs::parse_json(payload);
+  require(root.is_object(), "response must be a JSON object");
+  const std::string op =
+      member(root, "op", obs::JsonValue::Kind::kString, "response").string;
+  Response response;
+  response.id = uint_member(root, "id", 0);
+  if (op == "result") {
+    response.op = Response::Op::kResult;
+    response.cell = string_member(root, "cell");
+    response.tag = string_member(root, "tag");
+    response.source = string_member(root, "source");
+    response.values = double_map_member(root, "values");
+  } else if (op == "error") {
+    response.op = Response::Op::kError;
+    response.code =
+        member(root, "code", obs::JsonValue::Kind::kString, "error").string;
+    response.message = string_member(root, "message");
+    response.retry_after_ms = uint_member(root, "retry_after_ms", 0);
+  } else if (op == "pong") {
+    response.op = Response::Op::kPong;
+  } else if (op == "stats") {
+    response.op = Response::Op::kStats;
+    response.stats = double_map_member(root, "stats");
+  } else if (op == "figure_done") {
+    response.op = Response::Op::kFigureDone;
+    response.stats = double_map_member(root, "stats");
+  } else {
+    throw Error("unknown response op: " + op);
+  }
+  return response;
+}
+
+}  // namespace aqua::service

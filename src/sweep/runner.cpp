@@ -1,5 +1,6 @@
 #include "sweep/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 
@@ -49,6 +50,7 @@ const char* to_string(CellSource source) {
     case CellSource::kCache: return "cache";
     case CellSource::kShardSkipped: return "shard_skipped";
     case CellSource::kFailed: return "failed";
+    case CellSource::kCancelled: return "cancelled";
   }
   return "?";
 }
@@ -62,7 +64,8 @@ CellSource SweepRunner::run(
     const CellConfig& config, const std::string& cell,
     const CellPolicy& policy,
     const std::function<std::map<std::string, double>()>& compute,
-    const std::function<void(const std::map<std::string, double>&)>& apply) {
+    const std::function<void(const std::map<std::string, double>&)>& apply,
+    const CancelToken& token) {
   // The cost ledger times every phase the cell passes through; record_cost
   // folds the result into the per-runner breakdown on every exit path.
   CellCost cost;
@@ -72,6 +75,18 @@ CellSource SweepRunner::run(
     record_cost(cell, source, cost);
     return source;
   };
+  const auto record_cancelled = [&] {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    return finish(CellSource::kCancelled);
+  };
+
+  // 0. Cancellation gate: a cell whose token already fired (or that starts
+  // after SIGINT/SIGTERM raised the process-wide interrupt flag) does no
+  // work at all. Nothing is journaled — cancelled cells are retryable, not
+  // failures — so an interrupted sweep resumes exactly where it stopped.
+  if (token.cancelled() || sweep_interrupted()) {
+    return record_cancelled();
+  }
 
   // 1. Journal resume: a previously completed cell is served verbatim.
   {
@@ -122,11 +137,25 @@ CellSource SweepRunner::run(
       break;  // leader: this cell computes (or cache-serves) the key
     }
     const std::shared_ptr<MemoEntry> waiting = it->second;
-    waiting->cv.wait(lock, [&] {
-      return waiting->ready || waiting->abandoned;
-    });
+    while (!waiting->ready && !waiting->abandoned) {
+      if (!token.active()) {
+        waiting->cv.wait(lock);
+        continue;
+      }
+      if (token.cancelled()) {
+        cost.memo_us += us_since(memo_start);
+        return record_cancelled();
+      }
+      // Bounded park: honors the deadline even while a slow leader holds
+      // the key, and notices an explicit cancel() (which has no cv to
+      // signal) within one slice.
+      const auto slice = std::min(
+          token.deadline(), SteadyClock::now() + std::chrono::milliseconds(20));
+      waiting->cv.wait_until(lock, slice);
+    }
     if (waiting->abandoned) {
-      continue;  // leader failed or was shard-skipped: retry as leader
+      continue;  // leader failed, was cancelled, or was shard-skipped:
+                 // retry as leader
     }
     const std::map<std::string, double> values = waiting->values;
     lock.unlock();
@@ -185,6 +214,14 @@ CellSource SweepRunner::run(
     return finish(CellSource::kShardSkipped);
   }
 
+  // Last pre-compute cancellation gate: the solve is the expensive part,
+  // so a cell whose deadline fired while it queued or parked never starts
+  // one. The leader abandons so waiters retry with their own tokens.
+  if (token.cancelled() || sweep_interrupted()) {
+    abandon();
+    return record_cancelled();
+  }
+
   // 6. Compute, isolate-and-continue. Failed cells are never memoized (a
   // later identical cell retries, matching the serial semantics) and never
   // cached. The work counters around the compute attribute solver wall /
@@ -214,6 +251,15 @@ CellSource SweepRunner::run(
   cost.cg_iterations += work.cg_iterations.value() - iters_before;
   cost.vcycles += work.vcycles.value() - vcycles_before;
   cost.des_events += work.des_events.value() - events_before;
+
+  // A leader cancelled mid-compute discards its values: nothing is
+  // journaled, cached, or published (satellite 2's abandoned-leader
+  // contract — waiters wake with a retryable abandon, not a phantom
+  // result from a request whose client already gave up).
+  if (token.cancelled()) {
+    abandon();
+    return record_cancelled();
+  }
 
   publish(values);
   const auto apply_start = SteadyClock::now();
@@ -271,6 +317,7 @@ SweepRunner::Stats SweepRunner::stats() const {
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.shard_skipped = shard_skipped_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -288,6 +335,7 @@ void SweepRunner::emit_report() const {
         .add("cache_hits", static_cast<std::uint64_t>(s.cache_hits))
         .add("shard_skipped", static_cast<std::uint64_t>(s.shard_skipped))
         .add("failed", static_cast<std::uint64_t>(s.failed))
+        .add("cancelled", static_cast<std::uint64_t>(s.cancelled))
         .add("shards", static_cast<std::uint64_t>(shard_.shards))
         .add("shard_id", static_cast<std::uint64_t>(shard_.id))
         .add("cache_enabled", SweepCache::instance().enabled())

@@ -28,6 +28,15 @@
 /// Poison outranks memo/cache on purpose: deterministic fault injection
 /// must not be maskable by a warm cache. Cache outranks shard so every
 /// shard applies already-known cells and only computes its own misses.
+///
+/// Cancellation (DESIGN.md §13): run() takes an optional CancelToken and
+/// checks it at the chain boundaries — on entry (where it also honors the
+/// process-wide sweep interrupt flag), while parked on a single-flight
+/// memo entry (the wait is bounded by the token's deadline), before the
+/// compute, and after it. A cancelled cell returns CellSource::kCancelled
+/// and is retryable by contract: never journaled (as ok OR failed), never
+/// cached, and a cancelled leader abandons its memo entry so waiters wake
+/// and retry as leaders instead of inheriting a phantom failure.
 
 #include <atomic>
 #include <condition_variable>
@@ -43,6 +52,7 @@
 #include "resilience/journal.hpp"
 #include "sweep/cell_key.hpp"
 #include "sweep/cost.hpp"
+#include "sweep/interrupt.hpp"
 #include "sweep/shard.hpp"
 
 namespace aqua::sweep {
@@ -55,6 +65,10 @@ enum class CellSource {
   kCache,
   kShardSkipped,
   kFailed,
+  /// The cell's CancelToken fired (deadline or explicit cancel) or the
+  /// process-wide sweep interrupt flag is up. Retryable: nothing was
+  /// journaled or cached, and `apply` did not run.
+  kCancelled,
 };
 
 /// Stable lowercase name ("computed", "journal", ... — the `cell_cost`
@@ -79,12 +93,15 @@ class SweepRunner {
 
   /// Runs one cell. `compute` produces the cell's values; `apply` writes
   /// values (from whichever source) into the caller's table. `apply` runs
-  /// for every source except kShardSkipped and kFailed.
+  /// for every source except kShardSkipped, kFailed and kCancelled.
+  /// `token` bounds the cell cooperatively (see file comment); the default
+  /// inert token never cancels.
   CellSource run(const CellConfig& config, const std::string& cell,
                  const CellPolicy& policy,
                  const std::function<std::map<std::string, double>()>& compute,
                  const std::function<void(const std::map<std::string, double>&)>&
-                     apply);
+                     apply,
+                 const CancelToken& token = {});
 
   [[nodiscard]] const ShardPlan& shard() const { return shard_; }
 
@@ -95,9 +112,10 @@ class SweepRunner {
     std::size_t cache_hits = 0;
     std::size_t shard_skipped = 0;
     std::size_t failed = 0;
+    std::size_t cancelled = 0;
     [[nodiscard]] std::size_t cells() const {
       return computed + journal_hits + memo_hits + cache_hits +
-             shard_skipped + failed;
+             shard_skipped + failed + cancelled;
     }
   };
   [[nodiscard]] Stats stats() const;
@@ -145,6 +163,7 @@ class SweepRunner {
   std::atomic<std::size_t> cache_hits_{0};
   std::atomic<std::size_t> shard_skipped_{0};
   std::atomic<std::size_t> failed_{0};
+  std::atomic<std::size_t> cancelled_{0};
 };
 
 /// Merges JSON-lines sweep journals: appends every valid "sweep_cell" line

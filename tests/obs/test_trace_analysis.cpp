@@ -266,5 +266,45 @@ TEST(BenchCompareTest, FindingsSortRegressionsFirst) {
   EXPECT_EQ(r.regressions, 1u);
 }
 
+TEST(ServiceSummaryTest, AggregatesServiceAndConnectionRecords) {
+  std::vector<JsonValue> records;
+  records.push_back(parse_json(
+      R"({"kind":"service","accepted":90,"rejected_overload":10,)"
+      R"("deadline_exceeded":9,"single_flight_hits":30,"bad_requests":2,)"
+      R"("failed":1,"computed":40,"cache_hits":15,"journal_hits":5,)"
+      R"("total_connections":3})"));
+  records.push_back(parse_json(
+      R"({"kind":"service_conn","conn":2,"requests":40,"results":35,)"
+      R"("rejected_overload":4,"deadline_exceeded":1,"bad_requests":0,)"
+      R"("single_flight":12,"failed":0})"));
+  records.push_back(parse_json(
+      R"({"kind":"service_conn","conn":1,"requests":60,"results":55,)"
+      R"("rejected_overload":6,"deadline_exceeded":8,"bad_requests":2,)"
+      R"("single_flight":18,"failed":1})"));
+  // Foreign record kinds are ignored, so whole mixed reports can be fed.
+  records.push_back(parse_json(R"({"kind":"experiment","name":"x"})"));
+
+  const ServiceSummary summary = summarize_service_records(records);
+  EXPECT_EQ(summary.service_records, 1u);
+  EXPECT_DOUBLE_EQ(summary.accepted, 90.0);
+  EXPECT_DOUBLE_EQ(summary.rejected_overload, 10.0);
+  EXPECT_DOUBLE_EQ(summary.rejection_rate(), 0.1);   // 10 / (90 + 10)
+  EXPECT_DOUBLE_EQ(summary.deadline_rate(), 0.1);    // 9 / 90
+  EXPECT_DOUBLE_EQ(summary.warm_fraction(), 50.0 / 90.0);  // 30+15+5 of 90
+  ASSERT_EQ(summary.connections.size(), 2u);
+  EXPECT_EQ(summary.connections[0].conn, 1u);  // sorted by id
+  EXPECT_EQ(summary.connections[0].single_flight, 18u);
+  EXPECT_EQ(summary.connections[1].conn, 2u);
+  EXPECT_EQ(summary.connections[1].results, 35u);
+}
+
+TEST(ServiceSummaryTest, EmptyInputYieldsSafeZeroRates) {
+  const ServiceSummary summary = summarize_service_records({});
+  EXPECT_EQ(summary.service_records, 0u);
+  EXPECT_DOUBLE_EQ(summary.rejection_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(summary.deadline_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(summary.warm_fraction(), 0.0);
+}
+
 }  // namespace
 }  // namespace aqua::obs

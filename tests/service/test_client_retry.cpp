@@ -1,0 +1,83 @@
+/// Client backoff schedule (DESIGN.md §13): deterministic full-jitter
+/// delays with the server's retry_after_ms hint as a floor. The schedule
+/// is pure (policy, attempt, hint, rng) → ms, so it is tested exactly.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "service/client.hpp"
+
+namespace aqua::service {
+namespace {
+
+TEST(Backoff, StaysWithinTheExponentialCeiling) {
+  RetryPolicy policy;  // base 20ms, max 2000ms
+  Xoshiro256 rng(1);
+  for (std::size_t attempt = 0; attempt < 12; ++attempt) {
+    std::uint64_t ceiling = policy.base_ms;
+    for (std::size_t i = 0; i < attempt && ceiling < policy.max_ms; ++i) {
+      ceiling *= 2;
+    }
+    ceiling = std::min(ceiling, policy.max_ms);
+    for (int trial = 0; trial < 50; ++trial) {
+      const std::uint64_t delay = backoff_delay_ms(policy, attempt, 0, rng);
+      EXPECT_GE(delay, 1u) << "attempt " << attempt;
+      EXPECT_LE(delay, ceiling + 1) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(Backoff, ServerHintIsAFloorNeverIgnored) {
+  RetryPolicy policy;
+  Xoshiro256 rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    EXPECT_GE(backoff_delay_ms(policy, 0, 500, rng), 500u);
+  }
+}
+
+TEST(Backoff, SameSeedSameSchedule) {
+  RetryPolicy policy;
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (std::size_t attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(backoff_delay_ms(policy, attempt, 25, a),
+              backoff_delay_ms(policy, attempt, 25, b));
+  }
+}
+
+TEST(Backoff, DifferentSeedsDecorrelate) {
+  // Not a statistical test — just evidence that two clients rejected
+  // together do not march back in lockstep.
+  RetryPolicy policy;
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  std::size_t differing = 0;
+  for (std::size_t attempt = 0; attempt < 16; ++attempt) {
+    if (backoff_delay_ms(policy, attempt, 0, a) !=
+        backoff_delay_ms(policy, attempt, 0, b)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 8u);
+}
+
+TEST(Backoff, JitterCoversTheWholeWindow) {
+  // Over many draws the jitter should reach both the low and high ends of
+  // the final ceiling — full jitter, not equal-jitter-around-a-midpoint.
+  RetryPolicy policy;
+  Xoshiro256 rng(11);
+  std::uint64_t lo = policy.max_ms;
+  std::uint64_t hi = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::uint64_t delay = backoff_delay_ms(policy, 10, 0, rng);
+    lo = std::min(lo, delay);
+    hi = std::max(hi, delay);
+  }
+  EXPECT_LT(lo, policy.max_ms / 10);
+  EXPECT_GT(hi, policy.max_ms * 9 / 10);
+}
+
+}  // namespace
+}  // namespace aqua::service

@@ -1,0 +1,184 @@
+/// Wire-protocol robustness (DESIGN.md §13): framing round-trips, the
+/// decoder's handling of split, truncated, zero-length and oversized
+/// frames, and the request/response JSON codecs — including the
+/// round-trip-exact value rendering the byte-identity guarantee rests on.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+#include "service/protocol.hpp"
+
+namespace aqua::service {
+namespace {
+
+TEST(Framing, RoundTripsAndPrefixesBigEndianLength) {
+  const std::string frame = encode_frame("abc");
+  ASSERT_EQ(frame.size(), 7u);
+  EXPECT_EQ(frame[0], '\0');
+  EXPECT_EQ(frame[1], '\0');
+  EXPECT_EQ(frame[2], '\0');
+  EXPECT_EQ(frame[3], '\x03');
+  FrameDecoder decoder;
+  decoder.feed(frame.data(), frame.size());
+  EXPECT_EQ(decoder.next(), "abc");
+  EXPECT_EQ(decoder.next(), std::nullopt);
+}
+
+TEST(Framing, EncodeRejectsEmptyAndOversizedPayloads) {
+  EXPECT_THROW(encode_frame(""), Error);
+  const std::string big(kMaxFrameBytes + 1, 'x');
+  EXPECT_THROW(encode_frame(big), Error);
+}
+
+TEST(Framing, DecoderReassemblesByteDribbledFrames) {
+  const std::string frame =
+      encode_frame(R"({"op":"ping","id":7})") + encode_frame("second");
+  FrameDecoder decoder;
+  std::size_t yielded = 0;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    decoder.feed(frame.data() + i, 1);  // slow-loris-style dribble
+    while (decoder.next().has_value()) ++yielded;
+  }
+  EXPECT_EQ(yielded, 2u);
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(Framing, TruncatedFramePendsWithoutYielding) {
+  const std::string frame = encode_frame("truncated-payload");
+  FrameDecoder decoder;
+  decoder.feed(frame.data(), frame.size() - 5);
+  EXPECT_EQ(decoder.next(), std::nullopt);
+  EXPECT_EQ(decoder.pending_bytes(), frame.size() - 5);
+  decoder.feed(frame.data() + frame.size() - 5, 5);
+  EXPECT_EQ(decoder.next(), "truncated-payload");
+}
+
+TEST(Framing, ZeroLengthPrefixPoisonsTheStream) {
+  const char zeros[4] = {0, 0, 0, 0};
+  FrameDecoder decoder;
+  decoder.feed(zeros, 4);
+  EXPECT_THROW(decoder.next(), Error);
+}
+
+TEST(Framing, OversizedLengthPrefixPoisonsTheStream) {
+  // A hostile length prefix must be rejected before any allocation of
+  // that size — the decoder sees 0xFFFFFFFF and throws.
+  const char huge[4] = {'\xFF', '\xFF', '\xFF', '\xFF'};
+  FrameDecoder decoder;
+  decoder.feed(huge, 4);
+  EXPECT_THROW(decoder.next(), Error);
+}
+
+TEST(Framing, HonorsACustomFrameCeiling) {
+  FrameDecoder decoder(8);
+  const std::string frame = encode_frame("123456789");  // 9 > 8
+  decoder.feed(frame.data(), frame.size());
+  EXPECT_THROW(decoder.next(), Error);
+}
+
+TEST(RequestCodec, SubmitRoundTrips) {
+  Request request;
+  request.op = Request::Op::kSubmit;
+  request.id = 42;
+  request.family = "freq_cap";
+  request.params = {{"chip", "low_power_cmp"},
+                    {"chips", "4"},
+                    {"cooling", "water"}};
+  request.deadline_ms = 1500;
+  request.tag = "chips=4;cooling=water";
+
+  const Request parsed = parse_request(encode_request(request));
+  EXPECT_EQ(parsed.op, Request::Op::kSubmit);
+  EXPECT_EQ(parsed.id, 42u);
+  EXPECT_EQ(parsed.family, "freq_cap");
+  EXPECT_EQ(parsed.params, request.params);
+  EXPECT_EQ(parsed.deadline_ms, 1500u);
+  EXPECT_EQ(parsed.tag, "chips=4;cooling=water");
+}
+
+TEST(RequestCodec, FigureAndControlOpsRoundTrip) {
+  Request figure;
+  figure.op = Request::Op::kFigure;
+  figure.id = 7;
+  figure.figure = "fig07";
+  EXPECT_EQ(parse_request(encode_request(figure)).figure, "fig07");
+
+  Request ping;
+  ping.op = Request::Op::kPing;
+  ping.id = 8;
+  EXPECT_EQ(parse_request(encode_request(ping)).op, Request::Op::kPing);
+
+  Request stats;
+  stats.op = Request::Op::kStats;
+  stats.id = 9;
+  EXPECT_EQ(parse_request(encode_request(stats)).op, Request::Op::kStats);
+}
+
+TEST(RequestCodec, MalformedInputsThrowTyped) {
+  EXPECT_THROW(parse_request("not json at all"), std::exception);
+  EXPECT_THROW(parse_request("[1,2,3]"), Error);          // not an object
+  EXPECT_THROW(parse_request(R"({"id":1})"), Error);      // missing op
+  EXPECT_THROW(parse_request(R"({"op":"nope","id":1})"), Error);
+  EXPECT_THROW(parse_request(R"({"op":"submit","id":1,"params":3})"), Error);
+}
+
+TEST(ResponseCodec, ResultValuesRoundTripBitExact) {
+  Response response;
+  response.op = Response::Op::kResult;
+  response.id = 5;
+  response.cell = "chip=low_power_cmp;chips=7;cooling=water";
+  response.tag = "chips=7;cooling=water";
+  response.source = "single_flight";
+  // Deliberately awkward doubles: the wire uses format_double_exact, so
+  // every bit pattern must survive the round trip.
+  response.values = {{"ghz", 1.6},
+                     {"max_temperature_c", 71.32409725507512},
+                     {"tiny", 1e-309},
+                     {"third", 1.0 / 3.0}};
+
+  const Response parsed = parse_response(encode_response(response));
+  EXPECT_EQ(parsed.op, Response::Op::kResult);
+  EXPECT_EQ(parsed.source, "single_flight");
+  ASSERT_EQ(parsed.values.size(), response.values.size());
+  for (const auto& [key, value] : response.values) {
+    EXPECT_EQ(parsed.values.at(key), value) << key;  // exact, not near
+  }
+}
+
+TEST(ResponseCodec, ErrorCarriesCodeMessageAndRetryHint) {
+  Response response;
+  response.op = Response::Op::kError;
+  response.id = 6;
+  response.code = error_code::kOverloaded;
+  response.message = "queue at high watermark";
+  response.retry_after_ms = 350;
+
+  const Response parsed = parse_response(encode_response(response));
+  EXPECT_EQ(parsed.op, Response::Op::kError);
+  EXPECT_EQ(parsed.code, "overloaded");
+  EXPECT_EQ(parsed.message, "queue at high watermark");
+  EXPECT_EQ(parsed.retry_after_ms, 350u);
+}
+
+TEST(ResponseCodec, StatsAndFigureDoneRoundTrip) {
+  Response stats;
+  stats.op = Response::Op::kStats;
+  stats.id = 10;
+  stats.stats = {{"accepted", 75.0}, {"rejected_overload", 9.0}};
+  const Response parsed = parse_response(encode_response(stats));
+  EXPECT_EQ(parsed.op, Response::Op::kStats);
+  EXPECT_EQ(parsed.stats.at("accepted"), 75.0);
+
+  Response done;
+  done.op = Response::Op::kFigureDone;
+  done.id = 11;
+  done.stats = {{"cells", 70.0}, {"failed", 0.0}};
+  EXPECT_EQ(parse_response(encode_response(done)).op,
+            Response::Op::kFigureDone);
+}
+
+}  // namespace
+}  // namespace aqua::service

@@ -245,5 +245,234 @@ TEST(RunnerConcurrency, ConcurrentColdRunWarmsTheCacheForAFreshRunner) {
   EXPECT_EQ(warm.stats().cache_hits, kCells);
 }
 
+// ---------------------------------------------------------------------------
+// Cancellation (DESIGN.md §13): tokens at the precedence-chain boundaries
+// ---------------------------------------------------------------------------
+
+TEST(RunnerCancellation, ExpiredDeadlineNeverStartsTheCompute) {
+  ::unsetenv(SweepJournal::kResumeEnv);
+  ::unsetenv(SweepJournal::kPoisonEnv);
+  SweepCache::instance().configure("");
+  SweepRunner runner("cancel");
+  int computed = 0;
+  const CancelToken expired = CancelToken::with_deadline(
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1));
+  EXPECT_EQ(runner.run(
+                stress_cell(0), "cell0", {},
+                [&] {
+                  ++computed;
+                  return std::map<std::string, double>{{"value", 1.0}};
+                },
+                [](const std::map<std::string, double>&) {
+                  FAIL() << "a cancelled cell must never apply";
+                },
+                expired),
+            CellSource::kCancelled);
+  EXPECT_EQ(computed, 0);
+  EXPECT_EQ(runner.stats().cancelled, 1u);
+}
+
+TEST(RunnerCancellation, CancelledResultIsNeverCachedAndRetriesClean) {
+  ::unsetenv(SweepJournal::kResumeEnv);
+  ::unsetenv(SweepJournal::kPoisonEnv);
+  ScopedCacheDir cache("aqua_runner_cancel_clean");
+  SweepRunner runner("cancel");
+  CancelToken token = CancelToken::cancellable();
+  // The token fires mid-compute: the finished value must be discarded at
+  // the post-compute gate — not cached, not journaled, not applied.
+  EXPECT_EQ(runner.run(
+                stress_cell(1), "cell1", {},
+                [&] {
+                  token.cancel();
+                  return std::map<std::string, double>{{"value", 2.0}};
+                },
+                [](const std::map<std::string, double>&) {
+                  FAIL() << "a cancelled cell must never apply";
+                },
+                token),
+            CellSource::kCancelled);
+  EXPECT_FALSE(SweepCache::instance().lookup(stress_cell(1), nullptr))
+      << "a cancelled cell must never be cached";
+
+  // A clean retry (inert token) computes as if the cancel never happened.
+  double value = 0.0;
+  EXPECT_EQ(runner.run(
+                stress_cell(1), "cell1", {},
+                [] {
+                  return std::map<std::string, double>{{"value", 2.0}};
+                },
+                [&](const std::map<std::string, double>& v) {
+                  value = v.at("value");
+                }),
+            CellSource::kComputed);
+  EXPECT_EQ(value, 2.0);
+}
+
+TEST(RunnerCancellation, CancelledLeaderWakesWaitersRetryable) {
+  ::unsetenv(SweepJournal::kResumeEnv);
+  ::unsetenv(SweepJournal::kPoisonEnv);
+  SweepCache::instance().configure("");
+  SweepRunner runner("cancel");
+  CancelToken leader_token = CancelToken::cancellable();
+  std::atomic<int> computes{0};
+  std::atomic<int> applied{0};
+  std::atomic<bool> leader_started{false};
+
+  dispatch(2, [&](std::size_t i) {
+    if (i == 0) {
+      // Leader: starts the compute, then its token fires. The waiter is
+      // parked on the memo by then; it must wake and retry as the new
+      // leader, not inherit a cancelled "result".
+      const CellSource source = runner.run(
+          stress_cell(2), "leader", {},
+          [&] {
+            leader_started.store(true);
+            computes.fetch_add(1);
+            sleep_ms(40);  // hold the key so the waiter piles up
+            leader_token.cancel();
+            return std::map<std::string, double>{{"value", 3.0}};
+          },
+          [](const std::map<std::string, double>&) {
+            FAIL() << "the cancelled leader must never apply";
+          },
+          leader_token);
+      EXPECT_EQ(source, CellSource::kCancelled);
+    } else {
+      while (!leader_started.load()) sleep_ms(1);
+      sleep_ms(5);  // land inside the leader's compute window
+      const CellSource source = runner.run(
+          stress_cell(2), "waiter", {},
+          [&] {
+            computes.fetch_add(1);
+            return std::map<std::string, double>{{"value", 3.0}};
+          },
+          [&](const std::map<std::string, double>& v) {
+            if (v.at("value") == 3.0) applied.fetch_add(1);
+          });
+      EXPECT_EQ(source, CellSource::kComputed)
+          << "the waiter must retry the abandoned cell, not fail";
+    }
+  });
+
+  EXPECT_EQ(computes.load(), 2) << "leader once, waiter retry once";
+  EXPECT_EQ(applied.load(), 1);
+  const SweepRunner::Stats stats = runner.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.computed, 1u);
+  EXPECT_EQ(stats.memo_hits, 0u);
+}
+
+TEST(RunnerCancellation, MemoWaiterHonorsItsOwnDeadline) {
+  ::unsetenv(SweepJournal::kResumeEnv);
+  ::unsetenv(SweepJournal::kPoisonEnv);
+  SweepCache::instance().configure("");
+  SweepRunner runner("cancel");
+  std::atomic<bool> leader_started{false};
+
+  dispatch(2, [&](std::size_t i) {
+    if (i == 0) {
+      // Slow leader with no deadline: completes normally.
+      const CellSource source = runner.run(
+          stress_cell(3), "leader", {},
+          [&] {
+            leader_started.store(true);
+            sleep_ms(150);
+            return std::map<std::string, double>{{"value", 4.0}};
+          },
+          [](const std::map<std::string, double>&) {});
+      EXPECT_EQ(source, CellSource::kComputed);
+    } else {
+      while (!leader_started.load()) sleep_ms(1);
+      // Waiter whose deadline expires while parked on the leader's memo:
+      // it must give up at a bounded-park slice, not block for the leader.
+      const CellSource source = runner.run(
+          stress_cell(3), "waiter", {},
+          [] {
+            ADD_FAILURE() << "the expired waiter must not compute";
+            return std::map<std::string, double>{};
+          },
+          [](const std::map<std::string, double>&) {
+            FAIL() << "the expired waiter must never apply";
+          },
+          CancelToken::with_deadline(std::chrono::steady_clock::now() +
+                                     std::chrono::milliseconds(20)));
+      EXPECT_EQ(source, CellSource::kCancelled);
+    }
+  });
+
+  const SweepRunner::Stats stats = runner.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.computed, 1u);
+}
+
+TEST(RunnerCancellation, InterruptFlagStopsNewCellsAndResumesBitIdentical) {
+  ::unsetenv(SweepJournal::kPoisonEnv);
+  SweepCache::instance().configure("");
+  const std::string journal =
+      std::string(::testing::TempDir()) + "aqua_interrupt_resume.jsonl";
+  std::filesystem::remove(journal);
+  ::setenv(SweepJournal::kResumeEnv, journal.c_str(), 1);
+
+  const auto compute_value = [](std::size_t i) {
+    return 100.0 + static_cast<double>(i) * 0.0625;
+  };
+  constexpr std::size_t kCells = 8;
+  std::map<std::string, double> first_pass;
+
+  {
+    SweepRunner runner("interrupt");
+    for (std::size_t i = 0; i < kCells; ++i) {
+      // The "signal" lands after cell 3: the remaining cells must be
+      // skipped at the entry gate, before any journal append.
+      if (i == 4) set_sweep_interrupted(true);
+      const std::string cell = "cell" + std::to_string(i);
+      const CellSource source = runner.run(
+          stress_cell(10 + i), cell, {},
+          [&] {
+            return std::map<std::string, double>{{"value", compute_value(i)}};
+          },
+          [&](const std::map<std::string, double>& v) {
+            first_pass[cell] = v.at("value");
+          });
+      EXPECT_EQ(source, i < 4 ? CellSource::kComputed : CellSource::kCancelled)
+          << "cell " << i;
+    }
+    EXPECT_EQ(runner.stats().cancelled, kCells - 4);
+  }
+  set_sweep_interrupted(false);
+  EXPECT_EQ(first_pass.size(), 4u);
+
+  // Resume against the same journal: the finished cells come back from it
+  // (no recompute), the interrupted tail computes now, and every value is
+  // bit-identical to an uninterrupted run.
+  SweepRunner resumed("interrupt");
+  std::map<std::string, double> second_pass;
+  std::size_t recomputed = 0;
+  for (std::size_t i = 0; i < kCells; ++i) {
+    const std::string cell = "cell" + std::to_string(i);
+    const CellSource source = resumed.run(
+        stress_cell(10 + i), cell, {},
+        [&] {
+          ++recomputed;
+          return std::map<std::string, double>{{"value", compute_value(i)}};
+        },
+        [&](const std::map<std::string, double>& v) {
+          second_pass[cell] = v.at("value");
+        });
+    EXPECT_EQ(source, i < 4 ? CellSource::kJournal : CellSource::kComputed)
+        << "cell " << i;
+  }
+  EXPECT_EQ(recomputed, kCells - 4);
+  for (std::size_t i = 0; i < kCells; ++i) {
+    const std::string cell = "cell" + std::to_string(i);
+    EXPECT_EQ(second_pass.at(cell), compute_value(i)) << cell;
+  }
+  for (const auto& [cell, value] : first_pass) {
+    EXPECT_EQ(second_pass.at(cell), value) << cell;
+  }
+  ::unsetenv(SweepJournal::kResumeEnv);
+  std::filesystem::remove(journal);
+}
+
 }  // namespace
 }  // namespace aqua::sweep
