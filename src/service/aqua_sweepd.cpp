@@ -7,16 +7,40 @@
 /// reports, and exit 0 — EXPERIMENTS.md documents the runbook.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <thread>
 
 #include "service/server.hpp"
-#include "sweep/interrupt.hpp"
 
 namespace {
+
+std::atomic<bool> g_stop_requested{false};
+
+extern "C" void aqua_sweepd_signal_handler(int) {
+  // Async-signal-safe: one lock-free store; the main loop below turns it
+  // into a graceful server.stop().
+  g_stop_requested.store(true, std::memory_order_relaxed);
+}
+
+// The daemon deliberately does NOT install the process-wide sweep
+// interrupt handlers (sweep/interrupt.hpp): SweepRunner::run gates every
+// cell on that flag, so raising it would instantly cancel all queued work
+// and the documented drain (compute queued cells within drain_timeout_s)
+// could never happen. The daemon's shutdown contract is stop()'s drain,
+// driven by this local flag instead.
+void install_daemon_signal_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = aqua_sweepd_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking I/O too
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
 
 int usage(const char* argv0) {
   std::cerr
@@ -47,10 +71,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The handlers only raise the interrupt flag; the loop below turns it
-  // into a graceful stop() so the journal/cache/report files end at clean
-  // line boundaries no matter when the signal lands.
-  aqua::sweep::install_sweep_interrupt_handlers();
+  install_daemon_signal_handlers();
 
   if (config.workers == 0) {
     config.workers = std::max(1u, std::thread::hardware_concurrency());
@@ -67,7 +88,7 @@ int main(int argc, char** argv) {
             << config.queue_low_watermark << "/" << config.queue_high_watermark
             << ")" << std::endl;  // endl: scripts wait for this line
 
-  while (!aqua::sweep::sweep_interrupted()) {
+  while (!g_stop_requested.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::cout << "aqua_sweepd: signal received, draining" << std::endl;

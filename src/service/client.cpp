@@ -101,8 +101,13 @@ CellResult SweepClient::submit(
   request.tag = tag;
 
   std::string last_error = "no attempts made";
+  // One backoff per retry, at the top of the loop; a rejection carries
+  // the server's retry_after_ms hint into it (transport errors leave it
+  // 0, so they get plain jitter).
+  std::uint64_t retry_hint = 0;
   for (std::size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
-    if (attempt > 0) backoff(attempt - 1, 0);
+    if (attempt > 0) backoff(attempt - 1, retry_hint);
+    retry_hint = 0;
     request.id = next_id_++;
     try {
       send_request(request);
@@ -122,9 +127,7 @@ CellResult SweepClient::submit(
           // Retryable: idempotent by cell key, and the cell likely lands
           // warm next time.
           last_error = response.code + ": " + response.message;
-          if (attempt + 1 < policy_.max_attempts) {
-            backoff(attempt, response.retry_after_ms);
-          }
+          retry_hint = response.retry_after_ms;
           continue;
         }
         // Deterministic answers are not retried.
@@ -150,12 +153,18 @@ FigureResult SweepClient::submit_figure(const std::string& figure,
   request.deadline_ms = deadline_ms;
 
   std::string last_error = "no attempts made";
+  std::uint64_t retry_hint = 0;  // one backoff per retry, at the loop top
   for (std::size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
-    if (attempt > 0) backoff(attempt - 1, 0);
+    if (attempt > 0) backoff(attempt - 1, retry_hint);
+    retry_hint = 0;
     request.id = next_id_++;
     // Merged by tag so a resubmitted figure overwrites rather than
     // duplicates cells already received on a torn earlier attempt.
     std::map<std::string, CellResult> by_tag;
+    // A bad_request rejection is deterministic and must not burn retries;
+    // it is recorded here and thrown outside the try so the transport
+    // catch below cannot swallow it into the retry loop.
+    std::string rejected;
     try {
       send_request(request);
       for (;;) {
@@ -184,13 +193,12 @@ FigureResult SweepClient::submit_figure(const std::string& figure,
           if (response.code == error_code::kOverloaded ||
               response.code == error_code::kShuttingDown) {
             last_error = response.code + ": " + response.message;
-            if (attempt + 1 < policy_.max_attempts) {
-              backoff(attempt, response.retry_after_ms);
-            }
+            retry_hint = response.retry_after_ms;
             break;  // next attempt resubmits the figure
           }
           if (response.code == error_code::kBadRequest) {
-            throw Error("figure rejected: " + response.message);
+            rejected = "figure rejected: " + response.message;
+            break;
           }
           // Per-cell failed/deadline_exceeded: record and keep streaming.
           CellResult cell;
@@ -204,6 +212,7 @@ FigureResult SweepClient::submit_figure(const std::string& figure,
     } catch (const Error& e) {
       last_error = e.what();  // transport: reconnect, resubmit whole figure
     }
+    if (!rejected.empty()) throw Error(rejected);
   }
   throw Error("figure retries exhausted: " + last_error);
 }

@@ -161,7 +161,8 @@ void SweepServer::stop() {
 
   // Drain: queued jobs keep flowing to workers and in-flight cells finish.
   // Past the timeout, cancel whatever still runs (cells observe the token
-  // at their next chain boundary and return deadline_exceeded).
+  // at their next chain boundary and are answered shutting_down, which
+  // clients treat as retryable — not deadline_exceeded, which they don't).
   {
     std::unique_lock lock(queue_mutex_);
     const auto deadline = std::chrono::steady_clock::now() +
@@ -193,21 +194,13 @@ void SweepServer::stop() {
     flush_queue_locked();
   }
 
-  // Unblock and reap the connection threads (their recv returns once the
-  // socket is shut down).
+  // Unblock the connection handlers (their recv returns once the socket
+  // is shut down) and wait for the last detached one to finish — they
+  // reference this server, so stop() must not return before they do.
   {
-    std::lock_guard lock(conn_mutex_);
+    std::unique_lock lock(conn_mutex_);
     for (const auto& conn : connections_) conn->sock.shutdown_both();
-  }
-  for (;;) {
-    std::thread reap;
-    {
-      std::lock_guard lock(conn_mutex_);
-      if (conn_threads_.empty()) break;
-      reap = std::move(conn_threads_.back());
-      conn_threads_.pop_back();
-    }
-    if (reap.joinable()) reap.join();
+    handlers_cv_.wait(lock, [&] { return live_handlers_ == 0; });
   }
 
   runner_.emit_report();
@@ -242,8 +235,11 @@ void SweepServer::accept_loop() {
       }
       conn->id = next_conn_id_++;
       connections_.push_back(conn);
-      conn_threads_.emplace_back(
-          [this, conn] { handle_connection(conn); });
+      // Detached: the shared_ptr owns the socket, and stop() waits on
+      // live_handlers_ before tearing the server down, so nothing keeps a
+      // finished thread's stack alive until shutdown.
+      ++live_handlers_;
+      std::thread([this, conn] { handle_connection(conn); }).detach();
     }
     total_connections_.fetch_add(1, std::memory_order_relaxed);
     active_connections_gauge().add(1);
@@ -290,9 +286,7 @@ void SweepServer::handle_connection(std::shared_ptr<Connection> conn) {
   connections_.erase(
       std::remove(connections_.begin(), connections_.end(), conn),
       connections_.end());
-  // The thread object stays in conn_threads_ until stop() reaps it; the
-  // vector only grows by live connections, bounded by max_connections
-  // plus closed-thread stubs, which join instantly.
+  if (--live_handlers_ == 0) handlers_cv_.notify_all();
 }
 
 // ---------------------------------------------------------------------------
@@ -515,9 +509,9 @@ void SweepServer::worker_loop(std::size_t slot) {
 }
 
 void SweepServer::run_job(Job& job, std::size_t /*slot*/) {
-  const auto done = [&](bool failed) {
+  const auto done = [&] {
     job.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
-    finish_figure_cell(job, failed);
+    finish_figure_cell(job);
   };
 
   std::function<std::map<std::string, double>()> compute =
@@ -548,23 +542,36 @@ void SweepServer::run_job(Job& job, std::size_t /*slot*/) {
 
   switch (source) {
     case sweep::CellSource::kCancelled:
-      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-      job.conn->deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
-      obs::Registry::instance().counter("service.deadline_exceeded").add(1);
       if (job.figure) {
         job.figure->cancelled.fetch_add(1, std::memory_order_relaxed);
       }
-      send_error(job.conn, job.id, error_code::kDeadlineExceeded,
-                 "deadline exceeded: " + job.cell.cell);
-      done(true);
+      // deadline_exceeded is a deterministic answer clients never retry, so
+      // it is only sent when the request's own deadline actually fired.
+      // Any other cancellation (the drain-timeout token cancel in stop(),
+      // or the process-wide interrupt flag when embedded in a driver) is
+      // shutdown-driven: answer shutting_down so the work stays retryable.
+      if (std::chrono::steady_clock::now() >= job.token.deadline()) {
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        job.conn->deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+        obs::Registry::instance().counter("service.deadline_exceeded").add(1);
+        send_error(job.conn, job.id, error_code::kDeadlineExceeded,
+                   "deadline exceeded: " + job.cell.cell);
+      } else {
+        send_error(job.conn, job.id, error_code::kShuttingDown,
+                   "server shut down before this cell finished");
+      }
+      done();
       return;
     case sweep::CellSource::kFailed:
     case sweep::CellSource::kShardSkipped:
       failed_cells_.fetch_add(1, std::memory_order_relaxed);
       job.conn->failed.fetch_add(1, std::memory_order_relaxed);
+      if (job.figure) {
+        job.figure->failed.fetch_add(1, std::memory_order_relaxed);
+      }
       send_error(job.conn, job.id, error_code::kFailed,
                  failure.empty() ? "cell failed: " + job.cell.cell : failure);
-      done(true);
+      done();
       return;
     default:
       break;
@@ -597,12 +604,11 @@ void SweepServer::run_job(Job& job, std::size_t /*slot*/) {
   }
   job.conn->results.fetch_add(1, std::memory_order_relaxed);
   send_response(job.conn, result);
-  done(false);
+  done();
 }
 
-void SweepServer::finish_figure_cell(Job& job, bool failed) {
+void SweepServer::finish_figure_cell(Job& job) {
   if (!job.figure) return;
-  (void)failed;
   if (job.figure->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) {
     return;
   }

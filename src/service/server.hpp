@@ -120,7 +120,7 @@ class SweepServer {
   void send_error(const std::shared_ptr<Connection>& conn, std::uint64_t id,
                   const char* code, std::string message,
                   std::uint64_t retry_after_ms = 0);
-  void finish_figure_cell(Job& job, bool failed);
+  void finish_figure_cell(Job& job);
   void emit_connection_report(const Connection& conn) const;
   void emit_service_report() const;
   [[nodiscard]] std::uint64_t retry_after_hint() const;
@@ -135,7 +135,12 @@ class SweepServer {
 
   mutable std::mutex conn_mutex_;
   std::vector<std::shared_ptr<Connection>> connections_;
-  std::vector<std::thread> conn_threads_;
+  /// Handler threads run detached (a joinable thread's stack is only
+  /// released at join, so joining them all in stop() would leak one stack
+  /// per connection ever accepted). This count + cv is what stop() waits
+  /// on instead; both are guarded by conn_mutex_.
+  std::size_t live_handlers_ = 0;
+  std::condition_variable handlers_cv_;
   std::uint64_t next_conn_id_ = 1;
 
   std::mutex queue_mutex_;

@@ -31,6 +31,19 @@ void sleep_ms(int ms) {
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+};
+
 /// Every test runs against a fresh ephemeral-port server with a quiet
 /// sweep environment (no cache, no journal), so nothing leaks between
 /// tests or from the developer's shell.
@@ -320,6 +333,74 @@ TEST_F(ServerTest, ConnectDisconnectChurnLeavesNoDebris) {
   EXPECT_GE(stats.at("total_connections"), 20.0);
   EXPECT_LE(stats.at("active_connections"), 2.0)
       << "closed connections must be reaped";
+}
+
+TEST_F(ServerTest, FigureDoneReportsFailedCells) {
+  // One poisoned fig07 cell: its typed failure must show up in the
+  // figure_done tally, not just in the per-connection counters.
+  ScopedEnv poison(SweepJournal::kPoisonEnv,
+                   "service:chip=low_power_cmp;chips=1;cooling=air");
+  ServerConfig config;
+  config.workers = 4;
+  SweepServer& server = start(config);
+  SweepClient client("127.0.0.1", server.port());
+
+  const FigureResult figure = client.submit_figure("fig07");
+  EXPECT_EQ(figure.stats.at("cells"), 70.0);
+  EXPECT_EQ(figure.stats.at("failed"), 1.0);
+  EXPECT_EQ(figure.stats.at("cancelled"), 0.0);
+  std::size_t ok = 0;
+  for (const CellResult& cell : figure.cells) ok += cell.ok() ? 1 : 0;
+  EXPECT_EQ(ok, 69u);
+}
+
+TEST_F(ServerTest, RejectedFigureIsNotRetried) {
+  // bad_request is deterministic: the client must propagate it on the
+  // first attempt instead of burning max_attempts with backoff.
+  SweepServer& server = start({});
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.base_ms = 500;  // any retry backoff would dominate the elapsed time
+  policy.max_ms = 500;
+  SweepClient client("127.0.0.1", server.port(), policy);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.submit_figure("no_such_figure"), Error);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed_ms, 400.0) << "a rejected figure must not be retried";
+  EXPECT_EQ(server.stats_snapshot().at("bad_requests"), 1.0);
+}
+
+TEST_F(ServerTest, DrainTimeoutCancellationAnswersShuttingDownNotDeadline) {
+  ServerConfig config;
+  config.workers = 1;
+  config.debug_compute_delay_ms = 200;
+  config.drain_timeout_s = 0;  // stop() cancels in-flight work immediately
+  SweepServer& server = start(config);
+
+  std::string outcome;
+  std::thread load([&] {
+    RetryPolicy once;
+    once.max_attempts = 1;
+    SweepClient client("127.0.0.1", server.port(), once);
+    try {
+      outcome = client.submit("freq_cap", cheap_cell(1)).status;
+    } catch (const Error& e) {
+      outcome = e.what();  // retries exhausted carries the last error code
+    }
+  });
+  sleep_ms(60);  // the cell is mid-compute when stop() cancels its token
+  server.stop();
+  load.join();
+
+  // Shutdown-driven cancellation is retryable shutting_down; only a fired
+  // per-request deadline may be answered deadline_exceeded.
+  EXPECT_NE(outcome.find(error_code::kShuttingDown), std::string::npos)
+      << outcome;
+  EXPECT_EQ(server.stats_snapshot().at("deadline_exceeded"), 0.0);
 }
 
 TEST_F(ServerTest, GracefulStopDrainsAndRejectsLateSubmissions) {
