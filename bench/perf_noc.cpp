@@ -10,12 +10,14 @@
 /// so the DES perf trajectory is tracked per PR alongside the solver's.
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/des_drift.hpp"
 #include "obs/metrics.hpp"
 #include "perf/noc.hpp"
 #include "perf/pdes.hpp"
@@ -35,11 +37,13 @@ struct CellRun {
 
 CellRun run_cell(const std::string& workload, std::size_t chips,
                  aqua::EventQueue::Impl impl, bool idle_skip,
-                 aqua::PdesMode pdes = aqua::PdesMode::kOff) {
+                 aqua::PdesMode pdes = aqua::PdesMode::kOff,
+                 aqua::PdesExec exec = aqua::PdesExec::kSerial) {
   aqua::CmpConfig cfg;
   cfg.chips = chips;
   cfg.noc_idle_skip = idle_skip;
   cfg.pdes = pdes;
+  cfg.pdes_exec = exec;
   aqua::WorkloadProfile p = aqua::npb_profile(workload);
   p.instructions_per_thread = 12'000;
 
@@ -261,11 +265,13 @@ int main(int argc, char** argv) {
                   "ev_per_window", "cross_msgs", "stalls", "identical"});
   bool all_pdes_identical = true;
   std::vector<aqua::ExecStats> serial_stats;
+  std::vector<double> serial_seconds_by_cell;
   for (const std::string& w : workloads) {
     for (std::size_t chips : chip_counts) {
       const CellRun serial =
           run_cell(w, chips, aqua::EventQueue::Impl::kCalendar, false);
       serial_stats.push_back(serial.stats);
+      serial_seconds_by_cell.push_back(serial.seconds);
       const std::string key = w + "_" + std::to_string(chips) + "chip_pdes";
       for (const aqua::PdesMode mode :
            {aqua::PdesMode::kChip, aqua::PdesMode::kQuadrant}) {
@@ -309,6 +315,88 @@ int main(int argc, char** argv) {
                     : "\nERROR: PDES diverges from the serial schedule\n");
   report.add("all_pdes_identical", all_pdes_identical);
 
+  // ---- Threaded window executor (AQUA_DES_PDES_EXEC=threads) -----------
+  // The relaxed-order executor trades bit-identity for intra-cell
+  // overlap; the bench reports its wall time next to the serial merge and
+  // gates the statistical-equivalence contract (<=1% cycle drift, <=5%
+  // latency-distribution distance). Drift keys are plain numeric so the
+  // perf gate treats them as two-sided work metrics: any change to the
+  // deterministic drift shows up as a baseline diff, not noise.
+  aqua::Table tt({"bench", "chips", "mode", "serial_s", "threads_s",
+                  "speedup", "windows", "tasks", "maxconc", "drift%",
+                  "lat_tvd", "in_bounds"});
+  bool all_threads_in_bounds = true;
+  {
+    std::size_t cell_index = 0;
+    for (const std::string& w : workloads) {
+      for (std::size_t chips : chip_counts) {
+        const aqua::ExecStats& serial = serial_stats[cell_index];
+        const double serial_seconds = serial_seconds_by_cell[cell_index];
+        ++cell_index;
+        const std::string key =
+            w + "_" + std::to_string(chips) + "chip_threads";
+        for (const aqua::PdesMode mode :
+             {aqua::PdesMode::kChip, aqua::PdesMode::kQuadrant}) {
+          const CellRun cell =
+              run_cell(w, chips, aqua::EventQueue::Impl::kCalendar, false,
+                       mode, aqua::PdesExec::kThreads);
+          const aqua::PdesRunStats& ps = cell.stats.pdes;
+          const double drift =
+              serial.cycles > 0
+                  ? static_cast<double>(cell.stats.cycles) /
+                            static_cast<double>(serial.cycles) -
+                        1.0
+                  : 0.0;
+          const std::vector<std::uint64_t> serial_hist(
+              serial.noc.latency_hist.begin(), serial.noc.latency_hist.end());
+          const std::vector<std::uint64_t> threads_hist(
+              cell.stats.noc.latency_hist.begin(),
+              cell.stats.noc.latency_hist.end());
+          const double tvd =
+              aqua::obs::total_variation_distance(serial_hist, threads_hist);
+          const bool in_bounds =
+              std::abs(drift) <= 0.01 && tvd <= 0.05 &&
+              cell.stats.instructions == serial.instructions;
+          all_threads_in_bounds = all_threads_in_bounds && in_bounds;
+          tt.row()
+              .add(w)
+              .add_int(static_cast<long long>(chips))
+              .add(std::string(aqua::to_string(mode)))
+              .add(serial_seconds, 3)
+              .add(cell.seconds, 3)
+              .add(cell.seconds > 0.0 ? serial_seconds / cell.seconds : 0.0,
+                   2)
+              .add_int(static_cast<long long>(ps.exec_windows))
+              .add_int(static_cast<long long>(ps.exec_tasks))
+              .add_int(static_cast<long long>(ps.exec_max_concurrency))
+              .add(100.0 * drift, 3)
+              .add(tvd, 4)
+              .add(in_bounds ? "yes" : "NO");
+          const std::string mk = key + "_" + std::string(aqua::to_string(mode));
+          report.add(mk + "_seconds", cell.seconds, 4);
+          report.add(mk + "_cycle_drift", drift, 5);
+          report.add(mk + "_latency_tvd", tvd, 5);
+          report.add(mk + "_exec_windows",
+                     static_cast<std::int64_t>(ps.exec_windows));
+          report.add(mk + "_exec_rounds",
+                     static_cast<std::int64_t>(ps.exec_rounds));
+          report.add(mk + "_exec_tasks",
+                     static_cast<std::int64_t>(ps.exec_tasks));
+          report.add(mk + "_exec_clamped",
+                     static_cast<std::int64_t>(ps.exec_clamped));
+          report.add(mk + "_exec_max_concurrency",
+                     static_cast<std::int64_t>(ps.exec_max_concurrency));
+          report.add(mk + "_in_bounds", in_bounds);
+        }
+      }
+    }
+  }
+  tt.print(std::cout);
+  std::cout << (all_threads_in_bounds
+                    ? "\nthreaded executor inside the drift bounds\n"
+                    : "\nERROR: threaded executor drift out of bounds\n");
+  report.add("all_threads_in_bounds", all_threads_in_bounds);
+
   // ---- PDES x engine workers: cross-cell scaling with PDES on ----------
   double w1_seconds = 0.0;
   for (const std::size_t workers :
@@ -329,5 +417,6 @@ int main(int argc, char** argv) {
   report.write();
 
   const int rc = aqua::bench::run_microbenchmarks(argc, argv);
-  return all_identical && all_pdes_identical ? rc : 1;
+  return all_identical && all_pdes_identical && all_threads_in_bounds ? rc
+                                                                      : 1;
 }

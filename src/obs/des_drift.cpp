@@ -1,0 +1,168 @@
+#include "obs/des_drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace aqua::obs {
+
+namespace {
+
+std::uint64_t u64_field(const JsonValue& record, std::string_view key) {
+  const JsonValue* v = record.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return 0;
+  return v->number < 0.0 ? 0 : static_cast<std::uint64_t>(v->number);
+}
+
+double num_field(const JsonValue& record, std::string_view key) {
+  const JsonValue* v = record.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return 0.0;
+  return v->number;
+}
+
+std::vector<std::uint64_t> hist_field(const JsonValue& record,
+                                      std::string_view key) {
+  // Written by CmpSystem::run as a comma-delimited bucket string.
+  const JsonValue* v = record.find(key);
+  std::vector<std::uint64_t> hist;
+  if (v == nullptr || v->kind != JsonValue::Kind::kString) return hist;
+  const std::string& s = v->string;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string tok =
+        s.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!tok.empty()) hist.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return hist;
+}
+
+double rel_drift(double base, double fresh) {
+  if (base == 0.0) return fresh == 0.0 ? 0.0 : 1.0;
+  return std::abs(fresh - base) / std::abs(base);
+}
+
+}  // namespace
+
+std::vector<DesDriftSample> drift_samples_of(
+    const std::vector<JsonValue>& records) {
+  std::vector<DesDriftSample> samples;
+  std::map<std::string, std::size_t> occurrences;
+  for (const JsonValue& record : records) {
+    const JsonValue* kind = record.find("kind");
+    // RunReport lines carry their record type under "kind"; accept both
+    // tagged perf_run lines and untagged ones that look like perf runs.
+    if (kind != nullptr && kind->kind == JsonValue::Kind::kString &&
+        kind->string != "perf_run") {
+      continue;
+    }
+    if (kind == nullptr &&
+        (record.find("cycles") == nullptr || record.find("chips") == nullptr)) {
+      continue;
+    }
+    DesDriftSample s;
+    s.chips = u64_field(record, "chips");
+    s.cores = u64_field(record, "cores");
+    s.ghz = num_field(record, "ghz");
+    s.cycles = u64_field(record, "cycles");
+    s.instructions = u64_field(record, "instructions");
+    s.ipc = num_field(record, "ipc");
+    s.noc_packets = u64_field(record, "noc_packets");
+    s.noc_avg_latency = num_field(record, "noc_avg_latency");
+    s.latency_hist = hist_field(record, "noc_latency_hist");
+
+    // Pairing key: everything about a cell that is invariant across
+    // executor modes and run orders. `instructions` is trace-determined
+    // (the same program runs regardless of scheduling), which keeps the
+    // pairing stable when a parallel sweep finishes cells in a different
+    // order than the serial baseline emitted them; the occurrence index
+    // only disambiguates genuinely identical repeated cells.
+    char key[128];
+    std::snprintf(key, sizeof key,
+                  "chips=%llu cores=%llu ghz=%.4f instr=%llu",
+                  static_cast<unsigned long long>(s.chips),
+                  static_cast<unsigned long long>(s.cores), s.ghz,
+                  static_cast<unsigned long long>(s.instructions));
+    const std::size_t n = occurrences[key]++;
+    s.key = std::string(key) + " #" + std::to_string(n);
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+std::vector<DesDriftSample> load_perf_run_samples(const std::string& path) {
+  return drift_samples_of(load_jsonl_file(path));
+}
+
+double total_variation_distance(const std::vector<std::uint64_t>& a,
+                                const std::vector<std::uint64_t>& b) {
+  double total_a = 0.0;
+  double total_b = 0.0;
+  for (const std::uint64_t v : a) total_a += static_cast<double>(v);
+  for (const std::uint64_t v : b) total_b += static_cast<double>(v);
+  if (total_a == 0.0 && total_b == 0.0) return 0.0;
+  if (total_a == 0.0 || total_b == 0.0) return 1.0;
+  const std::size_t buckets = std::max(a.size(), b.size());
+  double distance = 0.0;
+  for (std::size_t i = 0; i < buckets; ++i) {
+    const double pa =
+        i < a.size() ? static_cast<double>(a[i]) / total_a : 0.0;
+    const double pb =
+        i < b.size() ? static_cast<double>(b[i]) / total_b : 0.0;
+    distance += std::abs(pa - pb);
+  }
+  return distance / 2.0;
+}
+
+DriftReport compare_drift(const std::vector<DesDriftSample>& base,
+                          const std::vector<DesDriftSample>& fresh,
+                          const DriftBounds& bounds) {
+  DriftReport report;
+  std::map<std::string, const DesDriftSample*> fresh_by_key;
+  for (const DesDriftSample& s : fresh) fresh_by_key[s.key] = &s;
+
+  bool all_ok = true;
+  for (const DesDriftSample& b : base) {
+    const auto it = fresh_by_key.find(b.key);
+    if (it == fresh_by_key.end()) {
+      report.unmatched.push_back(b.key + " (base only)");
+      all_ok = false;
+      continue;
+    }
+    const DesDriftSample& f = *it->second;
+    fresh_by_key.erase(it);
+
+    DriftCell cell;
+    cell.key = b.key;
+    cell.base_cycles = b.cycles;
+    cell.fresh_cycles = f.cycles;
+    cell.cycle_drift = rel_drift(static_cast<double>(b.cycles),
+                                 static_cast<double>(f.cycles));
+    cell.ipc_drift = rel_drift(b.ipc, f.ipc);
+    cell.latency_distance =
+        total_variation_distance(b.latency_hist, f.latency_hist);
+    cell.ok = cell.cycle_drift <= bounds.cycles &&
+              cell.ipc_drift <= bounds.ipc &&
+              cell.latency_distance <= bounds.latency_distance;
+    all_ok = all_ok && cell.ok;
+
+    report.max_cycle_drift =
+        std::max(report.max_cycle_drift, cell.cycle_drift);
+    report.max_ipc_drift = std::max(report.max_ipc_drift, cell.ipc_drift);
+    report.max_latency_distance =
+        std::max(report.max_latency_distance, cell.latency_distance);
+    report.cells.push_back(std::move(cell));
+  }
+  for (const auto& [key, sample] : fresh_by_key) {
+    report.unmatched.push_back(key + " (fresh only)");
+    all_ok = false;
+  }
+  report.ok = all_ok && !report.cells.empty();
+  return report;
+}
+
+}  // namespace aqua::obs

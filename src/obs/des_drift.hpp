@@ -1,0 +1,101 @@
+#pragma once
+
+/// Statistical-equivalence gate for the relaxed-order threaded PDES
+/// executor (DESIGN.md §12). The threaded window executor is
+/// queue-invariant but not bit-identical to the exact serial run — like
+/// AQUA_NOC_IDLE_SKIP, it trades the serial event interleaving for
+/// overlap, with a deterministic but slightly different cycle count. This
+/// header defines the drift metrics that bound the trade:
+///
+///   * per-cell total-cycle delta (relative),
+///   * per-cell IPC delta (relative),
+///   * total-variation distance between the NoC packet-latency
+///     distributions (log2-bucketed histograms from `noc_latency_hist`).
+///
+/// Samples come from `perf_run` run-report records (AQUA_RUN_REPORT
+/// JSON-lines, emitted by CmpSystem::run). Two reports are paired cell by
+/// cell on (chips, cores, ghz, instructions, occurrence index) — the
+/// natural key of a fig10–fig13 sweep — and every pair must land inside
+/// the bounds.
+/// `trace_tools des-drift` is the CLI face of this comparison; the
+/// threaded-executor CI jobs gate on it instead of a byte diff.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace_reader.hpp"
+
+namespace aqua::obs {
+
+/// One perf_run record reduced to the drift-relevant fields.
+struct DesDriftSample {
+  /// Pairing key: "chips=C cores=N ghz=G instr=I #occurrence". Built
+  /// only from fields invariant across executor modes (instructions are
+  /// trace-determined), so serial and parallel sweeps pair correctly
+  /// even when cells complete — and hence get reported — out of order.
+  std::string key;
+  std::uint64_t chips = 0;
+  std::uint64_t cores = 0;
+  double ghz = 0.0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  double ipc = 0.0;
+  std::uint64_t noc_packets = 0;
+  double noc_avg_latency = 0.0;
+  /// Log2 latency buckets (NocStats::kLatencyBuckets wide when present;
+  /// empty for reports written before the histogram existed).
+  std::vector<std::uint64_t> latency_hist;
+};
+
+/// Acceptance thresholds. Defaults are the repo-wide contract: <= 1%
+/// cycle and IPC drift, <= 5% latency-distribution distance.
+struct DriftBounds {
+  double cycles = 0.01;
+  double ipc = 0.01;
+  double latency_distance = 0.05;
+};
+
+/// One paired cell's drift verdict.
+struct DriftCell {
+  std::string key;
+  std::uint64_t base_cycles = 0;
+  std::uint64_t fresh_cycles = 0;
+  double cycle_drift = 0.0;       ///< |fresh - base| / base
+  double ipc_drift = 0.0;         ///< |fresh - base| / base
+  double latency_distance = 0.0;  ///< total-variation distance in [0, 1]
+  bool ok = false;
+};
+
+struct DriftReport {
+  std::vector<DriftCell> cells;
+  /// Keys present in exactly one input (pairing failures -> not ok).
+  std::vector<std::string> unmatched;
+  double max_cycle_drift = 0.0;
+  double max_ipc_drift = 0.0;
+  double max_latency_distance = 0.0;
+  bool ok = false;
+};
+
+/// Extracts the drift samples (perf_run records, file order) from a
+/// JSON-lines run report. Non-perf_run records are skipped.
+std::vector<DesDriftSample> load_perf_run_samples(const std::string& path);
+
+/// Same, from already-parsed records (tests).
+std::vector<DesDriftSample> drift_samples_of(
+    const std::vector<JsonValue>& records);
+
+/// Total-variation distance between two counted histograms: both are
+/// normalized to probability distributions first, so cells with different
+/// packet counts still compare shape. Two empty histograms are identical
+/// (0.0); exactly one empty is maximal (1.0).
+double total_variation_distance(const std::vector<std::uint64_t>& a,
+                                const std::vector<std::uint64_t>& b);
+
+/// Pairs `base` and `fresh` by key and scores every pair against
+/// `bounds`. The report is ok only if every cell paired and passed.
+DriftReport compare_drift(const std::vector<DesDriftSample>& base,
+                          const std::vector<DesDriftSample>& fresh,
+                          const DriftBounds& bounds = {});
+
+}  // namespace aqua::obs

@@ -20,6 +20,14 @@ enum class PdesMode : std::uint8_t {
   kQuadrant,  ///< one logical process per mesh quadrant per chip
 };
 
+/// How the PDES partition queues are executed within a lookahead window
+/// (perf/pdes.hpp). Only meaningful when `pdes != kOff`.
+enum class PdesExec : std::uint8_t {
+  kSerial,   ///< deterministic stamped merge, byte-identical to kOff
+  kThreads,  ///< partitions run as task-engine tasks; queue-invariant but
+             ///< not bit-identical (bounded cycle drift, like idle-skip)
+};
+
 /// Table 1 parameters.
 struct CmpConfig {
   // Topology.
@@ -74,6 +82,16 @@ struct CmpConfig {
   // (cycle, stamp) order across the partition queues. The AQUA_DES_PDES
   // environment variable (off|chip|quadrant) sets the default.
   PdesMode pdes = PdesMode::kOff;
+
+  // PDES window execution (DESIGN.md §12). kSerial replays the exact
+  // global (cycle, stamp) order single-threaded. kThreads runs the
+  // partitions of each lookahead window concurrently on the §10 task
+  // engine with a window barrier and canonical-order channel flush:
+  // deterministic for a fixed seed, but relaxed-order (bounded cycle
+  // drift vs kSerial, gated statistically rather than byte-for-byte).
+  // The AQUA_DES_PDES_EXEC environment variable (serial|threads) sets
+  // the default.
+  PdesExec pdes_exec = PdesExec::kSerial;
 
   [[nodiscard]] std::size_t tiles_per_chip() const { return mesh_x * mesh_y; }
   [[nodiscard]] std::size_t total_tiles() const {

@@ -15,6 +15,34 @@ std::uint32_t saturate32(std::uint64_t v) {
   return v > 0xFFFFFFFFull ? 0xFFFFFFFFu : static_cast<std::uint32_t>(v);
 }
 
+/// Identifies the partition window-task executing on this thread (threaded
+/// exec only). The scheduler pointer disambiguates nested simulators: a
+/// worker may run one CmpSystem's window while other cells' schedulers
+/// exist in the process.
+struct ExecTls {
+  const void* scheduler = nullptr;
+  std::uint32_t partition = 0;
+};
+
+thread_local ExecTls exec_tls;
+
+/// RAII: sets/restores the window-task TLS even if a handler throws (the
+/// thread returns to the engine's worker pool and must not keep a stale
+/// partition context).
+class ExecTlsScope {
+ public:
+  ExecTlsScope(const void* scheduler, std::uint32_t partition)
+      : saved_(exec_tls) {
+    exec_tls = ExecTls{scheduler, partition};
+  }
+  ~ExecTlsScope() { exec_tls = saved_; }
+  ExecTlsScope(const ExecTlsScope&) = delete;
+  ExecTlsScope& operator=(const ExecTlsScope&) = delete;
+
+ private:
+  ExecTls saved_;
+};
+
 }  // namespace
 
 PdesMode pdes_mode_from_env() {
@@ -39,6 +67,21 @@ std::string_view to_string(PdesMode mode) {
       break;
   }
   return "off";
+}
+
+PdesExec pdes_exec_from_env() {
+  const char* env = std::getenv("AQUA_DES_PDES_EXEC");
+  if (env == nullptr) return PdesExec::kSerial;
+  const std::string_view v(env);
+  if (v.empty() || v == "serial") return PdesExec::kSerial;
+  if (v == "threads") return PdesExec::kThreads;
+  require(false, "AQUA_DES_PDES_EXEC must be serial|threads, got: " +
+                     std::string(v));
+  return PdesExec::kSerial;
+}
+
+std::string_view to_string(PdesExec exec) {
+  return exec == PdesExec::kThreads ? "threads" : "serial";
 }
 
 PdesTopology PdesTopology::build(const CmpConfig& cfg, PdesMode mode) {
@@ -111,6 +154,24 @@ void DesScheduler::schedule_typed(Cycle when, std::uint32_t partition,
   const std::size_t q = partition == kFabric
                             ? fabric_index_
                             : static_cast<std::size_t>(partition);
+  if (threaded_) {
+    // Relaxed-order rules: a window-task pushes into its own queue
+    // directly (per-queue order is deterministic) and banks anything
+    // cross-partition in its outbox for the coordinator's canonical-order
+    // flush. Coordinator/fabric/boot contexts push directly, clamped.
+    const std::uint32_t self = parallel_partition();
+    if (self != kFabric) {
+      if (q == static_cast<std::size_t>(self)) {
+        queues_[q].schedule_typed(when, fn, ctx, target, msg);
+      } else {
+        outbox_[self].push_back(
+            Outbox{when, fn, ctx, target, msg, static_cast<std::uint32_t>(q)});
+      }
+      return;
+    }
+    push_direct(q, when, fn, ctx, target, msg);
+    return;
+  }
   // A schedule into another model partition while an event is firing is a
   // cross-partition channel message (NoC delivery from the fabric process,
   // or a barrier wakeup from a sibling partition). Pump re-arms into the
@@ -148,11 +209,107 @@ std::size_t DesScheduler::max_pending() const {
   return n;
 }
 
+void DesScheduler::set_threaded_exec() {
+  require(pdes_active(), "set_threaded_exec requires an active topology");
+  require(scheduled() == 0, "set_threaded_exec after events were scheduled");
+  threaded_ = true;
+  stats_.exec = PdesExec::kThreads;
+  outbox_.assign(fabric_index_, {});
+}
+
+std::uint32_t DesScheduler::parallel_partition() const {
+  return exec_tls.scheduler == this ? exec_tls.partition : kFabric;
+}
+
+Cycle DesScheduler::threaded_now() const {
+  const std::uint32_t p = parallel_partition();
+  return queues_[p == kFabric ? fabric_index_ : p].now();
+}
+
+Cycle DesScheduler::global_next() const {
+  Cycle best = std::numeric_limits<Cycle>::max();
+  for (const EventQueue& q : queues_) {
+    if (q.empty()) continue;
+    const Cycle t = q.next_time();
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+bool DesScheduler::partition_has_work_before(std::size_t p,
+                                             Cycle end) const {
+  return !queues_[p].empty() && queues_[p].next_time() < end;
+}
+
+void DesScheduler::mark_boot_done() { boot_done_ = true; }
+
+void DesScheduler::push_direct(std::size_t q, Cycle when,
+                               EventQueue::TypedFn fn, void* ctx,
+                               void* target, const Message& msg) {
+  EventQueue& eq = queues_[q];
+  Cycle w = when;
+  if (w < eq.now()) {
+    // The destination already executed past `when` this window: deliver at
+    // its local present instead. This is the bounded (< lookahead) cycle
+    // drift the statistical-equivalence gate measures.
+    w = eq.now();
+    ++stats_.exec_clamped;
+  }
+  eq.schedule_typed(w, fn, ctx, target, msg);
+  if (boot_done_ && q != fabric_index_) ++stats_.cross_messages;
+}
+
+void DesScheduler::run_partition_window(std::uint32_t p, Cycle end) {
+  ExecTlsScope scope(this, p);
+  EventQueue& q = queues_[p];
+  std::uint64_t fired = 0;
+  while (!q.empty() && q.next_time() < end) {
+    q.step();
+    ++fired;
+  }
+  // Owner-only write: each window-task owns its partition_events element.
+  stats_.partition_events[p] += fired;
+}
+
+bool DesScheduler::run_fabric_window(Cycle end) {
+  EventQueue& q = queues_[fabric_index_];
+  std::uint64_t fired = 0;
+  while (!q.empty() && q.next_time() < end) {
+    q.step();
+    ++fired;
+  }
+  stats_.partition_events[fabric_index_] += fired;
+  return fired > 0;
+}
+
+void DesScheduler::flush_outboxes() {
+  // Canonical order: ascending source partition, push order within one
+  // source (each source's push order is deterministic, so the merged
+  // channel order is too — independent of thread completion order).
+  for (std::vector<Outbox>& box : outbox_) {
+    for (const Outbox& e : box) {
+      push_direct(e.dest, e.when, e.fn, e.ctx, e.target, e.msg);
+    }
+    box.clear();
+  }
+}
+
+void DesScheduler::note_window(std::uint64_t rounds, std::uint64_t tasks,
+                               std::uint64_t max_concurrency) {
+  ++stats_.exec_windows;
+  stats_.exec_rounds += rounds;
+  stats_.exec_tasks += tasks;
+  if (max_concurrency > stats_.exec_max_concurrency) {
+    stats_.exec_max_concurrency = max_concurrency;
+  }
+}
+
 void DesScheduler::step() {
   if (!pdes_active()) {
     queues_[0].step();
     return;
   }
+  ensure(!threaded_, "DesScheduler::step in threaded exec mode");
   // Fire the globally minimal (cycle, stamp): stamps are process-unique,
   // so the winner is unambiguous and the pop order replays the serial
   // schedule exactly (see header determinism note).
@@ -219,10 +376,21 @@ void DesScheduler::finalize() {
     close_window(window_ + 1);
     window_open_ = false;
   }
+  if (threaded_) {
+    // The threaded executor counts windows itself (no stamped merge to
+    // observe them); mirror into the serial field for report continuity.
+    stats_.windows = stats_.exec_windows;
+  }
   obs::Registry& reg = obs::Registry::instance();
   reg.counter("des.pdes.windows").add(stats_.windows);
   reg.counter("des.pdes.cross_messages").add(stats_.cross_messages);
   reg.counter("des.pdes.barrier_stalls").add(stats_.barrier_stalls);
+  if (threaded_) {
+    reg.counter("des.pdes.exec.windows").add(stats_.exec_windows);
+    reg.counter("des.pdes.exec.rounds").add(stats_.exec_rounds);
+    reg.counter("des.pdes.exec.tasks").add(stats_.exec_tasks);
+    reg.counter("des.pdes.exec.clamped").add(stats_.exec_clamped);
+  }
   obs::FlightRecorder& rec = obs::FlightRecorder::instance();
   for (std::size_t i = 0; i < stats_.partition_events.size(); ++i) {
     rec.des_partition(static_cast<std::uint32_t>(i),

@@ -48,7 +48,11 @@ class Histogram;
 /// AQUA_DES_PDES environment default: off | chip | quadrant.
 PdesMode pdes_mode_from_env();
 
+/// AQUA_DES_PDES_EXEC environment default: serial | threads.
+PdesExec pdes_exec_from_env();
+
 [[nodiscard]] std::string_view to_string(PdesMode mode);
+[[nodiscard]] std::string_view to_string(PdesExec exec);
 
 /// Static partition map for one CmpConfig: which logical process owns each
 /// tile, and the conservative lookahead in cycles.
@@ -71,6 +75,13 @@ struct PdesRunStats {
   std::uint64_t cross_messages = 0;      ///< cross-partition schedules
   std::uint64_t barrier_stalls = 0;      ///< partition-windows held back
   bool forced_off = false;  ///< a fault plan forced the serial path
+  // Threaded-executor accounting (all zero under kSerial).
+  PdesExec exec = PdesExec::kSerial;
+  std::uint64_t exec_windows = 0;  ///< lookahead windows executed
+  std::uint64_t exec_rounds = 0;   ///< partition-task rounds across windows
+  std::uint64_t exec_tasks = 0;    ///< partition window-tasks dispatched
+  std::uint64_t exec_clamped = 0;  ///< channel pushes clamped to dest `now`
+  std::uint64_t exec_max_concurrency = 0;  ///< most ready partitions/round
   /// Events executed per partition; last entry is the fabric process.
   std::vector<std::uint64_t> partition_events;
 };
@@ -91,6 +102,17 @@ class DesScheduler {
   /// `mode` must not be kOff.
   void activate(const PdesTopology& topo, PdesMode mode);
 
+  /// Switches the active PDES topology to the relaxed-order threaded
+  /// window executor (DESIGN.md §12). Must follow activate() and precede
+  /// any schedule. Scheduling rules change: a partition window-task
+  /// schedules into its own queue directly and banks everything else in a
+  /// per-source outbox; the coordinator flushes outboxes in canonical
+  /// (source partition, push order) order at round boundaries — the
+  /// deterministic (cycle, source-partition, stamp) tie-break that replaces
+  /// the serial stamped merge. step() is not used in this mode.
+  void set_threaded_exec();
+  [[nodiscard]] bool threaded() const { return threaded_; }
+
   [[nodiscard]] bool pdes_active() const { return mode_ != PdesMode::kOff; }
 
   // --- EventQueue-mirror API (partition ignored when off) ---
@@ -104,7 +126,9 @@ class DesScheduler {
   }
 
   [[nodiscard]] Cycle now() const {
-    return pdes_active() ? now_ : queues_[0].now();
+    if (!pdes_active()) return queues_[0].now();
+    if (threaded_) return threaded_now();
+    return now_;
   }
   [[nodiscard]] bool empty() const { return pending() == 0; }
   [[nodiscard]] std::size_t pending() const;
@@ -116,6 +140,32 @@ class DesScheduler {
   /// Fires the single globally-earliest event.
   void step();
 
+  // --- Threaded window executor (valid only after set_threaded_exec) ---
+  [[nodiscard]] Cycle lookahead() const { return lookahead_; }
+  [[nodiscard]] std::size_t partitions() const { return fabric_index_; }
+  /// The model partition whose window-task is executing on this thread, or
+  /// kFabric when called outside one (coordinator / fabric / boot context).
+  [[nodiscard]] std::uint32_t parallel_partition() const;
+  /// Earliest pending event time across all queues (call only when
+  /// !empty()).
+  [[nodiscard]] Cycle global_next() const;
+  [[nodiscard]] bool partition_has_work_before(std::size_t p,
+                                               Cycle end) const;
+  /// Marks boot complete: later coordinator-context pushes into model
+  /// partitions count as cross-partition channel traffic.
+  void mark_boot_done();
+  /// Fires every event of partition `p` strictly before `end`. Runs as a
+  /// task-engine subtask; only this thread touches queue `p` meanwhile.
+  void run_partition_window(std::uint32_t p, Cycle end);
+  /// Same for the fabric process, on the coordinator thread. Returns true
+  /// if anything fired.
+  bool run_fabric_window(Cycle end);
+  /// Applies banked cross-partition schedules in canonical order.
+  void flush_outboxes();
+  /// Window accounting for the threaded executor.
+  void note_window(std::uint64_t rounds, std::uint64_t tasks,
+                   std::uint64_t max_concurrency);
+
   /// Flushes the open window, emits `des.pdes.*` registry metrics and the
   /// per-partition flight-recorder markers. Call once, after the run.
   void finalize();
@@ -125,6 +175,12 @@ class DesScheduler {
 
  private:
   void close_window(std::uint64_t next_window);
+  [[nodiscard]] Cycle threaded_now() const;
+  /// Coordinator-context push: clamps `when` to the destination queue's
+  /// local clock (counting the drift) so a cross-window channel message
+  /// can never travel into a partition's past.
+  void push_direct(std::size_t q, Cycle when, EventQueue::TypedFn fn,
+                   void* ctx, void* target, const Message& msg);
 
   std::vector<EventQueue> queues_;  ///< [partitions..., fabric] (or 1: off)
   PdesMode mode_ = PdesMode::kOff;
@@ -139,6 +195,18 @@ class DesScheduler {
   bool window_open_ = false;
   std::vector<char> fired_in_window_;
   obs::Histogram* window_hist_ = nullptr;  ///< des.pdes.window_events
+  // Threaded executor state (inert under the serial stamped merge).
+  bool threaded_ = false;
+  bool boot_done_ = false;
+  struct Outbox {
+    Cycle when;
+    EventQueue::TypedFn fn;
+    void* ctx;
+    void* target;
+    Message msg;
+    std::uint32_t dest;  ///< destination queue index (fabric resolved)
+  };
+  std::vector<std::vector<Outbox>> outbox_;  ///< per source partition
   PdesRunStats stats_;
 };
 

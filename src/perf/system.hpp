@@ -6,11 +6,14 @@
 /// substitute that turns (workload, frequency) into execution time.
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/pool.hpp"
+#include "common/rng.hpp"
 #include "common/units.hpp"
 #include "perf/cache.hpp"
 #include "perf/event_queue.hpp"
@@ -217,6 +220,26 @@ class CmpSystem {
     std::uint64_t generation = 0;
   };
 
+  /// Per-partition side-effect bank for the threaded PDES window executor
+  /// (DESIGN.md §12). A partition window-task may only touch its own lane
+  /// (indexed by partition, never by worker, so results are independent of
+  /// the worker count); the coordinator drains lanes in ascending
+  /// partition order at each round boundary — the canonical order that
+  /// makes the relaxed execution deterministic.
+  struct ExecLane {
+    ExecStats stats;  ///< counter shard, merged field-wise after the run
+    std::vector<std::pair<Cycle, Packet>> sends;  ///< banked NoC injections
+    struct DramReq {
+      Bank* bank;
+      Message msg;
+      Cycle at;
+    };
+    std::vector<DramReq> dram;       ///< banked memory-controller requests
+    std::uint64_t barrier_arrivals = 0;  ///< cores that hit the barrier
+    std::uint64_t finished = 0;          ///< cores that completed
+    Cycle completion = 0;                ///< max completion cycle in lane
+  };
+
   // ---- typed event thunks (EventQueue fast path) ----
   static void advance_event(void* ctx, void* target, const Message& msg);
   static void access_event(void* ctx, void* target, const Message& msg);
@@ -255,8 +278,8 @@ class CmpSystem {
   void process_request(Bank& bank, const Message& msg);
   void finish_transaction(Bank& bank, LineAddr line);
   void pump_pending(Bank& bank, LineAddr line);
-  void queue_pending_back(DirEntry& e, const Message& msg);
-  void queue_pending_front(DirEntry& e, const Message& msg);
+  void queue_pending_back(Bank& bank, DirEntry& e, const Message& msg);
+  void queue_pending_front(Bank& bank, DirEntry& e, const Message& msg);
   void respond_with_data(Bank& bank, LineAddr line, NodeId requestor,
                          MsgType kind, std::int32_t acks,
                          DataSource source);
@@ -280,6 +303,30 @@ class CmpSystem {
 
   void init_topology();
 
+  // ---- threaded PDES window executor (DESIGN.md §12) ----
+  /// Stats shard for the current context: the lane of the executing
+  /// partition window-task, or the run-wide stats_ on the coordinator /
+  /// fabric / serial path. Handlers must route every counter through here.
+  [[nodiscard]] ExecStats& run_stats();
+  /// Pending-node pool for a bank: per-partition in threaded mode (each
+  /// bank is owned by exactly one partition), the shared pool otherwise.
+  [[nodiscard]] ObjectPool<PendingNode>& pool_for(const Bank& bank);
+  /// Records a core's completion (banked into its lane in parallel
+  /// context, applied directly otherwise).
+  void note_core_done(Cycle at);
+  /// The window/round loop replacing the serial step() loop.
+  void run_threaded();
+  /// Coordinator round boundary: flushes outboxes, injects banked packets
+  /// and DRAM requests in canonical lane order, applies barrier arrivals
+  /// and completions.
+  void merge_round();
+  /// Threaded-mode barrier release: fires once every participant has
+  /// arrived, at the cycle of the last arrival.
+  void release_barrier_threaded();
+  /// Folds every lane's counter shard into stats_ (order-independent).
+  void merge_exec_lanes();
+  [[noreturn]] void report_deadlock();
+
   CmpConfig config_;
   WorkloadProfile profile_;
   Hertz frequency_;
@@ -292,6 +339,20 @@ class CmpSystem {
   /// at the top of run() so inject_faults can force the serial path.
   DesScheduler events_;
   PdesMode pdes_mode_ = PdesMode::kOff;  ///< effective mode for this run
+  PdesExec pdes_exec_ = PdesExec::kSerial;  ///< effective executor
+  /// True while the run uses the threaded window executor: PDES active,
+  /// pdes_exec_ == kThreads and at least two model partitions. Faulted
+  /// plans force PDES off entirely, so this never coexists with faults.
+  bool threaded_exec_ = false;
+  std::vector<ExecLane> lanes_;  ///< one per partition (threaded mode)
+  /// Per-partition pending-node pools (threaded mode): ObjectPool is
+  /// neither copyable nor movable, so a deque grows them in place.
+  std::deque<ObjectPool<PendingNode>> partition_pools_;
+  /// Test hook (tests/perf fuzzer): when non-zero, merge_round() permutes
+  /// the lane drain order and each lane's same-round send order under this
+  /// seed, proving the banked mechanisms are order-insensitive.
+  std::uint64_t flush_fuzz_seed_ = 0;
+  Xoshiro256 fuzz_rng_{1};
   /// Tile -> owning partition (empty until run() activates PDES).
   std::vector<std::uint32_t> partition_of_tile_;
   std::unique_ptr<Mesh3d> noc_;

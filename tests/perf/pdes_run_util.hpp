@@ -1,0 +1,120 @@
+#pragma once
+
+/// Shared run/compare helpers for the DES invariance suites
+/// (test_queue_invariance, test_pdes_exec, test_pdes_matrix,
+/// test_pdes_fuzz). One simulated cell per call, bit-exact comparison of
+/// every timing-visible ExecStats field.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "perf/event_queue.hpp"
+#include "perf/faults.hpp"
+#include "perf/pdes.hpp"
+#include "perf/system.hpp"
+#include "perf/workload.hpp"
+#include "resilience/schedule.hpp"
+
+namespace aqua::testutil {
+
+struct RunSpec {
+  std::string workload = "ft";
+  std::size_t chips = 2;
+  EventQueue::Impl impl = EventQueue::Impl::kCalendar;
+  bool idle_skip = false;
+  std::uint64_t seed = 1;
+  PerfFaultPlan faults = {};
+  PdesMode pdes = PdesMode::kOff;
+  PdesExec exec = PdesExec::kSerial;
+  std::uint64_t instructions = 2000;
+};
+
+inline ExecStats run_cell(const RunSpec& spec) {
+  const EventQueue::Impl before = EventQueue::default_impl();
+  EventQueue::set_default_impl(spec.impl);
+  CmpConfig cfg;
+  cfg.chips = spec.chips;
+  cfg.noc_idle_skip = spec.idle_skip;
+  cfg.pdes = spec.pdes;
+  cfg.pdes_exec = spec.exec;
+  WorkloadProfile p = npb_profile(spec.workload);
+  p.instructions_per_thread = spec.instructions;
+  CmpSystem system(cfg, p, gigahertz(1.6), spec.seed);
+  if (!spec.faults.empty()) system.inject_faults(spec.faults);
+  ExecStats stats = system.run();
+  EventQueue::set_default_impl(before);
+  return stats;
+}
+
+/// Legacy positional form kept for the queue-invariance suite.
+inline ExecStats run_once(const std::string& workload, std::size_t chips,
+                          EventQueue::Impl impl, bool idle_skip,
+                          std::uint64_t seed,
+                          const PerfFaultPlan& faults = {},
+                          PdesMode pdes = PdesMode::kOff,
+                          PdesExec exec = PdesExec::kSerial) {
+  RunSpec spec;
+  spec.workload = workload;
+  spec.chips = chips;
+  spec.impl = impl;
+  spec.idle_skip = idle_skip;
+  spec.seed = seed;
+  spec.faults = faults;
+  spec.pdes = pdes;
+  spec.exec = exec;
+  return run_cell(spec);
+}
+
+/// Every timing-visible field must match; wall-clock-derived fields
+/// (seconds is cycles/frequency, so deterministic too) included.
+inline void expect_identical(const ExecStats& a, const ExecStats& b,
+                             const std::string& label) {
+  EXPECT_EQ(a.cycles, b.cycles) << label;
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds) << label;
+  EXPECT_EQ(a.instructions, b.instructions) << label;
+  EXPECT_EQ(a.mem_ops, b.mem_ops) << label;
+  EXPECT_EQ(a.l1_hits, b.l1_hits) << label;
+  EXPECT_EQ(a.l1_misses, b.l1_misses) << label;
+  EXPECT_EQ(a.l2_data_hits, b.l2_data_hits) << label;
+  EXPECT_EQ(a.l2_data_misses, b.l2_data_misses) << label;
+  EXPECT_EQ(a.dram_accesses, b.dram_accesses) << label;
+  EXPECT_EQ(a.coherence_forwards, b.coherence_forwards) << label;
+  EXPECT_EQ(a.invalidations, b.invalidations) << label;
+  EXPECT_EQ(a.writebacks, b.writebacks) << label;
+  EXPECT_EQ(a.barriers, b.barriers) << label;
+  EXPECT_EQ(a.l2_overflow_inserts, b.l2_overflow_inserts) << label;
+  EXPECT_EQ(a.stall_l2_cycles, b.stall_l2_cycles) << label;
+  EXPECT_EQ(a.stall_dram_cycles, b.stall_dram_cycles) << label;
+  EXPECT_EQ(a.stall_forward_cycles, b.stall_forward_cycles) << label;
+  EXPECT_EQ(a.stall_upgrade_cycles, b.stall_upgrade_cycles) << label;
+  EXPECT_EQ(a.barrier_wait_cycles, b.barrier_wait_cycles) << label;
+  EXPECT_EQ(a.noc.packets_delivered, b.noc.packets_delivered) << label;
+  EXPECT_EQ(a.noc.flits_delivered, b.noc.flits_delivered) << label;
+  EXPECT_EQ(a.noc.total_packet_latency, b.noc.total_packet_latency) << label;
+  EXPECT_EQ(a.noc.total_hops, b.noc.total_hops) << label;
+  EXPECT_EQ(a.noc.ticks, b.noc.ticks) << label;
+  EXPECT_EQ(a.noc.cycles_skipped, b.noc.cycles_skipped) << label;
+  EXPECT_EQ(a.core_utilization, b.core_utilization) << label;
+}
+
+// FT is streaming/all-to-all, CG irregular and memory-bound — together
+// they exercise data packets, forwards, invalidations and barriers.
+inline const std::vector<std::string> kWorkloads = {"ft", "cg"};
+inline const std::vector<std::size_t> kChipCounts = {2, 4};
+
+/// A dense seeded fault plan over a `chips`-chip system (dead cores,
+/// mid-run kills, failed links) — non-empty at these probabilities.
+inline PerfFaultPlan seeded_plan(std::size_t chips) {
+  CmpConfig cfg;
+  cfg.chips = chips;
+  FaultScheduleOptions opts;
+  opts.core_dead_prob = 0.2;
+  opts.core_midrun_prob = 0.3;
+  opts.midrun_window = 50000;
+  opts.link_fail_prob = 0.05;
+  return sample_fault_plan(cfg, opts, 11);
+}
+
+}  // namespace aqua::testutil

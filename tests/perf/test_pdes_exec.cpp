@@ -1,0 +1,251 @@
+/// The relaxed-order threaded PDES window executor (DESIGN.md §12,
+/// AQUA_DES_PDES_EXEC=threads): partitions of each lookahead window run as
+/// task-engine tasks instead of the stamped serial merge. The contract is
+/// the idle-skip one, not bit-identity — a threads run is deterministic
+/// for a (seed, workload) regardless of worker count, serial exec stays
+/// byte-identical to PDES off, faulted plans force the whole feature off,
+/// and the drift against the exact serial run stays inside the
+/// statistical-equivalence bounds that `trace_tools des-drift` gates on.
+///
+/// Heavier cells (6/8 chips, quadrant matrix) live in test_pdes_matrix.cpp
+/// under the `slow` label.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/des_drift.hpp"
+#include "perf/event_queue.hpp"
+#include "perf/faults.hpp"
+#include "perf/pdes.hpp"
+#include "perf/system.hpp"
+#include "pdes_run_util.hpp"
+#include "sweep/task_engine.hpp"
+
+namespace aqua {
+namespace {
+
+using testutil::expect_identical;
+using testutil::kWorkloads;
+using testutil::run_cell;
+using testutil::RunSpec;
+using testutil::seeded_plan;
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+};
+
+/// Reconfigures the shared task engine for a scope, restoring the env
+/// contract (AQUA_SWEEP_WORKERS) on the way out.
+class ScopedWorkers {
+ public:
+  explicit ScopedWorkers(std::size_t workers) {
+    sweep::TaskEngine::shared().configure(workers);
+  }
+  ~ScopedWorkers() { sweep::TaskEngine::shared().configure(0); }
+  ScopedWorkers(const ScopedWorkers&) = delete;
+  ScopedWorkers& operator=(const ScopedWorkers&) = delete;
+};
+
+RunSpec threads_spec(const std::string& workload, std::size_t chips,
+                     PdesMode mode = PdesMode::kChip) {
+  RunSpec spec;
+  spec.workload = workload;
+  spec.chips = chips;
+  spec.pdes = mode;
+  spec.exec = PdesExec::kThreads;
+  return spec;
+}
+
+double rel_drift(std::uint64_t base, std::uint64_t fresh) {
+  if (base == 0) return fresh == 0 ? 0.0 : 1.0;
+  const double b = static_cast<double>(base);
+  return std::abs(static_cast<double>(fresh) - b) / b;
+}
+
+std::vector<std::uint64_t> hist_of(const ExecStats& stats) {
+  return {stats.noc.latency_hist.begin(), stats.noc.latency_hist.end()};
+}
+
+/// The repo-wide statistical-equivalence contract for threads vs serial:
+/// <= 1% cycle and IPC drift, <= 5% latency-distribution TVD, identical
+/// instruction count (the traces are the same program).
+void expect_within_drift_bounds(const ExecStats& serial,
+                                const ExecStats& threads,
+                                const std::string& label) {
+  EXPECT_EQ(serial.instructions, threads.instructions) << label;
+  EXPECT_LE(rel_drift(serial.cycles, threads.cycles), 0.01) << label;
+  const double serial_ipc =
+      static_cast<double>(serial.instructions) /
+      static_cast<double>(serial.cycles);
+  const double threads_ipc =
+      static_cast<double>(threads.instructions) /
+      static_cast<double>(threads.cycles);
+  EXPECT_LE(std::abs(threads_ipc - serial_ipc) / serial_ipc, 0.01) << label;
+  EXPECT_LE(obs::total_variation_distance(hist_of(serial), hist_of(threads)),
+            0.05)
+      << label;
+}
+
+TEST(PdesExecEnv, ParsesSerialThreadsAndRejectsJunk) {
+  ::unsetenv("AQUA_DES_PDES_EXEC");
+  EXPECT_EQ(pdes_exec_from_env(), PdesExec::kSerial);
+  {
+    ScopedEnv env("AQUA_DES_PDES_EXEC", "serial");
+    EXPECT_EQ(pdes_exec_from_env(), PdesExec::kSerial);
+  }
+  {
+    ScopedEnv env("AQUA_DES_PDES_EXEC", "threads");
+    EXPECT_EQ(pdes_exec_from_env(), PdesExec::kThreads);
+  }
+  {
+    ScopedEnv env("AQUA_DES_PDES_EXEC", "");
+    EXPECT_EQ(pdes_exec_from_env(), PdesExec::kSerial);
+  }
+  {
+    ScopedEnv env("AQUA_DES_PDES_EXEC", "fibers");
+    EXPECT_THROW(pdes_exec_from_env(), std::exception);
+  }
+}
+
+// Serial exec is the default and must change nothing: a PDES run with
+// pdes_exec=kSerial is byte-identical to PDES off (the pre-existing
+// stamped-merge guarantee, restated against the new config knob).
+TEST(PdesExec, SerialExecIsByteIdenticalToOff) {
+  for (const std::string& w : kWorkloads) {
+    RunSpec off;
+    off.workload = w;
+    RunSpec serial;
+    serial.workload = w;
+    serial.pdes = PdesMode::kChip;
+    serial.exec = PdesExec::kSerial;
+    const ExecStats a = run_cell(off);
+    const ExecStats b = run_cell(serial);
+    expect_identical(a, b, w + " serial-exec vs off");
+    EXPECT_EQ(b.pdes.exec, PdesExec::kSerial);
+    EXPECT_EQ(b.pdes.exec_windows, 0u);
+    EXPECT_EQ(b.pdes.exec_tasks, 0u);
+  }
+}
+
+TEST(PdesExec, ThreadsRunsAreSelfDeterministic) {
+  const ExecStats a = run_cell(threads_spec("ft", 2));
+  const ExecStats b = run_cell(threads_spec("ft", 2));
+  const ExecStats c = run_cell(threads_spec("ft", 2));
+  expect_identical(a, b, "threads repeat 1");
+  expect_identical(a, c, "threads repeat 2");
+  EXPECT_EQ(a.pdes.exec, PdesExec::kThreads);
+}
+
+// The side-effect lanes are per-partition, not per-worker, and the window
+// flush applies them in canonical partition order — so the result cannot
+// depend on how many engine workers happened to execute the tasks.
+TEST(PdesExec, ThreadsResultIsWorkerCountInvariant) {
+  ExecStats base;
+  {
+    ScopedWorkers workers(1);
+    base = run_cell(threads_spec("cg", 2));
+  }
+  for (std::size_t n : {std::size_t{2}, std::size_t{8}}) {
+    ScopedWorkers workers(n);
+    const ExecStats stats = run_cell(threads_spec("cg", 2));
+    expect_identical(base, stats,
+                     "threads workers=" + std::to_string(n) + " vs 1");
+  }
+}
+
+TEST(PdesExec, ThreadsDriftStaysInsideEquivalenceBounds) {
+  for (const std::string& w : kWorkloads) {
+    RunSpec serial_spec;
+    serial_spec.workload = w;
+    const ExecStats serial = run_cell(serial_spec);
+    const ExecStats threads = run_cell(threads_spec(w, 2));
+    expect_within_drift_bounds(serial, threads, w + " chips=2 drift");
+  }
+}
+
+TEST(PdesExec, ThreadsRunReportsExecutorAccounting) {
+  const ExecStats stats = run_cell(threads_spec("ft", 2));
+  EXPECT_EQ(stats.pdes.exec, PdesExec::kThreads);
+  EXPECT_EQ(stats.pdes.mode, PdesMode::kChip);
+  EXPECT_EQ(stats.pdes.partitions, 2u);
+  EXPECT_GT(stats.pdes.exec_windows, 0u);
+  // Windows with no runnable partition are fabric-only, so rounds may be
+  // fewer than windows — but every round dispatches at least one task.
+  EXPECT_GT(stats.pdes.exec_rounds, 0u);
+  EXPECT_GE(stats.pdes.exec_tasks, stats.pdes.exec_rounds);
+  // FT is all-to-all: both chips must have been runnable in one round at
+  // least once, or the executor never actually overlapped anything.
+  EXPECT_GE(stats.pdes.exec_max_concurrency, 2u);
+}
+
+// Fault plans force the serial path (same policy as PDES itself): the
+// faulted threads-requested run is bit-identical to the faulted serial
+// run, and the stats say so via forced_off.
+TEST(PdesExec, FaultedPlanForcesThreadsOff) {
+  const PerfFaultPlan plan = seeded_plan(2);
+  ASSERT_FALSE(plan.empty());
+  RunSpec faulted_serial;
+  faulted_serial.workload = "ft";
+  faulted_serial.seed = 5;
+  faulted_serial.faults = plan;
+  RunSpec faulted_threads = faulted_serial;
+  faulted_threads.pdes = PdesMode::kChip;
+  faulted_threads.exec = PdesExec::kThreads;
+  const ExecStats serial = run_cell(faulted_serial);
+  const ExecStats threads = run_cell(faulted_threads);
+  expect_identical(serial, threads, "faulted threads takes serial path");
+  EXPECT_TRUE(threads.pdes.forced_off);
+  EXPECT_EQ(threads.pdes.exec_windows, 0u);
+  EXPECT_EQ(threads.pdes.exec_tasks, 0u);
+}
+
+// One chip means one partition: nothing to overlap, so the executor
+// degrades to the exact serial path (and the run stays byte-identical to
+// PDES off instead of paying the window machinery for nothing).
+TEST(PdesExec, SinglePartitionFallsBackToSerial) {
+  RunSpec off;
+  off.workload = "ft";
+  off.chips = 1;
+  RunSpec threads = off;
+  threads.pdes = PdesMode::kChip;
+  threads.exec = PdesExec::kThreads;
+  const ExecStats a = run_cell(off);
+  const ExecStats b = run_cell(threads);
+  expect_identical(a, b, "1-chip threads vs off");
+  EXPECT_EQ(b.pdes.exec, PdesExec::kSerial);
+  EXPECT_EQ(b.pdes.exec_windows, 0u);
+}
+
+// Threads mode composes with idle-skip: still deterministic, still inside
+// the drift bounds against the serial idle-skip run.
+TEST(PdesExec, ThreadsComposesWithIdleSkip) {
+  RunSpec serial_spec;
+  serial_spec.workload = "ft";
+  serial_spec.idle_skip = true;
+  serial_spec.seed = 3;
+  RunSpec threads_spec_ = serial_spec;
+  threads_spec_.pdes = PdesMode::kChip;
+  threads_spec_.exec = PdesExec::kThreads;
+  const ExecStats serial = run_cell(serial_spec);
+  const ExecStats a = run_cell(threads_spec_);
+  const ExecStats b = run_cell(threads_spec_);
+  expect_identical(a, b, "idle-skip threads repeat");
+  expect_within_drift_bounds(serial, a, "idle-skip threads drift");
+}
+
+}  // namespace
+}  // namespace aqua

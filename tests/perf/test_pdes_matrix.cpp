@@ -1,0 +1,133 @@
+/// The multi-second PDES equivalence matrices, split out of the tier-1
+/// suites under the `slow` label (ROADMAP: tier 1 stays fast; `ctest -L
+/// slow` and the dedicated CI jobs run these).
+///
+/// Two matrices:
+///   * serial exec: chip and quadrant partitioning must reproduce the
+///     single-queue run bit for bit across workloads and 2/4/6 chips
+///     (moved here from test_queue_invariance.cpp);
+///   * threads exec: the relaxed-order window executor must stay inside
+///     the statistical-equivalence bounds (<=1% cycles/IPC, <=5% latency
+///     TVD) against serial across workloads, 2/4/6/8 chips and both
+///     partition granularities, while remaining self-deterministic and
+///     worker-count invariant.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/des_drift.hpp"
+#include "perf/event_queue.hpp"
+#include "perf/pdes.hpp"
+#include "perf/system.hpp"
+#include "pdes_run_util.hpp"
+#include "sweep/task_engine.hpp"
+
+namespace aqua {
+namespace {
+
+using testutil::expect_identical;
+using testutil::kWorkloads;
+using testutil::run_cell;
+using testutil::run_once;
+using testutil::RunSpec;
+
+const std::vector<std::size_t> kMatrixChips = {2, 4, 6};
+
+TEST(PdesMatrix, ChipAndQuadrantMatchSerialBitForBit) {
+  for (const std::string& w : kWorkloads) {
+    for (std::size_t chips : kMatrixChips) {
+      const std::string label = w + " chips=" + std::to_string(chips);
+      const ExecStats serial =
+          run_once(w, chips, EventQueue::Impl::kCalendar, false, 1);
+      const ExecStats chip = run_once(w, chips, EventQueue::Impl::kCalendar,
+                                      false, 1, {}, PdesMode::kChip);
+      const ExecStats quadrant =
+          run_once(w, chips, EventQueue::Impl::kCalendar, false, 1, {},
+                   PdesMode::kQuadrant);
+      expect_identical(serial, chip, label + " pdes=chip");
+      expect_identical(serial, quadrant, label + " pdes=quadrant");
+      // The PDES runs really ran partitioned.
+      EXPECT_EQ(chip.pdes.partitions, chips) << label;
+      EXPECT_GT(chip.pdes.windows, 0u) << label;
+      EXPECT_EQ(quadrant.pdes.partitions, chips * 4) << label;
+    }
+  }
+}
+
+std::vector<std::uint64_t> hist_of(const ExecStats& stats) {
+  return {stats.noc.latency_hist.begin(), stats.noc.latency_hist.end()};
+}
+
+void expect_within_drift_bounds(const ExecStats& serial,
+                                const ExecStats& threads,
+                                const std::string& label) {
+  EXPECT_EQ(serial.instructions, threads.instructions) << label;
+  const double base = static_cast<double>(serial.cycles);
+  EXPECT_LE(std::abs(static_cast<double>(threads.cycles) - base) / base,
+            0.01)
+      << label;
+  const double serial_ipc =
+      static_cast<double>(serial.instructions) / base;
+  const double threads_ipc = static_cast<double>(threads.instructions) /
+                             static_cast<double>(threads.cycles);
+  EXPECT_LE(std::abs(threads_ipc - serial_ipc) / serial_ipc, 0.01) << label;
+  EXPECT_LE(obs::total_variation_distance(hist_of(serial), hist_of(threads)),
+            0.05)
+      << label;
+}
+
+TEST(PdesMatrix, ThreadsDriftMatrixStaysInsideBounds) {
+  for (const std::string& w : kWorkloads) {
+    for (std::size_t chips : {std::size_t{2}, std::size_t{4}, std::size_t{6},
+                              std::size_t{8}}) {
+      for (PdesMode mode : {PdesMode::kChip, PdesMode::kQuadrant}) {
+        const std::string label = w + " chips=" + std::to_string(chips) +
+                                  " mode=" + std::string(to_string(mode));
+        RunSpec serial_spec;
+        serial_spec.workload = w;
+        serial_spec.chips = chips;
+        // The 1% contract is for sweep-scale runs; 2000-instruction
+        // micro-cells are dominated by the boot transient (empirically
+        // ~1.2% at 4 chips, dropping under 0.5% by 6000 instructions).
+        serial_spec.instructions = 6000;
+        RunSpec threads_spec = serial_spec;
+        threads_spec.pdes = mode;
+        threads_spec.exec = PdesExec::kThreads;
+        const ExecStats serial = run_cell(serial_spec);
+        const ExecStats a = run_cell(threads_spec);
+        const ExecStats b = run_cell(threads_spec);
+        expect_identical(a, b, label + " repeat");
+        expect_within_drift_bounds(serial, a, label);
+        EXPECT_EQ(a.pdes.exec, PdesExec::kThreads) << label;
+        EXPECT_GT(a.pdes.exec_windows, 0u) << label;
+      }
+    }
+  }
+}
+
+// A deeper worker-count sweep than tier 1 runs: an 8-chip quadrant run
+// (32 partitions) must produce the same bytes on 1, 2, 4 and 8 workers.
+TEST(PdesMatrix, ThreadsWorkerSweepIsInvariantAtScale) {
+  RunSpec spec;
+  spec.workload = "ft";
+  spec.chips = 8;
+  spec.pdes = PdesMode::kQuadrant;
+  spec.exec = PdesExec::kThreads;
+  sweep::TaskEngine& engine = sweep::TaskEngine::shared();
+  engine.configure(1);
+  const ExecStats base = run_cell(spec);
+  for (std::size_t n : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    engine.configure(n);
+    const ExecStats stats = run_cell(spec);
+    expect_identical(base, stats, "8-chip workers=" + std::to_string(n));
+  }
+  engine.configure(0);  // restore the AQUA_SWEEP_WORKERS contract
+  EXPECT_EQ(base.pdes.partitions, 32u);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -4,81 +4,32 @@
 /// calendar queue (ring + overflow heap) must therefore reproduce the
 /// heap's global FIFO-within-cycle order exactly, across workloads with
 /// different traffic patterns and across chip counts.
+///
+/// The multi-cell PDES serial-equivalence matrix (2/4/6 chips x chip and
+/// quadrant granularity) lives in test_pdes_matrix.cpp under the `slow`
+/// label; this tier-1 file keeps the fast 2-chip invariants.
 
 #include <gtest/gtest.h>
 
 #include <string>
-#include <vector>
 
 #include "perf/event_queue.hpp"
 #include "perf/faults.hpp"
 #include "perf/pdes.hpp"
 #include "perf/system.hpp"
-#include "perf/workload.hpp"
-#include "resilience/schedule.hpp"
+#include "pdes_run_util.hpp"
 
 namespace aqua {
 namespace {
 
-ExecStats run_once(const std::string& workload, std::size_t chips,
-                   EventQueue::Impl impl, bool idle_skip, std::uint64_t seed,
-                   const PerfFaultPlan& faults = {},
-                   PdesMode pdes = PdesMode::kOff) {
-  const EventQueue::Impl before = EventQueue::default_impl();
-  EventQueue::set_default_impl(impl);
-  CmpConfig cfg;
-  cfg.chips = chips;
-  cfg.noc_idle_skip = idle_skip;
-  cfg.pdes = pdes;
-  WorkloadProfile p = npb_profile(workload);
-  p.instructions_per_thread = 2000;
-  CmpSystem system(cfg, p, gigahertz(1.6), seed);
-  if (!faults.empty()) system.inject_faults(faults);
-  ExecStats stats = system.run();
-  EventQueue::set_default_impl(before);
-  return stats;
-}
-
-/// Every timing-visible field must match; wall-clock-derived fields
-/// (seconds is cycles/frequency, so deterministic too) included.
-void expect_identical(const ExecStats& a, const ExecStats& b,
-                      const std::string& label) {
-  EXPECT_EQ(a.cycles, b.cycles) << label;
-  EXPECT_DOUBLE_EQ(a.seconds, b.seconds) << label;
-  EXPECT_EQ(a.instructions, b.instructions) << label;
-  EXPECT_EQ(a.mem_ops, b.mem_ops) << label;
-  EXPECT_EQ(a.l1_hits, b.l1_hits) << label;
-  EXPECT_EQ(a.l1_misses, b.l1_misses) << label;
-  EXPECT_EQ(a.l2_data_hits, b.l2_data_hits) << label;
-  EXPECT_EQ(a.l2_data_misses, b.l2_data_misses) << label;
-  EXPECT_EQ(a.dram_accesses, b.dram_accesses) << label;
-  EXPECT_EQ(a.coherence_forwards, b.coherence_forwards) << label;
-  EXPECT_EQ(a.invalidations, b.invalidations) << label;
-  EXPECT_EQ(a.writebacks, b.writebacks) << label;
-  EXPECT_EQ(a.barriers, b.barriers) << label;
-  EXPECT_EQ(a.l2_overflow_inserts, b.l2_overflow_inserts) << label;
-  EXPECT_EQ(a.stall_l2_cycles, b.stall_l2_cycles) << label;
-  EXPECT_EQ(a.stall_dram_cycles, b.stall_dram_cycles) << label;
-  EXPECT_EQ(a.stall_forward_cycles, b.stall_forward_cycles) << label;
-  EXPECT_EQ(a.stall_upgrade_cycles, b.stall_upgrade_cycles) << label;
-  EXPECT_EQ(a.barrier_wait_cycles, b.barrier_wait_cycles) << label;
-  EXPECT_EQ(a.noc.packets_delivered, b.noc.packets_delivered) << label;
-  EXPECT_EQ(a.noc.flits_delivered, b.noc.flits_delivered) << label;
-  EXPECT_EQ(a.noc.total_packet_latency, b.noc.total_packet_latency) << label;
-  EXPECT_EQ(a.noc.total_hops, b.noc.total_hops) << label;
-  EXPECT_EQ(a.noc.ticks, b.noc.ticks) << label;
-  EXPECT_EQ(a.noc.cycles_skipped, b.noc.cycles_skipped) << label;
-  EXPECT_EQ(a.core_utilization, b.core_utilization) << label;
-}
-
-// FT is streaming/all-to-all, CG irregular and memory-bound — together
-// they exercise data packets, forwards, invalidations and barriers.
-const std::vector<std::string> kWorkloads = {"ft", "cg"};
-const std::vector<std::size_t> kChipCounts = {2, 4};
+using testutil::expect_identical;
+using testutil::kWorkloads;
+using testutil::run_once;
+using testutil::seeded_plan;
 
 TEST(QueueInvariance, CalendarMatchesHeapBitForBit) {
   for (const std::string& w : kWorkloads) {
-    for (std::size_t chips : kChipCounts) {
+    for (std::size_t chips : testutil::kChipCounts) {
       const std::string label = w + " chips=" + std::to_string(chips);
       const ExecStats cal =
           run_once(w, chips, EventQueue::Impl::kCalendar, false, 1);
@@ -116,17 +67,6 @@ TEST(QueueInvariance, RepeatedRunsAreDeterministic) {
 // *empty* plan must be bit-identical to never calling inject_faults at
 // all (the graceful-degradation hooks are inert when unused).
 // ---------------------------------------------------------------------------
-
-PerfFaultPlan seeded_plan(std::size_t chips) {
-  CmpConfig cfg;
-  cfg.chips = chips;
-  FaultScheduleOptions opts;
-  opts.core_dead_prob = 0.2;
-  opts.core_midrun_prob = 0.3;
-  opts.midrun_window = 50000;
-  opts.link_fail_prob = 0.05;
-  return sample_fault_plan(cfg, opts, 11);
-}
 
 TEST(QueueInvariance, FaultedRunIsQueueInvariant) {
   for (const std::string& w : kWorkloads) {
@@ -184,28 +124,6 @@ TEST(QueueInvariance, EmptyPlanMatchesUninjectedRun) {
 // implementations. This is the property that keeps the NPB golden tables
 // byte-identical and PDES cells cacheable under the serial cell key.
 // ---------------------------------------------------------------------------
-
-TEST(QueueInvariance, PdesChipAndQuadrantMatchSerialBitForBit) {
-  for (const std::string& w : kWorkloads) {
-    for (std::size_t chips : {std::size_t{2}, std::size_t{4},
-                              std::size_t{6}}) {
-      const std::string label = w + " chips=" + std::to_string(chips);
-      const ExecStats serial =
-          run_once(w, chips, EventQueue::Impl::kCalendar, false, 1);
-      const ExecStats chip = run_once(w, chips, EventQueue::Impl::kCalendar,
-                                      false, 1, {}, PdesMode::kChip);
-      const ExecStats quadrant =
-          run_once(w, chips, EventQueue::Impl::kCalendar, false, 1, {},
-                   PdesMode::kQuadrant);
-      expect_identical(serial, chip, label + " pdes=chip");
-      expect_identical(serial, quadrant, label + " pdes=quadrant");
-      // The PDES runs really ran partitioned.
-      EXPECT_EQ(chip.pdes.partitions, chips) << label;
-      EXPECT_GT(chip.pdes.windows, 0u) << label;
-      EXPECT_EQ(quadrant.pdes.partitions, chips * 4) << label;
-    }
-  }
-}
 
 TEST(QueueInvariance, PdesIsQueueImplementationInvariant) {
   for (const std::string& w : kWorkloads) {
